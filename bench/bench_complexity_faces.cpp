@@ -1,0 +1,80 @@
+// Complexity validation (Sec. 4.4): "for n deployed sensor nodes there
+// are only O(n^4) divided faces".
+//
+// The bound comes from the circle arrangement: C(n,2) pairs contribute
+// two Apollonius circles each; an arrangement of m circles has at most
+// m(m-1) intersection points and O(m^2) faces, and m = 2 C(n,2) = O(n^2)
+// gives O(n^4) faces. We measure three quantities per n:
+//   - exact in-field intersection count of the 2 C(n,2) circles,
+//   - the face count the grid division discovers,
+//   - the ratios against n^4 (should be bounded as n grows).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/facemap.hpp"
+#include "geometry/apollonius.hpp"
+#include "net/deployment.hpp"
+#include "rf/uncertainty.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fttt;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  print_banner(std::cout, "Sec. 4.4: O(n^4) face-count bound validation");
+  const Aabb field{{0.0, 0.0}, {100.0, 100.0}};
+  const double C = uncertainty_constant(1.0, 4.0, 6.0);
+  const double cell = opt.fast ? 2.0 : 1.0;
+  std::cout << "C = " << C << ", random deployments, grid cell " << cell << " m\n\n";
+
+  TextTable t({"n", "circles", "in-field crossings", "grid faces", "faces / n^4",
+               "crossings / n^4"});
+  bench::CsvSink csv(opt);
+  csv.row(std::vector<std::string>{"n", "circles", "crossings", "faces",
+                                   "faces_ratio", "crossings_ratio"});
+
+  RngStream rng(777);
+  for (std::size_t n : {4u, 6u, 8u, 12u, 16u, 20u}) {
+    RngStream deploy_rng = rng.substream(n);
+    const Deployment nodes = random_deployment(field, n, deploy_rng);
+
+    // All uncertain-boundary circles of every pair.
+    std::vector<Circle> circles;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const UncertainBoundary ub =
+            uncertain_boundary(nodes[i].position, nodes[j].position, C);
+        circles.push_back(ub.near_a);
+        circles.push_back(ub.near_b);
+      }
+    }
+    std::size_t crossings = 0;
+    for (std::size_t a = 0; a < circles.size(); ++a) {
+      for (std::size_t b = a + 1; b < circles.size(); ++b) {
+        const auto pts = circle_intersections(circles[a], circles[b]);
+        if (!pts) continue;
+        if (field.contains(pts->first)) ++crossings;
+        if (field.contains(pts->second)) ++crossings;
+      }
+    }
+
+    const FaceMap map = FaceMap::build(nodes, C, field, cell);
+    const double n4 = static_cast<double>(n) * static_cast<double>(n) *
+                      static_cast<double>(n) * static_cast<double>(n);
+    t.add_row({std::to_string(n), std::to_string(circles.size()),
+               std::to_string(crossings), std::to_string(map.face_count()),
+               TextTable::num(static_cast<double>(map.face_count()) / n4, 4),
+               TextTable::num(static_cast<double>(crossings) / n4, 4)});
+    csv.row({static_cast<double>(n), static_cast<double>(circles.size()),
+             static_cast<double>(crossings), static_cast<double>(map.face_count()),
+             static_cast<double>(map.face_count()) / n4,
+             static_cast<double>(crossings) / n4});
+  }
+  std::cout << t
+            << "\nReading: crossings track the O(n^4) arrangement bound; the\n"
+               "grid division discovers fewer faces than the bound (it cannot\n"
+               "resolve features below the cell size), so faces / n^4 stays\n"
+               "bounded and eventually falls — storage is O(n^4) worst case,\n"
+               "much less in practice.\n";
+  return 0;
+}

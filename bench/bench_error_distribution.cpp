@@ -1,0 +1,56 @@
+// Evaluation-depth extension: full error distributions, not just
+// mean/stddev. The paper's robustness story (Sec. 7) lives in the tails;
+// this bench prints error histograms and tail quantiles for the four
+// methods under the Table 1 workload.
+#include <array>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/histogram.hpp"
+#include "sim/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fttt;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  print_banner(std::cout, "Error distributions (tails) across methods");
+  std::cout << "n = 15, k = 5, bounded channel, " << opt.trials << " runs pooled\n";
+
+  const std::array<Method, 4> methods{Method::kFttt, Method::kFtttExtended,
+                                      Method::kPathMatching, Method::kDirectMle};
+  std::array<Histogram, 4> hists{Histogram(0.0, 30.0, 15), Histogram(0.0, 30.0, 15),
+                                 Histogram(0.0, 30.0, 15), Histogram(0.0, 30.0, 15)};
+
+  for (std::size_t trial = 0; trial < opt.trials; ++trial) {
+    ScenarioConfig cfg = bench::default_scenario(opt);
+    cfg.sensor_count = 15;
+    const TrackingResult run = run_tracking(cfg, methods, trial);
+    for (std::size_t m = 0; m < methods.size(); ++m)
+      hists[m].add_all(run.methods[m].errors);
+  }
+
+  TextTable t({"method", "p50 (m)", "p90 (m)", "p99 (m)", "P(err > 10 m)"});
+  bench::CsvSink csv(opt);
+  csv.row(std::vector<std::string>{"method", "p50", "p90", "p99", "tail10"});
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    const double tail = 1.0 - hists[m].cdf(10.0);
+    t.add_row({method_name(methods[m]), TextTable::num(hists[m].quantile(0.5), 2),
+               TextTable::num(hists[m].quantile(0.9), 2),
+               TextTable::num(hists[m].quantile(0.99), 2), TextTable::num(tail, 3)});
+    csv.row(std::vector<std::string>{method_name(methods[m]),
+                                     TextTable::num(hists[m].quantile(0.5), 4),
+                                     TextTable::num(hists[m].quantile(0.9), 4),
+                                     TextTable::num(hists[m].quantile(0.99), 4),
+                                     TextTable::num(tail, 4)});
+  }
+  std::cout << '\n' << t;
+
+  for (std::size_t m = 0; m < methods.size(); ++m)
+    std::cout << "\n" << method_name(methods[m]) << " error histogram (m):\n"
+              << hists[m].render(40);
+
+  std::cout << "\nReading: the FTTT variants concentrate mass in the low bins\n"
+               "and shed the heavy tail the one-shot baselines carry — the\n"
+               "robustness the paper's Fig. 10/11 scatter shows pictorially.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 11(b)/(c): mean tracking error and its standard deviation vs the
+// number of randomly deployed sensors (5..40), for FTTT, PM and Direct
+// MLE (k = 5, eps = 1).
+#include <array>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/montecarlo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fttt;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  print_banner(std::cout,
+               "Fig. 11(b)/(c): error vs number of sensors (k=5, eps=1)");
+  std::cout << "Monte-Carlo trials per point: " << opt.trials << "\n\n";
+
+  const std::array<Method, 3> methods{Method::kFttt, Method::kPathMatching,
+                                      Method::kDirectMle};
+  bench::CsvSink csv(opt);
+  csv.row(std::vector<std::string>{"channel", "n", "fttt_mean", "pm_mean", "mle_mean",
+                                   "fttt_std", "pm_std", "mle_std"});
+
+  const std::array<std::size_t, 8> sweep{5, 10, 15, 20, 25, 30, 35, 40};
+  for (Channel channel : {Channel::kBounded, Channel::kGaussian}) {
+    const char* name = channel == Channel::kBounded ? "bounded" : "gaussian";
+    std::cout << "\n--- channel: " << name
+              << (channel == Channel::kBounded ? "  (paper's flip model)"
+                                               : "  (Eq. 1 verbatim, sensitivity)")
+              << " ---\n";
+    TextTable t({"n", "FTTT mean", "PM mean", "MLE mean", "FTTT std", "PM std",
+                 "MLE std"});
+    for (std::size_t n : sweep) {
+      ScenarioConfig cfg = bench::default_scenario(opt);
+      cfg.sensor_count = n;
+      cfg.channel = channel;
+      const auto s = monte_carlo(cfg, methods, opt.trials);
+      t.add_row({std::to_string(n), TextTable::num(s[0].mean_error(), 2),
+                 TextTable::num(s[1].mean_error(), 2),
+                 TextTable::num(s[2].mean_error(), 2),
+                 TextTable::num(s[0].stddev_error(), 2),
+                 TextTable::num(s[1].stddev_error(), 2),
+                 TextTable::num(s[2].stddev_error(), 2)});
+      csv.row(std::vector<std::string>{
+          name, std::to_string(n), TextTable::num(s[0].mean_error(), 4),
+          TextTable::num(s[1].mean_error(), 4), TextTable::num(s[2].mean_error(), 4),
+          TextTable::num(s[0].stddev_error(), 4), TextTable::num(s[1].stddev_error(), 4),
+          TextTable::num(s[2].stddev_error(), 4)});
+    }
+    std::cout << t;
+  }
+  std::cout << "\nShape check (paper Fig. 11b/c): on the bounded channel, errors\n"
+               "and deviations fall as n grows (steeply below n = 10) and FTTT\n"
+               "stays below PM and Direct MLE at every n. The Gaussian panel is a\n"
+               "sensitivity check: one-shot matching closes the gap when noise\n"
+               "violates the uncertain-area dichotomy (EXPERIMENTS.md).\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 12(a): FTTT mean tracking error vs sensing resolution eps
+// (0.5..3 dBm) for n = 10, 15, 20, 25 randomly deployed sensors (k = 5).
+#include <array>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "rf/uncertainty.hpp"
+#include "sim/montecarlo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fttt;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  print_banner(std::cout, "Fig. 12(a): impact of sensing resolution (k=5)");
+  std::cout << "Monte-Carlo trials per point: " << opt.trials << "\n\n";
+
+  const std::array<Method, 1> methods{Method::kFttt};
+  const std::array<double, 6> eps_sweep{0.5, 1.0, 1.5, 2.0, 2.5, 3.0};
+  const std::array<std::size_t, 4> n_sweep{10, 15, 20, 25};
+
+  TextTable t({"eps (dBm)", "C", "n=10", "n=15", "n=20", "n=25"});
+  bench::CsvSink csv(opt);
+  csv.row(std::vector<std::string>{"eps", "C", "n10", "n15", "n20", "n25"});
+
+  for (double eps : eps_sweep) {
+    ScenarioConfig probe = bench::default_scenario(opt);
+    const double C = uncertainty_constant(eps, probe.model.beta, probe.model.sigma);
+    std::vector<std::string> row{TextTable::num(eps, 1), TextTable::num(C, 3)};
+    std::vector<double> csv_row{eps, C};
+    for (std::size_t n : n_sweep) {
+      ScenarioConfig cfg = bench::default_scenario(opt);
+      cfg.sensor_count = n;
+      cfg.eps = eps;
+      const auto s = monte_carlo(cfg, methods, opt.trials);
+      row.push_back(TextTable::num(s[0].mean_error(), 2));
+      csv_row.push_back(s[0].mean_error());
+    }
+    t.add_row(row);
+    csv.row(csv_row);
+  }
+  std::cout << t
+            << "\nShape check (paper Fig. 12a): lower eps -> lower error; the\n"
+               "effect is strongest for sparse networks and flattens out once\n"
+               "n >= 20.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 3: how the uncertain boundaries reshape the face division.
+//
+// (a) Four grid sensors divided by perpendicular bisectors -> 8 central
+//     faces with certain sequences.
+// (b) The same four sensors divided by uncertain boundaries -> the
+//     certain faces shrink to tiny residues between the annuli.
+// (c) As the inter-sensor spacing grows (relative to the uncertainty
+//     constant), the faces with certain ordinal RSS vanish entirely.
+//
+// We report, for a sweep of sensor spacings and eps: the face count under
+// both divisions and the fraction of the field whose full signature is
+// still certain (no 0 components) — the quantity Fig. 3(c) shows dying.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/facemap.hpp"
+#include "net/sensor.hpp"
+#include "rf/uncertainty.hpp"
+
+namespace {
+
+fttt::Deployment four_square(double spacing, fttt::Vec2 center) {
+  const double h = spacing / 2.0;
+  return {{0, {center.x - h, center.y - h}},
+          {1, {center.x + h, center.y - h}},
+          {2, {center.x - h, center.y + h}},
+          {3, {center.x + h, center.y + h}}};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fttt;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const ScenarioConfig cfg = bench::default_scenario(opt);
+
+  print_banner(std::cout, "Fig. 3: bisector vs uncertain-boundary field division");
+  std::cout << "4 sensors in a square, field 40 x 40 m, grid cell 0.25 m\n"
+            << "certain area = cells whose signature has no 0 component\n\n";
+
+  const Aabb field{{0.0, 0.0}, {40.0, 40.0}};
+  const double cell = opt.fast ? 0.5 : 0.25;
+
+  TextTable t({"spacing (m)", "eps", "C", "faces (bisector)", "faces (uncertain)",
+               "certain-area fraction"});
+  bench::CsvSink csv(opt);
+  csv.row(std::vector<std::string>{"spacing", "eps", "C", "faces_bisector",
+                                   "faces_uncertain", "certain_fraction"});
+
+  for (double spacing : {5.0, 10.0, 20.0, 30.0}) {
+    for (double eps : {0.5, 1.0, 2.0}) {
+      const double C = uncertainty_constant(eps, cfg.model.beta, cfg.model.sigma);
+      const Deployment nodes = four_square(spacing, field.center());
+      const FaceMap bisector = FaceMap::build(nodes, 1.0, field, cell);
+      const FaceMap uncertain = FaceMap::build(nodes, C, field, cell);
+
+      std::size_t certain_cells = 0;
+      std::size_t total_cells = 0;
+      for (const Face& f : uncertain.faces()) {
+        total_cells += f.cell_count;
+        const bool certain = std::none_of(f.signature.begin(), f.signature.end(),
+                                          [](SigValue v) { return v == 0; });
+        if (certain) certain_cells += f.cell_count;
+      }
+      const double fraction = static_cast<double>(certain_cells) /
+                              static_cast<double>(total_cells);
+      t.add_row({TextTable::num(spacing, 0), TextTable::num(eps, 1),
+                 TextTable::num(C, 3), std::to_string(bisector.face_count()),
+                 std::to_string(uncertain.face_count()), TextTable::num(fraction, 4)});
+      csv.row({spacing, eps, C, static_cast<double>(bisector.face_count()),
+               static_cast<double>(uncertain.face_count()), fraction});
+    }
+  }
+  std::cout << t
+            << "\nShape check (paper Fig. 3): the uncertain division always has more\n"
+               "faces than the bisector one, and the certain-area fraction shrinks\n"
+               "as sensors move apart — eventually no face retains a fully certain\n"
+               "detection sequence.\n";
+  return 0;
+}

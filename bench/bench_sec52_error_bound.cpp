@@ -1,0 +1,60 @@
+// Sec. 5.2 / Eq. 10: worst-case tracking-error bound scaling. Prints the
+// closed-form bound across (k, density, R) and compares its *trend*
+// against measured FTTT errors from the simulator (the bound's constant
+// xi is arbitrary; only the scaling shape is meaningful).
+#include <array>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/theory.hpp"
+#include "sim/montecarlo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fttt;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  print_banner(std::cout, "Sec. 5.2 / Eq. 10: error-bound scaling");
+
+  TextTable bound_t({"k", "rho (nodes/m^2)", "R (m)", "bound (xi=1)"});
+  for (std::size_t k : {3u, 5u, 7u, 9u}) {
+    for (double rho : {0.001, 0.002, 0.004}) {
+      bound_t.add_row({std::to_string(k), TextTable::num(rho, 4), "40",
+                       TextTable::num(theory::worst_case_error_bound(k, rho, 40.0), 4)});
+    }
+  }
+  std::cout << bound_t << '\n';
+
+  print_banner(std::cout, "Measured FTTT error vs the k-scaling of the bound");
+  std::cout << "n = 15, eps = 1, trials " << opt.trials
+            << ". Eq. 10 predicts error ~ 2^(-(k-1)/2): each +2 in k halves\n"
+               "the bound. Measured errors include intra-face and model terms\n"
+               "the bound ignores, so only the monotone trend is checked.\n\n";
+
+  const std::array<Method, 1> methods{Method::kFttt};
+  TextTable t({"k", "bound ratio vs k=3", "measured mean err (m)",
+               "measured ratio vs k=3"});
+  bench::CsvSink csv(opt);
+  csv.row(std::vector<std::string>{"k", "bound_ratio", "measured", "measured_ratio"});
+
+  const double rho = 15.0 / (100.0 * 100.0);
+  double base_bound = 0.0;
+  double base_measured = 0.0;
+  for (std::size_t k : {3u, 5u, 7u, 9u}) {
+    ScenarioConfig cfg = bench::default_scenario(opt);
+    cfg.sensor_count = 15;
+    cfg.samples_per_group = k;
+    const auto s = monte_carlo(cfg, methods, opt.trials);
+    const double bound = theory::worst_case_error_bound(k, rho, cfg.sensing_range);
+    if (k == 3) {
+      base_bound = bound;
+      base_measured = s[0].mean_error();
+    }
+    t.add_row({std::to_string(k), TextTable::num(bound / base_bound, 3),
+               TextTable::num(s[0].mean_error(), 2),
+               TextTable::num(s[0].mean_error() / base_measured, 3)});
+    csv.row({static_cast<double>(k), bound / base_bound, s[0].mean_error(),
+             s[0].mean_error() / base_measured});
+  }
+  std::cout << t;
+  return 0;
+}

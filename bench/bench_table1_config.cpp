@@ -1,0 +1,48 @@
+// Table 1: system parameters and settings — prints the configuration
+// every other bench inherits, plus the derived quantities (uncertainty
+// constant C, face counts) the paper leaves implicit.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/facemap.hpp"
+#include "core/theory.hpp"
+#include "net/deployment.hpp"
+#include "rf/uncertainty.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fttt;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const ScenarioConfig cfg = bench::default_scenario(opt);
+
+  print_banner(std::cout, "Table 1: system parameters and settings");
+  bench::print_scenario(std::cout, cfg);
+
+  print_banner(std::cout, "Derived quantities");
+  TextTable t({"eps (dBm)", "C (Eq. 3)", "faces (n=10, grid)", "faces (n=10, bisector)"});
+  bench::CsvSink csv(opt);
+  csv.row(std::vector<std::string>{"eps", "C", "faces_uncertain", "faces_bisector"});
+  RngStream rng(cfg.seed);
+  const Deployment nodes = random_deployment(cfg.field, 10, rng);
+  for (double eps : {0.5, 1.0, 2.0, 3.0}) {
+    const double C = uncertainty_constant(eps, cfg.model.beta, cfg.model.sigma);
+    const FaceMap uncertain = FaceMap::build(nodes, C, cfg.field, cfg.grid_cell);
+    const FaceMap bisector = FaceMap::build(nodes, 1.0, cfg.field, cfg.grid_cell);
+    t.add_row({TextTable::num(eps, 1), TextTable::num(C, 4),
+               std::to_string(uncertain.face_count()),
+               std::to_string(bisector.face_count())});
+    csv.row({eps, C, static_cast<double>(uncertain.face_count()),
+             static_cast<double>(bisector.face_count())});
+  }
+  std::cout << t;
+
+  print_banner(std::cout, "Required sampling times (Sec. 5.1)");
+  TextTable kt({"nodes in range", "pairs", "k for lambda=0.95", "k for lambda=0.99"});
+  for (std::size_t n : {5u, 10u, 20u, 40u}) {
+    const std::size_t pairs = n * (n - 1) / 2;
+    kt.add_row({std::to_string(n), std::to_string(pairs),
+                std::to_string(theory::required_sampling_times(0.95, pairs)),
+                std::to_string(theory::required_sampling_times(0.99, pairs))});
+  }
+  std::cout << kt;
+  return 0;
+}

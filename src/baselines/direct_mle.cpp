@@ -1,0 +1,56 @@
+#include "baselines/direct_mle.hpp"
+
+#include <stdexcept>
+
+#include "core/pairs.hpp"
+
+namespace fttt {
+
+SamplingVector one_shot_vector(const GroupingSampling& group, std::size_t instant,
+                               double eps, MissingPolicy missing) {
+  if (instant >= group.instants)
+    throw std::out_of_range("one_shot_vector: instant out of range");
+  const std::size_t n = group.node_count;
+  SamplingVector v;
+  v.value.assign(pair_count(n), 0.0);
+  v.known.assign(pair_count(n), true);
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j, ++c) {
+      const auto& col_i = group.rss[i];
+      const auto& col_j = group.rss[j];
+      if (col_i && col_j) {
+        v.value[c] = compare_rss((*col_i)[instant], (*col_j)[instant], eps);
+      } else if (col_i && !col_j) {
+        if (missing == MissingPolicy::kMissingReadsSmaller)
+          v.value[c] = +1.0;  // same missing-node convention as Eq. 6
+        else
+          v.known[c] = false;
+      } else if (!col_i && col_j) {
+        if (missing == MissingPolicy::kMissingReadsSmaller)
+          v.value[c] = -1.0;
+        else
+          v.known[c] = false;
+      } else {
+        v.known[c] = false;
+      }
+    }
+  }
+  return v;
+}
+
+DirectMleTracker::DirectMleTracker(std::shared_ptr<const FaceMap> bisector_map,
+                                   double eps, MissingPolicy missing)
+    : map_(std::move(bisector_map)), eps_(eps), missing_(missing) {
+  if (!map_) throw std::invalid_argument("DirectMleTracker: null face map");
+}
+
+TrackEstimate DirectMleTracker::localize(const GroupingSampling& group) {
+  if (group.node_count != map_->nodes().size())
+    throw std::invalid_argument("DirectMleTracker: node count mismatch");
+  const SamplingVector v = one_shot_vector(group, 0, eps_, missing_);
+  const MatchResult r = matcher_.match(*map_, v);
+  return TrackEstimate{r.position, r.face, r.similarity};
+}
+
+}  // namespace fttt

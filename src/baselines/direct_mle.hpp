@@ -1,0 +1,50 @@
+// Direct MLE baseline (paper's comparator from ref [24], Yedavalli &
+// Krishnamachari, "Sequence-Based Localization").
+//
+// The field is divided by the perpendicular bisectors of every node pair
+// (our FaceMap built with C == 1); each face's signature is the *certain*
+// detection sequence. A single sampling instant produces one observed
+// order vector, which is matched against all face signatures by maximum
+// likelihood (the same Euclidean-similarity criterion; equivalent, up to
+// monotone transform, to the rank-correlation matching of [24]). No
+// grouping, no uncertainty handling — which is exactly why one-shot RSS
+// noise hits it hard.
+#pragma once
+
+#include <memory>
+
+#include "core/facemap.hpp"
+#include "core/matcher.hpp"
+#include "core/tracker.hpp"
+
+namespace fttt {
+
+class DirectMleTracker {
+ public:
+  /// `bisector_map` must be built with C == 1 over the same deployment
+  /// the grouping samplings come from. `eps` is the sensing resolution.
+  /// `missing` controls how pairs with one silent node are valued.
+  DirectMleTracker(std::shared_ptr<const FaceMap> bisector_map, double eps,
+                   MissingPolicy missing = MissingPolicy::kMissingReadsSmaller);
+
+  /// Localize from the *first* sampling instant of the group (one-shot).
+  TrackEstimate localize(const GroupingSampling& group);
+
+  void reset() {}
+
+  const FaceMap& map() const { return *map_; }
+
+ private:
+  std::shared_ptr<const FaceMap> map_;
+  double eps_;
+  MissingPolicy missing_;
+  ExhaustiveMatcher matcher_;
+};
+
+/// Build the one-shot order vector from sampling instant `instant` of a
+/// grouping sampling (shared by Direct MLE and PM).
+SamplingVector one_shot_vector(const GroupingSampling& group, std::size_t instant,
+                               double eps,
+                               MissingPolicy missing = MissingPolicy::kMissingReadsSmaller);
+
+}  // namespace fttt

@@ -1,0 +1,86 @@
+#include "baselines/path_matching.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "baselines/direct_mle.hpp"
+#include "core/similarity.hpp"
+
+namespace fttt {
+
+PathMatchingTracker::PathMatchingTracker(std::shared_ptr<const FaceMap> bisector_map,
+                                         Config config)
+    : map_(std::move(bisector_map)), config_(config) {
+  if (!map_) throw std::invalid_argument("PathMatchingTracker: null face map");
+  if (config_.window == 0 || config_.candidates == 0)
+    throw std::invalid_argument("PathMatchingTracker: window/candidates must be > 0");
+}
+
+TrackEstimate PathMatchingTracker::localize(const GroupingSampling& group) {
+  if (group.node_count != map_->nodes().size())
+    throw std::invalid_argument("PathMatchingTracker: node count mismatch");
+
+  // 1. Score every face against this step's one-shot vector; keep top-K.
+  const SamplingVector v = one_shot_vector(group, 0, config_.eps, config_.missing);
+  std::vector<Candidate> step;
+  step.reserve(map_->face_count());
+  for (const Face& f : map_->faces()) {
+    const double s = similarity(v, f.signature);
+    // Cap exact matches so one perfect observation cannot dominate the
+    // whole window (log of +inf otherwise).
+    const double capped = std::min(s, 1e6);
+    step.push_back(Candidate{f.id, std::log(capped)});
+  }
+  const std::size_t keep = std::min(config_.candidates, step.size());
+  std::partial_sort(step.begin(), step.begin() + static_cast<std::ptrdiff_t>(keep),
+                    step.end(), [](const Candidate& a, const Candidate& b) {
+                      return a.log_likelihood > b.log_likelihood;
+                    });
+  step.resize(keep);
+
+  window_.push_back(std::move(step));
+  if (window_.size() > config_.window) window_.pop_front();
+
+  // 2. Viterbi over the window with the max-velocity reachability
+  // constraint between consecutive faces.
+  const double reach = config_.max_velocity * config_.period + config_.slack;
+  const double reach2 = reach * reach;
+
+  std::vector<double> score;  // best path score ending at candidate c
+  for (const Candidate& c : window_.front()) score.push_back(c.log_likelihood);
+
+  std::vector<double> next;
+  for (std::size_t t = 1; t < window_.size(); ++t) {
+    const auto& prev_step = window_[t - 1];
+    const auto& cur_step = window_[t];
+    next.assign(cur_step.size(), -std::numeric_limits<double>::infinity());
+    for (std::size_t c = 0; c < cur_step.size(); ++c) {
+      const Vec2 pc = map_->face(cur_step[c].face).centroid;
+      double best = -std::numeric_limits<double>::infinity();
+      for (std::size_t p = 0; p < prev_step.size(); ++p) {
+        const double hop2 = distance2(map_->face(prev_step[p].face).centroid, pc);
+        if (hop2 > reach2) continue;
+        const double penalty = config_.transition_weight * hop2 / reach2;
+        best = std::max(best, score[p] - penalty);
+      }
+      // If no predecessor is reachable the path restarts here with a
+      // penalty (PM's "broken path" handling).
+      if (!std::isfinite(best)) best = score.empty() ? 0.0 : -10.0;
+      next[c] = best + cur_step[c].log_likelihood;
+    }
+    score = next;
+  }
+
+  // 3. The estimate is the centroid of the best final candidate.
+  const auto& last = window_.back();
+  std::size_t best_idx = 0;
+  for (std::size_t c = 1; c < last.size(); ++c)
+    if (score[c] > score[best_idx]) best_idx = c;
+
+  const Face& face = map_->face(last[best_idx].face);
+  return TrackEstimate{face.centroid, face.id, std::exp(last[best_idx].log_likelihood)};
+}
+
+}  // namespace fttt

@@ -1,0 +1,69 @@
+// PM baseline: optimal path matching with MLE (paper's comparator from
+// ref [22], Zhong et al., "Tracking with Unreliable Node Sequences",
+// InfoCom'09).
+//
+// PM also works over the certain-sequence (bisector) face division, but
+// instead of trusting each one-shot sequence independently it keeps a
+// sliding window of recent one-shot observations and finds the face *path*
+// that maximizes total observation likelihood subject to a maximum target
+// velocity: consecutive path faces must be geographically reachable within
+// one localization period. Implemented as Viterbi dynamic programming over
+// the top-K candidate faces per step.
+//
+// The max-velocity assumption is PM's documented weakness (paper Sec. 2):
+// it must be configured a priori, and an optimistic value prunes true
+// paths while a pessimistic one stops pruning anything.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/facemap.hpp"
+#include "core/matcher.hpp"
+#include "core/tracker.hpp"
+
+namespace fttt {
+
+class PathMatchingTracker {
+ public:
+  struct Config {
+    double eps{1.0};           ///< sensing resolution (dB)
+    double max_velocity{5.0};  ///< assumed target speed bound (m/s)
+    double period{0.5};        ///< localization period (s)
+    std::size_t window{8};     ///< observations kept in the path window
+    std::size_t candidates{8}; ///< top-K faces considered per step
+    /// Transition slack added to max_velocity * period, in metres; covers
+    /// face-centroid granularity (centroids move in jumps even for a
+    /// slowly moving target).
+    double slack{5.0};
+    /// How pairs with one silent node are valued in the step observation.
+    MissingPolicy missing{MissingPolicy::kMissingReadsSmaller};
+    /// Soft transition cost: log-likelihood penalty
+    /// -transition_weight * (hop / reach)^2 for feasible hops. [22]'s
+    /// path likelihood prefers short hops; the hard cutoff alone cannot
+    /// rank two feasible paths by smoothness.
+    double transition_weight{1.0};
+  };
+
+  PathMatchingTracker(std::shared_ptr<const FaceMap> bisector_map, Config config);
+
+  /// Feed one grouping sampling; PM uses its first instant as the step
+  /// observation, appends it to the window and re-solves the path.
+  TrackEstimate localize(const GroupingSampling& group);
+
+  /// Drop the observation window (new track).
+  void reset() { window_.clear(); }
+
+ private:
+  struct Candidate {
+    FaceId face;
+    double log_likelihood;  ///< log similarity of this face at this step
+  };
+
+  std::shared_ptr<const FaceMap> map_;
+  Config config_;
+  std::deque<std::vector<Candidate>> window_;
+};
+
+}  // namespace fttt

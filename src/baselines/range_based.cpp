@@ -1,0 +1,92 @@
+#include "baselines/range_based.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fttt {
+
+namespace {
+
+/// Mean RSS of a column over the group's instants.
+double column_mean(const std::vector<double>& samples) {
+  double acc = 0.0;
+  for (double s : samples) acc += s;
+  return acc / static_cast<double>(samples.size());
+}
+
+}  // namespace
+
+WeightedCentroidLocalizer::WeightedCentroidLocalizer(Deployment nodes)
+    : nodes_(std::move(nodes)) {}
+
+TrackEstimate WeightedCentroidLocalizer::localize(const GroupingSampling& group) const {
+  if (group.node_count != nodes_.size())
+    throw std::invalid_argument("WeightedCentroidLocalizer: node count mismatch");
+  Vec2 weighted{};
+  double total = 0.0;
+  Vec2 plain{};
+  std::size_t reporting = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!group.rss[i]) continue;
+    const double w = std::pow(10.0, column_mean(*group.rss[i]) / 10.0);
+    weighted += nodes_[i].position * w;
+    total += w;
+    plain += nodes_[i].position;
+    ++reporting;
+  }
+  if (reporting == 0) return TrackEstimate{Vec2{}, 0, 0.0};
+  // Degenerate weights (all power underflowed): plain centroid.
+  const Vec2 estimate = total > 0.0 ? weighted / total
+                                    : plain / static_cast<double>(reporting);
+  return TrackEstimate{estimate, 0, 0.0};
+}
+
+TrilaterationLocalizer::TrilaterationLocalizer(Deployment nodes, Config config)
+    : nodes_(std::move(nodes)), config_(config), fallback_(nodes_) {}
+
+TrackEstimate TrilaterationLocalizer::localize(const GroupingSampling& group) const {
+  if (group.node_count != nodes_.size())
+    throw std::invalid_argument("TrilaterationLocalizer: node count mismatch");
+
+  // Ranging: invert mean RSS per reporting node.
+  std::vector<Vec2> anchors;
+  std::vector<double> ranges;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!group.rss[i]) continue;
+    anchors.push_back(nodes_[i].position);
+    ranges.push_back(config_.model.invert_rss(column_mean(*group.rss[i])));
+  }
+  if (anchors.size() < 3) return fallback_.localize(group);
+
+  // Gauss-Newton with Levenberg damping from the weighted-centroid start.
+  Vec2 p = fallback_.localize(group).position;
+  for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+    // Normal equations: J^T J dp = -J^T r, residual r_i = |p - a_i| - d_i,
+    // row gradient = (p - a_i) / |p - a_i|.
+    double jtj00 = config_.damping;
+    double jtj01 = 0.0;
+    double jtj11 = config_.damping;
+    double jtr0 = 0.0;
+    double jtr1 = 0.0;
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+      const Vec2 diff = p - anchors[i];
+      const double dist = std::max(norm(diff), 1e-9);
+      const Vec2 g = diff / dist;
+      const double r = dist - ranges[i];
+      jtj00 += g.x * g.x;
+      jtj01 += g.x * g.y;
+      jtj11 += g.y * g.y;
+      jtr0 += g.x * r;
+      jtr1 += g.y * r;
+    }
+    const double det = jtj00 * jtj11 - jtj01 * jtj01;
+    if (std::abs(det) < 1e-12) break;
+    const double dx = (-jtr0 * jtj11 + jtr1 * jtj01) / det;
+    const double dy = (jtr0 * jtj01 - jtr1 * jtj00) / det;
+    p += Vec2{dx, dy};
+    if (dx * dx + dy * dy < 1e-8) break;
+  }
+  return TrackEstimate{p, 0, 0.0};
+}
+
+}  // namespace fttt

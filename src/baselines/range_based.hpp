@@ -1,0 +1,60 @@
+// Range-based localization baselines (paper Sec. 2 context).
+//
+// The related-work section argues range-based methods need extra hardware
+// or careful environment profiling and degrade badly when the path-loss
+// inversion is noisy. These two classics make that argument measurable:
+//
+//   WeightedCentroidLocalizer — estimate = power-weighted mean of the
+//     reporting sensors' positions (range-free, very cheap, biased toward
+//     sensor-dense regions).
+//   TrilaterationLocalizer — invert each RSS through the path-loss model
+//     to a distance estimate, then Gauss-Newton least squares on
+//     sum_i (|p - p_i| - d_i)^2. The d_i are lognormally distorted by the
+//     shadowing noise, which is exactly the fragility the paper cites.
+#pragma once
+
+#include <memory>
+
+#include "core/tracker.hpp"
+#include "net/sampling.hpp"
+#include "rf/pathloss.hpp"
+
+namespace fttt {
+
+class WeightedCentroidLocalizer {
+ public:
+  /// Weights are linearized received powers 10^(rss/10) averaged over the
+  /// group's instants.
+  explicit WeightedCentroidLocalizer(Deployment nodes);
+
+  TrackEstimate localize(const GroupingSampling& group) const;
+
+  void reset() {}
+
+ private:
+  Deployment nodes_;
+};
+
+class TrilaterationLocalizer {
+ public:
+  struct Config {
+    PathLossModel model;       ///< used to invert RSS to distance
+    std::size_t iterations{8}; ///< Gauss-Newton steps
+    double damping{1e-3};      ///< Levenberg damping for near-singular geometry
+  };
+
+  TrilaterationLocalizer(Deployment nodes, Config config);
+
+  /// Needs >= 3 reporting nodes; with fewer it falls back to the weighted
+  /// centroid of whatever reported.
+  TrackEstimate localize(const GroupingSampling& group) const;
+
+  void reset() {}
+
+ private:
+  Deployment nodes_;
+  Config config_;
+  WeightedCentroidLocalizer fallback_;
+};
+
+}  // namespace fttt

@@ -1,0 +1,55 @@
+#include "baselines/sequence_localizer.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/sequence.hpp"
+
+namespace fttt {
+
+SequenceLocalizer::SequenceLocalizer(std::shared_ptr<const FaceMap> map)
+    : map_(std::move(map)) {
+  if (!map_) throw std::invalid_argument("SequenceLocalizer: null face map");
+  face_ranks_.reserve(map_->face_count());
+  const Deployment& nodes = map_->nodes();
+  std::vector<double> dists(nodes.size());
+  for (const Face& f : map_->faces()) {
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      dists[i] = distance(f.centroid, nodes[i].position);
+    face_ranks_.push_back(distance_rank_vector(dists));
+  }
+}
+
+TrackEstimate SequenceLocalizer::localize(const GroupingSampling& group) const {
+  if (group.node_count != map_->nodes().size())
+    throw std::invalid_argument("SequenceLocalizer: node count mismatch");
+  if (group.instants == 0)
+    throw std::invalid_argument("SequenceLocalizer: empty group");
+
+  // Rank vector of the first instant; missing nodes read NaN.
+  std::vector<double> rss(group.node_count,
+                          std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t i = 0; i < group.node_count; ++i)
+    if (group.rss[i]) rss[i] = (*group.rss[i])[0];
+  const std::vector<std::uint32_t> observed = rank_vector(rss);
+
+  double best_tau = -2.0;
+  std::vector<FaceId> tied;
+  for (const Face& f : map_->faces()) {
+    const double tau = kendall_tau(observed, face_ranks_[f.id]);
+    if (tau > best_tau) {
+      best_tau = tau;
+      tied.assign(1, f.id);
+    } else if (tau == best_tau) {
+      tied.push_back(f.id);
+    }
+  }
+
+  Vec2 sum{};
+  for (FaceId f : tied) sum += map_->face(f).centroid;
+  const Vec2 estimate = sum / static_cast<double>(tied.size());
+  return TrackEstimate{estimate, tied.front(), best_tau};
+}
+
+}  // namespace fttt

@@ -1,0 +1,43 @@
+// Sequence-Based Localization (Yedavalli & Krishnamachari, ref [24]) —
+// the rank-correlation formulation.
+//
+// direct_mle.hpp approximates [24] in FTTT's pairwise-order vector space;
+// this class implements the original formulation: each face carries the
+// *rank vector* of distances from its centroid to every node, an
+// observation is the rank vector of one instant's RSS readings, and the
+// location estimate is the centroid of the face maximizing Kendall tau
+// rank correlation. Ties resolve to the mean of the tied centroids.
+//
+// Having both formulations lets tests cross-check them (they agree on
+// clean data) and lets the benches report whichever is stronger as the
+// Direct MLE comparator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/facemap.hpp"
+#include "core/tracker.hpp"
+#include "net/sampling.hpp"
+
+namespace fttt {
+
+class SequenceLocalizer {
+ public:
+  /// `map` supplies the candidate faces (typically the bisector map,
+  /// C = 1, matching [24]'s bisector-divided regions).
+  explicit SequenceLocalizer(std::shared_ptr<const FaceMap> map);
+
+  /// Localize from the first sampling instant of the group.
+  TrackEstimate localize(const GroupingSampling& group) const;
+
+  void reset() {}
+
+ private:
+  std::shared_ptr<const FaceMap> map_;
+  /// Per-face rank signature: rank of each node by distance from the
+  /// face centroid.
+  std::vector<std::vector<std::uint32_t>> face_ranks_;
+};
+
+}  // namespace fttt

@@ -1,0 +1,85 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fttt {
+
+AsciiPlot::AsciiPlot(Aabb extent, int cols, int rows)
+    : extent_(extent), cols_(cols), rows_(rows),
+      grid_(static_cast<std::size_t>(rows), std::string(static_cast<std::size_t>(cols), ' ')) {}
+
+void AsciiPlot::put(Vec2 p, char mark) {
+  const Vec2 c = extent_.clamp(p);
+  const double fx = (c.x - extent_.lo.x) / std::max(extent_.width(), 1e-12);
+  const double fy = (c.y - extent_.lo.y) / std::max(extent_.height(), 1e-12);
+  int col = static_cast<int>(fx * (cols_ - 1) + 0.5);
+  int row = static_cast<int>((1.0 - fy) * (rows_ - 1) + 0.5);  // y grows upward
+  col = std::clamp(col, 0, cols_ - 1);
+  row = std::clamp(row, 0, rows_ - 1);
+  grid_[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = mark;
+}
+
+void AsciiPlot::scatter(const std::vector<Vec2>& pts, char mark) {
+  for (Vec2 p : pts) put(p, mark);
+}
+
+void AsciiPlot::polyline(const std::vector<Vec2>& pts, char mark) {
+  if (pts.empty()) return;
+  put(pts.front(), mark);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double len = distance(pts[i - 1], pts[i]);
+    const double step = std::max(extent_.width(), extent_.height()) / (2.0 * cols_);
+    const int n = std::max(1, static_cast<int>(len / std::max(step, 1e-9)));
+    for (int s = 0; s <= n; ++s)
+      put(lerp(pts[i - 1], pts[i], static_cast<double>(s) / n), mark);
+  }
+}
+
+std::string AsciiPlot::render() const {
+  std::ostringstream os;
+  os << '+' << std::string(static_cast<std::size_t>(cols_), '-') << "+\n";
+  for (const auto& row : grid_) os << '|' << row << "|\n";
+  os << '+' << std::string(static_cast<std::size_t>(cols_), '-') << "+\n";
+  os << "x: [" << extent_.lo.x << ", " << extent_.hi.x << "]  y: [" << extent_.lo.y
+     << ", " << extent_.hi.y << "]\n";
+  return os.str();
+}
+
+std::string ascii_chart(const std::vector<std::vector<double>>& series_y,
+                        const std::vector<std::string>& labels,
+                        double x0, double dx, int cols, int rows) {
+  static constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+  double ymin = 0.0, ymax = 1e-9;
+  std::size_t nmax = 0;
+  for (const auto& s : series_y) {
+    nmax = std::max(nmax, s.size());
+    for (double v : s) {
+      ymin = std::min(ymin, v);
+      ymax = std::max(ymax, v);
+    }
+  }
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(cols), ' '));
+  for (std::size_t si = 0; si < series_y.size(); ++si) {
+    const char g = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& ys = series_y[si];
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      const double fx = nmax > 1 ? static_cast<double>(i) / static_cast<double>(nmax - 1) : 0.0;
+      const double fy = (ys[i] - ymin) / (ymax - ymin);
+      const int col = std::clamp(static_cast<int>(fx * (cols - 1) + 0.5), 0, cols - 1);
+      const int row = std::clamp(static_cast<int>((1.0 - fy) * (rows - 1) + 0.5), 0, rows - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = g;
+    }
+  }
+  std::ostringstream os;
+  os << "y: [" << ymin << ", " << ymax << "]\n";
+  for (const auto& row : grid) os << '|' << row << "|\n";
+  os << "x: [" << x0 << ", " << x0 + dx * static_cast<double>(nmax ? nmax - 1 : 0) << "]\n";
+  for (std::size_t si = 0; si < labels.size(); ++si)
+    os << "  " << kGlyphs[si % sizeof(kGlyphs)] << " = " << labels[si] << '\n';
+  return os.str();
+}
+
+}  // namespace fttt

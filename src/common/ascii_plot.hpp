@@ -1,0 +1,50 @@
+// ASCII scatter / line plots.
+//
+// The paper's Fig. 10 and Fig. 13 are 2-D scatter plots of true vs
+// estimated positions; the benches render them as character rasters so a
+// human can eyeball "who hugs the true trace" straight from the console.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/vec2.hpp"
+
+namespace fttt {
+
+/// A character raster over a rectangular world region.
+///
+/// Later layers overwrite earlier ones where they collide, so plot the
+/// ground truth first and estimates on top.
+class AsciiPlot {
+ public:
+  /// `cols` x `rows` character cells covering `extent`.
+  AsciiPlot(Aabb extent, int cols = 72, int rows = 30);
+
+  /// Plot a set of points with glyph `mark`; out-of-extent points are
+  /// clamped to the border.
+  void scatter(const std::vector<Vec2>& pts, char mark);
+
+  /// Plot a polyline (dense interpolation between vertices).
+  void polyline(const std::vector<Vec2>& pts, char mark);
+
+  /// Render with a simple border and axis extents caption.
+  std::string render() const;
+
+ private:
+  void put(Vec2 p, char mark);
+
+  Aabb extent_;
+  int cols_;
+  int rows_;
+  std::vector<std::string> grid_;
+};
+
+/// Quick y-vs-x line chart for time-series figures (Fig. 11a).
+/// Each series gets its own glyph; collisions show the later series.
+std::string ascii_chart(const std::vector<std::vector<double>>& series_y,
+                        const std::vector<std::string>& labels,
+                        double x0, double dx,
+                        int cols = 72, int rows = 20);
+
+}  // namespace fttt

@@ -1,0 +1,28 @@
+// Minimal CSV output used by benches (`--csv <path>`) so figures can be
+// re-plotted outside the terminal.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fttt {
+
+/// Streaming CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write one row; quoting is applied per-cell when needed.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void write_row(const std::vector<double>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace fttt

@@ -1,0 +1,43 @@
+// Fixed-bin histogram with ASCII rendering — error-distribution views for
+// the benches (the paper only reports means/stddevs; CDF-style summaries
+// show the tails where FTTT's robustness lives).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fttt {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins covering [lo, hi); out-of-range samples land
+  /// in the edge bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return total_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t bin(std::size_t i) const { return counts_[i]; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+  /// Empirical CDF at x (fraction of samples <= x, bin-resolution).
+  double cdf(double x) const;
+
+  /// Smallest bin upper edge whose CDF reaches `q` (0..1).
+  double quantile(double q) const;
+
+  /// Horizontal-bar rendering, one row per bin.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_{0};
+};
+
+}  // namespace fttt

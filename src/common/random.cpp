@@ -1,0 +1,17 @@
+#include "common/random.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace fttt {
+
+double RngStream::normal(double mean, double stddev) {
+  // Box-Muller transform. u1 is kept away from zero so log() is finite.
+  double u1 = uniform01();
+  const double u2 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace fttt

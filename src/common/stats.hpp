@@ -1,0 +1,63 @@
+// Streaming and batch statistics used by the metrics / Monte-Carlo layers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fttt {
+
+/// Numerically stable streaming mean / variance (Welford's algorithm).
+///
+/// Mergeable: two accumulators built on disjoint data can be combined with
+/// `merge`, which is what the parallel Monte-Carlo reduction uses.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Combine with another accumulator (Chan et al. parallel update).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const;
+  /// Population standard deviation.
+  double stddev() const;
+  /// Sample variance (divides by n-1); 0 when n < 2.
+  double sample_variance() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Batch helpers over a span of samples.
+double mean_of(std::span<const double> xs);
+double stddev_of(std::span<const double> xs);
+
+/// p-th percentile (0..100) by linear interpolation; sorts a copy.
+double percentile_of(std::span<const double> xs, double p);
+
+/// Root-mean-square of a span.
+double rms_of(std::span<const double> xs);
+
+/// A labelled (x, y) series, the unit of data every bench prints.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void push(double xv, double yv) {
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+};
+
+}  // namespace fttt

@@ -1,0 +1,57 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace fttt {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable::add_row: cell count (" +
+                                std::to_string(cells.size()) + ") != header count (" +
+                                std::to_string(headers_.size()) + ")");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  std::vector<std::size_t> widths(t.headers_.size());
+  for (std::size_t c = 0; c < t.headers_.size(); ++c) widths[c] = t.headers_[c].size();
+  for (const auto& row : t.rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+
+  emit_row(t.headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : t.rows_) emit_row(row);
+  return os;
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(title.size() + 8, '=') << '\n'
+     << "==  " << title << "  ==\n"
+     << std::string(title.size() + 8, '=') << '\n';
+}
+
+}  // namespace fttt

@@ -1,0 +1,38 @@
+// Column-aligned plain-text tables.
+//
+// Every bench prints its reproduction of a paper table/figure as one of
+// these, so the console output is directly comparable with the paper's
+// rows and series.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fttt {
+
+/// A simple text table: set headers, append rows, stream it out.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with 2-space column gaps and a dashed header rule.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a titled section banner (used by benches to label experiments).
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace fttt

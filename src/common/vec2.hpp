@@ -1,0 +1,92 @@
+// 2-D vector / point primitives shared by every subsystem.
+//
+// The monitored field lives in the plane; positions, displacements and
+// velocities are all Vec2. Everything here is constexpr-friendly value
+// code with no dependencies.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace fttt {
+
+/// A 2-D point or displacement in metres.
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+  constexpr Vec2& operator*=(double s) { x *= s; y *= s; return *this; }
+  constexpr Vec2& operator/=(double s) { x /= s; y /= s; return *this; }
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double s) { return {a.x * s, a.y * s}; }
+  friend constexpr Vec2 operator*(double s, Vec2 a) { return a * s; }
+  friend constexpr Vec2 operator/(Vec2 a, double s) { return {a.x / s, a.y / s}; }
+  friend constexpr Vec2 operator-(Vec2 a) { return {-a.x, -a.y}; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  friend std::ostream& operator<<(std::ostream& os, Vec2 v) {
+    return os << '(' << v.x << ", " << v.y << ')';
+  }
+};
+
+/// Dot product.
+constexpr double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+
+/// Z-component of the 3-D cross product (signed parallelogram area).
+constexpr double cross(Vec2 a, Vec2 b) { return a.x * b.y - a.y * b.x; }
+
+/// Squared Euclidean norm (cheaper than norm(); prefer for comparisons).
+constexpr double norm2(Vec2 a) { return dot(a, a); }
+
+/// Euclidean norm.
+inline double norm(Vec2 a) { return std::sqrt(norm2(a)); }
+
+/// Euclidean distance between two points.
+inline double distance(Vec2 a, Vec2 b) { return norm(a - b); }
+
+/// Squared Euclidean distance.
+constexpr double distance2(Vec2 a, Vec2 b) { return norm2(a - b); }
+
+/// Unit vector in the direction of `a`; returns {0,0} for the zero vector.
+inline Vec2 normalized(Vec2 a) {
+  const double n = norm(a);
+  return n > 0.0 ? a / n : Vec2{};
+}
+
+/// Linear interpolation: `a` at t=0, `b` at t=1.
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+/// Midpoint of a segment.
+constexpr Vec2 midpoint(Vec2 a, Vec2 b) { return (a + b) * 0.5; }
+
+/// Axis-aligned bounding box; used for the monitored field extents.
+struct Aabb {
+  Vec2 lo;  ///< minimum corner
+  Vec2 hi;  ///< maximum corner
+
+  constexpr double width() const { return hi.x - lo.x; }
+  constexpr double height() const { return hi.y - lo.y; }
+  constexpr double area() const { return width() * height(); }
+  constexpr Vec2 center() const { return midpoint(lo, hi); }
+
+  /// True when `p` lies inside or on the boundary.
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  /// Closest point of the box to `p` (identity when contained).
+  constexpr Vec2 clamp(Vec2 p) const {
+    const double cx = p.x < lo.x ? lo.x : (p.x > hi.x ? hi.x : p.x);
+    const double cy = p.y < lo.y ? lo.y : (p.y > hi.y ? hi.y : p.y);
+    return {cx, cy};
+  }
+};
+
+}  // namespace fttt

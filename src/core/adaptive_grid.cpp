@@ -1,0 +1,81 @@
+#include "core/adaptive_grid.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace fttt {
+
+AdaptiveBuildResult build_facemap_adaptive(const Deployment& nodes, double C,
+                                           const Aabb& field, double fine_cell,
+                                           int block_factor, ThreadPool& pool) {
+  if (block_factor < 2)
+    throw std::invalid_argument("build_facemap_adaptive: block_factor must be >= 2");
+
+  const UniformGrid grid(field, fine_cell);
+  const std::size_t cells = grid.cell_count();
+  std::vector<SignatureVector> cell_sig(cells);
+
+  const int cols = grid.cols();
+  const int rows = grid.rows();
+  const int blocks_x = (cols + block_factor - 1) / block_factor;
+  const int blocks_y = (rows + block_factor - 1) / block_factor;
+  const std::size_t block_count =
+      static_cast<std::size_t>(blocks_x) * static_cast<std::size_t>(blocks_y);
+
+  std::atomic<std::size_t> evaluations{0};
+  std::atomic<std::size_t> refined{0};
+
+  parallel_for(
+      0, block_count,
+      [&](std::size_t b) {
+        const int bx = static_cast<int>(b) % blocks_x;
+        const int by = static_cast<int>(b) / blocks_x;
+        const int i0 = bx * block_factor;
+        const int j0 = by * block_factor;
+        const int i1 = std::min(cols - 1, i0 + block_factor - 1);
+        const int j1 = std::min(rows - 1, j0 + block_factor - 1);
+
+        auto eval = [&](CellIndex c) {
+          return signature_at(grid.center(c), nodes, C);
+        };
+
+        // Five probes: corners + centre cell of the block.
+        const CellIndex probes[5] = {{i0, j0},
+                                     {i1, j0},
+                                     {i0, j1},
+                                     {i1, j1},
+                                     {(i0 + i1) / 2, (j0 + j1) / 2}};
+        SignatureVector first = eval(probes[0]);
+        std::size_t evals_here = 1;
+        bool uniform = true;
+        for (int p = 1; p < 5 && uniform; ++p) {
+          ++evals_here;
+          if (eval(probes[p]) != first) uniform = false;
+        }
+
+        if (uniform) {
+          // Stamp the block.
+          for (int j = j0; j <= j1; ++j)
+            for (int i = i0; i <= i1; ++i)
+              cell_sig[grid.flatten({i, j})] = first;
+        } else {
+          refined.fetch_add(1, std::memory_order_relaxed);
+          for (int j = j0; j <= j1; ++j) {
+            for (int i = i0; i <= i1; ++i) {
+              cell_sig[grid.flatten({i, j})] = eval({i, j});
+              ++evals_here;
+            }
+          }
+        }
+        evaluations.fetch_add(evals_here, std::memory_order_relaxed);
+      },
+      pool);
+
+  AdaptiveBuildResult result{
+      FaceMap::from_cells(nodes, C, grid, std::move(cell_sig)),
+      evaluations.load(), cells, refined.load(), block_count};
+  return result;
+}
+
+}  // namespace fttt

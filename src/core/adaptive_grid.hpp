@@ -1,0 +1,54 @@
+// Adaptive double-level grid division (paper ref [29], cited in Sec. 4.3
+// as the way to "simplify the face division pre-process of FTTT").
+//
+// The uniform division evaluates a signature at every fine cell — O(cells
+// * pairs). Most of the field is interior to some face, so the adaptive
+// division works in two levels:
+//   1. partition the fine grid into coarse blocks (block_factor x
+//      block_factor fine cells) and probe each block at its four corner
+//      cells and its center cell;
+//   2. if all five probes agree, stamp the whole block with that
+//      signature; otherwise the block straddles at least one uncertain
+//      boundary and every fine cell in it is evaluated exactly.
+//
+// This is the classic conservative-but-approximate trade: a boundary that
+// enters and leaves a block without touching the five probes is missed
+// (the block gets stamped uniformly). Blocks are small relative to the
+// Apollonius annuli in practice, so the mislabelled-cell fraction is tiny
+// — build_facemap_adaptive reports it is measurable via tests, and
+// bench_ablation_grid reports the evaluation savings.
+#pragma once
+
+#include <cstddef>
+
+#include "core/facemap.hpp"
+
+namespace fttt {
+
+/// Outcome of an adaptive build.
+struct AdaptiveBuildResult {
+  FaceMap map;
+  std::size_t evaluations{0};        ///< signature evaluations performed
+  std::size_t uniform_evaluations{0};///< what the uniform build would do
+  std::size_t refined_blocks{0};     ///< blocks that needed full evaluation
+  std::size_t total_blocks{0};
+
+  /// Fraction of signature work avoided vs the uniform division.
+  double savings() const {
+    return uniform_evaluations > 0
+               ? 1.0 - static_cast<double>(evaluations) /
+                           static_cast<double>(uniform_evaluations)
+               : 0.0;
+  }
+};
+
+/// Build a face map over fine cells of side `fine_cell`, probing in
+/// coarse blocks of `block_factor` x `block_factor` fine cells.
+/// Equivalent in interface to FaceMap::build; cells inside stamped blocks
+/// may carry the block's probe signature instead of their exact one.
+AdaptiveBuildResult build_facemap_adaptive(const Deployment& nodes, double C,
+                                           const Aabb& field, double fine_cell,
+                                           int block_factor = 8,
+                                           ThreadPool& pool = ThreadPool::global());
+
+}  // namespace fttt

@@ -1,0 +1,136 @@
+#include "core/distributed_tracker.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace fttt {
+
+DistributedTracker::DistributedTracker(const Deployment& nodes, double C,
+                                       const Aabb& field, Config config,
+                                       ThreadPool& pool) {
+  if (nodes.size() < 2)
+    throw std::invalid_argument("DistributedTracker: need at least two sensors");
+
+  clusters_ = kmeans_clusters(nodes, config.clusters, RngStream(config.seed));
+
+  // Merge undersized clusters into their nearest neighbor (of any size)
+  // until every head owns at least one node pair.
+  bool merged = true;
+  while (merged && clusters_.size() > 1) {
+    merged = false;
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+      if (clusters_[c].members.size() >= 2) continue;
+      std::size_t nearest = clusters_.size();
+      double nearest_d2 = std::numeric_limits<double>::max();
+      for (std::size_t o = 0; o < clusters_.size(); ++o) {
+        if (o == c) continue;
+        const double d2 = distance2(clusters_[c].centroid, clusters_[o].centroid);
+        if (d2 < nearest_d2) {
+          nearest_d2 = d2;
+          nearest = o;
+        }
+      }
+      Cluster& dst = clusters_[nearest];
+      dst.members.insert(dst.members.end(), clusters_[c].members.begin(),
+                         clusters_[c].members.end());
+      Vec2 sum{};
+      for (NodeId m : dst.members) sum += nodes[m].position;
+      dst.centroid = sum / static_cast<double>(dst.members.size());
+      clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(c));
+      merged = true;
+      break;
+    }
+  }
+  if (clusters_.size() == 1 && clusters_[0].members.size() < 2)
+    throw std::invalid_argument("DistributedTracker: cannot form valid clusters");
+  for (std::size_t c = 0; c < clusters_.size(); ++c) clusters_[c].id = c;
+
+  // Uniform energies: election degenerates to most-central member.
+  elect_heads(clusters_, nodes, std::vector<double>(nodes.size(), 1.0));
+
+  // Build each head's local map over its members and territory.
+  heads_.reserve(clusters_.size());
+  for (const Cluster& cluster : clusters_) {
+    Head head;
+    head.members = cluster.members;
+    std::sort(head.members.begin(), head.members.end());
+
+    Deployment local;
+    local.reserve(head.members.size());
+    Aabb territory{{std::numeric_limits<double>::max(), std::numeric_limits<double>::max()},
+                   {-std::numeric_limits<double>::max(), -std::numeric_limits<double>::max()}};
+    for (std::size_t i = 0; i < head.members.size(); ++i) {
+      const Vec2 p = nodes[head.members[i]].position;
+      local.push_back(SensorNode{static_cast<NodeId>(i), p});
+      territory.lo.x = std::min(territory.lo.x, p.x);
+      territory.lo.y = std::min(territory.lo.y, p.y);
+      territory.hi.x = std::max(territory.hi.x, p.x);
+      territory.hi.y = std::max(territory.hi.y, p.y);
+    }
+    territory.lo.x = std::max(field.lo.x, territory.lo.x - config.territory_margin);
+    territory.lo.y = std::max(field.lo.y, territory.lo.y - config.territory_margin);
+    territory.hi.x = std::min(field.hi.x, territory.hi.x + config.territory_margin);
+    territory.hi.y = std::min(field.hi.y, territory.hi.y + config.territory_margin);
+
+    head.map = std::make_shared<const FaceMap>(
+        FaceMap::build(local, C, territory, config.grid_cell, pool));
+    head.tracker = std::make_unique<FtttTracker>(
+        head.map, FtttTracker::Config{config.mode, config.eps, true, 0.5});
+    heads_.push_back(std::move(head));
+  }
+}
+
+GroupingSampling DistributedTracker::project(const GroupingSampling& group,
+                                             const std::vector<NodeId>& members) {
+  GroupingSampling local;
+  local.node_count = members.size();
+  local.instants = group.instants;
+  local.rss.reserve(members.size());
+  for (NodeId m : members) local.rss.push_back(group.rss[m]);
+  return local;
+}
+
+TrackEstimate DistributedTracker::localize(const GroupingSampling& group) {
+  // Route: strongest mean column RSS among reporting members wins.
+  std::size_t best = active_;  // sticky when nobody hears anything
+  double best_score = -std::numeric_limits<double>::max();
+  bool any = false;
+  for (std::size_t c = 0; c < heads_.size(); ++c) {
+    double strongest = -std::numeric_limits<double>::max();
+    for (NodeId m : heads_[c].members) {
+      if (!group.rss[m]) continue;
+      double mean = 0.0;
+      for (double s : *group.rss[m]) mean += s;
+      mean /= static_cast<double>(group.rss[m]->size());
+      strongest = std::max(strongest, mean);
+      any = true;
+    }
+    if (strongest > best_score) {
+      best_score = strongest;
+      best = c;
+    }
+  }
+  if (any) {
+    if (has_served_ && best != active_) ++handoffs_;
+    active_ = best;
+    has_served_ = true;
+  }
+
+  Head& head = heads_[active_];
+  return head.tracker->localize(project(group, head.members));
+}
+
+std::size_t DistributedTracker::total_faces() const {
+  std::size_t total = 0;
+  for (const Head& h : heads_) total += h.map->face_count();
+  return total;
+}
+
+std::size_t DistributedTracker::max_dimension() const {
+  std::size_t max_dim = 0;
+  for (const Head& h : heads_) max_dim = std::max(max_dim, h.map->dimension());
+  return max_dim;
+}
+
+}  // namespace fttt

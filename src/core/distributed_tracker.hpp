@@ -1,0 +1,78 @@
+// Distributed (cluster-head) FTTT tracking.
+//
+// Sec. 4.3 provides for storing the division "in the cluster heads": a
+// field-scale network partitions into geographic clusters; each head
+// precomputes a *local* face map over its member nodes and territory, and
+// the cluster currently hearing the target strongest serves the
+// localization. Benefits measured by bench_ablation_distributed:
+//   - per-head storage is O(m^4) for m member nodes instead of O(n^4),
+//   - sampling vectors shrink to C(m,2) components,
+//   - the price is accuracy at territory borders plus handoff churn.
+//
+// The tracker consumes the same global GroupingSampling as the
+// centralized stack and internally routes it to the active head.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/tracker.hpp"
+#include "net/clustering.hpp"
+
+namespace fttt {
+
+class DistributedTracker {
+ public:
+  struct Config {
+    std::size_t clusters{4};        ///< requested cluster count
+    VectorMode mode{VectorMode::kBasic};
+    double eps{1.0};
+    double grid_cell{1.0};
+    /// Each head's map covers the cluster's member bounding box inflated
+    /// by this margin (m), clamped to the field.
+    double territory_margin{25.0};
+    std::uint64_t seed{1};          ///< clustering RNG seed
+  };
+
+  /// Build the cluster structure and every head's local face map.
+  /// Clusters that end up with fewer than 2 members are merged into
+  /// their nearest neighbor cluster (a head needs at least one pair).
+  DistributedTracker(const Deployment& nodes, double C, const Aabb& field,
+                     Config config, ThreadPool& pool = ThreadPool::global());
+
+  /// Localize from a *global* grouping sampling (indexed by global node
+  /// ids). Routes to the cluster with the strongest aggregate signal.
+  TrackEstimate localize(const GroupingSampling& group);
+
+  std::size_t cluster_count() const { return heads_.size(); }
+  std::size_t active_cluster() const { return active_; }
+  std::size_t handoffs() const { return handoffs_; }
+
+  /// Total faces stored across all heads (storage comparison vs a
+  /// centralized map).
+  std::size_t total_faces() const;
+  /// Largest per-head sampling-vector dimension.
+  std::size_t max_dimension() const;
+
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+
+ private:
+  struct Head {
+    std::vector<NodeId> members;           ///< global ids, ascending
+    std::shared_ptr<const FaceMap> map;    ///< over relabeled members
+    std::unique_ptr<FtttTracker> tracker;
+  };
+
+  /// Extract the member columns of a global group, relabeled to 0..m-1.
+  static GroupingSampling project(const GroupingSampling& group,
+                                  const std::vector<NodeId>& members);
+
+  std::vector<Cluster> clusters_;
+  std::vector<Head> heads_;
+  std::size_t active_{0};
+  std::size_t handoffs_{0};
+  bool has_served_{false};
+};
+
+}  // namespace fttt

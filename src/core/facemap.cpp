@@ -1,0 +1,128 @@
+#include "core/facemap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/pairs.hpp"
+#include "core/similarity.hpp"
+
+namespace fttt {
+
+namespace {
+
+struct SigHash {
+  std::size_t operator()(const SignatureVector& s) const { return signature_hash(s); }
+};
+
+}  // namespace
+
+namespace {
+
+void validate_build_inputs(const Deployment& nodes, double C) {
+  if (nodes.size() < 2)
+    throw std::invalid_argument("FaceMap::build: need at least two sensors");
+  if (C < 1.0) throw std::invalid_argument("FaceMap::build: C must be >= 1");
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    if (nodes[i].id != i)
+      throw std::invalid_argument("FaceMap::build: node ids must be dense 0..n-1");
+}
+
+}  // namespace
+
+FaceMap FaceMap::build(const Deployment& nodes, double C, const Aabb& field,
+                       double cell_size, ThreadPool& pool) {
+  validate_build_inputs(nodes, C);
+  const UniformGrid grid(field, cell_size);
+  const std::size_t cells = grid.cell_count();
+
+  // Phase 1 (parallel): signature of every cell center.
+  std::vector<SignatureVector> cell_sig(cells);
+  parallel_for(0, cells,
+               [&](std::size_t flat) {
+                 cell_sig[flat] = signature_at(grid.center(flat), nodes, C);
+               },
+               pool);
+  return from_cells(nodes, C, grid, std::move(cell_sig));
+}
+
+FaceMap FaceMap::from_cells(const Deployment& nodes, double C, UniformGrid grid,
+                            std::vector<SignatureVector>&& cell_sig) {
+  validate_build_inputs(nodes, C);
+  if (cell_sig.size() != grid.cell_count())
+    throw std::invalid_argument("FaceMap::from_cells: signature count != cell count");
+
+  FaceMap map(grid, nodes, C);
+  const std::size_t cells = grid.cell_count();
+
+  // Phase 2 (sequential): dedup signatures into faces, accumulate
+  // centroids. Face ids are assigned in cell scan order, so the id
+  // assignment is deterministic.
+  std::unordered_map<SignatureVector, FaceId, SigHash> face_of;
+  face_of.reserve(cells / 4);
+  map.cell_face_.resize(cells);
+  std::vector<Vec2> centroid_sum;
+  for (std::size_t flat = 0; flat < cells; ++flat) {
+    auto [it, inserted] = face_of.try_emplace(std::move(cell_sig[flat]),
+                                              static_cast<FaceId>(map.faces_.size()));
+    if (inserted) {
+      map.faces_.push_back(Face{it->second, it->first, Vec2{}, 0});
+      centroid_sum.push_back(Vec2{});
+    }
+    const FaceId id = it->second;
+    map.cell_face_[flat] = id;
+    centroid_sum[id] += grid.center(flat);
+    ++map.faces_[id].cell_count;
+  }
+  for (Face& f : map.faces_)
+    f.centroid = centroid_sum[f.id] / static_cast<double>(f.cell_count);
+
+  // Phase 3: neighbor-face links from 4-adjacency of cells (right and up
+  // neighbors suffice to see every adjacent cell pair once).
+  std::unordered_set<std::uint64_t> links;
+  const int cols = grid.cols();
+  const int rows = grid.rows();
+  for (int j = 0; j < rows; ++j) {
+    for (int i = 0; i < cols; ++i) {
+      const FaceId a = map.cell_face_[grid.flatten({i, j})];
+      if (i + 1 < cols) {
+        const FaceId b = map.cell_face_[grid.flatten({i + 1, j})];
+        if (a != b) links.insert((static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b));
+      }
+      if (j + 1 < rows) {
+        const FaceId b = map.cell_face_[grid.flatten({i, j + 1})];
+        if (a != b) links.insert((static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b));
+      }
+    }
+  }
+  map.adjacency_.resize(map.faces_.size());
+  for (std::uint64_t packed : links) {
+    const FaceId a = static_cast<FaceId>(packed >> 32);
+    const FaceId b = static_cast<FaceId>(packed & 0xFFFFFFFFULL);
+    map.adjacency_[a].push_back(b);
+    map.adjacency_[b].push_back(a);
+  }
+  for (auto& adj : map.adjacency_) std::sort(adj.begin(), adj.end());
+
+  return map;
+}
+
+std::size_t FaceMap::dimension() const { return pair_count(nodes_.size()); }
+
+double FaceMap::theorem1_link_fraction() const {
+  std::size_t links = 0;
+  std::size_t unit = 0;
+  for (const Face& f : faces_) {
+    for (FaceId nb : adjacency_[f.id]) {
+      if (nb < f.id) continue;  // count each link once
+      ++links;
+      const double d = vector_distance(f.signature, faces_[nb].signature);
+      if (std::abs(d - 1.0) < 1e-12) ++unit;
+    }
+  }
+  return links > 0 ? static_cast<double>(unit) / static_cast<double>(links) : 1.0;
+}
+
+}  // namespace fttt

@@ -1,0 +1,94 @@
+// Face map: the preprocessing product of FTTT (paper Sec. 4.3).
+//
+// The monitored field is rasterized into square cells (the paper's
+// "Approximate Grid Division"); each cell's signature vector is computed
+// against the deployment, cells sharing a signature form one *face*
+// (Lemma 1), and each face gets
+//   - a unique id,
+//   - its signature vector,
+//   - a centroid = mean of member-cell centers (Eq. 5), and
+//   - neighbor-face links (Def. 8): faces owning 4-adjacent cells.
+//
+// Building with C == 1 degenerates to the perpendicular-bisector division
+// used by the certain-sequence baselines (Fig. 3(a)); C > 1 gives the
+// uncertain-boundary division (Fig. 3(b)).
+//
+// Signature computation is embarrassingly parallel over cells and runs on
+// the shared thread pool.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/vec2.hpp"
+#include "core/signature.hpp"
+#include "geometry/grid.hpp"
+#include "net/sensor.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fttt {
+
+/// Face identifier, dense in [0, face_count).
+using FaceId = std::uint32_t;
+
+/// One face of the divided field.
+struct Face {
+  FaceId id{0};
+  SignatureVector signature;
+  Vec2 centroid;              ///< Eq. 5: mean of member cell centers
+  std::size_t cell_count{0};  ///< grid cells carrying this signature
+};
+
+class FaceMap {
+ public:
+  /// Divide `field` into faces for `nodes` with ratio constant `C` using
+  /// cells of side `cell_size` metres.
+  static FaceMap build(const Deployment& nodes, double C, const Aabb& field,
+                       double cell_size, ThreadPool& pool = ThreadPool::global());
+
+  /// Assemble a face map from precomputed per-cell signatures (the entry
+  /// point of the adaptive double-level division, core/adaptive_grid.hpp).
+  /// `cell_signatures` is indexed by the grid's flat cell index and is
+  /// consumed (moved from).
+  static FaceMap from_cells(const Deployment& nodes, double C, UniformGrid grid,
+                            std::vector<SignatureVector>&& cell_signatures);
+
+  const std::vector<Face>& faces() const { return faces_; }
+  const Face& face(FaceId id) const { return faces_[id]; }
+  std::size_t face_count() const { return faces_.size(); }
+
+  /// Neighbor faces of `id` (Def. 8 links), ascending ids.
+  const std::vector<FaceId>& neighbors(FaceId id) const { return adjacency_[id]; }
+
+  /// Face owning the cell that contains point `p`.
+  FaceId face_at(Vec2 p) const { return cell_face_[grid_.flatten(grid_.locate(p))]; }
+
+  /// Face owning the cell with flat index `flat` (serialization support).
+  FaceId face_of_cell(std::size_t flat) const { return cell_face_[flat]; }
+
+  const UniformGrid& grid() const { return grid_; }
+  const Deployment& nodes() const { return nodes_; }
+  double ratio_constant() const { return C_; }
+
+  /// Vector-space dimension (number of node pairs).
+  std::size_t dimension() const;
+
+  /// Fraction of neighbor-face links whose signature distance is exactly 1
+  /// (Theorem 1 holds exactly in the continuous arrangement; the grid
+  /// approximation can merge several boundary crossings into one step).
+  double theorem1_link_fraction() const;
+
+ private:
+  FaceMap(UniformGrid grid, Deployment nodes, double C)
+      : grid_(grid), nodes_(std::move(nodes)), C_(C) {}
+
+  UniformGrid grid_;
+  Deployment nodes_;
+  double C_;
+  std::vector<Face> faces_;
+  std::vector<FaceId> cell_face_;             ///< flat cell -> face id
+  std::vector<std::vector<FaceId>> adjacency_;
+};
+
+}  // namespace fttt

@@ -1,0 +1,190 @@
+#include "core/facemap_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fttt {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'T', 'T', 'T', 'M', 'A', 'P', '1'};
+
+/// Incremental FNV-1a over the serialized payload.
+class Fnv1a {
+ public:
+  void update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 1099511628211ULL;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_{1469598103934665603ULL};
+};
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void bytes(const void* data, std::size_t size) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+    hash_.update(data, size);
+  }
+  void u32(std::uint32_t v) { bytes(&v, sizeof v); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) { bytes(&v, sizeof v); }
+  void i8(std::int8_t v) { bytes(&v, sizeof v); }
+  std::uint64_t checksum() const { return hash_.value(); }
+
+ private:
+  std::ostream& out_;
+  Fnv1a hash_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  void bytes(void* data, std::size_t size) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (!in_) throw std::runtime_error("load_facemap: truncated stream");
+    hash_.update(data, size);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    bytes(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64_nohash() {
+    std::uint64_t v;
+    in_.read(reinterpret_cast<char*>(&v), sizeof v);
+    if (!in_) throw std::runtime_error("load_facemap: truncated checksum");
+    return v;
+  }
+  double f64() {
+    double v;
+    bytes(&v, sizeof v);
+    return v;
+  }
+  std::int8_t i8() {
+    std::int8_t v;
+    bytes(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t checksum() const { return hash_.value(); }
+
+ private:
+  std::istream& in_;
+  Fnv1a hash_;
+};
+
+}  // namespace
+
+void save_facemap(const FaceMap& map, std::ostream& out) {
+  Writer w(out);
+  w.bytes(kMagic, sizeof kMagic);
+
+  const Deployment& nodes = map.nodes();
+  w.u32(static_cast<std::uint32_t>(nodes.size()));
+  for (const SensorNode& n : nodes) {
+    w.u32(n.id);
+    w.f64(n.position.x);
+    w.f64(n.position.y);
+  }
+  w.f64(map.ratio_constant());
+  const Aabb& field = map.grid().extent();
+  w.f64(field.lo.x);
+  w.f64(field.lo.y);
+  w.f64(field.hi.x);
+  w.f64(field.hi.y);
+  w.f64(map.grid().cell_size());
+
+  w.u32(static_cast<std::uint32_t>(map.face_count()));
+  w.u32(static_cast<std::uint32_t>(map.dimension()));
+  for (const Face& f : map.faces())
+    for (SigValue v : f.signature) w.i8(v);
+
+  const std::size_t cells = map.grid().cell_count();
+  for (std::size_t flat = 0; flat < cells; ++flat)
+    w.u32(map.face_of_cell(flat));
+
+  const std::uint64_t checksum = w.checksum();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
+  if (!out) throw std::runtime_error("save_facemap: write failure");
+}
+
+void save_facemap(const FaceMap& map, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_facemap: cannot open " + path);
+  save_facemap(map, out);
+}
+
+FaceMap load_facemap(std::istream& in) {
+  Reader r(in);
+  char magic[8];
+  r.bytes(magic, sizeof magic);
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw std::runtime_error("load_facemap: bad magic (not a FTTTMAP1 file)");
+
+  const std::uint32_t node_count = r.u32();
+  if (node_count < 2 || node_count > 1'000'000)
+    throw std::runtime_error("load_facemap: implausible node count");
+  Deployment nodes;
+  nodes.reserve(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    SensorNode n;
+    n.id = r.u32();
+    n.position.x = r.f64();
+    n.position.y = r.f64();
+    nodes.push_back(n);
+  }
+  const double C = r.f64();
+  Aabb field;
+  field.lo.x = r.f64();
+  field.lo.y = r.f64();
+  field.hi.x = r.f64();
+  field.hi.y = r.f64();
+  const double cell_size = r.f64();
+  if (!(cell_size > 0.0) || !(field.width() > 0.0) || !(field.height() > 0.0))
+    throw std::runtime_error("load_facemap: corrupt geometry");
+
+  const std::uint32_t face_count = r.u32();
+  const std::uint32_t dimension = r.u32();
+  if (dimension != node_count * (node_count - 1) / 2)
+    throw std::runtime_error("load_facemap: dimension does not match node count");
+  std::vector<SignatureVector> signatures(face_count);
+  for (auto& sig : signatures) {
+    sig.resize(dimension);
+    for (auto& v : sig) {
+      v = r.i8();
+      if (v < -1 || v > 1) throw std::runtime_error("load_facemap: corrupt signature");
+    }
+  }
+
+  const UniformGrid grid(field, cell_size);
+  std::vector<SignatureVector> cell_sig(grid.cell_count());
+  for (std::size_t flat = 0; flat < grid.cell_count(); ++flat) {
+    const std::uint32_t face = r.u32();
+    if (face >= face_count) throw std::runtime_error("load_facemap: face id out of range");
+    cell_sig[flat] = signatures[face];
+  }
+
+  const std::uint64_t computed = r.checksum();
+  const std::uint64_t stored = r.u64_nohash();
+  if (computed != stored) throw std::runtime_error("load_facemap: checksum mismatch");
+
+  return FaceMap::from_cells(nodes, C, grid, std::move(cell_sig));
+}
+
+FaceMap load_facemap(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_facemap: cannot open " + path);
+  return load_facemap(in);
+}
+
+}  // namespace fttt

@@ -1,0 +1,40 @@
+// Face map serialization.
+//
+// Preprocessing is the expensive phase of FTTT (Sec. 4.3: done once,
+// stored at base stations / cluster heads). A deployed system computes
+// the division offline and ships it to the field, so the face map needs a
+// durable representation. Binary format "FTTTMAP1":
+//
+//   magic[8] | u32 node_count | node_count x (u32 id, f64 x, f64 y)
+//   | f64 C | f64 field lo.x lo.y hi.x hi.y | f64 cell_size
+//   | u32 face_count | u32 dimension | face_count x dimension x i8
+//   | cell_count x u32 (flat cell -> face id)
+//   | u64 fnv1a checksum of everything above
+//
+// Integers are little-endian fixed-width; doubles are IEEE-754 bit
+// patterns. load_facemap verifies magic, checksum, and structural
+// consistency (face ids in range, signatures matching the recorded
+// dimension) before reconstructing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/facemap.hpp"
+
+namespace fttt {
+
+/// Serialize `map` to a stream; throws std::runtime_error on I/O failure.
+void save_facemap(const FaceMap& map, std::ostream& out);
+
+/// Convenience: save to a file path.
+void save_facemap(const FaceMap& map, const std::string& path);
+
+/// Deserialize; throws std::runtime_error on bad magic, checksum mismatch
+/// or structural corruption.
+FaceMap load_facemap(std::istream& in);
+
+/// Convenience: load from a file path.
+FaceMap load_facemap(const std::string& path);
+
+}  // namespace fttt

@@ -1,0 +1,67 @@
+#include "core/matcher.hpp"
+
+#include "core/similarity.hpp"
+
+namespace fttt {
+
+namespace {
+
+/// Finalize a result from the tied set (mean of tied centroids).
+void finalize(const FaceMap& map, MatchResult& r) {
+  Vec2 sum{};
+  for (FaceId f : r.tied_faces) sum += map.face(f).centroid;
+  r.position = sum / static_cast<double>(r.tied_faces.size());
+  r.face = r.tied_faces.front();
+}
+
+}  // namespace
+
+MatchResult ExhaustiveMatcher::match(const FaceMap& map, const SamplingVector& vd) const {
+  MatchResult r;
+  r.similarity = -1.0;
+  for (const Face& f : map.faces()) {
+    ++r.faces_examined;
+    const double s = similarity(vd, f.signature);
+    if (s > r.similarity) {
+      r.similarity = s;
+      r.tied_faces.assign(1, f.id);
+    } else if (s == r.similarity) {
+      r.tied_faces.push_back(f.id);
+    }
+  }
+  finalize(map, r);
+  return r;
+}
+
+MatchResult HeuristicMatcher::match(const FaceMap& map, const SamplingVector& vd,
+                                    FaceId start) const {
+  MatchResult r;
+  FaceId current = start;
+  double s_current = similarity(vd, map.face(current).signature);
+  ++r.faces_examined;
+
+  // Steepest-ascent loop (Algorithm 2): move to the best neighbor while
+  // it strictly improves on the current face.
+  for (;;) {
+    FaceId best_neighbor = current;
+    double s_best = s_current;
+    for (FaceId nb : map.neighbors(current)) {
+      ++r.faces_examined;
+      const double s = similarity(vd, map.face(nb).signature);
+      if (s > s_best) {
+        s_best = s;
+        best_neighbor = nb;
+      }
+    }
+    if (best_neighbor == current) break;
+    current = best_neighbor;
+    s_current = s_best;
+  }
+
+  r.similarity = s_current;
+  r.tied_faces.assign(1, current);
+  finalize(map, r);
+  return r;
+}
+
+}  // namespace fttt

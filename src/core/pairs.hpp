@@ -1,0 +1,38 @@
+// Canonical node-pair enumeration (paper Def. 5/6).
+//
+// For n nodes there are N = C(n,2) pairs, enumerated in ascending order:
+//   (0,1), (0,2), ..., (0,n-1), (1,2), (1,3), ..., (n-2,n-1)
+// Every sampling vector and signature vector is indexed by this order, so
+// the two vector spaces line up component by component.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+namespace fttt {
+
+/// Number of node pairs for n nodes: C(n, 2).
+constexpr std::size_t pair_count(std::size_t n) { return n * (n - 1) / 2; }
+
+/// Flat index of pair (i, j), i < j < n, in the canonical enumeration.
+constexpr std::size_t pair_index(std::size_t i, std::size_t j, std::size_t n) {
+  assert(i < j && j < n);
+  // Pairs with first element < i occupy sum_{a<i} (n-1-a) slots.
+  return i * (2 * n - i - 1) / 2 + (j - i - 1);
+}
+
+/// Inverse of pair_index: the (i, j) pair at flat position `idx`.
+constexpr std::pair<std::size_t, std::size_t> pair_at(std::size_t idx, std::size_t n) {
+  assert(idx < pair_count(n));
+  std::size_t i = 0;
+  std::size_t block = n - 1;  // pairs whose first element is i
+  while (idx >= block) {
+    idx -= block;
+    ++i;
+    --block;
+  }
+  return {i, i + 1 + idx};
+}
+
+}  // namespace fttt

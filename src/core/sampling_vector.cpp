@@ -1,0 +1,78 @@
+#include "core/sampling_vector.hpp"
+
+#include <stdexcept>
+
+#include "core/pairs.hpp"
+
+namespace fttt {
+
+std::size_t SamplingVector::unknown_count() const {
+  std::size_t c = 0;
+  for (bool k : known)
+    if (!k) ++c;
+  return c;
+}
+
+namespace {
+
+/// Pair value when both nodes reported: Def. 4 (basic) / Def. 10
+/// (extended) over the k instants.
+double both_present_value(const std::vector<double>& rss_i,
+                          const std::vector<double>& rss_j, double eps,
+                          VectorMode mode) {
+  const std::size_t k = rss_i.size();
+  std::size_t above = 0;  // N_ij: instants with rss_i decisively above
+  std::size_t below = 0;  // N_ji
+  for (std::size_t t = 0; t < k; ++t) {
+    const int cmp = compare_rss(rss_i[t], rss_j[t], eps);
+    if (cmp > 0) ++above;
+    else if (cmp < 0) ++below;
+  }
+  if (mode == VectorMode::kExtended)
+    return (static_cast<double>(above) - static_cast<double>(below)) /
+           static_cast<double>(k);
+  if (above == k) return +1.0;
+  if (below == k) return -1.0;
+  return 0.0;  // flipped (or resolution-tied) within the group
+}
+
+}  // namespace
+
+SamplingVector build_sampling_vector(const GroupingSampling& group, double eps,
+                                     VectorMode mode, MissingPolicy missing) {
+  const std::size_t n = group.node_count;
+  if (group.rss.size() != n)
+    throw std::invalid_argument("build_sampling_vector: rss size != node_count");
+
+  SamplingVector vd;
+  vd.value.assign(pair_count(n), 0.0);
+  vd.known.assign(pair_count(n), true);
+
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j, ++c) {
+      const auto& col_i = group.rss[i];
+      const auto& col_j = group.rss[j];
+      if (col_i && col_j) {
+        if (col_i->size() != group.instants || col_j->size() != group.instants)
+          throw std::invalid_argument("build_sampling_vector: ragged column");
+        vd.value[c] = both_present_value(*col_i, *col_j, eps, mode);
+      } else if (col_i && !col_j) {
+        if (missing == MissingPolicy::kMissingReadsSmaller)
+          vd.value[c] = +1.0;  // Eq. 6: missing node reads smaller
+        else
+          vd.known[c] = false;
+      } else if (!col_i && col_j) {
+        if (missing == MissingPolicy::kMissingReadsSmaller)
+          vd.value[c] = -1.0;
+        else
+          vd.known[c] = false;
+      } else {
+        vd.known[c] = false;  // '*': neither node participated
+      }
+    }
+  }
+  return vd;
+}
+
+}  // namespace fttt

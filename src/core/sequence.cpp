@@ -1,0 +1,70 @@
+#include "core/sequence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fttt {
+
+DetectionSequence detection_sequence(std::span<const double> rss) {
+  DetectionSequence order;
+  order.reserve(rss.size());
+  for (std::uint32_t i = 0; i < rss.size(); ++i)
+    if (!std::isnan(rss[i])) order.push_back(i);
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (rss[a] != rss[b]) return rss[a] > rss[b];
+    return a < b;  // deterministic tie break toward the lower id
+  });
+  return order;
+}
+
+std::vector<std::uint32_t> rank_vector(std::span<const double> rss) {
+  const DetectionSequence seq = detection_sequence(rss);
+  std::vector<std::uint32_t> rank(rss.size(), static_cast<std::uint32_t>(rss.size()));
+  for (std::uint32_t pos = 0; pos < seq.size(); ++pos) rank[seq[pos]] = pos;
+  return rank;
+}
+
+double kendall_tau(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("kendall_tau: length mismatch");
+  const std::size_t n = a.size();
+  if (n < 2) return 1.0;
+  long concordant = 0;
+  long discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const int da = a[i] < a[j] ? 1 : (a[i] > a[j] ? -1 : 0);
+      const int db = b[i] < b[j] ? 1 : (b[i] > b[j] ? -1 : 0);
+      const int prod = da * db;
+      if (prod > 0) ++concordant;
+      else if (prod < 0) ++discordant;
+    }
+  }
+  const double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+double spearman_footrule(std::span<const std::uint32_t> a,
+                         std::span<const std::uint32_t> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("spearman_footrule: length mismatch");
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    sum += std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  // Max footrule displacement for a permutation of n items: floor(n^2/2).
+  const double max_sum = std::floor(static_cast<double>(n) * static_cast<double>(n) / 2.0);
+  return sum / max_sum;
+}
+
+std::vector<std::uint32_t> distance_rank_vector(std::span<const double> distances) {
+  // Nearer = stronger: rank by ascending distance, reusing the RSS path
+  // by negating.
+  std::vector<double> neg(distances.size());
+  for (std::size_t i = 0; i < distances.size(); ++i) neg[i] = -distances[i];
+  return rank_vector(neg);
+}
+
+}  // namespace fttt

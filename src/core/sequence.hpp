@@ -1,0 +1,48 @@
+// Detection sequences and rank correlation.
+//
+// The certain-sequence literature the paper compares against ([23], [24])
+// represents an observation as the *detection sequence*: sensor ids
+// sorted by descending RSS, or equivalently the rank vector of the RSS
+// readings. Sequence-based localization matches an observed rank vector
+// against each face's centroid rank vector by rank correlation (Spearman
+// / Kendall). These utilities implement that representation faithfully so
+// the Direct MLE baseline can run in either vector space (pairwise-order
+// vectors or rank correlation); they are also reused by tests as an
+// independent oracle for the pairwise machinery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fttt {
+
+/// Detection sequence: node ids in descending-RSS order. Missing nodes
+/// are simply absent.
+using DetectionSequence = std::vector<std::uint32_t>;
+
+/// Build the detection sequence of one sampling instant. `rss[i]` is node
+/// i's reading; NaN marks a missing node. Ties break toward the lower id
+/// (deterministic).
+DetectionSequence detection_sequence(std::span<const double> rss);
+
+/// Rank vector: rank[i] = 0-based position of node i in the detection
+/// sequence (0 = strongest). Missing nodes get rank n (beyond last) so
+/// present nodes always outrank them, mirroring Eq. 6's convention.
+std::vector<std::uint32_t> rank_vector(std::span<const double> rss);
+
+/// Kendall tau-a rank correlation between two equal-length rank vectors,
+/// in [-1, 1]: +1 identical order, -1 reversed order.
+double kendall_tau(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b);
+
+/// Spearman footrule distance (L1 between rank vectors), normalized to
+/// [0, 1] by the maximum possible displacement; 0 = identical.
+double spearman_footrule(std::span<const std::uint32_t> a,
+                         std::span<const std::uint32_t> b);
+
+/// Rank vector of distances from point-of-interest to each node — the
+/// "ideal" sequence of a location, used to build per-face sequence
+/// signatures in sequence-based localization [24].
+std::vector<std::uint32_t> distance_rank_vector(std::span<const double> distances);
+
+}  // namespace fttt

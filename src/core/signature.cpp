@@ -1,0 +1,28 @@
+#include "core/signature.hpp"
+
+#include "core/pairs.hpp"
+#include "geometry/apollonius.hpp"
+
+namespace fttt {
+
+SignatureVector signature_at(Vec2 p, const Deployment& nodes, double C) {
+  const std::size_t n = nodes.size();
+  SignatureVector sig;
+  sig.reserve(pair_count(n));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      sig.push_back(static_cast<SigValue>(
+          pair_region(p, nodes[i].position, nodes[j].position, C)));
+  return sig;
+}
+
+std::size_t signature_hash(const SignatureVector& sig) {
+  std::size_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (SigValue v : sig) {
+    h ^= static_cast<std::size_t>(static_cast<std::uint8_t>(v));
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace fttt

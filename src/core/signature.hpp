@@ -1,0 +1,33 @@
+// Signature vectors (paper Def. 6).
+//
+// The signature vector of a point p has one component per node pair
+// (canonical order, see pairs.hpp):
+//   +1  p decisively nearer the lower-id node  (d_i/d_j <= 1/C)
+//   -1  p decisively nearer the higher-id node (d_i/d_j >= C)
+//    0  p inside the pair's uncertain area
+// All points sharing a signature vector form one *face* (Lemma 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/vec2.hpp"
+#include "net/sensor.hpp"
+
+namespace fttt {
+
+/// One trinary signature component.
+using SigValue = std::int8_t;
+
+/// A face/point signature: N = C(n,2) components in {-1, 0, +1}.
+using SignatureVector = std::vector<SigValue>;
+
+/// Compute the signature vector of point `p` for the deployment, with
+/// uncertainty ratio constant `C >= 1`. `C == 1` yields the bisector
+/// ("certain sequence") signatures used by the baselines.
+SignatureVector signature_at(Vec2 p, const Deployment& nodes, double C);
+
+/// FNV-1a hash of a signature vector (for face dedup tables).
+std::size_t signature_hash(const SignatureVector& sig);
+
+}  // namespace fttt

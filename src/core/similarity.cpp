@@ -1,0 +1,31 @@
+#include "core/similarity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fttt {
+
+double vector_distance(const SamplingVector& vd, const SignatureVector& vs) {
+  if (vd.dimension() != vs.size())
+    throw std::invalid_argument("vector_distance: dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t c = 0; c < vs.size(); ++c) {
+    if (!vd.known[c]) continue;  // Eq. 7: '*' components contribute 0
+    const double d = vd.value[c] - static_cast<double>(vs[c]);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double vector_distance(const SignatureVector& a, const SignatureVector& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("vector_distance: dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    const double d = static_cast<double>(a[c]) - static_cast<double>(b[c]);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace fttt

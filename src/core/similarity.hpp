@@ -1,0 +1,32 @@
+// Vector distance and similarity (paper Def. 7/8, Eq. 7).
+//
+// Distance is Euclidean over the component-wise differences, except that
+// any component the sampling vector marks '*' contributes 0 (Eq. 7).
+// Similarity is 1/distance; an exact match has similarity +infinity, which
+// composes correctly with "pick the most similar face".
+#pragma once
+
+#include <limits>
+
+#include "core/sampling_vector.hpp"
+#include "core/signature.hpp"
+
+namespace fttt {
+
+/// ||Vd - Vs|| with the '*' rule. Dimensions must match.
+double vector_distance(const SamplingVector& vd, const SignatureVector& vs);
+
+/// Euclidean distance between two signature vectors (Theorem 1 metric).
+double vector_distance(const SignatureVector& a, const SignatureVector& b);
+
+/// Similarity S = 1 / distance; +inf when distance == 0.
+inline double similarity_from_distance(double dist) {
+  return dist > 0.0 ? 1.0 / dist : std::numeric_limits<double>::infinity();
+}
+
+/// S(Vd, Vs) per Def. 7 with the Eq. 7 '*' rule.
+inline double similarity(const SamplingVector& vd, const SignatureVector& vs) {
+  return similarity_from_distance(vector_distance(vd, vs));
+}
+
+}  // namespace fttt

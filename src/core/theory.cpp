@@ -1,0 +1,67 @@
+#include "core/theory.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace fttt {
+namespace theory {
+
+double one_pair_miss_probability(std::size_t k) {
+  assert(k >= 1);
+  return std::pow(0.5, static_cast<double>(k - 1));
+}
+
+double all_flips_capture_probability(std::size_t k, std::size_t n_pairs) {
+  const double f = one_pair_miss_probability(k);
+  return std::pow(1.0 - f, static_cast<double>(n_pairs));
+}
+
+double capture_probability_inclusion_exclusion(std::size_t k, std::size_t n_pairs) {
+  const double f = one_pair_miss_probability(k);
+  // Term-by-term: C(N,M) built incrementally to avoid factorial overflow.
+  double sum = 0.0;
+  double binom = 1.0;  // C(N, 0)
+  double f_pow = 1.0;  // f^0
+  const double N = static_cast<double>(n_pairs);
+  for (std::size_t M = 0; M <= n_pairs; ++M) {
+    sum += (M % 2 == 0 ? 1.0 : -1.0) * binom * f_pow;
+    binom *= (N - static_cast<double>(M)) / (static_cast<double>(M) + 1.0);
+    f_pow *= f;
+  }
+  return sum;
+}
+
+double expected_uncaptured_pairs(std::size_t k, std::size_t n_pairs) {
+  return static_cast<double>(n_pairs) * one_pair_miss_probability(k);
+}
+
+std::size_t required_sampling_times(double lambda, std::size_t n_pairs) {
+  assert(lambda > 0.0 && lambda < 1.0);
+  assert(n_pairs >= 2);
+  const double root = std::pow(lambda, 1.0 / static_cast<double>(n_pairs - 1));
+  const double bound = 1.0 - std::log2(1.0 - root);
+  // Smallest integer strictly greater than the bound.
+  const double floor_b = std::floor(bound);
+  const std::size_t k = static_cast<std::size_t>(floor_b) + 1;
+  return k < 1 ? 1 : k;
+}
+
+double expected_interface_error(std::size_t k, std::size_t n_pairs) {
+  return static_cast<double>(n_pairs) * one_pair_miss_probability(k);
+}
+
+double worst_case_error_bound(std::size_t k, double density, double sensing_range,
+                              double xi) {
+  assert(density > 0.0 && sensing_range > 0.0 && xi > 0.0);
+  const double area = std::numbers::pi * sensing_range * sensing_range;
+  const double n = area * density;  // expected nodes sensing the target
+  if (n < 2.0) return std::numeric_limits<double>::infinity();
+  const double pairs = n * (n - 1.0) / 2.0;
+  const double f = one_pair_miss_probability(k);
+  return std::sqrt(pairs * f * area / (xi * n * n * n * n));
+}
+
+}  // namespace theory
+}  // namespace fttt

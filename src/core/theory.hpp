@@ -1,0 +1,51 @@
+// Closed-form results of paper Sec. 5 and the Appendices.
+//
+// All formulas are parameterized by the number of *node pairs* N whose
+// uncertain areas the target sits in, and the grouping-sampling count k.
+#pragma once
+
+#include <cstddef>
+
+namespace fttt {
+namespace theory {
+
+/// f = (1/2)^(k-1): probability one grouping sampling of k instants sees
+/// only one order of a pair that is genuinely flipping (Sec. 5.1, under
+/// the paper's p=1/2 per-instant order assumption). k >= 1.
+double one_pair_miss_probability(std::size_t k);
+
+/// Probability a grouping sampling captures the flip of all N pairs:
+/// (1 - f)^N (Appendix I recurrence; the main text's (1-f)^(N-1) is a
+/// typo — the recurrence f_N = (1-f) f_{N-1} with f_1 = 1-f gives
+/// exponent N, which our Monte-Carlo tests confirm).
+double all_flips_capture_probability(std::size_t k, std::size_t n_pairs);
+
+/// The same probability computed directly from the paper's Eq. 8
+/// inclusion-exclusion sum, f_N = sum_{M=0..N} (-1)^M C(N,M) f^M.
+/// Equal to all_flips_capture_probability by the binomial theorem —
+/// kept as an executable check of the Appendix I identity. Accurate for
+/// n_pairs <= ~60 (the alternating sum loses precision beyond that).
+double capture_probability_inclusion_exclusion(std::size_t k, std::size_t n_pairs);
+
+/// Expected number of pairs whose flip goes uncaptured: N * f — the same
+/// quantity Appendix II re-derives as the inter-face error expectation.
+double expected_uncaptured_pairs(std::size_t k, std::size_t n_pairs);
+
+/// Minimum k such that the capture probability exceeds `lambda`, using
+/// the paper's published bound k > 1 - log2(1 - lambda^(1/(N-1)))
+/// (Sec. 5.1; e.g. N from 20 nodes and lambda = 0.99 gives k = 16).
+/// Preconditions: 0 < lambda < 1, n_pairs >= 2.
+std::size_t required_sampling_times(double lambda, std::size_t n_pairs);
+
+/// Expected inter-face (vector-distance) error when the target lies in
+/// the intersection of N uncertain areas: E_N = N * f (Appendix II).
+double expected_interface_error(std::size_t k, std::size_t n_pairs);
+
+/// Worst-case tracking error bound, Eq. 10:
+///   E < sqrt( C(n,2) * f * pi R^2 / (xi * n^4) ),  n = pi R^2 rho
+/// i.e. O( 1 / (2^((k-1)/2) * rho * R) ).
+double worst_case_error_bound(std::size_t k, double density, double sensing_range,
+                              double xi = 1.0);
+
+}  // namespace theory
+}  // namespace fttt

@@ -1,0 +1,43 @@
+#include "core/tracker.hpp"
+
+#include <stdexcept>
+
+namespace fttt {
+
+FtttTracker::FtttTracker(std::shared_ptr<const FaceMap> map, Config config)
+    : map_(std::move(map)), config_(config) {
+  if (!map_) throw std::invalid_argument("FtttTracker: null face map");
+}
+
+TrackEstimate FtttTracker::localize(const GroupingSampling& group) {
+  if (group.node_count != map_->nodes().size())
+    throw std::invalid_argument("FtttTracker: grouping sampling node count != map deployment");
+
+  const SamplingVector vd =
+      build_sampling_vector(group, config_.eps, config_.mode, config_.missing);
+
+  MatchResult result;
+  if (config_.use_heuristic) {
+    // Warm start from the previous localization when available; a cold
+    // start begins at the field-center face (Algorithm 2's
+    // Initialization()).
+    const FaceId start =
+        previous_face_.value_or(map_->face_at(map_->grid().extent().center()));
+    result = heuristic_.match(*map_, vd, start);
+    if (result.similarity < config_.fallback_similarity) {
+      const MatchResult full = exhaustive_.match(*map_, vd);
+      stats_.faces_examined += full.faces_examined;
+      ++stats_.fallbacks;
+      if (full.similarity > result.similarity) result = full;
+    }
+  } else {
+    result = exhaustive_.match(*map_, vd);
+  }
+
+  ++stats_.localizations;
+  stats_.faces_examined += result.faces_examined;
+  previous_face_ = result.face;
+  return TrackEstimate{result.position, result.face, result.similarity};
+}
+
+}  // namespace fttt

@@ -1,0 +1,69 @@
+// FtttTracker: the public facade of the FTTT strategy (paper Sec. 4).
+//
+// Owns a prebuilt FaceMap, consumes one GroupingSampling per localization
+// epoch, and produces position estimates. Supports:
+//   - basic / extended sampling vectors (Sec. 4.2 / Sec. 6),
+//   - exhaustive or heuristic matching, with warm starts from the previous
+//     localization (Algorithm 2's consecutive-tracking speedup),
+//   - fault-tolerant vectors ('*' components, Sec. 4.4(3)) transparently.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/facemap.hpp"
+#include "core/matcher.hpp"
+
+namespace fttt {
+
+/// One localization outcome exposed to applications.
+struct TrackEstimate {
+  Vec2 position;          ///< estimated target location
+  FaceId face{0};         ///< matched face
+  double similarity{0.0}; ///< achieved vector similarity
+};
+
+class FtttTracker {
+ public:
+  struct Config {
+    VectorMode mode{VectorMode::kBasic};   ///< basic or extended (Sec. 6)
+    double eps{1.0};                       ///< sensing resolution (dB)
+    bool use_heuristic{true};              ///< Algorithm 2 vs full scan
+    /// When heuristic matching converges below this similarity the tracker
+    /// reruns exhaustively (grid-approximation local maxima). Set to 0 to
+    /// never fall back, +inf to always run exhaustively after the climb.
+    double fallback_similarity{0.5};
+    /// How pairs with one silent node are valued (Eq. 6 vs '*').
+    MissingPolicy missing{MissingPolicy::kMissingReadsSmaller};
+  };
+
+  /// Work counters for the complexity experiments.
+  struct Stats {
+    std::size_t localizations{0};
+    std::size_t faces_examined{0};  ///< total across localizations
+    std::size_t fallbacks{0};       ///< heuristic -> exhaustive retries
+  };
+
+  FtttTracker(std::shared_ptr<const FaceMap> map, Config config);
+
+  /// Localize the target from one grouping sampling; updates the warm
+  /// start for the next call.
+  TrackEstimate localize(const GroupingSampling& group);
+
+  /// Forget the previous face (target lost / new track).
+  void reset() { previous_face_.reset(); }
+
+  const Stats& stats() const { return stats_; }
+  const FaceMap& map() const { return *map_; }
+  const Config& config() const { return config_; }
+
+ private:
+  std::shared_ptr<const FaceMap> map_;
+  Config config_;
+  ExhaustiveMatcher exhaustive_;
+  HeuristicMatcher heuristic_;
+  std::optional<FaceId> previous_face_;
+  Stats stats_;
+};
+
+}  // namespace fttt

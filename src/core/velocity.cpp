@@ -1,0 +1,49 @@
+#include "core/velocity.hpp"
+
+#include <cmath>
+
+namespace fttt {
+
+VelocityEstimator::VelocityEstimator() : VelocityEstimator(Config{}) {}
+
+void VelocityEstimator::update(Vec2 position, double t) {
+  if (!last_position_) {
+    last_position_ = position;
+    last_time_ = t;
+    return;
+  }
+  const double dt = t - last_time_;
+  if (dt <= 0.0) return;  // out of order: drop
+
+  Vec2 raw = (position - *last_position_) / dt;
+  const double raw_speed = norm(raw);
+  if (raw_speed > config_.max_speed) raw *= config_.max_speed / raw_speed;
+
+  const double alpha = 1.0 - std::exp(-dt / config_.tau);
+  velocity_ = velocity_ ? lerp(*velocity_, raw, alpha) : raw;
+
+  last_position_ = position;
+  last_time_ = t;
+}
+
+std::optional<Vec2> VelocityEstimator::velocity() const { return velocity_; }
+
+double VelocityEstimator::speed() const { return velocity_ ? norm(*velocity_) : 0.0; }
+
+std::optional<double> VelocityEstimator::heading() const {
+  if (!velocity_ || norm(*velocity_) < 1e-9) return std::nullopt;
+  return std::atan2(velocity_->y, velocity_->x);
+}
+
+std::optional<Vec2> VelocityEstimator::predict(double horizon) const {
+  if (!last_position_ || !velocity_) return std::nullopt;
+  return *last_position_ + *velocity_ * horizon;
+}
+
+void VelocityEstimator::reset() {
+  last_position_.reset();
+  velocity_.reset();
+  last_time_ = 0.0;
+}
+
+}  // namespace fttt

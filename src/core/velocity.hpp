@@ -1,0 +1,60 @@
+// Velocity and heading estimation from the localization stream.
+//
+// Applications (interception, handoff between clusters, trajectory
+// prediction) need speed and heading, not just positions. Face-matching
+// output is piecewise constant — the estimate jumps between face
+// centroids — so raw finite differences are spiky. VelocityEstimator
+// combines finite differences with exponential smoothing and exposes a
+// short-horizon linear predictor.
+#pragma once
+
+#include <optional>
+
+#include "common/vec2.hpp"
+
+namespace fttt {
+
+/// Smoothed planar velocity from timestamped position estimates.
+class VelocityEstimator {
+ public:
+  struct Config {
+    /// Smoothing time constant (s): larger = smoother, laggier. The
+    /// per-update blend factor is 1 - exp(-dt / tau).
+    double tau{2.0};
+    /// Displacements above this speed (m/s) are treated as matching
+    /// glitches and clamped (a face jump across the field is not the
+    /// target moving at 80 m/s).
+    double max_speed{15.0};
+  };
+
+  VelocityEstimator();  // default Config
+  explicit VelocityEstimator(Config config) : config_(config) {}
+
+  /// Feed one localization (monotonically increasing t, seconds).
+  /// Out-of-order or duplicate timestamps are ignored.
+  void update(Vec2 position, double t);
+
+  /// Current velocity estimate; nullopt until two updates arrived.
+  std::optional<Vec2> velocity() const;
+
+  /// Speed in m/s (0 until initialized).
+  double speed() const;
+
+  /// Heading in radians, atan2 convention; nullopt until moving.
+  std::optional<double> heading() const;
+
+  /// Predict the position `horizon` seconds after the last update by
+  /// linear extrapolation; nullopt until initialized.
+  std::optional<Vec2> predict(double horizon) const;
+
+  /// Forget all state (track reset).
+  void reset();
+
+ private:
+  Config config_;
+  std::optional<Vec2> last_position_;
+  double last_time_{0.0};
+  std::optional<Vec2> velocity_;
+};
+
+}  // namespace fttt

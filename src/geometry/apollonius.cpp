@@ -1,0 +1,45 @@
+#include "geometry/apollonius.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fttt {
+
+Circle apollonius_circle(Vec2 a, Vec2 b, double ratio) {
+  assert(ratio > 0.0 && ratio != 1.0);
+  assert(!(a == b));
+  // { p : |p-a| = ratio * |p-b| }. Squaring and collecting terms gives a
+  // circle with center (a - r^2 b) / (1 - r^2) and radius
+  // r * |a - b| / |1 - r^2|.
+  const double r2 = ratio * ratio;
+  const double denom = 1.0 - r2;
+  const Vec2 center = (a - b * r2) / denom;
+  const double radius = ratio * distance(a, b) / std::abs(denom);
+  return Circle{center, radius};
+}
+
+UncertainBoundary uncertain_boundary(Vec2 a, Vec2 b, double C) {
+  assert(C > 1.0);
+  return UncertainBoundary{
+      .near_a = apollonius_circle(a, b, 1.0 / C),
+      .near_b = apollonius_circle(a, b, C),
+  };
+}
+
+int pair_region(Vec2 p, Vec2 a, Vec2 b, double C) {
+  assert(C >= 1.0);
+  // Compare squared distances against C^2 to avoid square roots:
+  //   d(p,a)/d(p,b) <= 1/C   <=>   C^2 * da2 <= db2
+  //   d(p,a)/d(p,b) >= C     <=>   da2 >= C^2 * db2
+  const double da2 = distance2(p, a);
+  const double db2 = distance2(p, b);
+  const double c2 = C * C;
+  const bool decisively_a = da2 * c2 <= db2;
+  const bool decisively_b = da2 >= c2 * db2;
+  if (decisively_a && decisively_b) return 0;  // C == 1 and p on the bisector
+  if (decisively_a) return +1;
+  if (decisively_b) return -1;
+  return 0;
+}
+
+}  // namespace fttt

@@ -1,0 +1,47 @@
+// Apollonius circles and the pairwise uncertain area (paper Sec. 3.2).
+//
+// For a node pair (a, b) and ratio constant C > 1 (derived from the noise
+// model, see rf/uncertainty.hpp), the loci
+//     d(p, a) / d(p, b) = 1/C      (decisively nearer a)
+//     d(p, a) / d(p, b) = C        (decisively nearer b)
+// are two axisymmetric circles (Circles of Apollonius) whose symmetry axis
+// is the perpendicular bisector of (a, b) — Definition 2 / Eq. (4). The
+// region strictly between them, 1/C < d(p,a)/d(p,b) < C, is the pair's
+// *uncertain area* (Definition 1), where the RSS order of the pair cannot
+// be trusted.
+#pragma once
+
+#include "common/vec2.hpp"
+#include "geometry/circle.hpp"
+
+namespace fttt {
+
+/// The Apollonius circle { p : d(p, a) / d(p, b) = ratio }, ratio != 1.
+///
+/// For ratio < 1 the circle encloses `a`; for ratio > 1 it encloses `b`.
+/// Precondition: a != b and ratio > 0, ratio != 1.
+Circle apollonius_circle(Vec2 a, Vec2 b, double ratio);
+
+/// Both boundary circles of the uncertain area of pair (a, b) for
+/// ratio constant C > 1: `.near_a` encloses a (ratio 1/C), `.near_b`
+/// encloses b (ratio C).
+struct UncertainBoundary {
+  Circle near_a;  ///< locus d(p,a)/d(p,b) = 1/C
+  Circle near_b;  ///< locus d(p,a)/d(p,b) = C
+};
+
+/// Compute the pair's uncertain boundary; precondition C > 1, a != b.
+UncertainBoundary uncertain_boundary(Vec2 a, Vec2 b, double C);
+
+/// Trinary region classification of point `p` against pair (a, b) with
+/// ratio constant C >= 1 (Definition 6 values):
+///   +1  -> decisively nearer a:  d(p,a)/d(p,b) <= 1/C
+///   -1  -> decisively nearer b:  d(p,a)/d(p,b) >= C
+///    0  -> inside the uncertain area
+///
+/// `a` is the lower-id node of the pair by convention. With C == 1 this
+/// degenerates to the bisector split of the certain-sequence baselines
+/// (0 only exactly on the bisector).
+int pair_region(Vec2 p, Vec2 a, Vec2 b, double C);
+
+}  // namespace fttt

@@ -1,0 +1,25 @@
+// Perpendicular bisectors and half-plane classification.
+//
+// The *certain*-sequence baselines ([22], [24]) divide the field by the
+// perpendicular bisectors of every node pair: which side of the bisector a
+// point falls on decides which node of the pair it is nearer to. FTTT
+// generalizes these lines into Apollonius annuli (see apollonius.hpp).
+#pragma once
+
+#include "common/vec2.hpp"
+
+namespace fttt {
+
+/// Side of the perpendicular bisector of segment (a, b):
+///   +1  -> strictly nearer to a
+///   -1  -> strictly nearer to b
+///    0  -> equidistant (on the bisector)
+inline int bisector_side(Vec2 p, Vec2 a, Vec2 b) {
+  const double da2 = distance2(p, a);
+  const double db2 = distance2(p, b);
+  if (da2 < db2) return +1;
+  if (da2 > db2) return -1;
+  return 0;
+}
+
+}  // namespace fttt

@@ -1,0 +1,25 @@
+#include "geometry/circle.hpp"
+
+#include <cmath>
+
+namespace fttt {
+
+std::optional<std::pair<Vec2, Vec2>> circle_intersections(const Circle& a,
+                                                          const Circle& b) {
+  const double d = distance(a.center, b.center);
+  if (d <= 0.0) return std::nullopt;  // concentric or coincident
+  if (d > a.radius + b.radius) return std::nullopt;             // disjoint
+  if (d < std::abs(a.radius - b.radius)) return std::nullopt;   // nested
+
+  // Standard two-circle construction: foot of the radical axis at
+  // distance x from a.center along the center line, half-chord h.
+  const double x = (d * d - b.radius * b.radius + a.radius * a.radius) / (2.0 * d);
+  const double h2 = a.radius * a.radius - x * x;
+  const double h = h2 > 0.0 ? std::sqrt(h2) : 0.0;
+  const Vec2 dir = (b.center - a.center) / d;
+  const Vec2 foot = a.center + dir * x;
+  const Vec2 normal{-dir.y, dir.x};
+  return std::make_pair(foot + normal * h, foot - normal * h);
+}
+
+}  // namespace fttt

@@ -1,0 +1,30 @@
+// Circle primitive and circle-circle intersection.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "common/vec2.hpp"
+
+namespace fttt {
+
+/// A circle in the plane.
+struct Circle {
+  Vec2 center;
+  double radius{0.0};
+
+  /// True when `p` is strictly inside.
+  bool contains(Vec2 p) const { return distance2(p, center) < radius * radius; }
+
+  /// Signed distance from `p` to the circle (negative inside).
+  double signed_distance(Vec2 p) const { return distance(p, center) - radius; }
+};
+
+/// Intersection points of two circles; nullopt when disjoint, nested or
+/// coincident. Tangent circles return the single point twice. Used to
+/// count arrangement vertices when validating the O(n^4) face bound of
+/// Sec. 4.4 against the grid division.
+std::optional<std::pair<Vec2, Vec2>> circle_intersections(const Circle& a,
+                                                          const Circle& b);
+
+}  // namespace fttt

@@ -1,0 +1,35 @@
+#include "geometry/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fttt {
+
+UniformGrid::UniformGrid(Aabb extent, double cell_size) : extent_(extent), cell_(cell_size) {
+  if (cell_size <= 0.0) throw std::invalid_argument("UniformGrid: cell_size must be > 0");
+  if (extent.width() <= 0.0 || extent.height() <= 0.0)
+    throw std::invalid_argument("UniformGrid: extent must have positive area");
+  cols_ = std::max(1, static_cast<int>(std::ceil(extent.width() / cell_size - 1e-9)));
+  rows_ = std::max(1, static_cast<int>(std::ceil(extent.height() / cell_size - 1e-9)));
+}
+
+CellIndex UniformGrid::locate(Vec2 p) const {
+  int i = static_cast<int>(std::floor((p.x - extent_.lo.x) / cell_));
+  int j = static_cast<int>(std::floor((p.y - extent_.lo.y) / cell_));
+  i = std::clamp(i, 0, cols_ - 1);
+  j = std::clamp(j, 0, rows_ - 1);
+  return {i, j};
+}
+
+std::vector<CellIndex> UniformGrid::neighbors4(CellIndex c) const {
+  std::vector<CellIndex> out;
+  out.reserve(4);
+  const CellIndex candidates[4] = {
+      {c.i - 1, c.j}, {c.i + 1, c.j}, {c.i, c.j - 1}, {c.i, c.j + 1}};
+  for (CellIndex n : candidates)
+    if (in_bounds(n)) out.push_back(n);
+  return out;
+}
+
+}  // namespace fttt

@@ -1,0 +1,73 @@
+// Uniform square grid over the monitored field.
+//
+// The paper's Sec. 4.3 "Approximate Grid Division" replaces the exact
+// circle arrangement with a raster of square cells; faces are the
+// connected classes of cells sharing a signature vector and the face
+// location is the centroid of its member cell centers (Eq. 5 region).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec2.hpp"
+
+namespace fttt {
+
+/// Index of a grid cell (column i, row j).
+struct CellIndex {
+  int i{0};
+  int j{0};
+  friend bool operator==(CellIndex a, CellIndex b) = default;
+};
+
+/// A uniform grid of square cells covering an axis-aligned field.
+///
+/// Cells are addressed either by (i, j) or by a flat index
+/// `j * cols + i`; cell (0, 0) sits at the field's lower-left corner and
+/// its *center* is `lo + (cell/2, cell/2)` per the paper's convention of
+/// using cell centers as sample coordinates.
+class UniformGrid {
+ public:
+  /// Cover `extent` with square cells of side `cell_size` (the last
+  /// row/column may overhang the extent; cells are never truncated).
+  UniformGrid(Aabb extent, double cell_size);
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  std::size_t cell_count() const { return static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_); }
+  double cell_size() const { return cell_; }
+  const Aabb& extent() const { return extent_; }
+
+  /// Center coordinate of cell (i, j).
+  Vec2 center(CellIndex c) const {
+    return {extent_.lo.x + (c.i + 0.5) * cell_, extent_.lo.y + (c.j + 0.5) * cell_};
+  }
+  Vec2 center(std::size_t flat) const { return center(unflatten(flat)); }
+
+  /// Cell containing point `p` (clamped to the grid for boundary points).
+  CellIndex locate(Vec2 p) const;
+
+  std::size_t flatten(CellIndex c) const {
+    return static_cast<std::size_t>(c.j) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(c.i);
+  }
+  CellIndex unflatten(std::size_t flat) const {
+    return {static_cast<int>(flat % static_cast<std::size_t>(cols_)),
+            static_cast<int>(flat / static_cast<std::size_t>(cols_))};
+  }
+
+  bool in_bounds(CellIndex c) const {
+    return c.i >= 0 && c.i < cols_ && c.j >= 0 && c.j < rows_;
+  }
+
+  /// 4-neighborhood of a cell (fewer at the border).
+  std::vector<CellIndex> neighbors4(CellIndex c) const;
+
+ private:
+  Aabb extent_;
+  double cell_;
+  int cols_;
+  int rows_;
+};
+
+}  // namespace fttt

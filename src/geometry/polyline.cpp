@@ -1,0 +1,55 @@
+#include "geometry/polyline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fttt {
+
+Polyline::Polyline(std::vector<Vec2> vertices) : vertices_(std::move(vertices)) {
+  if (vertices_.empty()) throw std::invalid_argument("Polyline: needs at least one vertex");
+  cumulative_.resize(vertices_.size());
+  cumulative_[0] = 0.0;
+  for (std::size_t i = 1; i < vertices_.size(); ++i)
+    cumulative_[i] = cumulative_[i - 1] + distance(vertices_[i - 1], vertices_[i]);
+}
+
+std::size_t Polyline::segment_for(double s, double& local) const {
+  // First vertex whose cumulative length exceeds s, then back off one.
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  std::size_t idx = static_cast<std::size_t>(std::distance(cumulative_.begin(), it));
+  if (idx == 0) {
+    local = 0.0;
+    return 0;
+  }
+  idx = std::min(idx, cumulative_.size() - 1);
+  local = s - cumulative_[idx - 1];
+  return idx - 1;
+}
+
+Vec2 Polyline::point_at(double s) const {
+  if (vertices_.size() == 1) return vertices_[0];
+  s = std::clamp(s, 0.0, length());
+  double local = 0.0;
+  const std::size_t seg = segment_for(s, local);
+  const std::size_t next = std::min(seg + 1, vertices_.size() - 1);
+  const double seg_len = cumulative_[next] - cumulative_[seg];
+  if (seg_len <= 0.0) return vertices_[seg];
+  return lerp(vertices_[seg], vertices_[next], local / seg_len);
+}
+
+Vec2 Polyline::tangent_at(double s) const {
+  if (vertices_.size() == 1) return {};
+  s = std::clamp(s, 0.0, length());
+  double local = 0.0;
+  std::size_t seg = segment_for(s, local);
+  // Skip zero-length segments looking forward, then backward.
+  while (seg + 1 < vertices_.size() && cumulative_[seg + 1] - cumulative_[seg] <= 0.0) ++seg;
+  if (seg + 1 >= vertices_.size()) {
+    // At the very end: use the last non-degenerate segment.
+    seg = vertices_.size() - 2;
+    while (seg > 0 && cumulative_[seg + 1] - cumulative_[seg] <= 0.0) --seg;
+  }
+  return normalized(vertices_[seg + 1] - vertices_[seg]);
+}
+
+}  // namespace fttt

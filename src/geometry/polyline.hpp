@@ -1,0 +1,46 @@
+// Arc-length parameterized polylines.
+//
+// Mobility models produce piecewise-linear paths ("⊔"-shaped walking
+// trace, random-waypoint legs); the simulator needs "where is the target
+// after s metres of travel", which is exactly arc-length evaluation.
+#pragma once
+
+#include <vector>
+
+#include "common/vec2.hpp"
+
+namespace fttt {
+
+/// A piecewise-linear path through an ordered list of vertices.
+class Polyline {
+ public:
+  Polyline() = default;
+
+  /// Requires at least one vertex; consecutive duplicate vertices are
+  /// legal (zero-length segments are skipped during evaluation).
+  explicit Polyline(std::vector<Vec2> vertices);
+
+  const std::vector<Vec2>& vertices() const { return vertices_; }
+
+  /// Total arc length in metres.
+  double length() const { return cumulative_.empty() ? 0.0 : cumulative_.back(); }
+
+  /// Point after travelling `s` metres from the start; clamped to the
+  /// endpoints for s outside [0, length()].
+  Vec2 point_at(double s) const;
+
+  /// Unit tangent at arc length `s` (direction of travel); {0,0} for a
+  /// degenerate (single-point) path.
+  Vec2 tangent_at(double s) const;
+
+  bool empty() const { return vertices_.empty(); }
+
+ private:
+  /// Index of the segment containing arc length s and the local offset.
+  std::size_t segment_for(double s, double& local) const;
+
+  std::vector<Vec2> vertices_;
+  std::vector<double> cumulative_;  // cumulative_[i] = arc length at vertex i
+};
+
+}  // namespace fttt

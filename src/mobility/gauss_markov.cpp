@@ -1,0 +1,60 @@
+#include "mobility/gauss_markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fttt {
+
+GaussMarkov::GaussMarkov(const GaussMarkovConfig& cfg, RngStream rng) : cfg_(cfg) {
+  if (cfg.memory < 0.0 || cfg.memory > 1.0)
+    throw std::invalid_argument("GaussMarkov: memory must be in [0, 1]");
+  if (cfg.step <= 0.0 || cfg.duration <= 0.0)
+    throw std::invalid_argument("GaussMarkov: step and duration must be > 0");
+  if (cfg.v_min <= 0.0 || cfg.v_max < cfg.v_min)
+    throw std::invalid_argument("GaussMarkov: need 0 < v_min <= v_max");
+
+  const double a = cfg.memory;
+  const double innov = std::sqrt(std::max(0.0, 1.0 - a * a));
+
+  Vec2 pos{rng.uniform(cfg.field.lo.x, cfg.field.hi.x),
+           rng.uniform(cfg.field.lo.y, cfg.field.hi.y)};
+  double speed = cfg.mean_speed;
+  double heading = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double mean_heading = heading;  // drift toward the initial bearing
+
+  const auto steps = static_cast<std::size_t>(cfg.duration / cfg.step) + 1;
+  samples_.reserve(steps + 1);
+  samples_.push_back(pos);
+  for (std::size_t i = 0; i < steps; ++i) {
+    speed = a * speed + (1.0 - a) * cfg.mean_speed +
+            innov * rng.normal(0.0, cfg.speed_sigma);
+    speed = std::clamp(speed, cfg.v_min, cfg.v_max);
+    heading = a * heading + (1.0 - a) * mean_heading +
+              innov * rng.normal(0.0, cfg.heading_sigma);
+
+    Vec2 next = pos + Vec2{std::cos(heading), std::sin(heading)} * (speed * cfg.step);
+    // Reflect off the borders, flipping the heading component that hit.
+    if (next.x < cfg_.field.lo.x || next.x > cfg_.field.hi.x) {
+      heading = std::numbers::pi - heading;
+      next.x = std::clamp(next.x, cfg_.field.lo.x, cfg_.field.hi.x);
+    }
+    if (next.y < cfg_.field.lo.y || next.y > cfg_.field.hi.y) {
+      heading = -heading;
+      next.y = std::clamp(next.y, cfg_.field.lo.y, cfg_.field.hi.y);
+    }
+    pos = next;
+    samples_.push_back(pos);
+  }
+}
+
+Vec2 GaussMarkov::position_at(double t) const {
+  t = std::clamp(t, 0.0, cfg_.duration);
+  const double idx = t / cfg_.step;
+  const auto lo = std::min(static_cast<std::size_t>(idx), samples_.size() - 1);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  return lerp(samples_[lo], samples_[hi], idx - static_cast<double>(lo));
+}
+
+}  // namespace fttt

@@ -1,0 +1,45 @@
+// Gauss-Markov mobility.
+//
+// The random-waypoint model (ref [30]) produces straight legs with sharp
+// turns; Gauss-Markov generates smoother, temporally correlated motion —
+// the standard alternative in WSN tracking studies and a useful stressor
+// because its curvature defeats straight-line assumptions. Velocity
+// evolves per step as
+//   v_t = a v_{t-1} + (1 - a) v_bar + sqrt(1 - a^2) w_t,
+//   th_t = a th_{t-1} + (1 - a) th_bar + sqrt(1 - a^2) u_t
+// with memory a in [0, 1], mean speed/direction (v_bar, th_bar) and
+// Gaussian innovations. The walker reflects off the field border.
+#pragma once
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "mobility/mobility.hpp"
+
+namespace fttt {
+
+struct GaussMarkovConfig {
+  Aabb field;
+  double mean_speed{3.0};     ///< v_bar (m/s)
+  double speed_sigma{1.0};    ///< innovation scale for speed
+  double heading_sigma{0.6};  ///< innovation scale for heading (rad)
+  double memory{0.85};        ///< a: 1 = straight line, 0 = Brownian
+  double step{0.25};          ///< s between velocity updates
+  double duration{60.0};
+  double v_min{0.5};          ///< clamp: never slower
+  double v_max{8.0};          ///< clamp: never faster
+};
+
+class GaussMarkov final : public MobilityModel {
+ public:
+  GaussMarkov(const GaussMarkovConfig& cfg, RngStream rng);
+
+  Vec2 position_at(double t) const override;
+  double duration() const override { return cfg_.duration; }
+
+ private:
+  GaussMarkovConfig cfg_;
+  std::vector<Vec2> samples_;  ///< position at i * step
+};
+
+}  // namespace fttt

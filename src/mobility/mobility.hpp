@@ -1,0 +1,21 @@
+// Target mobility interface.
+#pragma once
+
+#include "common/vec2.hpp"
+
+namespace fttt {
+
+/// A mobile target: continuous position as a function of time (seconds).
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// True position at time t >= 0.
+  virtual Vec2 position_at(double t) const = 0;
+
+  /// Time horizon this model is defined for; queries past it hold the
+  /// final position.
+  virtual double duration() const = 0;
+};
+
+}  // namespace fttt

@@ -1,0 +1,43 @@
+#include "mobility/path_trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fttt {
+
+PathTrace::PathTrace(Polyline path, double v_min, double v_max, RngStream rng)
+    : path_(std::move(path)) {
+  if (v_min <= 0.0 || v_max < v_min)
+    throw std::invalid_argument("PathTrace: need 0 < v_min <= v_max");
+  const auto& verts = path_.vertices();
+  double t = 0.0;
+  for (std::size_t i = 1; i < verts.size(); ++i) {
+    const double len = distance(verts[i - 1], verts[i]);
+    const double speed = rng.uniform(v_min, v_max);
+    t += len / speed;
+    leg_end_time_.push_back(t);
+  }
+  total_time_ = t;
+}
+
+Vec2 PathTrace::position_at(double t) const {
+  const auto& verts = path_.vertices();
+  if (verts.size() == 1 || t <= 0.0) return verts.front();
+  if (t >= total_time_) return verts.back();
+  const auto it = std::upper_bound(leg_end_time_.begin(), leg_end_time_.end(), t);
+  const std::size_t leg = static_cast<std::size_t>(std::distance(leg_end_time_.begin(), it));
+  const double t_begin = leg == 0 ? 0.0 : leg_end_time_[leg - 1];
+  const double t_end = leg_end_time_[leg];
+  const double frac = t_end > t_begin ? (t - t_begin) / (t_end - t_begin) : 1.0;
+  return lerp(verts[leg], verts[leg + 1], frac);
+}
+
+Polyline u_shape_path(const Aabb& box, double margin) {
+  const double x0 = box.lo.x + margin;
+  const double x1 = box.hi.x - margin;
+  const double y0 = box.lo.y + margin;
+  const double y1 = box.hi.y - margin;
+  return Polyline({{x0, y1}, {x0, y0}, {x1, y0}, {x1, y1}});
+}
+
+}  // namespace fttt

@@ -1,0 +1,39 @@
+// Scripted path traces.
+//
+// The outdoor evaluation (Sec. 7.3) walks a "⊔"-shaped trace at a
+// *changeable* velocity in 1..5 m/s. PathTrace follows an arbitrary
+// polyline with a per-leg speed drawn from a range (or fixed), which also
+// serves scripted scenarios in the examples.
+#pragma once
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "geometry/polyline.hpp"
+#include "mobility/mobility.hpp"
+
+namespace fttt {
+
+class PathTrace final : public MobilityModel {
+ public:
+  /// Follow `path` with one speed drawn uniformly from
+  /// [v_min, v_max] per vertex-to-vertex leg. With v_min == v_max the
+  /// speed is constant. The duration is whatever the walk takes.
+  PathTrace(Polyline path, double v_min, double v_max, RngStream rng);
+
+  Vec2 position_at(double t) const override;
+  double duration() const override { return total_time_; }
+
+  const Polyline& path() const { return path_; }
+
+ private:
+  Polyline path_;
+  std::vector<double> leg_end_time_;  ///< arrival time at vertex i+1
+  double total_time_{0.0};
+};
+
+/// The outdoor "⊔" trace: down the left side, across the bottom, up the
+/// right side of `box` (open side up), inset by `margin`.
+Polyline u_shape_path(const Aabb& box, double margin);
+
+}  // namespace fttt

@@ -1,0 +1,45 @@
+#include "mobility/waypoint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fttt {
+
+RandomWaypoint::RandomWaypoint(const WaypointConfig& cfg, RngStream rng) : cfg_(cfg) {
+  if (cfg.v_min <= 0.0 || cfg.v_max < cfg.v_min)
+    throw std::invalid_argument("RandomWaypoint: need 0 < v_min <= v_max");
+  if (cfg.duration <= 0.0) throw std::invalid_argument("RandomWaypoint: duration must be > 0");
+
+  auto random_point = [&] {
+    return Vec2{rng.uniform(cfg.field.lo.x, cfg.field.hi.x),
+                rng.uniform(cfg.field.lo.y, cfg.field.hi.y)};
+  };
+
+  Vec2 here = random_point();
+  waypoints_.push_back(here);
+  double t = 0.0;
+  while (t < cfg.duration) {
+    const Vec2 next = random_point();
+    const double speed = rng.uniform(cfg.v_min, cfg.v_max);
+    const double travel = distance(here, next) / speed;
+    legs_.push_back(Leg{t, t + travel, here, next});
+    waypoints_.push_back(next);
+    t += travel + cfg.pause;
+    here = next;
+  }
+}
+
+Vec2 RandomWaypoint::position_at(double t) const {
+  t = std::clamp(t, 0.0, cfg_.duration);
+  // First leg departing after t, then step back one: covers both travel
+  // (interpolate) and pause (hold at `to`).
+  const auto it = std::upper_bound(legs_.begin(), legs_.end(), t,
+                                   [](double v, const Leg& l) { return v < l.t_begin; });
+  if (it == legs_.begin()) return legs_.empty() ? waypoints_.front() : legs_.front().from;
+  const Leg& leg = *(it - 1);
+  if (t >= leg.t_end) return leg.to;  // paused at the waypoint
+  const double frac = (t - leg.t_begin) / (leg.t_end - leg.t_begin);
+  return lerp(leg.from, leg.to, frac);
+}
+
+}  // namespace fttt

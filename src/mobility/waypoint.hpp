@@ -1,0 +1,47 @@
+// Random-waypoint mobility (paper ref [30]): the target repeatedly picks a
+// uniform random destination in the field and a uniform random speed from
+// [v_min, v_max], travels there in a straight line, optionally pauses, and
+// repeats. Legs are pre-generated for the whole duration so position_at is
+// a pure O(log legs) lookup.
+#pragma once
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "mobility/mobility.hpp"
+
+namespace fttt {
+
+/// Random-waypoint model parameters.
+struct WaypointConfig {
+  Aabb field;            ///< movement area
+  double v_min{1.0};     ///< m/s (paper Table 1: 1..5 m/s)
+  double v_max{5.0};
+  double pause{0.0};     ///< dwell at each waypoint (s)
+  double duration{60.0}; ///< total modelled time (s)
+};
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  RandomWaypoint(const WaypointConfig& cfg, RngStream rng);
+
+  Vec2 position_at(double t) const override;
+  double duration() const override { return cfg_.duration; }
+
+  /// The generated waypoints (first is the random start position).
+  const std::vector<Vec2>& waypoints() const { return waypoints_; }
+
+ private:
+  struct Leg {
+    double t_begin;  ///< departure time
+    double t_end;    ///< arrival time (t_end + pause = next departure)
+    Vec2 from;
+    Vec2 to;
+  };
+
+  WaypointConfig cfg_;
+  std::vector<Vec2> waypoints_;
+  std::vector<Leg> legs_;
+};
+
+}  // namespace fttt

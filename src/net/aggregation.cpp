@@ -1,0 +1,72 @@
+#include "net/aggregation.hpp"
+
+#include <stdexcept>
+
+namespace fttt {
+
+LossyLink::LossyLink(Config config, RngStream stream)
+    : config_(config), stream_(stream) {}
+
+std::optional<DeliveredReport> LossyLink::transmit(const SampleReport& report) const {
+  RngStream draw = stream_.substream(report.node, report.epoch);
+  if (draw.bernoulli(config_.loss_probability)) return std::nullopt;
+  const double latency = draw.uniform(config_.latency_min, config_.latency_max);
+  return DeliveredReport{report, report.send_time + latency};
+}
+
+BaseStation::BaseStation(std::size_t node_count, std::size_t instants, double deadline)
+    : node_count_(node_count), instants_(instants), deadline_(deadline) {
+  if (node_count_ == 0) throw std::invalid_argument("BaseStation: no nodes");
+  if (deadline_ <= 0.0) throw std::invalid_argument("BaseStation: deadline must be > 0");
+  buffer_.resize(node_count_);
+}
+
+void BaseStation::receive(const DeliveredReport& delivered, double epoch_start) {
+  const SampleReport& r = delivered.report;
+  if (r.node >= node_count_ || r.samples.size() != instants_) {
+    ++malformed_;
+    return;
+  }
+  if (delivered.arrival_time > epoch_start + deadline_) {
+    ++late_;
+    return;
+  }
+  if (buffer_[r.node].has_value()) {
+    ++duplicates_;
+    return;
+  }
+  buffer_[r.node] = r.samples;
+}
+
+GroupingSampling BaseStation::assemble() {
+  GroupingSampling group;
+  group.node_count = node_count_;
+  group.instants = instants_;
+  group.rss = std::move(buffer_);
+  buffer_.clear();
+  buffer_.resize(node_count_);
+  return group;
+}
+
+GroupingSampling collect_group_via_basestation(
+    const Deployment& nodes, const SamplingConfig& cfg, const FaultModel& faults,
+    const LossyLink& link, double deadline, std::uint64_t epoch, double t0,
+    const std::function<Vec2(double)>& target_at, const RngStream& epoch_stream) {
+  // Local sensing first (range + fault gating as usual)...
+  const GroupingSampling sensed =
+      collect_group(nodes, cfg, faults, epoch, t0, target_at, epoch_stream);
+
+  // ...then each column rides the radio to the base station.
+  BaseStation station(nodes.size(), cfg.samples_per_group, deadline);
+  const double group_span =
+      static_cast<double>(cfg.samples_per_group) * cfg.sample_period;
+  for (NodeId node = 0; node < sensed.rss.size(); ++node) {
+    if (!sensed.rss[node]) continue;
+    SampleReport report{node, epoch, *sensed.rss[node], t0 + group_span};
+    if (const auto delivered = link.transmit(report))
+      station.receive(*delivered, t0);
+  }
+  return station.assemble();
+}
+
+}  // namespace fttt

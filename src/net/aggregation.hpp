@@ -1,0 +1,98 @@
+// Base-station aggregation pipeline.
+//
+// In the deployed system (Sec. 4.3, Sec. 7.3) sensors do not magically
+// share a matrix: each node radios its k samples for the epoch to the
+// base station (IRIS motes via an MIB520 bridge), and the base station
+// assembles whatever arrived by the localization deadline into the
+// grouping sampling. This module models that hop explicitly:
+//
+//   SampleReport  — one node's column for one epoch
+//   LossyLink     — Bernoulli loss + uniform latency jitter per report
+//   BaseStation   — collects reports, enforces the deadline, emits a
+//                   GroupingSampling with late/lost columns missing
+//
+// The tracking stack is unchanged: late or lost columns surface exactly
+// like faulted nodes (set N̄_r) and the '*' machinery absorbs them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/random.hpp"
+#include "net/sampling.hpp"
+
+namespace fttt {
+
+/// One node's samples for one epoch, as transmitted.
+struct SampleReport {
+  NodeId node{0};
+  std::uint64_t epoch{0};
+  std::vector<double> samples;  ///< k RSS values, instant order
+  double send_time{0.0};        ///< seconds (epoch start + processing)
+};
+
+/// A delivered report with its arrival time.
+struct DeliveredReport {
+  SampleReport report;
+  double arrival_time{0.0};
+};
+
+/// Radio link with i.i.d. loss and latency.
+class LossyLink {
+ public:
+  struct Config {
+    double loss_probability{0.05};   ///< P(report never arrives)
+    double latency_min{0.005};       ///< s
+    double latency_max{0.050};       ///< s
+  };
+
+  LossyLink(Config config, RngStream stream);
+
+  /// Transmit one report; nullopt when lost. Loss/latency draws are keyed
+  /// by (node, epoch), so delivery is reproducible and order-independent.
+  std::optional<DeliveredReport> transmit(const SampleReport& report) const;
+
+ private:
+  Config config_;
+  RngStream stream_;
+};
+
+/// Assembles delivered reports into grouping samplings per epoch.
+class BaseStation {
+ public:
+  /// `deadline`: seconds after the epoch's nominal start by which a
+  /// report must arrive to be included.
+  BaseStation(std::size_t node_count, std::size_t instants, double deadline);
+
+  /// Offer a delivered report; ignored (and counted) when late, when a
+  /// duplicate arrives, or when malformed (wrong sample count).
+  void receive(const DeliveredReport& delivered, double epoch_start);
+
+  /// Close the epoch and emit its grouping sampling; resets the buffer.
+  GroupingSampling assemble();
+
+  /// Diagnostics.
+  std::size_t late_reports() const { return late_; }
+  std::size_t duplicate_reports() const { return duplicates_; }
+  std::size_t malformed_reports() const { return malformed_; }
+
+ private:
+  std::size_t node_count_;
+  std::size_t instants_;
+  double deadline_;
+  std::vector<std::optional<std::vector<double>>> buffer_;
+  std::size_t late_{0};
+  std::size_t duplicates_{0};
+  std::size_t malformed_{0};
+};
+
+/// Convenience: run one epoch end-to-end — every reporting node samples
+/// (per `cfg`), transmits over `link`, and the base station assembles
+/// what made the deadline.
+GroupingSampling collect_group_via_basestation(
+    const Deployment& nodes, const SamplingConfig& cfg, const FaultModel& faults,
+    const LossyLink& link, double deadline, std::uint64_t epoch, double t0,
+    const std::function<Vec2(double)>& target_at, const RngStream& epoch_stream);
+
+}  // namespace fttt

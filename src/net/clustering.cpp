@@ -1,0 +1,118 @@
+#include "net/clustering.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace fttt {
+
+std::vector<Cluster> kmeans_clusters(const Deployment& nodes, std::size_t k,
+                                     RngStream rng, std::size_t iterations) {
+  if (nodes.empty()) throw std::invalid_argument("kmeans_clusters: no nodes");
+  k = std::min(std::max<std::size_t>(k, 1), nodes.size());
+
+  // Farthest-point seeding: deterministic and spread out.
+  std::vector<Vec2> centers;
+  centers.push_back(nodes[rng.uniform_index(nodes.size())].position);
+  while (centers.size() < k) {
+    std::size_t best = 0;
+    double best_d2 = -1.0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      double d2 = std::numeric_limits<double>::max();
+      for (const Vec2 c : centers) d2 = std::min(d2, distance2(nodes[i].position, c));
+      if (d2 > best_d2) {
+        best_d2 = d2;
+        best = i;
+      }
+    }
+    centers.push_back(nodes[best].position);
+  }
+
+  std::vector<std::size_t> assignment(nodes.size(), 0);
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      std::size_t nearest = 0;
+      double nearest_d2 = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < centers.size(); ++c) {
+        const double d2 = distance2(nodes[i].position, centers[c]);
+        if (d2 < nearest_d2) {
+          nearest_d2 = d2;
+          nearest = c;
+        }
+      }
+      if (assignment[i] != nearest) {
+        assignment[i] = nearest;
+        changed = true;
+      }
+    }
+    // Recompute centers; empty clusters grab the farthest node from its
+    // current center so every cluster stays populated.
+    std::vector<Vec2> sums(centers.size());
+    std::vector<std::size_t> counts(centers.size(), 0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      sums[assignment[i]] += nodes[i].position;
+      ++counts[assignment[i]];
+    }
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      if (counts[c] > 0) {
+        centers[c] = sums[c] / static_cast<double>(counts[c]);
+      } else {
+        std::size_t donor = 0;
+        double worst = -1.0;
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          const double d2 = distance2(nodes[i].position, centers[assignment[i]]);
+          if (d2 > worst) {
+            worst = d2;
+            donor = i;
+          }
+        }
+        assignment[donor] = c;
+        centers[c] = nodes[donor].position;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::vector<Cluster> clusters(centers.size());
+  for (std::size_t c = 0; c < centers.size(); ++c) clusters[c].id = c;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    clusters[assignment[i]].members.push_back(nodes[i].id);
+  for (Cluster& c : clusters) {
+    Vec2 sum{};
+    for (NodeId m : c.members) sum += nodes[m].position;
+    c.centroid = sum / static_cast<double>(c.members.size());
+    c.head = c.members.front();
+  }
+  return clusters;
+}
+
+void elect_heads(std::vector<Cluster>& clusters, const Deployment& nodes,
+                 const std::vector<double>& residual_energy, double distance_weight) {
+  if (residual_energy.size() != nodes.size())
+    throw std::invalid_argument("elect_heads: energy vector size mismatch");
+  for (Cluster& c : clusters) {
+    NodeId best = c.members.front();
+    double best_score = -std::numeric_limits<double>::max();
+    for (NodeId m : c.members) {
+      const double score =
+          residual_energy[m] - distance(nodes[m].position, c.centroid) * distance_weight;
+      if (score > best_score || (score == best_score && m < best)) {
+        best_score = score;
+        best = m;
+      }
+    }
+    c.head = best;
+  }
+}
+
+std::vector<std::size_t> cluster_index(const std::vector<Cluster>& clusters,
+                                       std::size_t node_count) {
+  std::vector<std::size_t> index(node_count, clusters.size());
+  for (const Cluster& c : clusters)
+    for (NodeId m : c.members) index[m] = c.id;
+  return index;
+}
+
+}  // namespace fttt

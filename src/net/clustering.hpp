@@ -1,0 +1,48 @@
+// Cluster formation and head election.
+//
+// Sec. 4.3: the face division is "real-time aggregated and stored in the
+// base stations or in the cluster heads". A field-scale network cannot
+// ship every sample to one base station; it partitions into geographic
+// clusters, each with an elected head that stores the local face map and
+// serves localizations while the target is in its patch. This module
+// provides the partitioning/election substrate; the matching logic on top
+// lives in core/distributed_tracker.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/vec2.hpp"
+#include "net/sensor.hpp"
+
+namespace fttt {
+
+/// One cluster: a head plus member nodes (head included in members).
+struct Cluster {
+  std::size_t id{0};
+  NodeId head{0};
+  std::vector<NodeId> members;
+  Vec2 centroid;  ///< mean member position
+};
+
+/// Partition `nodes` into `k` geographic clusters with Lloyd's algorithm
+/// (k-means on positions, farthest-point seeding, deterministic given the
+/// stream). Every cluster is non-empty; k is clamped to the node count.
+std::vector<Cluster> kmeans_clusters(const Deployment& nodes, std::size_t k,
+                                     RngStream rng, std::size_t iterations = 16);
+
+/// Elect each cluster's head: the member with the highest score, where
+/// score = residual_energy[i] - distance(node, cluster centroid) *
+/// `distance_weight`. Ties break toward the lower node id. With uniform
+/// energies this picks the most central member (classic LEACH-style
+/// compromise between energy and convenience).
+void elect_heads(std::vector<Cluster>& clusters, const Deployment& nodes,
+                 const std::vector<double>& residual_energy,
+                 double distance_weight = 0.05);
+
+/// Index: node id -> cluster id, for O(1) membership lookups.
+std::vector<std::size_t> cluster_index(const std::vector<Cluster>& clusters,
+                                       std::size_t node_count);
+
+}  // namespace fttt

@@ -1,0 +1,67 @@
+#include "net/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fttt {
+
+Deployment grid_deployment(const Aabb& field, std::size_t n) {
+  Deployment nodes;
+  nodes.reserve(n);
+  if (n == 0) return nodes;
+  // Choose the most-square cols x rows decomposition with cols*rows >= n.
+  const auto cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n) * field.width() / std::max(field.height(), 1e-9))));
+  const std::size_t c = std::max<std::size_t>(1, cols);
+  const std::size_t r = (n + c - 1) / c;
+  const double dx = field.width() / static_cast<double>(c);
+  const double dy = field.height() / static_cast<double>(r);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const std::size_t i = idx % c;
+    const std::size_t j = idx / c;
+    nodes.push_back(SensorNode{
+        static_cast<NodeId>(idx),
+        Vec2{field.lo.x + (static_cast<double>(i) + 0.5) * dx,
+             field.lo.y + (static_cast<double>(j) + 0.5) * dy}});
+  }
+  return nodes;
+}
+
+Deployment random_deployment(const Aabb& field, std::size_t n, RngStream& rng) {
+  Deployment nodes;
+  nodes.reserve(n);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    nodes.push_back(SensorNode{static_cast<NodeId>(idx),
+                               Vec2{rng.uniform(field.lo.x, field.hi.x),
+                                    rng.uniform(field.lo.y, field.hi.y)}});
+  }
+  return nodes;
+}
+
+Deployment cross_deployment(Vec2 center, double spacing) {
+  Deployment nodes;
+  nodes.reserve(9);
+  NodeId id = 0;
+  nodes.push_back({id++, center});
+  for (int step = 1; step <= 2; ++step) {
+    const double d = spacing * step;
+    nodes.push_back({id++, center + Vec2{d, 0.0}});
+    nodes.push_back({id++, center + Vec2{-d, 0.0}});
+    nodes.push_back({id++, center + Vec2{0.0, d}});
+    nodes.push_back({id++, center + Vec2{0.0, -d}});
+  }
+  return nodes;
+}
+
+Deployment jittered_grid_deployment(const Aabb& field, std::size_t n, double jitter,
+                                    RngStream& rng) {
+  Deployment nodes = grid_deployment(field, n);
+  for (auto& node : nodes) {
+    node.position.x += rng.uniform(-jitter, jitter);
+    node.position.y += rng.uniform(-jitter, jitter);
+    node.position = field.clamp(node.position);
+  }
+  return nodes;
+}
+
+}  // namespace fttt

@@ -1,0 +1,30 @@
+// Sensor deployment generators (paper Sec. 7: grid and uniform-random
+// deployments for the simulations; a cross "+" of 9 motes for the outdoor
+// system evaluation).
+#pragma once
+
+#include "common/random.hpp"
+#include "common/vec2.hpp"
+#include "net/sensor.hpp"
+
+namespace fttt {
+
+/// n nodes on a near-square lattice filling `field`, centred in each
+/// lattice cell (Fig. 10 a/b style "deployed in grid").
+Deployment grid_deployment(const Aabb& field, std::size_t n);
+
+/// n nodes i.i.d. uniform over `field` (Fig. 10 c/d style).
+Deployment random_deployment(const Aabb& field, std::size_t n, RngStream& rng);
+
+/// 9 nodes in a cross "+" shape centred at `center`: one at the centre and
+/// two per arm at spacing and 2*spacing (the outdoor testbed layout,
+/// Sec. 7.3 / Fig. 13).
+Deployment cross_deployment(Vec2 center, double spacing);
+
+/// Poisson-disc-like jittered grid: lattice positions perturbed uniformly
+/// by up to `jitter` in each axis (clamped to the field). Models a
+/// "deliberate but imprecise" manual deployment.
+Deployment jittered_grid_deployment(const Aabb& field, std::size_t n, double jitter,
+                                    RngStream& rng);
+
+}  // namespace fttt

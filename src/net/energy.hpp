@@ -1,0 +1,73 @@
+// Node energy accounting.
+//
+// The paper claims FTTT improves accuracy "with limited system cost"
+// (Sec. 1): grouping sampling costs k ADC acquisitions plus one radio
+// report per localization. This model makes that cost measurable so the
+// accuracy-vs-energy trade of k can be benchmarked
+// (bench_ablation_energy). Numbers default to IRIS/MTS300-class values.
+#pragma once
+
+#include <cstddef>
+
+#include "net/sampling.hpp"
+
+namespace fttt {
+
+/// Per-operation energy costs (millijoules).
+struct EnergyModel {
+  double sample_mj{0.011};      ///< one ADC acquisition (sensor board on)
+  double tx_per_byte_mj{0.0058};///< radio transmit, per payload byte
+  double rx_per_byte_mj{0.0026};///< radio receive, per payload byte
+  double idle_per_s_mj{0.048};  ///< MCU idle draw per second
+  std::size_t header_bytes{11}; ///< MAC/framing overhead per report
+  std::size_t bytes_per_sample{2};  ///< 10-bit reading packed in 2 bytes
+
+  /// Payload size of one epoch report carrying k samples.
+  std::size_t report_bytes(std::size_t k) const {
+    return header_bytes + k * bytes_per_sample;
+  }
+
+  /// Energy one *reporting* node spends on one localization epoch:
+  /// k acquisitions + one report transmission.
+  double node_epoch_mj(std::size_t k) const {
+    return static_cast<double>(k) * sample_mj +
+           static_cast<double>(report_bytes(k)) * tx_per_byte_mj;
+  }
+
+  /// Base-station receive energy for one epoch with `reporting` nodes.
+  double station_epoch_mj(std::size_t k, std::size_t reporting) const {
+    return static_cast<double>(reporting) *
+           static_cast<double>(report_bytes(k)) * rx_per_byte_mj;
+  }
+};
+
+/// Accumulates energy over a run.
+class EnergyLedger {
+ public:
+  explicit EnergyLedger(EnergyModel model = {}) : model_(model) {}
+
+  /// Charge one epoch: every node in the group that reported pays the
+  /// node cost; the station pays receive cost; all nodes pay idle for
+  /// `epoch_seconds`.
+  void charge_epoch(const GroupingSampling& group, double epoch_seconds);
+
+  double node_total_mj() const { return node_mj_; }
+  double station_total_mj() const { return station_mj_; }
+  double total_mj() const { return node_mj_ + station_mj_; }
+  std::size_t epochs() const { return epochs_; }
+
+  /// Average energy per localization (all nodes + station).
+  double per_localization_mj() const {
+    return epochs_ > 0 ? total_mj() / static_cast<double>(epochs_) : 0.0;
+  }
+
+  const EnergyModel& model() const { return model_; }
+
+ private:
+  EnergyModel model_;
+  double node_mj_{0.0};
+  double station_mj_{0.0};
+  std::size_t epochs_{0};
+};
+
+}  // namespace fttt

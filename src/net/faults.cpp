@@ -1,0 +1,46 @@
+#include "net/faults.hpp"
+
+#include <algorithm>
+
+namespace fttt {
+
+BernoulliDropout::BernoulliDropout(double p, RngStream stream) : p_(p), stream_(stream) {}
+
+bool BernoulliDropout::reports(NodeId node, std::uint64_t epoch) const {
+  RngStream draw = stream_.substream(node, epoch);
+  return !draw.bernoulli(p_);
+}
+
+PermanentFailures::PermanentFailures(std::vector<std::pair<NodeId, std::uint64_t>> deaths)
+    : deaths_(std::move(deaths)) {}
+
+bool PermanentFailures::reports(NodeId node, std::uint64_t epoch) const {
+  for (const auto& [dead_node, death_epoch] : deaths_)
+    if (dead_node == node && epoch >= death_epoch) return false;
+  return true;
+}
+
+BurstLoss::BurstLoss(double p_enter, double p_exit, RngStream stream)
+    : p_enter_(p_enter), p_exit_(p_exit), stream_(stream) {}
+
+bool BurstLoss::reports(NodeId node, std::uint64_t epoch) const {
+  // Replay the two-state Markov chain from epoch 0. Epoch counts in the
+  // simulations are small (hundreds), so the O(epoch) replay keeps the
+  // model a pure function of (node, epoch) without stored state.
+  bool up = true;
+  for (std::uint64_t t = 0; t <= epoch; ++t) {
+    RngStream draw = stream_.substream(node, t);
+    up = up ? !draw.bernoulli(p_enter_) : draw.bernoulli(p_exit_);
+  }
+  return up;
+}
+
+CompositeFaults::CompositeFaults(std::vector<std::shared_ptr<const FaultModel>> parts)
+    : parts_(std::move(parts)) {}
+
+bool CompositeFaults::reports(NodeId node, std::uint64_t epoch) const {
+  return std::all_of(parts_.begin(), parts_.end(),
+                     [&](const auto& m) { return m->reports(node, epoch); });
+}
+
+}  // namespace fttt

@@ -1,0 +1,84 @@
+// Node fault models (paper Sec. 4.4(3): sensors may fail to return
+// results for a localization — set N̄_r — and the sampling vector must
+// still be constructible).
+//
+// Fault decisions are pure functions of (node, localization epoch) on a
+// dedicated RNG substream, so a run is reproducible and the fault pattern
+// is independent of how many noise samples were drawn.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.hpp"
+#include "net/sensor.hpp"
+
+namespace fttt {
+
+/// Decides which nodes report during a given localization epoch.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// True when `node` returns its grouping-sampling column at `epoch`.
+  virtual bool reports(NodeId node, std::uint64_t epoch) const = 0;
+};
+
+/// Every node always reports.
+class NoFaults final : public FaultModel {
+ public:
+  bool reports(NodeId, std::uint64_t) const override { return true; }
+};
+
+/// Each node independently drops each epoch with probability p
+/// (transient losses: collisions, fading, CPU overruns).
+class BernoulliDropout final : public FaultModel {
+ public:
+  BernoulliDropout(double p, RngStream stream);
+  bool reports(NodeId node, std::uint64_t epoch) const override;
+
+ private:
+  double p_;
+  RngStream stream_;
+};
+
+/// A fixed set of nodes dies permanently at a given epoch (battery death,
+/// physical destruction).
+class PermanentFailures final : public FaultModel {
+ public:
+  /// `death_epoch[i]` pairs a node with the first epoch it is dead.
+  explicit PermanentFailures(std::vector<std::pair<NodeId, std::uint64_t>> deaths);
+  bool reports(NodeId node, std::uint64_t epoch) const override;
+
+ private:
+  std::vector<std::pair<NodeId, std::uint64_t>> deaths_;
+};
+
+/// Correlated burst loss: when a node drops, it stays down for a geometric
+/// number of epochs (models interference bursts).
+class BurstLoss final : public FaultModel {
+ public:
+  /// `p_enter`: probability a healthy node enters a burst at an epoch;
+  /// `p_exit`: probability a down node recovers at the next epoch.
+  BurstLoss(double p_enter, double p_exit, RngStream stream);
+  bool reports(NodeId node, std::uint64_t epoch) const override;
+
+ private:
+  double p_enter_;
+  double p_exit_;
+  RngStream stream_;
+};
+
+/// Compose several fault models: a node reports only if every component
+/// model lets it report.
+class CompositeFaults final : public FaultModel {
+ public:
+  explicit CompositeFaults(std::vector<std::shared_ptr<const FaultModel>> parts);
+  bool reports(NodeId node, std::uint64_t epoch) const override;
+
+ private:
+  std::vector<std::shared_ptr<const FaultModel>> parts_;
+};
+
+}  // namespace fttt

@@ -1,0 +1,49 @@
+#include "net/sampling.hpp"
+
+namespace fttt {
+
+std::size_t GroupingSampling::reporting_count() const {
+  std::size_t n = 0;
+  for (const auto& column : rss)
+    if (column.has_value()) ++n;
+  return n;
+}
+
+GroupingSampling collect_group(const Deployment& nodes, const SamplingConfig& cfg,
+                               const FaultModel& faults, std::uint64_t epoch, double t0,
+                               const std::function<Vec2(double)>& target_at,
+                               const RngStream& epoch_stream) {
+  GroupingSampling group;
+  group.node_count = nodes.size();
+  group.instants = cfg.samples_per_group;
+  group.rss.resize(nodes.size());
+
+  const Vec2 target_at_start = target_at(t0);
+  for (const SensorNode& node : nodes) {
+    if (!faults.reports(node.id, epoch)) continue;
+    if (distance(node.position, target_at_start) > cfg.sensing_range) continue;
+
+    // Per-node clock skew: derived once per (epoch, node) so a node's
+    // instants are coherently shifted, as real crystal offsets are.
+    double skew = 0.0;
+    if (cfg.clock_skew > 0.0) {
+      RngStream skew_stream = epoch_stream.substream(node.id, 0xC10CULL);
+      skew = skew_stream.uniform(-cfg.clock_skew, cfg.clock_skew);
+    }
+
+    std::vector<double> samples;
+    samples.reserve(cfg.samples_per_group);
+    for (std::size_t t = 0; t < cfg.samples_per_group; ++t) {
+      const double when = t0 + static_cast<double>(t) * cfg.sample_period + skew;
+      const Vec2 where =
+          cfg.freeze_target_during_group ? target_at_start : target_at(when);
+      const double d = distance(node.position, where);
+      RngStream noise = epoch_stream.substream(node.id, t + 1);
+      samples.push_back(cfg.model.sample_rss(d, noise));
+    }
+    group.rss[node.id] = std::move(samples);
+  }
+  return group;
+}
+
+}  // namespace fttt

@@ -1,0 +1,25 @@
+// Sensor node model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/vec2.hpp"
+
+namespace fttt {
+
+/// Identifier of a sensor node; ids are dense 0..n-1 and their numeric
+/// order defines the canonical pair enumeration (paper Def. 5/6: pair
+/// value +1 means "nearer the smaller-id node").
+using NodeId = std::uint32_t;
+
+/// A deployed sensor node.
+struct SensorNode {
+  NodeId id{0};
+  Vec2 position;
+};
+
+/// A deployed network: nodes with dense ids [0, n).
+using Deployment = std::vector<SensorNode>;
+
+}  // namespace fttt

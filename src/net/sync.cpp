@@ -1,0 +1,42 @@
+#include "net/sync.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fttt {
+
+SyncProtocol::SyncProtocol(std::size_t node_count, Config config, RngStream stream)
+    : config_(config) {
+  if (node_count == 0) throw std::invalid_argument("SyncProtocol: no nodes");
+  drift_.reserve(node_count);
+  initial_offset_.reserve(node_count);
+  residual_sign_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    RngStream node_stream = stream.substream(i);
+    drift_.push_back(node_stream.uniform(-config.drift_ppm_max, config.drift_ppm_max) *
+                     1e-6);
+    initial_offset_.push_back(
+        node_stream.uniform(-config.initial_offset_max, config.initial_offset_max));
+    residual_sign_.push_back(node_stream.uniform(-1.0, 1.0));
+  }
+}
+
+double SyncProtocol::offset_at(NodeId node, double t) const {
+  if (node >= drift_.size()) throw std::out_of_range("SyncProtocol: bad node id");
+  if (config_.beacon_interval <= 0.0 || t < config_.beacon_interval) {
+    // Never (yet) synced: initial offset plus accumulated drift.
+    return initial_offset_[node] + drift_[node] * t;
+  }
+  // Time since the last beacon this node heard.
+  const double since = std::fmod(t, config_.beacon_interval);
+  return residual_sign_[node] * config_.residual + drift_[node] * since;
+}
+
+double SyncProtocol::worst_offset_at(double t) const {
+  double worst = 0.0;
+  for (NodeId n = 0; n < drift_.size(); ++n)
+    worst = std::max(worst, std::abs(offset_at(n, t)));
+  return worst;
+}
+
+}  // namespace fttt

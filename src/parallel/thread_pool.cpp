@@ -1,0 +1,114 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace fttt {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+namespace {
+
+/// Shared bookkeeping for one parallel_for call. Helpers submitted to the
+/// pool may outlive the call (they exit immediately once all chunks are
+/// claimed), so the state is reference-counted and the user callback is
+/// only touched while a successfully claimed chunk is in flight — which
+/// the caller's completion wait guarantees happens before return.
+struct ForState {
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> done_chunks{0};
+  std::size_t chunks{0};
+  std::size_t chunk_size{0};
+  std::size_t begin{0};
+  std::size_t end{0};
+  const std::function<void(std::size_t)>* fn{nullptr};
+
+  void run_chunks() {
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::size_t lo = begin + c * chunk_size;
+      const std::size_t hi = std::min(end, lo + chunk_size);
+      for (std::size_t i = lo; i < hi; ++i) (*fn)(i);
+      if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks)
+        done_chunks.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn, ThreadPool& pool) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool.thread_count();
+  if (n <= 1 || workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->chunks = std::min(n, workers * 4);
+  state->chunk_size = (n + state->chunks - 1) / state->chunks;
+  state->begin = begin;
+  state->end = end;
+  state->fn = &fn;
+
+  const std::size_t helpers = std::min(state->chunks - 1, workers);
+  for (std::size_t h = 0; h < helpers; ++h)
+    pool.submit([state] { state->run_chunks(); });
+
+  state->run_chunks();  // caller participates; prevents nested deadlock
+
+  // Wait until every claimed chunk has finished executing.
+  std::size_t done = state->done_chunks.load(std::memory_order_acquire);
+  while (done < state->chunks) {
+    state->done_chunks.wait(done, std::memory_order_acquire);
+    done = state->done_chunks.load(std::memory_order_acquire);
+  }
+}
+
+}  // namespace fttt

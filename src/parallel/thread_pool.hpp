@@ -1,0 +1,70 @@
+// A small fixed-size thread pool plus data-parallel helpers.
+//
+// Usage philosophy (per the C++ Core Guidelines concurrency rules): tasks
+// share no mutable state; parallel_for hands each worker a disjoint index
+// range, and reductions merge per-worker accumulators at the join point.
+// Combined with fttt::RngStream substreams keyed by index, every parallel
+// sweep in this repo is bit-reproducible at any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fttt {
+
+/// Fixed-size worker pool executing void() tasks.
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; runs on some worker.
+  void submit(std::function<void()> task);
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Process-wide default pool (lazily constructed, hardware-sized).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_{false};
+  std::vector<std::thread> workers_;
+};
+
+/// Run `fn(i)` for every i in [begin, end) across the pool.
+///
+/// The calling thread participates in the work, so the call is safe to
+/// nest (an inner parallel_for issued from a worker degrades gracefully to
+/// caller-runs-everything instead of deadlocking) and completion tracking
+/// is per-call, not pool-global. Indices are claimed in contiguous chunks
+/// so per-chunk setup (e.g. deriving an RNG substream) amortizes.
+/// `fn` must not throw: simulation kernels are noexcept boundaries.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  ThreadPool& pool = ThreadPool::global());
+
+/// Map helper: `results[i] = fn(i)` computed in parallel, returned in
+/// index order (deterministic regardless of scheduling).
+template <typename T>
+std::vector<T> parallel_map(std::size_t n, const std::function<T(std::size_t)>& fn,
+                            ThreadPool& pool = ThreadPool::global()) {
+  std::vector<T> results(n);
+  parallel_for(0, n, [&](std::size_t i) { results[i] = fn(i); }, pool);
+  return results;
+}
+
+}  // namespace fttt

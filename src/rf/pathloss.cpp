@@ -1,0 +1,24 @@
+#include "rf/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fttt {
+
+double PathLossModel::mean_rss(double d) const {
+  const double dc = std::max(d, d0);
+  return ref_power_dbm - 10.0 * beta * std::log10(dc / d0);
+}
+
+double PathLossModel::sample_rss(double d, RngStream& rng) const {
+  const double x = noise == NoiseKind::kGaussian
+                       ? rng.normal(0.0, sigma)
+                       : rng.uniform(-bounded_amplitude, bounded_amplitude);
+  return mean_rss(d) + x;
+}
+
+double PathLossModel::invert_rss(double rss) const {
+  return d0 * std::pow(10.0, (ref_power_dbm - rss) / (10.0 * beta));
+}
+
+}  // namespace fttt

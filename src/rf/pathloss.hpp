@@ -1,0 +1,48 @@
+// Log-distance path-loss signal model (paper Eq. 1).
+//
+//   PL(d) = PL(d0) + A - 10 * beta * log10(d / d0) + X,   X ~ N(0, sigma^2)
+//
+// PL(d) is the *received* signal strength a sensor reports for a target at
+// distance d; larger means stronger, i.e. nearer. beta = 2 models free
+// space, beta = 3..4 environments with reflection/refraction (the paper's
+// Table 1 uses beta = 4, sigma_X = 6).
+#pragma once
+
+#include "common/random.hpp"
+
+namespace fttt {
+
+/// Shape of the per-sample noise term X.
+///
+/// kGaussian is Eq. 1's X ~ N(0, sigma^2) — the physical channel. Its
+/// unbounded tails mean a node pair can show a flipped RSS order at *any*
+/// distance ratio, so the Apollonius uncertain area is only a high-
+/// probability region. kBounded draws X ~ U(-A, +A): flips then occur
+/// exactly and only inside the ratio-C annulus with
+/// C = 10^(2A / (10 beta)) — the channel the paper's uncertain-area
+/// dichotomy (Sec. 3/5: "flips inside, ordinal outside") actually
+/// describes. See EXPERIMENTS.md "Sensing channels".
+enum class NoiseKind { kGaussian, kBounded };
+
+/// Parameters of the log-distance model. Distances are metres, powers dBm.
+struct PathLossModel {
+  double ref_power_dbm{-40.0};  ///< PL(d0) + A: received power at d = d0
+  double beta{4.0};             ///< path-loss exponent
+  double sigma{6.0};            ///< noise stddev sigma_X (dB, kGaussian)
+  double d0{1.0};               ///< reference distance (m)
+  NoiseKind noise{NoiseKind::kGaussian};
+  double bounded_amplitude{1.5};  ///< A (dB), used when noise == kBounded
+
+  /// Noise-free mean RSS at distance d (d clamped to >= d0: inside the
+  /// reference sphere the far-field model does not apply).
+  double mean_rss(double d) const;
+
+  /// One noisy RSS sample at distance d; draws one normal variate.
+  double sample_rss(double d, RngStream& rng) const;
+
+  /// Distance that would produce `rss` under the noise-free model
+  /// (the naive range inversion used by range-based baselines).
+  double invert_rss(double rss) const;
+};
+
+}  // namespace fttt

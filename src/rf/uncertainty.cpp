@@ -1,0 +1,92 @@
+#include "rf/uncertainty.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fttt {
+
+double uncertainty_constant(double eps, double beta, double sigma) {
+  assert(eps >= 0.0 && beta > 0.0 && sigma >= 0.0);
+  const double L = std::log(10.0) / (10.0 * beta);
+  const double mean_term = L * eps;
+  const double spread = L * std::sqrt(2.0) * sigma;
+  return std::exp(mean_term + 0.5 * spread * spread);
+}
+
+double uncertain_axis_width(double half_separation, double C) {
+  assert(half_separation > 0.0 && C >= 1.0);
+  // On the line through the pair, the ratio-C locus crosses the segment at
+  // +/- d (C - 1) / (C + 1) from the midpoint.
+  return 2.0 * half_separation * (C - 1.0) / (C + 1.0);
+}
+
+double normal_quantile(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam's rational approximation with central/tail split.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  static constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double bounded_noise_amplitude(double C, double beta) {
+  assert(C >= 1.0 && beta > 0.0);
+  return 5.0 * beta * std::log10(C);
+}
+
+double calibrated_uncertainty_constant(double eps, double beta, double sigma,
+                                       std::size_t k, double p_capture) {
+  assert(eps >= 0.0 && beta > 0.0 && sigma >= 0.0 && k >= 1);
+  assert(p_capture > 0.0 && p_capture < 1.0);
+  if (sigma == 0.0) return uncertainty_constant(eps, beta, 0.0);
+
+  // Per-instant flip probability q* such that a k-sample group shows both
+  // orders with probability p_capture: solve
+  //   1 - (1-q)^k - q^k = p_capture  for q in (0, 1/2].
+  // Monotone in q on (0, 1/2]; bisection is plenty.
+  const double kk = static_cast<double>(k);
+  auto capture = [kk](double q) {
+    return 1.0 - std::pow(1.0 - q, kk) - std::pow(q, kk);
+  };
+  double lo = 1e-12;
+  double hi = 0.5;
+  if (capture(hi) < p_capture) {
+    // Even permanently-ambiguous pairs (q = 1/2) cannot reach p_capture
+    // (k == 1, or absurd p_capture): fall back to the widest boundary.
+    lo = hi;
+  }
+  for (int iter = 0; iter < 200 && hi - lo > 1e-14; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (capture(mid) < p_capture ? lo : hi) = mid;
+  }
+  const double q_star = 0.5 * (lo + hi);
+
+  // Mean-RSS gap whose flip probability is q*:
+  //   q = Phi(-(g - eps) / (sqrt(2) sigma))  =>  g = eps - sqrt(2) sigma z(q).
+  const double gap = eps - std::sqrt(2.0) * sigma * normal_quantile(q_star);
+  return std::pow(10.0, std::max(gap, 0.0) / (10.0 * beta));
+}
+
+}  // namespace fttt

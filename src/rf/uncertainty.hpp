@@ -1,0 +1,61 @@
+// The pairwise uncertainty constant C (paper Eq. 2/3).
+//
+// Two nodes' RSS readings for the same target are indistinguishable when
+// their difference is within the sensing resolution epsilon. Propagating
+// epsilon and the noise X through the log-distance model and taking the
+// expectation of the distance ratio yields
+//
+//   C = exp( (ln10 / (10 beta)) * eps
+//          + 1/2 * ((ln10 / (10 beta)) * sqrt(2) * sigma)^2 )  >  1
+//
+// (the mean of the lognormal variable e^{L(eps - (Xn - Xm))} with
+// L = ln10/(10 beta) and Xn - Xm ~ N(0, 2 sigma^2)). The uncertain area of
+// a pair is the Apollonius annulus 1/C < d_a/d_b < C (geometry/apollonius).
+#pragma once
+
+#include <cstddef>
+
+namespace fttt {
+
+/// Compute C from sensing resolution eps (dB), path-loss exponent beta and
+/// noise stddev sigma (dB). Preconditions: eps >= 0, beta > 0, sigma >= 0.
+/// Returns a value >= 1 (== 1 only when eps == 0 and sigma == 0).
+double uncertainty_constant(double eps, double beta, double sigma);
+
+/// Width of the uncertain annulus on the axis through both nodes, for a
+/// pair separated by `2d` metres — a convenient scalar for plots/tests:
+/// distance between the two Apollonius circle crossings of the segment's
+/// own line, measured at the midpoint side. Grows with C.
+double uncertain_axis_width(double half_separation, double C);
+
+/// Flip-calibrated uncertainty constant.
+///
+/// Eq. 3's expectation-based C describes a ~eps-wide mean-RSS gap, which
+/// under realistic noise (sigma >> eps) is far inside the region where a
+/// pair actually *flips*: with per-instant flip probability
+/// q = Phi(-(g - eps) / (sqrt(2) sigma)) at mean gap g, pairs with gaps of
+/// several sigma still show both orders within a k-sample group. This
+/// variant returns the ratio constant of the boundary where the
+/// probability that a k-sample group observes both orders equals
+/// `p_capture`, i.e. the division's 0-region matches what the sampling
+/// side will actually report. It grows with k (longer groups catch rarer
+/// flips) and with sigma, and reduces toward the Eq. 3 constant as
+/// sigma -> 0. See EXPERIMENTS.md ("Calibration of C") for why the
+/// paper's Fig. 12(b) trend needs this.
+///
+/// Preconditions: eps >= 0, beta > 0, sigma >= 0, k >= 1,
+/// 0 < p_capture < 1. Returns >= 1.
+double calibrated_uncertainty_constant(double eps, double beta, double sigma,
+                                       std::size_t k, double p_capture = 0.5);
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.2e-9). Exposed for tests.
+double normal_quantile(double p);
+
+/// Noise amplitude A of the bounded channel whose flip region is exactly
+/// the ratio-C Apollonius annulus: a pair can only flip when the mean-RSS
+/// gap 10 beta log10(ratio) is within X_i - X_j's range 2A, so
+/// A = 5 beta log10(C). Inverse of C = 10^(2A / (10 beta)).
+double bounded_noise_amplitude(double C, double beta);
+
+}  // namespace fttt

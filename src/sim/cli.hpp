@@ -1,0 +1,48 @@
+// Command-line configuration of tracking scenarios.
+//
+// Backs the `fttt_sim` tool: a flag vocabulary covering every
+// ScenarioConfig knob plus run controls (methods, trials). Parsing is in
+// the library so it is unit-testable and reusable by downstream tools.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace fttt {
+
+/// A parsed `fttt_sim` invocation.
+struct CliOptions {
+  ScenarioConfig scenario;
+  std::vector<Method> methods{Method::kFttt};
+  std::size_t trials{10};
+  std::optional<std::string> csv_path;
+  bool want_help{false};
+};
+
+/// Parse result: either options or a diagnostic message.
+struct CliParseResult {
+  std::optional<CliOptions> options;  ///< set on success
+  std::string error;                  ///< set on failure (empty on success)
+
+  bool ok() const { return options.has_value(); }
+};
+
+/// Parse argv (argv[0] ignored). Recognized flags:
+///   --sensors N --deployment grid|random|cross --field W H
+///   --range R --eps E --beta B --sigma S --channel gaussian|bounded
+///   --k K --rate HZ --period S --dropout P --speed VMIN VMAX
+///   --duration S --grid-cell M --seed N --no-calibrate-c --moving-group
+///   --methods fttt,fttt-ext,pm,mle --trials N --csv PATH --help
+CliParseResult parse_cli(const std::vector<std::string>& args);
+
+/// The --help text.
+std::string cli_usage();
+
+/// Parse a comma-separated method list ("fttt,pm"); empty optional on
+/// unknown names.
+std::optional<std::vector<Method>> parse_method_list(const std::string& spec);
+
+}  // namespace fttt

@@ -1,0 +1,72 @@
+#include "sim/gnuplot.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace fttt {
+
+GnuplotExporter::GnuplotExporter(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) throw std::invalid_argument("GnuplotExporter: empty name");
+}
+
+void GnuplotExporter::set_labels(std::string x_label, std::string y_label) {
+  x_label_ = std::move(x_label);
+  y_label_ = std::move(y_label);
+}
+
+void GnuplotExporter::add_series(const std::string& label, const std::vector<double>& x,
+                                 const std::vector<double>& y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("GnuplotExporter: x/y length mismatch for " + label);
+  Entry e;
+  e.data.label = label;
+  e.data.x = x;
+  e.data.y = y;
+  series_.push_back(std::move(e));
+}
+
+void GnuplotExporter::add_series(const Series& series) {
+  add_series(series.label, series.x, series.y);
+}
+
+void GnuplotExporter::add_scatter(const std::string& label, const std::vector<double>& x,
+                                  const std::vector<double>& y) {
+  add_series(label, x, y);
+  series_.back().scatter = true;
+}
+
+void GnuplotExporter::write(const std::string& dir) const {
+  const std::string stem = dir + "/" + name_;
+
+  // Data file: blocks separated by two blank lines (gnuplot `index`).
+  std::ofstream dat(stem + ".dat");
+  if (!dat) throw std::runtime_error("GnuplotExporter: cannot open " + stem + ".dat");
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    dat << "# " << series_[s].data.label << '\n';
+    for (std::size_t i = 0; i < series_[s].data.x.size(); ++i)
+      dat << series_[s].data.x[i] << ' ' << series_[s].data.y[i] << '\n';
+    if (s + 1 < series_.size()) dat << "\n\n";
+  }
+  if (!dat) throw std::runtime_error("GnuplotExporter: write failure on .dat");
+
+  std::ofstream gp(stem + ".gp");
+  if (!gp) throw std::runtime_error("GnuplotExporter: cannot open " + stem + ".gp");
+  gp << "set terminal pngcairo size 900,600\n"
+     << "set output '" << name_ << ".png'\n"
+     << "set title '" << name_ << "'\n"
+     << "set xlabel '" << x_label_ << "'\n"
+     << "set ylabel '" << y_label_ << "'\n"
+     << "set key outside\n"
+     << "set grid\n"
+     << "plot ";
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    if (s) gp << ", \\\n     ";
+    gp << "'" << name_ << ".dat' index " << s << " with "
+       << (series_[s].scatter ? "points" : "linespoints") << " title '"
+       << series_[s].data.label << "'";
+  }
+  gp << '\n';
+  if (!gp) throw std::runtime_error("GnuplotExporter: write failure on .gp");
+}
+
+}  // namespace fttt

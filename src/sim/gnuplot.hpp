@@ -1,0 +1,52 @@
+// Gnuplot export.
+//
+// Every bench can dump its series as a .dat file plus a ready-to-run .gp
+// script, so the console figures can be regenerated as real plots:
+//   fttt::GnuplotExporter gp("fig11a");
+//   gp.add_series("FTTT", times, errors);
+//   gp.write("bench_out/");            // bench_out/fig11a.{dat,gp}
+//   $ gnuplot bench_out/fig11a.gp      // -> bench_out/fig11a.png
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace fttt {
+
+class GnuplotExporter {
+ public:
+  /// `name` becomes the file stem and the plot title.
+  explicit GnuplotExporter(std::string name);
+
+  /// Axis labels (defaults: "x" / "y").
+  void set_labels(std::string x_label, std::string y_label);
+
+  /// Add one labelled series; series may have different lengths.
+  void add_series(const std::string& label, const std::vector<double>& x,
+                  const std::vector<double>& y);
+  void add_series(const Series& series);
+
+  /// Scatter series are drawn with points instead of lines.
+  void add_scatter(const std::string& label, const std::vector<double>& x,
+                   const std::vector<double>& y);
+
+  /// Write <dir>/<name>.dat and <dir>/<name>.gp; `dir` must exist.
+  /// Throws std::runtime_error on I/O failure.
+  void write(const std::string& dir) const;
+
+  std::size_t series_count() const { return series_.size(); }
+
+ private:
+  struct Entry {
+    Series data;
+    bool scatter{false};
+  };
+  std::string name_;
+  std::string x_label_{"x"};
+  std::string y_label_{"y"};
+  std::vector<Entry> series_;
+};
+
+}  // namespace fttt

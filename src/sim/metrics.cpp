@@ -1,0 +1,72 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fttt {
+
+ErrorMetrics error_metrics(std::span<const Vec2> estimates, std::span<const Vec2> truth) {
+  if (estimates.size() != truth.size())
+    throw std::invalid_argument("error_metrics: estimate/truth length mismatch");
+  ErrorMetrics m;
+  if (estimates.empty()) return m;
+  std::vector<double> errors;
+  errors.reserve(estimates.size());
+  RunningStats stats;
+  for (std::size_t i = 0; i < estimates.size(); ++i) {
+    const double e = distance(estimates[i], truth[i]);
+    errors.push_back(e);
+    stats.add(e);
+  }
+  m.mean = stats.mean();
+  m.stddev = stats.stddev();
+  m.rmse = rms_of(errors);
+  m.p50 = percentile_of(errors, 50.0);
+  m.p95 = percentile_of(errors, 95.0);
+  m.max = stats.max();
+  return m;
+}
+
+SmoothnessMetrics smoothness_metrics(std::span<const Vec2> estimates, double eps_move) {
+  SmoothnessMetrics m;
+  if (estimates.size() < 2) return m;
+
+  RunningStats jumps;
+  std::size_t stationary = 0;
+  for (std::size_t i = 1; i < estimates.size(); ++i) {
+    const double step = distance(estimates[i - 1], estimates[i]);
+    jumps.add(step);
+    if (step < eps_move) ++stationary;
+  }
+  m.mean_jump = jumps.mean();
+  m.jump_stddev = jumps.stddev();
+  m.max_jump = jumps.max();
+  m.stationary_fraction =
+      static_cast<double>(stationary) / static_cast<double>(estimates.size() - 1);
+
+  // Turn energy: squared angle between consecutive displacement vectors,
+  // skipping (near-)zero steps where direction is undefined.
+  RunningStats turns;
+  for (std::size_t i = 2; i < estimates.size(); ++i) {
+    const Vec2 a = estimates[i - 1] - estimates[i - 2];
+    const Vec2 b = estimates[i] - estimates[i - 1];
+    const double na = norm(a);
+    const double nb = norm(b);
+    if (na < eps_move || nb < eps_move) continue;
+    const double cosv = std::clamp(dot(a, b) / (na * nb), -1.0, 1.0);
+    const double angle = std::acos(cosv);
+    turns.add(angle * angle);
+  }
+  m.turn_energy = turns.mean();
+  return m;
+}
+
+std::size_t change_count(std::span<const std::uint32_t> ids) {
+  std::size_t changes = 0;
+  for (std::size_t i = 1; i < ids.size(); ++i)
+    if (ids[i] != ids[i - 1]) ++changes;
+  return changes;
+}
+
+}  // namespace fttt

@@ -1,0 +1,53 @@
+// Trajectory quality metrics.
+//
+// The paper argues the extended vectors make the returned trajectory
+// "much smoother" (Sec. 6, Sec. 7.3) but only shows pictures; these
+// metrics quantify smoothness and error so the claim is testable:
+//   - error stats (mean / stddev / RMSE / percentiles) vs ground truth,
+//   - jump length stats of the *estimated* path (smoothness in space),
+//   - direction-change energy (sum of squared turn angles),
+//   - face-change rate (how often the matched face moves).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/vec2.hpp"
+
+namespace fttt {
+
+/// Error metrics of an estimated trajectory against the truth.
+struct ErrorMetrics {
+  double mean{0.0};
+  double stddev{0.0};
+  double rmse{0.0};
+  double p50{0.0};
+  double p95{0.0};
+  double max{0.0};
+};
+
+/// Smoothness metrics of an estimated trajectory (truth-free).
+struct SmoothnessMetrics {
+  double mean_jump{0.0};        ///< mean distance between consecutive estimates
+  double jump_stddev{0.0};      ///< variability of the jumps
+  double max_jump{0.0};
+  double turn_energy{0.0};      ///< mean squared turn angle (rad^2) at interior points
+  double stationary_fraction{0.0};  ///< fraction of steps shorter than eps_move
+};
+
+/// Compute error metrics; `estimates` and `truth` must be equal length.
+ErrorMetrics error_metrics(std::span<const Vec2> estimates, std::span<const Vec2> truth);
+
+/// Compute smoothness metrics over an estimated path. `eps_move` is the
+/// threshold below which a step counts as stationary (default 1 cm).
+SmoothnessMetrics smoothness_metrics(std::span<const Vec2> estimates,
+                                     double eps_move = 0.01);
+
+/// Number of index positions where consecutive values differ (used for
+/// face-change rates on FaceId sequences).
+std::size_t change_count(std::span<const std::uint32_t> ids);
+
+}  // namespace fttt

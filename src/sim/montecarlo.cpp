@@ -1,0 +1,31 @@
+#include "sim/montecarlo.hpp"
+
+namespace fttt {
+
+std::vector<MonteCarloSummary> monte_carlo(const ScenarioConfig& cfg,
+                                           std::span<const Method> methods,
+                                           std::size_t trials, ThreadPool& pool) {
+  // Trials in parallel; the inner FaceMap builds reuse the same pool
+  // (parallel_for nests safely — the calling task degrades to running its
+  // own chunks).
+  std::vector<TrackingResult> runs =
+      parallel_map<TrackingResult>(trials,
+                                   [&](std::size_t trial) {
+                                     return run_tracking(cfg, methods, trial, pool);
+                                   },
+                                   pool);
+
+  std::vector<MonteCarloSummary> summary(methods.size());
+  for (std::size_t m = 0; m < methods.size(); ++m) summary[m].method = methods[m];
+  for (const TrackingResult& run : runs) {
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      RunningStats per_run;
+      for (double e : run.methods[m].errors) per_run.add(e);
+      summary[m].pooled.merge(per_run);
+      summary[m].trial_means.add(per_run.mean());
+    }
+  }
+  return summary;
+}
+
+}  // namespace fttt

@@ -1,0 +1,33 @@
+// Parallel Monte-Carlo aggregation over independent tracking runs.
+//
+// Each trial re-draws deployment, trace, noise and faults from trial-keyed
+// substreams; trials run across the thread pool and results are merged in
+// trial order, so a sweep is bit-reproducible at any thread count.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/runner.hpp"
+
+namespace fttt {
+
+/// Aggregated statistics for one method across trials.
+struct MonteCarloSummary {
+  Method method{Method::kFttt};
+  RunningStats pooled;        ///< every per-localization error, pooled
+  RunningStats trial_means;   ///< distribution of per-trial mean errors
+
+  double mean_error() const { return pooled.mean(); }
+  double stddev_error() const { return pooled.stddev(); }
+};
+
+/// Run `trials` independent tracking runs of `cfg` and aggregate.
+std::vector<MonteCarloSummary> monte_carlo(const ScenarioConfig& cfg,
+                                           std::span<const Method> methods,
+                                           std::size_t trials,
+                                           ThreadPool& pool = ThreadPool::global());
+
+}  // namespace fttt

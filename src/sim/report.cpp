@@ -1,0 +1,68 @@
+#include "sim/report.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace fttt {
+
+std::string markdown_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    if (ch == '|') out += "\\|";
+    else if (ch == '\n') out += ' ';
+    else out += ch;
+  }
+  return out;
+}
+
+std::string markdown_scenario(const ScenarioConfig& cfg) {
+  std::ostringstream os;
+  os << "- field: " << cfg.field.width() << " x " << cfg.field.height() << " m\n"
+     << "- sensors: " << cfg.sensor_count << " ("
+     << (cfg.deployment == DeploymentKind::kGrid
+             ? "grid"
+             : cfg.deployment == DeploymentKind::kRandom ? "random" : "cross")
+     << "), range " << cfg.sensing_range << " m\n"
+     << "- signal: beta " << cfg.model.beta << ", sigma " << cfg.model.sigma
+     << " dB, eps " << cfg.eps << " dBm, channel "
+     << (cfg.channel == Channel::kBounded ? "bounded" : "gaussian") << "\n"
+     << "- sampling: k = " << cfg.samples_per_group << " at " << cfg.sample_rate
+     << " Hz, localization every " << cfg.localization_period << " s\n"
+     << "- target: "
+     << (cfg.trace == TraceKind::kRandomWaypoint
+             ? "random waypoint"
+             : cfg.trace == TraceKind::kUShape ? "U-shape" : "Gauss-Markov")
+     << ", " << cfg.v_min << "-" << cfg.v_max << " m/s, " << cfg.duration << " s\n"
+     << "- faults: dropout " << cfg.dropout_probability << ", missing pairs "
+     << (cfg.missing == MissingPolicy::kMissingReadsSmaller ? "Eq. 6 fill" : "'*'")
+     << "\n"
+     << "- seed: " << cfg.seed << "\n";
+  return os.str();
+}
+
+std::string markdown_summary_table(std::span<const MonteCarloSummary> summaries) {
+  std::ostringstream os;
+  os << "| method | mean err (m) | stddev (m) | max (m) | trials |\n"
+     << "|---|---|---|---|---|\n";
+  for (const MonteCarloSummary& s : summaries) {
+    os << "| " << markdown_escape(method_name(s.method)) << " | "
+       << TextTable::num(s.mean_error(), 3) << " | "
+       << TextTable::num(s.stddev_error(), 3) << " | "
+       << TextTable::num(s.pooled.max(), 3) << " | " << s.trial_means.count()
+       << " |\n";
+  }
+  return os.str();
+}
+
+std::string markdown_section(const std::string& title, const ScenarioConfig& cfg,
+                             std::span<const MonteCarloSummary> summaries) {
+  std::ostringstream os;
+  os << "## " << markdown_escape(title) << "\n\n"
+     << markdown_scenario(cfg) << "\n"
+     << markdown_summary_table(summaries) << "\n";
+  return os.str();
+}
+
+}  // namespace fttt

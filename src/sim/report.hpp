@@ -1,0 +1,31 @@
+// Markdown experiment reports.
+//
+// A deployment or CI pipeline wants one artifact summarizing "how is
+// tracking doing under our configuration" — this module renders scenario
+// configs and Monte-Carlo summaries into Markdown (tables + parameter
+// blocks), and the `fttt_report` tool assembles a standard battery into
+// REPORT.md. Rendering is pure (string in/out) and unit-tested.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "sim/montecarlo.hpp"
+#include "sim/scenario.hpp"
+
+namespace fttt {
+
+/// Render a scenario's parameters as a Markdown bullet block.
+std::string markdown_scenario(const ScenarioConfig& cfg);
+
+/// Render Monte-Carlo summaries as a Markdown table (one row per method).
+std::string markdown_summary_table(std::span<const MonteCarloSummary> summaries);
+
+/// A full report section: heading, scenario block, results table.
+std::string markdown_section(const std::string& title, const ScenarioConfig& cfg,
+                             std::span<const MonteCarloSummary> summaries);
+
+/// Escape Markdown table-breaking characters in a cell ('|', newlines).
+std::string markdown_escape(const std::string& text);
+
+}  // namespace fttt

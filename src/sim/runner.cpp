@@ -1,0 +1,181 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "baselines/direct_mle.hpp"
+#include "baselines/path_matching.hpp"
+#include "core/tracker.hpp"
+#include "mobility/gauss_markov.hpp"
+#include "mobility/path_trace.hpp"
+#include "mobility/waypoint.hpp"
+#include "net/deployment.hpp"
+#include "net/faults.hpp"
+#include "net/sampling.hpp"
+#include "rf/uncertainty.hpp"
+
+namespace fttt {
+
+namespace {
+
+Deployment make_deployment(const ScenarioConfig& cfg, RngStream rng) {
+  switch (cfg.deployment) {
+    case DeploymentKind::kGrid:
+      return grid_deployment(cfg.field, cfg.sensor_count);
+    case DeploymentKind::kRandom:
+      return random_deployment(cfg.field, cfg.sensor_count, rng);
+    case DeploymentKind::kCross:
+      return cross_deployment(cfg.field.center(), cfg.cross_spacing);
+  }
+  throw std::logic_error("make_deployment: unknown deployment kind");
+}
+
+std::unique_ptr<MobilityModel> make_trace(const ScenarioConfig& cfg, RngStream rng) {
+  switch (cfg.trace) {
+    case TraceKind::kRandomWaypoint:
+      return std::make_unique<RandomWaypoint>(
+          WaypointConfig{cfg.field, cfg.v_min, cfg.v_max, 0.0, cfg.duration}, rng);
+    case TraceKind::kUShape:
+      return std::make_unique<PathTrace>(u_shape_path(cfg.field, 0.15 * cfg.field.width()),
+                                         cfg.v_min, cfg.v_max, rng);
+    case TraceKind::kGaussMarkov: {
+      GaussMarkovConfig gm;
+      gm.field = cfg.field;
+      gm.mean_speed = 0.5 * (cfg.v_min + cfg.v_max);
+      gm.v_min = cfg.v_min;
+      gm.v_max = cfg.v_max;
+      gm.duration = cfg.duration;
+      return std::make_unique<GaussMarkov>(gm, rng);
+    }
+  }
+  throw std::logic_error("make_trace: unknown trace kind");
+}
+
+/// Uniform interface over the four method implementations.
+struct AnyTracker {
+  std::function<TrackEstimate(const GroupingSampling&)> localize;
+};
+
+}  // namespace
+
+TrackingResult run_tracking(const ScenarioConfig& cfg, std::span<const Method> methods,
+                            std::uint64_t trial, ThreadPool& pool) {
+  if (methods.empty()) throw std::invalid_argument("run_tracking: no methods given");
+
+  const RngStream root = RngStream(cfg.seed).substream(trial);
+  const Deployment nodes = make_deployment(cfg, root.substream(1));
+  const std::unique_ptr<MobilityModel> trace = make_trace(cfg, root.substream(2));
+
+  // Resolve the sensing channel. Under the bounded channel the division
+  // constant and the noise amplitude are two views of the same quantity,
+  // so the Eq. 3 constant is used for both and calibration is moot.
+  PathLossModel model = cfg.model;
+  double C = 0.0;
+  if (cfg.channel == Channel::kBounded) {
+    C = uncertainty_constant(cfg.eps, model.beta, model.sigma);
+    model.noise = NoiseKind::kBounded;
+    model.bounded_amplitude = bounded_noise_amplitude(C, model.beta);
+  } else {
+    model.noise = NoiseKind::kGaussian;
+    C = cfg.calibrate_C
+            ? calibrated_uncertainty_constant(cfg.eps, model.beta, model.sigma,
+                                              cfg.samples_per_group)
+            : uncertainty_constant(cfg.eps, model.beta, model.sigma);
+  }
+
+  // Face maps: the uncertain-boundary map for FTTT and the bisector map
+  // for the certain-sequence baselines; build each once and share.
+  std::shared_ptr<const FaceMap> uncertain_map;
+  std::shared_ptr<const FaceMap> bisector_map;
+  const bool needs_uncertain = std::any_of(methods.begin(), methods.end(), [](Method m) {
+    return m == Method::kFttt || m == Method::kFtttExtended;
+  });
+  const bool needs_bisector = std::any_of(methods.begin(), methods.end(), [](Method m) {
+    return m == Method::kPathMatching || m == Method::kDirectMle;
+  });
+  if (needs_uncertain)
+    uncertain_map = std::make_shared<const FaceMap>(
+        FaceMap::build(nodes, C, cfg.field, cfg.grid_cell, pool));
+  if (needs_bisector)
+    bisector_map = std::make_shared<const FaceMap>(
+        FaceMap::build(nodes, 1.0, cfg.field, cfg.grid_cell, pool));
+
+  // Trackers, one per requested method.
+  std::vector<AnyTracker> trackers;
+  for (Method m : methods) {
+    switch (m) {
+      case Method::kFttt: {
+        auto t = std::make_shared<FtttTracker>(
+            uncertain_map,
+            FtttTracker::Config{VectorMode::kBasic, cfg.eps, true, 0.5, cfg.missing});
+        trackers.push_back({[t](const GroupingSampling& g) { return t->localize(g); }});
+        break;
+      }
+      case Method::kFtttExtended: {
+        auto t = std::make_shared<FtttTracker>(
+            uncertain_map,
+            FtttTracker::Config{VectorMode::kExtended, cfg.eps, true, 0.5, cfg.missing});
+        trackers.push_back({[t](const GroupingSampling& g) { return t->localize(g); }});
+        break;
+      }
+      case Method::kPathMatching: {
+        PathMatchingTracker::Config pm;
+        pm.eps = cfg.eps;
+        pm.max_velocity = cfg.v_max;
+        pm.period = cfg.localization_period;
+        pm.missing = cfg.missing;
+        auto t = std::make_shared<PathMatchingTracker>(bisector_map, pm);
+        trackers.push_back({[t](const GroupingSampling& g) { return t->localize(g); }});
+        break;
+      }
+      case Method::kDirectMle: {
+        auto t = std::make_shared<DirectMleTracker>(bisector_map, cfg.eps, cfg.missing);
+        trackers.push_back({[t](const GroupingSampling& g) { return t->localize(g); }});
+        break;
+      }
+    }
+  }
+
+  // Fault model.
+  const BernoulliDropout dropout(cfg.dropout_probability, root.substream(3));
+  const NoFaults none;
+  const FaultModel& faults =
+      cfg.dropout_probability > 0.0 ? static_cast<const FaultModel&>(dropout)
+                                    : static_cast<const FaultModel&>(none);
+
+  SamplingConfig sampling;
+  sampling.model = model;
+  sampling.sensing_range = cfg.sensing_range;
+  sampling.sample_period = 1.0 / cfg.sample_rate;
+  sampling.samples_per_group = cfg.samples_per_group;
+  sampling.clock_skew = cfg.clock_skew;
+  sampling.freeze_target_during_group = cfg.freeze_group;
+
+  TrackingResult result;
+  result.faces_uncertain = uncertain_map ? uncertain_map->face_count() : 0;
+  result.faces_bisector = bisector_map ? bisector_map->face_count() : 0;
+  result.methods.resize(methods.size());
+  for (std::size_t m = 0; m < methods.size(); ++m) result.methods[m].method = methods[m];
+
+  const auto epochs =
+      static_cast<std::uint64_t>(cfg.duration / cfg.localization_period);
+  const auto target_at = [&](double t) { return trace->position_at(t); };
+  for (std::uint64_t e = 0; e < epochs; ++e) {
+    const double t0 = static_cast<double>(e) * cfg.localization_period;
+    const GroupingSampling group = collect_group(nodes, sampling, faults, e, t0,
+                                                 target_at, root.substream(4, e));
+    const Vec2 truth = trace->position_at(t0);
+    result.times.push_back(t0);
+    result.true_positions.push_back(truth);
+    for (std::size_t m = 0; m < trackers.size(); ++m) {
+      const TrackEstimate est = trackers[m].localize(group);
+      result.methods[m].estimates.push_back(est.position);
+      result.methods[m].errors.push_back(distance(est.position, truth));
+    }
+  }
+  return result;
+}
+
+}  // namespace fttt

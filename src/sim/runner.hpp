@@ -1,0 +1,44 @@
+// One tracking simulation run (paper Sec. 7 methodology).
+//
+// A run: deploy sensors, generate a target trace, then once per
+// localization period collect a grouping sampling and hand it to every
+// method under test; the tracking error at a point is the geographic
+// distance between the estimate and the true position (Sec. 7 intro).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/scenario.hpp"
+
+namespace fttt {
+
+/// Per-method outcome of one run.
+struct MethodTrackResult {
+  Method method{Method::kFttt};
+  std::vector<Vec2> estimates;   ///< one per localization epoch
+  std::vector<double> errors;    ///< metres, same indexing
+
+  double mean_error() const { return mean_of(errors); }
+  double stddev_error() const { return stddev_of(errors); }
+};
+
+/// Everything one run produced.
+struct TrackingResult {
+  std::vector<double> times;         ///< epoch start times (s)
+  std::vector<Vec2> true_positions;  ///< target truth at epoch starts
+  std::vector<MethodTrackResult> methods;
+  std::size_t faces_uncertain{0};    ///< face count of the C-map
+  std::size_t faces_bisector{0};     ///< face count of the C=1 map
+};
+
+/// Execute one run. `trial` shifts every random substream (deployment,
+/// trace, noise, faults) so successive trials are independent but the
+/// whole experiment is reproducible from ScenarioConfig::seed.
+TrackingResult run_tracking(const ScenarioConfig& cfg, std::span<const Method> methods,
+                            std::uint64_t trial = 0,
+                            ThreadPool& pool = ThreadPool::global());
+
+}  // namespace fttt

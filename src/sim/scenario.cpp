@@ -1,0 +1,15 @@
+#include "sim/scenario.hpp"
+
+namespace fttt {
+
+std::string method_name(Method m) {
+  switch (m) {
+    case Method::kFttt: return "FTTT";
+    case Method::kFtttExtended: return "FTTT-ext";
+    case Method::kPathMatching: return "PM";
+    case Method::kDirectMle: return "DirectMLE";
+  }
+  return "?";
+}
+
+}  // namespace fttt

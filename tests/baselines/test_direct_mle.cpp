@@ -1,0 +1,105 @@
+#include "baselines/direct_mle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/deployment.hpp"
+#include "net/faults.hpp"
+#include "net/sampling.hpp"
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {40.0, 40.0}};
+
+std::shared_ptr<const FaceMap> bisector_map() {
+  return std::make_shared<const FaceMap>(
+      FaceMap::build(grid_deployment(kField, 9), 1.0, kField, 0.5));
+}
+
+GroupingSampling sample_at(const FaceMap& map, Vec2 target, double sigma,
+                           std::uint64_t epoch = 0) {
+  SamplingConfig cfg;
+  cfg.model = PathLossModel{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = sigma, .d0 = 1.0};
+  cfg.sensing_range = 100.0;
+  cfg.sample_period = 0.1;
+  cfg.samples_per_group = 5;
+  const NoFaults faults;
+  return collect_group(map.nodes(), cfg, faults, epoch, 0.0,
+                       [&](double) { return target; }, RngStream(7).substream(epoch));
+}
+
+TEST(OneShotVector, UsesOnlyTheRequestedInstant) {
+  GroupingSampling g;
+  g.node_count = 2;
+  g.instants = 2;
+  g.rss.resize(2);
+  g.rss[0] = std::vector<double>{-40.0, -60.0};
+  g.rss[1] = std::vector<double>{-50.0, -50.0};
+  const SamplingVector v0 = one_shot_vector(g, 0, 0.0);
+  const SamplingVector v1 = one_shot_vector(g, 1, 0.0);
+  EXPECT_DOUBLE_EQ(v0.value[0], +1.0);  // -40 > -50
+  EXPECT_DOUBLE_EQ(v1.value[0], -1.0);  // -60 < -50
+}
+
+TEST(OneShotVector, OutOfRangeInstantThrows) {
+  GroupingSampling g;
+  g.node_count = 2;
+  g.instants = 1;
+  g.rss.resize(2);
+  g.rss[0] = std::vector<double>{-40.0};
+  g.rss[1] = std::vector<double>{-50.0};
+  EXPECT_THROW(one_shot_vector(g, 1, 0.0), std::out_of_range);
+}
+
+TEST(OneShotVector, MissingNodeConventions) {
+  GroupingSampling g;
+  g.node_count = 3;
+  g.instants = 1;
+  g.rss.resize(3);
+  g.rss[0] = std::vector<double>{-40.0};
+  // node 1, 2 missing.
+  const SamplingVector v = one_shot_vector(g, 0, 0.0);
+  EXPECT_DOUBLE_EQ(v.value[0], +1.0);  // (0,1): 0 present
+  EXPECT_DOUBLE_EQ(v.value[1], +1.0);  // (0,2)
+  EXPECT_FALSE(v.known[2]);            // (1,2): both missing
+}
+
+TEST(DirectMle, NullMapThrows) {
+  EXPECT_THROW(DirectMleTracker(nullptr, 1.0), std::invalid_argument);
+}
+
+TEST(DirectMle, NoiselessLocalizationIsAccurate) {
+  auto map = bisector_map();
+  DirectMleTracker tracker(map, 0.0);
+  for (Vec2 target : {Vec2{10.0, 10.0}, Vec2{30.0, 12.0}}) {
+    const TrackEstimate e = tracker.localize(sample_at(*map, target, 0.0));
+    EXPECT_LT(distance(e.position, target), 6.0);
+  }
+}
+
+TEST(DirectMle, NodeCountMismatchThrows) {
+  DirectMleTracker tracker(bisector_map(), 1.0);
+  GroupingSampling g;
+  g.node_count = 2;
+  g.instants = 1;
+  g.rss.resize(2);
+  EXPECT_THROW(tracker.localize(g), std::invalid_argument);
+}
+
+TEST(DirectMle, NoisyOneShotIsWorseThanNoiseless) {
+  auto map = bisector_map();
+  DirectMleTracker tracker(map, 1.0);
+  const Vec2 target{17.0, 23.0};
+  double clean_err = 0.0;
+  double noisy_err = 0.0;
+  for (std::uint64_t e = 0; e < 30; ++e) {
+    clean_err += distance(tracker.localize(sample_at(*map, target, 0.0, e)).position, target);
+    noisy_err += distance(tracker.localize(sample_at(*map, target, 6.0, e)).position, target);
+  }
+  EXPECT_LT(clean_err, noisy_err);
+}
+
+}  // namespace
+}  // namespace fttt

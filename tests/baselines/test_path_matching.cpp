@@ -1,0 +1,119 @@
+#include "baselines/path_matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/deployment.hpp"
+#include "net/faults.hpp"
+#include "net/sampling.hpp"
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {40.0, 40.0}};
+
+std::shared_ptr<const FaceMap> bisector_map() {
+  return std::make_shared<const FaceMap>(
+      FaceMap::build(grid_deployment(kField, 9), 1.0, kField, 0.5));
+}
+
+GroupingSampling sample_at(const FaceMap& map, Vec2 target, double sigma,
+                           std::uint64_t epoch) {
+  SamplingConfig cfg;
+  cfg.model = PathLossModel{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = sigma, .d0 = 1.0};
+  cfg.sensing_range = 100.0;
+  cfg.sample_period = 0.1;
+  cfg.samples_per_group = 3;
+  const NoFaults faults;
+  return collect_group(map.nodes(), cfg, faults, epoch, 0.0,
+                       [&](double) { return target; }, RngStream(13).substream(epoch));
+}
+
+TEST(PathMatching, ConfigValidation) {
+  auto map = bisector_map();
+  EXPECT_THROW(PathMatchingTracker(nullptr, {}), std::invalid_argument);
+  PathMatchingTracker::Config bad;
+  bad.window = 0;
+  EXPECT_THROW(PathMatchingTracker(map, bad), std::invalid_argument);
+  bad.window = 4;
+  bad.candidates = 0;
+  EXPECT_THROW(PathMatchingTracker(map, bad), std::invalid_argument);
+}
+
+TEST(PathMatching, NoiselessStationaryConverges) {
+  auto map = bisector_map();
+  PathMatchingTracker tracker(map, {});
+  const Vec2 target{25.0, 15.0};
+  TrackEstimate last{};
+  for (std::uint64_t e = 0; e < 10; ++e)
+    last = tracker.localize(sample_at(*map, target, 0.0, e));
+  EXPECT_LT(distance(last.position, target), 6.0);
+}
+
+TEST(PathMatching, NodeCountMismatchThrows) {
+  PathMatchingTracker tracker(bisector_map(), {});
+  GroupingSampling g;
+  g.node_count = 2;
+  g.instants = 1;
+  g.rss.resize(2);
+  EXPECT_THROW(tracker.localize(g), std::invalid_argument);
+}
+
+TEST(PathMatching, VelocityConstraintSmoothsJumps) {
+  // Under heavy noise, PM's window + velocity constraint should produce a
+  // lower mean error than raw one-shot matching (Direct MLE behavior is
+  // approximated by PM with window 1).
+  auto map = bisector_map();
+  PathMatchingTracker::Config pm_cfg;
+  pm_cfg.window = 8;
+  PathMatchingTracker::Config oneshot_cfg;
+  oneshot_cfg.window = 1;
+  PathMatchingTracker pm(map, pm_cfg);
+  PathMatchingTracker oneshot(map, oneshot_cfg);
+
+  const Vec2 target{20.0, 20.0};
+  double pm_err = 0.0;
+  double oneshot_err = 0.0;
+  for (std::uint64_t e = 0; e < 60; ++e) {
+    const auto g = sample_at(*map, target, 6.0, e);
+    pm_err += distance(pm.localize(g).position, target);
+    oneshot_err += distance(oneshot.localize(g).position, target);
+  }
+  EXPECT_LT(pm_err, oneshot_err);
+}
+
+TEST(PathMatching, ResetClearsWindow) {
+  auto map = bisector_map();
+  PathMatchingTracker tracker(map, {});
+  for (std::uint64_t e = 0; e < 5; ++e)
+    tracker.localize(sample_at(*map, {10.0, 10.0}, 0.0, e));
+  tracker.reset();
+  // After reset, a far-away target is acquired immediately (no stale
+  // velocity constraint drags the estimate).
+  const TrackEstimate e = tracker.localize(sample_at(*map, {35.0, 35.0}, 0.0, 50));
+  EXPECT_LT(distance(e.position, {35.0, 35.0}), 6.0);
+}
+
+TEST(PathMatching, TracksAMovingTarget) {
+  auto map = bisector_map();
+  PathMatchingTracker::Config cfg;
+  cfg.max_velocity = 5.0;
+  cfg.period = 0.5;
+  PathMatchingTracker tracker(map, cfg);
+  double total_err = 0.0;
+  int count = 0;
+  for (std::uint64_t e = 0; e < 40; ++e) {
+    const Vec2 target{5.0 + 0.75 * static_cast<double>(e), 20.0};  // 1.5 m/s
+    const auto g = sample_at(*map, target, 0.0, e);
+    const TrackEstimate est = tracker.localize(g);
+    if (e >= 5) {  // after warm-up
+      total_err += distance(est.position, target);
+      ++count;
+    }
+  }
+  EXPECT_LT(total_err / count, 7.0);
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,111 @@
+#include "baselines/range_based.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/deployment.hpp"
+#include "net/faults.hpp"
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {40.0, 40.0}};
+
+PathLossModel clean_model() {
+  return PathLossModel{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = 0.0, .d0 = 1.0};
+}
+
+GroupingSampling sample_at(const Deployment& nodes, Vec2 target, double sigma,
+                           std::uint64_t epoch = 0) {
+  SamplingConfig cfg;
+  cfg.model = clean_model();
+  cfg.model.sigma = sigma;
+  cfg.sensing_range = 200.0;
+  cfg.sample_period = 0.1;
+  cfg.samples_per_group = 4;
+  const NoFaults faults;
+  return collect_group(nodes, cfg, faults, epoch, 0.0,
+                       [&](double) { return target; }, RngStream(21).substream(epoch));
+}
+
+TEST(WeightedCentroid, PullsTowardTheNearestSensor) {
+  const Deployment nodes = grid_deployment(kField, 9);
+  const WeightedCentroidLocalizer loc(nodes);
+  const Vec2 target = nodes[0].position;  // sit on a sensor
+  const TrackEstimate e = loc.localize(sample_at(nodes, target, 0.0));
+  // The power weighting should put the estimate nearer node 0 than the
+  // plain centroid of the deployment (field centre).
+  EXPECT_LT(distance(e.position, target), distance(kField.center(), target));
+}
+
+TEST(WeightedCentroid, NoReportsGivesOrigin) {
+  const Deployment nodes = grid_deployment(kField, 4);
+  const WeightedCentroidLocalizer loc(nodes);
+  GroupingSampling g;
+  g.node_count = 4;
+  g.instants = 1;
+  g.rss.resize(4);  // nobody reported
+  const TrackEstimate e = loc.localize(g);
+  EXPECT_EQ(e.position, Vec2(0.0, 0.0));
+}
+
+TEST(WeightedCentroid, NodeCountMismatchThrows) {
+  const WeightedCentroidLocalizer loc(grid_deployment(kField, 4));
+  GroupingSampling g;
+  g.node_count = 2;
+  g.instants = 1;
+  g.rss.resize(2);
+  EXPECT_THROW(loc.localize(g), std::invalid_argument);
+}
+
+TEST(Trilateration, ExactOnCleanRanges) {
+  const Deployment nodes = grid_deployment(kField, 9);
+  const TrilaterationLocalizer loc(nodes, {.model = clean_model()});
+  for (Vec2 target : {Vec2{12.0, 17.0}, Vec2{30.0, 8.0}, Vec2{20.0, 20.0}}) {
+    const TrackEstimate e = loc.localize(sample_at(nodes, target, 0.0));
+    EXPECT_LT(distance(e.position, target), 0.5) << target;
+  }
+}
+
+TEST(Trilateration, FallsBackWithFewAnchors) {
+  const Deployment nodes = grid_deployment(kField, 4);
+  const TrilaterationLocalizer loc(nodes, {.model = clean_model()});
+  GroupingSampling g;
+  g.node_count = 4;
+  g.instants = 1;
+  g.rss.resize(4);
+  g.rss[0] = std::vector<double>{-50.0};
+  g.rss[1] = std::vector<double>{-55.0};
+  // Only two anchors: must not blow up; returns the centroid fallback.
+  const TrackEstimate e = loc.localize(g);
+  EXPECT_TRUE(kField.contains(e.position));
+}
+
+TEST(Trilateration, NoisyRangingDegradesGracefully) {
+  const Deployment nodes = grid_deployment(kField, 9);
+  const TrilaterationLocalizer loc(nodes, {.model = clean_model()});
+  const Vec2 target{22.0, 13.0};
+  double clean = 0.0;
+  double noisy = 0.0;
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    clean += distance(loc.localize(sample_at(nodes, target, 0.0, e)).position, target);
+    noisy += distance(loc.localize(sample_at(nodes, target, 6.0, e)).position, target);
+  }
+  EXPECT_LT(clean, noisy);
+  // The Sec. 2 fragility claim: 6 dB shadowing on beta = 4 distorts
+  // ranges by lognormal factors; error grows by at least an order of
+  // magnitude over the noiseless geometry.
+  EXPECT_GT(noisy, clean * 10.0);
+  EXPECT_GT(noisy / 20.0, 1.0);
+}
+
+TEST(Trilateration, NodeCountMismatchThrows) {
+  const TrilaterationLocalizer loc(grid_deployment(kField, 4), {.model = clean_model()});
+  GroupingSampling g;
+  g.node_count = 2;
+  g.instants = 1;
+  g.rss.resize(2);
+  EXPECT_THROW(loc.localize(g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,100 @@
+#include "baselines/sequence_localizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/direct_mle.hpp"
+#include "net/deployment.hpp"
+#include "net/faults.hpp"
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {40.0, 40.0}};
+
+std::shared_ptr<const FaceMap> bisector_map(std::size_t n = 9) {
+  return std::make_shared<const FaceMap>(
+      FaceMap::build(grid_deployment(kField, n), 1.0, kField, 0.5));
+}
+
+GroupingSampling sample_at(const FaceMap& map, Vec2 target, double sigma,
+                           std::uint64_t epoch = 0) {
+  SamplingConfig cfg;
+  cfg.model = PathLossModel{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = sigma, .d0 = 1.0};
+  cfg.sensing_range = 200.0;
+  cfg.sample_period = 0.1;
+  cfg.samples_per_group = 3;
+  const NoFaults faults;
+  return collect_group(map.nodes(), cfg, faults, epoch, 0.0,
+                       [&](double) { return target; }, RngStream(31).substream(epoch));
+}
+
+TEST(SequenceLocalizer, NullMapThrows) {
+  EXPECT_THROW(SequenceLocalizer(nullptr), std::invalid_argument);
+}
+
+TEST(SequenceLocalizer, CleanLocalizationIsAccurate) {
+  auto map = bisector_map();
+  const SequenceLocalizer loc(map);
+  for (Vec2 target : {Vec2{10.0, 10.0}, Vec2{28.0, 15.0}}) {
+    const TrackEstimate e = loc.localize(sample_at(*map, target, 0.0));
+    EXPECT_LT(distance(e.position, target), 7.0) << target;
+  }
+}
+
+TEST(SequenceLocalizer, PerfectObservationGivesTauOne) {
+  auto map = bisector_map();
+  const SequenceLocalizer loc(map);
+  // Sitting exactly on a face centroid with zero noise: the observed rank
+  // vector equals that face's rank signature.
+  const Vec2 centroid = map->faces().front().centroid;
+  const TrackEstimate e = loc.localize(sample_at(*map, centroid, 0.0));
+  EXPECT_DOUBLE_EQ(e.similarity, 1.0);  // kendall tau of the best face
+}
+
+TEST(SequenceLocalizer, AgreesWithPairwiseFormulationOnCleanData) {
+  // On noiseless observations the rank-correlation and pairwise-order
+  // formulations of [24] should land in (nearly) the same place.
+  auto map = bisector_map();
+  const SequenceLocalizer ranks(map);
+  DirectMleTracker pairwise(map, 0.0);
+  for (Vec2 target : {Vec2{8.0, 31.0}, Vec2{21.0, 12.0}, Vec2{33.0, 33.0}}) {
+    const auto g = sample_at(*map, target, 0.0);
+    const Vec2 a = ranks.localize(g).position;
+    const Vec2 b = pairwise.localize(g).position;
+    EXPECT_LT(distance(a, b), 5.0) << target;
+  }
+}
+
+TEST(SequenceLocalizer, HandlesMissingNodes) {
+  auto map = bisector_map(6);
+  const SequenceLocalizer loc(map);
+  GroupingSampling g = sample_at(*map, {20.0, 20.0}, 0.0);
+  g.rss[1].reset();
+  g.rss[4].reset();
+  const TrackEstimate e = loc.localize(g);
+  EXPECT_TRUE(kField.contains(e.position));
+}
+
+TEST(SequenceLocalizer, NodeCountMismatchThrows) {
+  const SequenceLocalizer loc(bisector_map());
+  GroupingSampling g;
+  g.node_count = 2;
+  g.instants = 1;
+  g.rss.resize(2);
+  EXPECT_THROW(loc.localize(g), std::invalid_argument);
+}
+
+TEST(SequenceLocalizer, EmptyGroupThrows) {
+  auto map = bisector_map();
+  const SequenceLocalizer loc(map);
+  GroupingSampling g;
+  g.node_count = map->nodes().size();
+  g.instants = 0;
+  g.rss.resize(g.node_count);
+  EXPECT_THROW(loc.localize(g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fttt

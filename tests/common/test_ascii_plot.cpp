@@ -1,0 +1,58 @@
+#include "common/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fttt {
+namespace {
+
+TEST(AsciiPlot, EmptyRenderHasBorder) {
+  AsciiPlot plot({{0.0, 0.0}, {10.0, 10.0}}, 20, 5);
+  const std::string out = plot.render();
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find("x: [0, 10]"), std::string::npos);
+}
+
+TEST(AsciiPlot, ScatterMarkAppears) {
+  AsciiPlot plot({{0.0, 0.0}, {10.0, 10.0}}, 20, 10);
+  plot.scatter({{5.0, 5.0}}, '@');
+  EXPECT_NE(plot.render().find('@'), std::string::npos);
+}
+
+TEST(AsciiPlot, OutOfExtentPointsClampToBorder) {
+  AsciiPlot plot({{0.0, 0.0}, {10.0, 10.0}}, 20, 10);
+  plot.scatter({{-100.0, -100.0}, {100.0, 100.0}}, '#');
+  EXPECT_NE(plot.render().find('#'), std::string::npos);
+}
+
+TEST(AsciiPlot, LaterLayersOverwrite) {
+  AsciiPlot plot({{0.0, 0.0}, {10.0, 10.0}}, 20, 10);
+  plot.scatter({{5.0, 5.0}}, 'a');
+  plot.scatter({{5.0, 5.0}}, 'b');
+  const std::string out = plot.render();
+  EXPECT_EQ(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(AsciiPlot, PolylineDrawsContinuousTrail) {
+  AsciiPlot plot({{0.0, 0.0}, {10.0, 10.0}}, 40, 20);
+  plot.polyline({{0.0, 5.0}, {10.0, 5.0}}, '-');
+  const std::string out = plot.render();
+  // The horizontal line should put many marks, not just two endpoints.
+  EXPECT_GT(std::count(out.begin(), out.end(), '-'), 20);
+}
+
+TEST(AsciiChart, RendersSeriesAndLegend) {
+  const std::vector<std::vector<double>> ys{{0.0, 1.0, 2.0}, {2.0, 1.0, 0.0}};
+  const std::string out = ascii_chart(ys, {"up", "down"}, 0.0, 0.5, 30, 10);
+  EXPECT_NE(out.find("* = up"), std::string::npos);
+  EXPECT_NE(out.find("o = down"), std::string::npos);
+  EXPECT_NE(out.find("x: [0, 1]"), std::string::npos);
+}
+
+TEST(AsciiChart, HandlesEmptySeries) {
+  const std::string out = ascii_chart({}, {}, 0.0, 1.0, 10, 5);
+  EXPECT_FALSE(out.empty());
+}
+
+}  // namespace
+}  // namespace fttt

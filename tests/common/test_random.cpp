@@ -1,0 +1,138 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace fttt {
+namespace {
+
+TEST(RngStream, SameSeedSameSequence) {
+  RngStream a(42);
+  RngStream b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngStream, DifferentSeedsDiffer) {
+  RngStream a(1);
+  RngStream b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngStream, SubstreamIndependentOfParentPosition) {
+  // Deriving a substream must depend only on the parent's key, not on how
+  // many numbers the parent has already produced.
+  RngStream fresh(7);
+  RngStream advanced(7);
+  for (int i = 0; i < 50; ++i) advanced.next_u64();
+  RngStream child_a = fresh.substream(3);
+  RngStream child_b = advanced.substream(3);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child_a.next_u64(), child_b.next_u64());
+}
+
+TEST(RngStream, DistinctSubstreamIndicesGiveDistinctStreams) {
+  RngStream root(9);
+  std::set<std::uint64_t> first_draws;
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    first_draws.insert(root.substream(i).next_u64());
+  EXPECT_EQ(first_draws.size(), 1000u);
+}
+
+TEST(RngStream, TwoLevelSubstreamMatchesChained) {
+  RngStream root(11);
+  RngStream a = root.substream(5, 7);
+  RngStream b = root.substream(5).substream(7);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngStream, Uniform01InRange) {
+  RngStream rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngStream, Uniform01MeanAndVariance) {
+  RngStream rng(77);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform01());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(RngStream, UniformRange) {
+  RngStream rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(RngStream, UniformIndexBounds) {
+  RngStream rng(5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) EXPECT_GT(c, 800);  // roughly uniform (expected 1000)
+}
+
+TEST(RngStream, UniformIndexOneAlwaysZero) {
+  RngStream rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(RngStream, NormalMoments) {
+  RngStream rng(99);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.03);
+}
+
+TEST(RngStream, NormalTailFractionMatchesGaussian) {
+  RngStream rng(1234);
+  int beyond_2sigma = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (std::abs(rng.normal(0.0, 1.0)) > 2.0) ++beyond_2sigma;
+  // P(|Z| > 2) ~ 4.55 %.
+  EXPECT_NEAR(static_cast<double>(beyond_2sigma) / n, 0.0455, 0.004);
+}
+
+TEST(RngStream, BernoulliRate) {
+  RngStream rng(31);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(RngStream, ShufflePreservesElements) {
+  RngStream rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Splitmix64, KnownGoodMixing) {
+  // Distinct inputs map to distinct, well-spread outputs.
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 4096; ++i) outs.insert(splitmix64(i));
+  EXPECT_EQ(outs.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,107 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/random.hpp"
+
+namespace fttt {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SampleVariance) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+  RunningStats single;
+  single.add(5.0);
+  EXPECT_DOUBLE_EQ(single.sample_variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RngStream rng(4);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(1.0);
+  b.add(3.0);
+  a.merge(b);  // empty.merge(nonempty)
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats c;
+  a.merge(c);  // nonempty.merge(empty)
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(BatchStats, MeanAndStddev) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of(std::span<const double>{}), 0.0);
+}
+
+TEST(BatchStats, Percentile) {
+  const std::array<double, 5> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 25.0), 20.0);
+  // Interpolation between ranks.
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 10.0), 14.0);
+}
+
+TEST(BatchStats, Rms) {
+  const std::array<double, 2> xs{3.0, 4.0};
+  EXPECT_NEAR(rms_of(xs), std::sqrt(12.5), 1e-12);
+  EXPECT_DOUBLE_EQ(rms_of(std::span<const double>{}), 0.0);
+}
+
+TEST(Series, PushAppendsInLockstep) {
+  Series s;
+  s.label = "test";
+  s.push(1.0, 10.0);
+  s.push(2.0, 20.0);
+  ASSERT_EQ(s.x.size(), 2u);
+  ASSERT_EQ(s.y.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.x[1], 2.0);
+  EXPECT_DOUBLE_EQ(s.y[1], 20.0);
+}
+
+}  // namespace
+}  // namespace fttt

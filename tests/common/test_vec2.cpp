@@ -1,0 +1,96 @@
+#include "common/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace fttt {
+namespace {
+
+TEST(Vec2, ArithmeticOperators) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Vec2(1.5, -2.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+  v /= 4.0;
+  EXPECT_EQ(v, Vec2(1.0, 1.5));
+}
+
+TEST(Vec2, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+  EXPECT_DOUBLE_EQ(cross({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(cross({0.0, 1.0}, {1.0, 0.0}), -1.0);
+  // Orthogonal vectors have zero dot product.
+  EXPECT_DOUBLE_EQ(dot({1.0, 1.0}, {1.0, -1.0}), 0.0);
+}
+
+TEST(Vec2, NormsAndDistance) {
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 25.0);
+  EXPECT_DOUBLE_EQ(norm({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1.0, 1.0}, {4.0, 5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance2({1.0, 1.0}, {4.0, 5.0}), 25.0);
+}
+
+TEST(Vec2, NormalizedHandlesZeroVector) {
+  EXPECT_EQ(normalized({0.0, 0.0}), Vec2(0.0, 0.0));
+  const Vec2 u = normalized({3.0, 4.0});
+  EXPECT_NEAR(norm(u), 1.0, 1e-15);
+  EXPECT_NEAR(u.x, 0.6, 1e-15);
+}
+
+TEST(Vec2, LerpAndMidpoint) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, 20.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), Vec2(5.0, 10.0));
+  EXPECT_EQ(midpoint(a, b), Vec2(5.0, 10.0));
+}
+
+TEST(Vec2, StreamOutput) {
+  std::ostringstream os;
+  os << Vec2{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+TEST(Aabb, BasicGeometry) {
+  const Aabb box{{0.0, 0.0}, {100.0, 50.0}};
+  EXPECT_DOUBLE_EQ(box.width(), 100.0);
+  EXPECT_DOUBLE_EQ(box.height(), 50.0);
+  EXPECT_DOUBLE_EQ(box.area(), 5000.0);
+  EXPECT_EQ(box.center(), Vec2(50.0, 25.0));
+}
+
+TEST(Aabb, ContainsBoundaryInclusive) {
+  const Aabb box{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_TRUE(box.contains({5.0, 5.0}));
+  EXPECT_TRUE(box.contains({0.0, 0.0}));
+  EXPECT_TRUE(box.contains({10.0, 10.0}));
+  EXPECT_FALSE(box.contains({10.0001, 5.0}));
+  EXPECT_FALSE(box.contains({5.0, -0.0001}));
+}
+
+TEST(Aabb, ClampProjectsOutsidePoints) {
+  const Aabb box{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_EQ(box.clamp({-5.0, 5.0}), Vec2(0.0, 5.0));
+  EXPECT_EQ(box.clamp({15.0, 12.0}), Vec2(10.0, 10.0));
+  EXPECT_EQ(box.clamp({3.0, 4.0}), Vec2(3.0, 4.0));
+}
+
+}  // namespace
+}  // namespace fttt

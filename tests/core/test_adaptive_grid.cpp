@@ -1,0 +1,95 @@
+#include "core/adaptive_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/deployment.hpp"
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {40.0, 40.0}};
+
+Deployment nine_grid() { return grid_deployment(kField, 9); }
+Deployment four_grid() { return grid_deployment(kField, 4); }
+
+TEST(AdaptiveGrid, RejectsSillyBlockFactor) {
+  EXPECT_THROW(build_facemap_adaptive(nine_grid(), 1.2, kField, 0.5, 1),
+               std::invalid_argument);
+}
+
+TEST(AdaptiveGrid, SavesSignatureEvaluationsWhenBlocksFitInsideFaces) {
+  // The double-level division pays off when blocks are small relative to
+  // the faces (fine grids, moderate boundary density) — the regime the
+  // paper's preprocessing targets.
+  const AdaptiveBuildResult r = build_facemap_adaptive(four_grid(), 1.2, kField, 0.25, 4);
+  EXPECT_LT(r.evaluations, r.uniform_evaluations);
+  EXPECT_GT(r.savings(), 0.3);
+  EXPECT_GT(r.total_blocks, r.refined_blocks);
+}
+
+TEST(AdaptiveGrid, DenseBoundariesDegradeTowardUniformCost) {
+  // When nearly every block straddles a boundary the probe overhead makes
+  // the adaptive build slightly *worse* than uniform — the documented
+  // trade-off, pinned here so the cost model stays honest.
+  const AdaptiveBuildResult r = build_facemap_adaptive(nine_grid(), 1.2, kField, 0.5, 8);
+  EXPECT_GT(r.refined_blocks * 2, r.total_blocks);
+  EXPECT_GT(r.savings(), -0.10);
+}
+
+TEST(AdaptiveGrid, GridGeometryMatchesUniformBuild) {
+  const AdaptiveBuildResult r = build_facemap_adaptive(nine_grid(), 1.2, kField, 0.5, 8);
+  const FaceMap uniform = FaceMap::build(nine_grid(), 1.2, kField, 0.5);
+  EXPECT_EQ(r.map.grid().cell_count(), uniform.grid().cell_count());
+  EXPECT_EQ(r.map.dimension(), uniform.dimension());
+}
+
+TEST(AdaptiveGrid, MislabelledCellFractionIsTiny) {
+  // The probe approximation may stamp a block a boundary slips through;
+  // quantify the damage against the exact uniform division.
+  const double C = 1.2;
+  const AdaptiveBuildResult r = build_facemap_adaptive(nine_grid(), C, kField, 0.5, 8);
+  const FaceMap exact = FaceMap::build(nine_grid(), C, kField, 0.5);
+  const UniformGrid& grid = exact.grid();
+  std::size_t mismatched = 0;
+  for (std::size_t flat = 0; flat < grid.cell_count(); ++flat) {
+    const SignatureVector& a = r.map.face(r.map.face_of_cell(flat)).signature;
+    const SignatureVector& b = exact.face(exact.face_of_cell(flat)).signature;
+    if (a != b) ++mismatched;
+  }
+  EXPECT_LT(static_cast<double>(mismatched) / static_cast<double>(grid.cell_count()),
+            0.02);
+}
+
+TEST(AdaptiveGrid, FaceCountCloseToUniform) {
+  const AdaptiveBuildResult r = build_facemap_adaptive(nine_grid(), 1.2, kField, 0.5, 8);
+  const FaceMap uniform = FaceMap::build(nine_grid(), 1.2, kField, 0.5);
+  const double ratio = static_cast<double>(r.map.face_count()) /
+                       static_cast<double>(uniform.face_count());
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LE(ratio, 1.05);
+}
+
+TEST(AdaptiveGrid, SmallerBlocksLocalizeBoundariesBetter) {
+  const AdaptiveBuildResult big_blocks =
+      build_facemap_adaptive(four_grid(), 1.2, kField, 0.25, 8);
+  const AdaptiveBuildResult small_blocks =
+      build_facemap_adaptive(four_grid(), 1.2, kField, 0.25, 4);
+  // Smaller blocks refine a larger *fraction* of blocks but cover the
+  // boundary more tightly; both regimes save work on this geometry.
+  EXPECT_GT(big_blocks.savings(), 0.0);
+  EXPECT_GT(small_blocks.savings(), big_blocks.savings());
+}
+
+TEST(AdaptiveGrid, DeterministicAcrossThreadCounts) {
+  ThreadPool one(1);
+  ThreadPool many(8);
+  const AdaptiveBuildResult a = build_facemap_adaptive(nine_grid(), 1.2, kField, 0.5, 8, one);
+  const AdaptiveBuildResult b = build_facemap_adaptive(nine_grid(), 1.2, kField, 0.5, 8, many);
+  ASSERT_EQ(a.map.face_count(), b.map.face_count());
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  for (std::size_t i = 0; i < a.map.face_count(); ++i)
+    EXPECT_EQ(a.map.faces()[i].signature, b.map.faces()[i].signature);
+}
+
+}  // namespace
+}  // namespace fttt

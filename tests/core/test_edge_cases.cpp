@@ -1,0 +1,117 @@
+// Edge cases across the core stack: degenerate geometry, extreme inputs,
+// '*'-heavy vectors — the situations a deployed system hits eventually.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/matcher.hpp"
+#include "core/similarity.hpp"
+#include "core/tracker.hpp"
+#include "net/deployment.hpp"
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {20.0, 20.0}};
+
+TEST(EdgeCases, DuplicateSensorPositionsAreAlwaysUncertain) {
+  // Two co-located sensors can never be ordered: their pair reads 0 at
+  // every point, and the face map still builds.
+  const Deployment nodes{{0, {10.0, 10.0}}, {1, {10.0, 10.0}}, {2, {5.0, 5.0}}};
+  const SignatureVector sig = signature_at({3.0, 17.0}, nodes, 1.2);
+  EXPECT_EQ(sig[0], 0);  // pair (0,1): identical positions
+  const FaceMap map = FaceMap::build(nodes, 1.2, kField, 1.0);
+  EXPECT_GT(map.face_count(), 0u);
+}
+
+TEST(EdgeCases, TwoSensorMapHasThreeishFaces) {
+  // The minimal deployment: one pair, uncertain annulus between the two
+  // Apollonius circles -> nearer-0, uncertain, nearer-1 regions.
+  const Deployment nodes{{0, {5.0, 10.0}}, {1, {15.0, 10.0}}};
+  const FaceMap map = FaceMap::build(nodes, 1.3, kField, 0.25);
+  EXPECT_GE(map.face_count(), 3u);
+  EXPECT_LE(map.face_count(), 4u);  // grid may split an annulus lobe
+  EXPECT_EQ(map.dimension(), 1u);
+}
+
+TEST(EdgeCases, SensorsOutsideTheDividedField) {
+  // The division region need not contain the sensors (cluster territories
+  // routinely exclude far members).
+  const Deployment nodes{{0, {-10.0, 10.0}}, {1, {30.0, 10.0}}};
+  const FaceMap map = FaceMap::build(nodes, 1.2, kField, 0.5);
+  EXPECT_GT(map.face_count(), 0u);
+  const FaceId f = map.face_at({10.0, 10.0});
+  EXPECT_LT(f, map.face_count());
+}
+
+TEST(EdgeCases, AllStarVectorMatchesEverythingEqually) {
+  const Deployment nodes{{0, {5.0, 5.0}}, {1, {15.0, 5.0}}, {2, {10.0, 15.0}}};
+  const FaceMap map = FaceMap::build(nodes, 1.2, kField, 0.5);
+  SamplingVector vd;
+  vd.value.assign(map.dimension(), 0.0);
+  vd.known.assign(map.dimension(), false);
+  const ExhaustiveMatcher matcher;
+  const MatchResult r = matcher.match(map, vd);
+  EXPECT_EQ(r.tied_faces.size(), map.face_count());
+}
+
+TEST(EdgeCases, SingleKnownComponentStillDiscriminates) {
+  const Deployment nodes{{0, {5.0, 10.0}}, {1, {15.0, 10.0}}};
+  const FaceMap map = FaceMap::build(nodes, 1.3, kField, 0.25);
+  SamplingVector vd;
+  vd.value.assign(1, 1.0);  // decisively nearer node 0
+  vd.known.assign(1, true);
+  const ExhaustiveMatcher matcher;
+  const MatchResult r = matcher.match(map, vd);
+  // The matched face must sit on node 0's side.
+  EXPECT_LT(distance(r.position, nodes[0].position),
+            distance(r.position, nodes[1].position));
+}
+
+TEST(EdgeCases, HeuristicLocalOptimaAreHonest) {
+  // The hill climb can get trapped away from the exact match (that is why
+  // FtttTracker has the exhaustive fallback), but any trap must be a
+  // genuine local optimum with *strictly lower* similarity — never a tie
+  // that hides the exact match — and warm-ish starts (the goal's own
+  // neighborhood) must always reach it.
+  const Deployment nodes{{0, {5.0, 5.0}}, {1, {15.0, 5.0}}, {2, {10.0, 15.0}}};
+  const FaceMap map = FaceMap::build(nodes, 1.2, kField, 0.5);
+  const HeuristicMatcher matcher;
+  const Face& goal = map.faces()[map.face_count() / 2];
+  SamplingVector vd;
+  for (SigValue v : goal.signature) {
+    vd.value.push_back(static_cast<double>(v));
+    vd.known.push_back(true);
+  }
+  std::size_t reached = 0;
+  for (FaceId start = 0; start < map.face_count(); ++start) {
+    const MatchResult r = matcher.match(map, vd, start);
+    if (r.face == goal.id) {
+      ++reached;
+    } else {
+      EXPECT_LT(r.similarity, similarity(vd, goal.signature)) << "start " << start;
+    }
+  }
+  EXPECT_GT(reached * 2, map.face_count());  // most starts converge
+  for (FaceId nb : map.neighbors(goal.id))
+    EXPECT_EQ(matcher.match(map, vd, nb).face, goal.id);
+}
+
+TEST(EdgeCases, ZeroDurationTrackerStatsStayZero) {
+  const Deployment nodes{{0, {5.0, 5.0}}, {1, {15.0, 5.0}}};
+  auto map = std::make_shared<const FaceMap>(FaceMap::build(nodes, 1.2, kField, 0.5));
+  const FtttTracker tracker(map, {});
+  EXPECT_EQ(tracker.stats().localizations, 0u);
+  EXPECT_EQ(tracker.stats().faces_examined, 0u);
+}
+
+TEST(EdgeCases, HugeCellSizeGivesOneCellMap) {
+  const Deployment nodes{{0, {5.0, 5.0}}, {1, {15.0, 5.0}}};
+  const FaceMap map = FaceMap::build(nodes, 1.2, kField, 100.0);
+  EXPECT_EQ(map.grid().cell_count(), 1u);
+  EXPECT_EQ(map.face_count(), 1u);
+  EXPECT_TRUE(map.neighbors(0).empty());
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,96 @@
+#include "core/facemap_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "net/deployment.hpp"
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {30.0, 30.0}};
+
+FaceMap make_map() {
+  return FaceMap::build(grid_deployment(kField, 6), 1.2, kField, 1.0);
+}
+
+TEST(FaceMapIo, RoundTripPreservesEverything) {
+  const FaceMap original = make_map();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_facemap(original, buffer);
+  const FaceMap loaded = load_facemap(buffer);
+
+  ASSERT_EQ(loaded.face_count(), original.face_count());
+  ASSERT_EQ(loaded.nodes().size(), original.nodes().size());
+  EXPECT_DOUBLE_EQ(loaded.ratio_constant(), original.ratio_constant());
+  EXPECT_EQ(loaded.grid().cell_count(), original.grid().cell_count());
+  for (std::size_t i = 0; i < original.face_count(); ++i) {
+    EXPECT_EQ(loaded.faces()[i].signature, original.faces()[i].signature);
+    EXPECT_EQ(loaded.faces()[i].centroid, original.faces()[i].centroid);
+    EXPECT_EQ(loaded.faces()[i].cell_count, original.faces()[i].cell_count);
+    EXPECT_EQ(loaded.neighbors(static_cast<FaceId>(i)),
+              original.neighbors(static_cast<FaceId>(i)));
+  }
+  for (std::size_t flat = 0; flat < original.grid().cell_count(); flat += 13)
+    EXPECT_EQ(loaded.face_of_cell(flat), original.face_of_cell(flat));
+}
+
+TEST(FaceMapIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "fttt_map_test.bin";
+  const FaceMap original = make_map();
+  save_facemap(original, path);
+  const FaceMap loaded = load_facemap(path);
+  EXPECT_EQ(loaded.face_count(), original.face_count());
+  std::remove(path.c_str());
+}
+
+TEST(FaceMapIo, BadMagicRejected) {
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  buffer << "NOTAMAP1-some-garbage-bytes-here-to-read";
+  EXPECT_THROW(load_facemap(buffer), std::runtime_error);
+}
+
+TEST(FaceMapIo, TruncationRejected) {
+  const FaceMap original = make_map();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_facemap(original, buffer);
+  const std::string full = buffer.str();
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cut << full.substr(0, full.size() / 2);
+  EXPECT_THROW(load_facemap(cut), std::runtime_error);
+}
+
+TEST(FaceMapIo, BitflipFailsChecksum) {
+  const FaceMap original = make_map();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_facemap(original, buffer);
+  std::string bytes = buffer.str();
+  // Flip one payload byte somewhere in the face table (after the header).
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  std::stringstream corrupted(std::ios::in | std::ios::out | std::ios::binary);
+  corrupted << bytes;
+  EXPECT_THROW(load_facemap(corrupted), std::runtime_error);
+}
+
+TEST(FaceMapIo, MissingFileThrows) {
+  EXPECT_THROW(load_facemap(std::string("/nonexistent/fttt.bin")), std::runtime_error);
+  EXPECT_THROW(save_facemap(make_map(), std::string("/nonexistent/fttt.bin")),
+               std::runtime_error);
+}
+
+TEST(FaceMapIo, LoadedMapIsUsableForTracking) {
+  const FaceMap original = make_map();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_facemap(original, buffer);
+  const FaceMap loaded = load_facemap(buffer);
+  // Same spatial queries on both.
+  for (Vec2 p : {Vec2{3.0, 3.0}, Vec2{15.0, 22.0}, Vec2{29.0, 1.0}})
+    EXPECT_EQ(loaded.face(loaded.face_at(p)).signature,
+              original.face(original.face_at(p)).signature);
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,109 @@
+#include "core/matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/similarity.hpp"
+#include "net/deployment.hpp"
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {20.0, 20.0}};
+
+Deployment square_four() {
+  return {{0, {5.0, 5.0}}, {1, {15.0, 5.0}}, {2, {5.0, 15.0}}, {3, {15.0, 15.0}}};
+}
+
+SamplingVector exact_vector_for(const FaceMap& map, FaceId id) {
+  SamplingVector vd;
+  for (SigValue v : map.face(id).signature) {
+    vd.value.push_back(static_cast<double>(v));
+    vd.known.push_back(true);
+  }
+  return vd;
+}
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  FaceMap map_ = FaceMap::build(square_four(), 1.2, kField, 0.5);
+  ExhaustiveMatcher exhaustive_;
+  HeuristicMatcher heuristic_;
+};
+
+TEST_F(MatcherTest, ExhaustiveFindsExactSignatureMatch) {
+  for (FaceId id = 0; id < map_.face_count(); id += 3) {
+    const MatchResult r = exhaustive_.match(map_, exact_vector_for(map_, id));
+    EXPECT_EQ(r.face, id);
+    EXPECT_TRUE(std::isinf(r.similarity));
+    EXPECT_EQ(r.tied_faces.size(), 1u);
+    EXPECT_EQ(r.position, map_.face(id).centroid);
+  }
+}
+
+TEST_F(MatcherTest, ExhaustiveExaminesEveryFace) {
+  const MatchResult r = exhaustive_.match(map_, exact_vector_for(map_, 0));
+  EXPECT_EQ(r.faces_examined, map_.face_count());
+}
+
+TEST_F(MatcherTest, TiesResolveToMeanCentroid) {
+  // A vector of all '*' is equally (infinitely) similar to every face.
+  SamplingVector vd;
+  vd.value.assign(map_.dimension(), 0.0);
+  vd.known.assign(map_.dimension(), false);
+  const MatchResult r = exhaustive_.match(map_, vd);
+  EXPECT_EQ(r.tied_faces.size(), map_.face_count());
+  Vec2 mean{};
+  for (const Face& f : map_.faces()) mean += f.centroid;
+  mean /= static_cast<double>(map_.face_count());
+  EXPECT_NEAR(r.position.x, mean.x, 1e-9);
+  EXPECT_NEAR(r.position.y, mean.y, 1e-9);
+}
+
+TEST_F(MatcherTest, HeuristicFromAdjacentStartFindsExactMatch) {
+  // Starting next door, one hop reaches the optimum.
+  for (FaceId id = 0; id < map_.face_count(); id += 5) {
+    if (map_.neighbors(id).empty()) continue;
+    const FaceId start = map_.neighbors(id).front();
+    const MatchResult r = heuristic_.match(map_, exact_vector_for(map_, id), start);
+    EXPECT_EQ(r.face, id);
+    EXPECT_TRUE(std::isinf(r.similarity));
+  }
+}
+
+TEST_F(MatcherTest, HeuristicExaminesFarFewerFacesThanExhaustive) {
+  std::size_t heuristic_total = 0;
+  std::size_t exhaustive_total = 0;
+  for (FaceId id = 0; id < map_.face_count(); id += 2) {
+    const auto vd = exact_vector_for(map_, id);
+    const FaceId start = map_.neighbors(id).empty() ? id : map_.neighbors(id).front();
+    heuristic_total += heuristic_.match(map_, vd, start).faces_examined;
+    exhaustive_total += exhaustive_.match(map_, vd).faces_examined;
+  }
+  EXPECT_LT(heuristic_total * 3, exhaustive_total);
+}
+
+TEST_F(MatcherTest, HeuristicNeverWorseThanStart) {
+  SamplingVector vd;
+  vd.value.assign(map_.dimension(), 0.0);
+  vd.known.assign(map_.dimension(), true);
+  vd.value[0] = 1.0;
+  for (FaceId start = 0; start < map_.face_count(); start += 4) {
+    const MatchResult r = heuristic_.match(map_, vd, start);
+    EXPECT_GE(r.similarity, similarity(vd, map_.face(start).signature));
+  }
+}
+
+TEST_F(MatcherTest, HeuristicConvergesToLocalOptimum) {
+  // At convergence no neighbor of the returned face scores higher.
+  SamplingVector vd;
+  vd.value.assign(map_.dimension(), 0.5);
+  vd.known.assign(map_.dimension(), true);
+  const MatchResult r = heuristic_.match(map_, vd, 0);
+  for (FaceId nb : map_.neighbors(r.face))
+    EXPECT_LE(similarity(vd, map_.face(nb).signature), r.similarity);
+}
+
+}  // namespace
+}  // namespace fttt

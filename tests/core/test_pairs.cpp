@@ -1,0 +1,53 @@
+#include "core/pairs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fttt {
+namespace {
+
+TEST(PairCount, SmallValues) {
+  EXPECT_EQ(pair_count(0), 0u);
+  EXPECT_EQ(pair_count(1), 0u);
+  EXPECT_EQ(pair_count(2), 1u);
+  EXPECT_EQ(pair_count(4), 6u);
+  EXPECT_EQ(pair_count(20), 190u);  // the paper's Sec. 5.1 example
+  EXPECT_EQ(pair_count(40), 780u);
+}
+
+TEST(PairIndex, CanonicalOrderForFourNodes) {
+  // Paper Def. 5 order: (0,1),(0,2),(0,3),(1,2),(1,3),(2,3).
+  EXPECT_EQ(pair_index(0, 1, 4), 0u);
+  EXPECT_EQ(pair_index(0, 2, 4), 1u);
+  EXPECT_EQ(pair_index(0, 3, 4), 2u);
+  EXPECT_EQ(pair_index(1, 2, 4), 3u);
+  EXPECT_EQ(pair_index(1, 3, 4), 4u);
+  EXPECT_EQ(pair_index(2, 3, 4), 5u);
+}
+
+TEST(PairIndex, BijectionWithPairAt) {
+  for (std::size_t n : {2u, 3u, 5u, 10u, 23u}) {
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        EXPECT_EQ(pair_index(i, j, n), expected);
+        const auto [pi, pj] = pair_at(expected, n);
+        EXPECT_EQ(pi, i);
+        EXPECT_EQ(pj, j);
+        ++expected;
+      }
+    }
+    EXPECT_EQ(expected, pair_count(n));
+  }
+}
+
+TEST(PairAt, FirstAndLast) {
+  const auto first = pair_at(0, 10);
+  EXPECT_EQ(first.first, 0u);
+  EXPECT_EQ(first.second, 1u);
+  const auto last = pair_at(pair_count(10) - 1, 10);
+  EXPECT_EQ(last.first, 8u);
+  EXPECT_EQ(last.second, 9u);
+}
+
+}  // namespace
+}  // namespace fttt

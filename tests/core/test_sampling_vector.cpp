@@ -1,0 +1,162 @@
+#include "core/sampling_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pairs.hpp"
+
+namespace fttt {
+namespace {
+
+/// Build a grouping sampling directly from a row-major matrix
+/// (rows = instants, columns = nodes), with optional missing columns.
+GroupingSampling make_group(const std::vector<std::vector<double>>& matrix,
+                            const std::vector<bool>& present = {}) {
+  GroupingSampling g;
+  g.instants = matrix.size();
+  g.node_count = matrix.empty() ? 0 : matrix[0].size();
+  g.rss.resize(g.node_count);
+  for (std::size_t node = 0; node < g.node_count; ++node) {
+    if (!present.empty() && !present[node]) continue;
+    std::vector<double> column;
+    for (const auto& row : matrix) column.push_back(row[node]);
+    g.rss[node] = std::move(column);
+  }
+  return g;
+}
+
+TEST(CompareRss, DeadbandSemantics) {
+  EXPECT_EQ(compare_rss(10.0, 5.0, 1.0), +1);
+  EXPECT_EQ(compare_rss(5.0, 10.0, 1.0), -1);
+  EXPECT_EQ(compare_rss(10.0, 9.5, 1.0), 0);  // within resolution
+  EXPECT_EQ(compare_rss(10.0, 9.5, 0.0), +1);
+}
+
+TEST(SamplingVector, PaperFig5WorkedExample) {
+  // Fig. 5: four sensors, six instants; pair (3,4) flips, all other pairs
+  // are ordinal with node 2 strongest, then 1, then {3,4}:
+  // sampling vector [-1, 1, 1, 1, 1, 0] over pairs
+  // (1,2),(1,3),(1,4),(2,3),(2,4),(3,4)  [1-based paper ids].
+  const std::vector<std::vector<double>> matrix{
+      // n1    n2    n3    n4
+      {-50.0, -45.0, -60.0, -62.0},
+      {-50.0, -45.0, -62.0, -60.0},  // (3,4) flips here
+      {-50.0, -45.0, -60.0, -62.0},
+      {-50.0, -45.0, -61.0, -63.0},
+      {-50.0, -45.0, -60.0, -62.0},
+      {-50.0, -45.0, -60.0, -62.0},
+  };
+  const SamplingVector vd = build_sampling_vector(make_group(matrix), 0.0,
+                                                  VectorMode::kBasic);
+  ASSERT_EQ(vd.dimension(), 6u);
+  EXPECT_DOUBLE_EQ(vd.value[0], -1.0);  // (1,2): node 2 always stronger
+  EXPECT_DOUBLE_EQ(vd.value[1], 1.0);   // (1,3)
+  EXPECT_DOUBLE_EQ(vd.value[2], 1.0);   // (1,4)
+  EXPECT_DOUBLE_EQ(vd.value[3], 1.0);   // (2,3)
+  EXPECT_DOUBLE_EQ(vd.value[4], 1.0);   // (2,4)
+  EXPECT_DOUBLE_EQ(vd.value[5], 0.0);   // (3,4): flipped
+  EXPECT_EQ(vd.unknown_count(), 0u);
+}
+
+TEST(SamplingVector, PaperSec6ExtendedExample) {
+  // Sec. 6 / Fig. 9: six instants; pair (1,2) shows 4 sequential orders
+  // and 2 reverse -> extended value (4-2)/6 = 1/3 where the basic value
+  // is 0; pair (n1 strongest otherwise) values stay +/-1.
+  const std::vector<std::vector<double>> matrix{
+      // n1    n2    n3    n4   (n1 vs n2 flips; n3, n4 well below; n4 > n3)
+      {-45.0, -50.0, -70.0, -60.0},
+      {-45.0, -50.0, -70.0, -60.0},
+      {-50.0, -45.0, -70.0, -60.0},  // reverse
+      {-45.0, -50.0, -70.0, -60.0},
+      {-50.0, -45.0, -70.0, -60.0},  // reverse
+      {-45.0, -50.0, -70.0, -60.0},
+  };
+  const SamplingVector basic = build_sampling_vector(make_group(matrix), 0.0,
+                                                     VectorMode::kBasic);
+  const SamplingVector ext = build_sampling_vector(make_group(matrix), 0.0,
+                                                   VectorMode::kExtended);
+  // Pair order: (1,2),(1,3),(1,4),(2,3),(2,4),(3,4).
+  EXPECT_DOUBLE_EQ(basic.value[0], 0.0);
+  EXPECT_NEAR(ext.value[0], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ext.value[1], 1.0);   // (1,3) ordinal
+  EXPECT_DOUBLE_EQ(ext.value[5], -1.0);  // (3,4): node 4 always stronger
+}
+
+TEST(SamplingVector, PaperSec443FaultExample) {
+  // Sec. 4.4(3): only n1 and n3 report, with rss_1 > rss_3. Pair values:
+  // (1,2)=1, (1,3)=1, (1,4)=1, (2,3)=-1, (2,4)=*, (3,4)=1.
+  const std::vector<std::vector<double>> matrix{
+      {-50.0, 0.0, -60.0, 0.0},
+      {-50.0, 0.0, -60.0, 0.0},
+  };
+  const SamplingVector vd = build_sampling_vector(
+      make_group(matrix, {true, false, true, false}), 0.0, VectorMode::kBasic);
+  EXPECT_DOUBLE_EQ(vd.value[0], 1.0);   // (1,2): n2 missing
+  EXPECT_DOUBLE_EQ(vd.value[1], 1.0);   // (1,3): both present, 1 stronger
+  EXPECT_DOUBLE_EQ(vd.value[2], 1.0);   // (1,4): n4 missing
+  EXPECT_DOUBLE_EQ(vd.value[3], -1.0);  // (2,3): n2 missing, n3 present
+  EXPECT_FALSE(vd.known[4]);            // (2,4): both missing -> '*'
+  EXPECT_DOUBLE_EQ(vd.value[5], 1.0);   // (3,4): n4 missing
+  EXPECT_EQ(vd.unknown_count(), 1u);
+}
+
+TEST(SamplingVector, ResolutionTiesForceFlip) {
+  // Two nodes within eps at every instant: basic value must be 0 (the
+  // hardware cannot order them), extended value 0 as well.
+  const std::vector<std::vector<double>> matrix{
+      {-50.0, -50.3},
+      {-50.1, -50.0},
+      {-50.2, -50.1},
+  };
+  const SamplingVector basic =
+      build_sampling_vector(make_group(matrix), 1.0, VectorMode::kBasic);
+  const SamplingVector ext =
+      build_sampling_vector(make_group(matrix), 1.0, VectorMode::kExtended);
+  EXPECT_DOUBLE_EQ(basic.value[0], 0.0);
+  EXPECT_DOUBLE_EQ(ext.value[0], 0.0);
+}
+
+TEST(SamplingVector, ExtendedValueBounds) {
+  // Extended values always lie in [-1, 1].
+  const std::vector<std::vector<double>> matrix{
+      {-40.0, -50.0}, {-60.0, -50.0}, {-40.0, -50.0}, {-40.0, -50.0}};
+  const SamplingVector ext =
+      build_sampling_vector(make_group(matrix), 0.0, VectorMode::kExtended);
+  EXPECT_NEAR(ext.value[0], 0.5, 1e-12);  // (3 - 1) / 4
+  EXPECT_GE(ext.value[0], -1.0);
+  EXPECT_LE(ext.value[0], 1.0);
+}
+
+TEST(SamplingVector, AllNodesMissingAllStars) {
+  const std::vector<std::vector<double>> matrix{{0.0, 0.0, 0.0}};
+  const SamplingVector vd = build_sampling_vector(
+      make_group(matrix, {false, false, false}), 0.0, VectorMode::kBasic);
+  EXPECT_EQ(vd.unknown_count(), pair_count(3));
+}
+
+TEST(SamplingVector, SingleInstantGroupIsAlwaysOrdinal) {
+  const std::vector<std::vector<double>> matrix{{-40.0, -50.0}};
+  const SamplingVector vd =
+      build_sampling_vector(make_group(matrix), 0.0, VectorMode::kBasic);
+  EXPECT_DOUBLE_EQ(vd.value[0], 1.0);
+}
+
+TEST(SamplingVector, RaggedColumnThrows) {
+  GroupingSampling g;
+  g.node_count = 2;
+  g.instants = 3;
+  g.rss.resize(2);
+  g.rss[0] = std::vector<double>{1.0, 2.0, 3.0};
+  g.rss[1] = std::vector<double>{1.0, 2.0};  // too short
+  EXPECT_THROW(build_sampling_vector(g, 0.0, VectorMode::kBasic), std::invalid_argument);
+}
+
+TEST(SamplingVector, WrongRssSizeThrows) {
+  GroupingSampling g;
+  g.node_count = 3;
+  g.instants = 1;
+  g.rss.resize(2);
+  EXPECT_THROW(build_sampling_vector(g, 0.0, VectorMode::kBasic), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,102 @@
+#include "core/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace fttt {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(DetectionSequence, SortsByDescendingRss) {
+  const std::vector<double> rss{-50.0, -40.0, -60.0};
+  const DetectionSequence seq = detection_sequence(rss);
+  EXPECT_EQ(seq, (DetectionSequence{1, 0, 2}));
+}
+
+TEST(DetectionSequence, SkipsMissingNodes) {
+  const std::vector<double> rss{-50.0, kNan, -40.0};
+  EXPECT_EQ(detection_sequence(rss), (DetectionSequence{2, 0}));
+}
+
+TEST(DetectionSequence, TieBreaksTowardLowerId) {
+  const std::vector<double> rss{-40.0, -40.0, -50.0};
+  EXPECT_EQ(detection_sequence(rss), (DetectionSequence{0, 1, 2}));
+}
+
+TEST(RankVector, InverseOfDetectionSequence) {
+  const std::vector<double> rss{-50.0, -40.0, -60.0, -45.0};
+  const auto rank = rank_vector(rss);
+  EXPECT_EQ(rank, (std::vector<std::uint32_t>{2, 0, 3, 1}));
+}
+
+TEST(RankVector, MissingNodesRankLast) {
+  const std::vector<double> rss{-50.0, kNan, -40.0};
+  const auto rank = rank_vector(rss);
+  EXPECT_EQ(rank[1], 3u);  // n = 3: beyond the last real rank
+  EXPECT_EQ(rank[2], 0u);
+  EXPECT_EQ(rank[0], 1u);
+}
+
+TEST(KendallTau, IdenticalIsPlusOne) {
+  const std::vector<std::uint32_t> r{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(kendall_tau(r, r), 1.0);
+}
+
+TEST(KendallTau, ReversedIsMinusOne) {
+  const std::vector<std::uint32_t> a{0, 1, 2, 3};
+  const std::vector<std::uint32_t> b{3, 2, 1, 0};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, b), -1.0);
+}
+
+TEST(KendallTau, SingleSwap) {
+  // One adjacent transposition in 4 items flips 1 of 6 pairs: tau = 4/6.
+  const std::vector<std::uint32_t> a{0, 1, 2, 3};
+  const std::vector<std::uint32_t> b{1, 0, 2, 3};
+  EXPECT_NEAR(kendall_tau(a, b), 4.0 / 6.0, 1e-12);
+}
+
+TEST(KendallTau, SymmetricAndMismatchThrows) {
+  const std::vector<std::uint32_t> a{0, 2, 1};
+  const std::vector<std::uint32_t> b{1, 0, 2};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, b), kendall_tau(b, a));
+  const std::vector<std::uint32_t> c{0, 1};
+  EXPECT_THROW(kendall_tau(a, c), std::invalid_argument);
+}
+
+TEST(SpearmanFootrule, IdenticalIsZeroReversedIsOne) {
+  const std::vector<std::uint32_t> a{0, 1, 2, 3};
+  const std::vector<std::uint32_t> b{3, 2, 1, 0};
+  EXPECT_DOUBLE_EQ(spearman_footrule(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(spearman_footrule(a, b), 1.0);
+}
+
+TEST(SpearmanFootrule, BoundedAndMonotone) {
+  const std::vector<std::uint32_t> a{0, 1, 2, 3};
+  const std::vector<std::uint32_t> near{1, 0, 2, 3};
+  const std::vector<std::uint32_t> far{2, 3, 0, 1};
+  const double d_near = spearman_footrule(a, near);
+  const double d_far = spearman_footrule(a, far);
+  EXPECT_GT(d_near, 0.0);
+  EXPECT_LT(d_near, d_far);
+  EXPECT_LE(d_far, 1.0);
+}
+
+TEST(DistanceRankVector, NearestGetsRankZero) {
+  const std::vector<double> dists{30.0, 10.0, 20.0};
+  EXPECT_EQ(distance_rank_vector(dists), (std::vector<std::uint32_t>{2, 0, 1}));
+}
+
+TEST(DistanceRankVector, AgreesWithRssRanksOnCleanModel) {
+  // Monotone decreasing RSS in distance: the two rank constructions must
+  // agree — the oracle property linking the sequence view to Eq. 1.
+  const std::vector<double> dists{5.0, 25.0, 15.0, 40.0};
+  std::vector<double> rss;
+  for (double d : dists) rss.push_back(-40.0 - 40.0 * std::log10(d));
+  EXPECT_EQ(distance_rank_vector(dists), rank_vector(rss));
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,96 @@
+#include "core/signature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/pairs.hpp"
+
+namespace fttt {
+namespace {
+
+Deployment square_four() {
+  // Unit square of sensors, ids in reading order.
+  return {{0, {0.0, 0.0}}, {1, {10.0, 0.0}}, {2, {0.0, 10.0}}, {3, {10.0, 10.0}}};
+}
+
+TEST(SignatureAt, DimensionIsPairCount) {
+  const auto nodes = square_four();
+  EXPECT_EQ(signature_at({5.0, 5.0}, nodes, 1.2).size(), pair_count(4));
+}
+
+TEST(SignatureAt, PointAtNodeIsNearestToIt) {
+  const auto nodes = square_four();
+  const SignatureVector sig = signature_at({0.0, 0.0}, nodes, 1.2);
+  // Node 0's pairs (0,1), (0,2), (0,3) must read +1 at node 0 itself.
+  EXPECT_EQ(sig[pair_index(0, 1, 4)], +1);
+  EXPECT_EQ(sig[pair_index(0, 2, 4)], +1);
+  EXPECT_EQ(sig[pair_index(0, 3, 4)], +1);
+}
+
+TEST(SignatureAt, CenterOfSquareIsUncertainEverywhere) {
+  const auto nodes = square_four();
+  // The exact centre is equidistant from all four nodes: every pair is in
+  // its uncertain area for any C > 1.
+  const SignatureVector sig = signature_at({5.0, 5.0}, nodes, 1.1);
+  for (SigValue v : sig) EXPECT_EQ(v, 0);
+}
+
+TEST(SignatureAt, COneGivesNoZerosOffBisectors) {
+  const auto nodes = square_four();
+  const SignatureVector sig = signature_at({1.0, 2.0}, nodes, 1.0);
+  for (SigValue v : sig) EXPECT_NE(v, 0);
+}
+
+TEST(SignatureAt, ValuesAreTrinary) {
+  const auto nodes = square_four();
+  for (double x = 0.0; x <= 10.0; x += 1.7) {
+    for (double y = 0.0; y <= 10.0; y += 1.7) {
+      for (SigValue v : signature_at({x, y}, nodes, 1.3))
+        EXPECT_TRUE(v == -1 || v == 0 || v == 1);
+    }
+  }
+}
+
+TEST(SignatureAt, SymmetryUnderMirroredGeometry) {
+  // Mirroring the query point across the square's vertical axis swaps the
+  // roles of nodes 0<->1 and 2<->3: pair (0,1) flips sign.
+  const auto nodes = square_four();
+  const SignatureVector left = signature_at({2.0, 3.0}, nodes, 1.2);
+  const SignatureVector right = signature_at({8.0, 3.0}, nodes, 1.2);
+  EXPECT_EQ(left[pair_index(0, 1, 4)], -right[pair_index(0, 1, 4)]);
+  EXPECT_EQ(left[pair_index(2, 3, 4)], -right[pair_index(2, 3, 4)]);
+}
+
+TEST(SignatureHash, EqualVectorsSameHash) {
+  const SignatureVector a{1, 0, -1, 1};
+  const SignatureVector b{1, 0, -1, 1};
+  EXPECT_EQ(signature_hash(a), signature_hash(b));
+}
+
+TEST(SignatureHash, SpreadOverDistinctVectors) {
+  // All 3^8 trinary vectors of length 8 should hash with few collisions.
+  std::vector<std::size_t> hashes;
+  SignatureVector v(8, -1);
+  const auto advance = [&]() {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] < 1) {
+        ++v[i];
+        return true;
+      }
+      v[i] = -1;
+    }
+    return false;
+  };
+  do {
+    hashes.push_back(signature_hash(v));
+  } while (advance());
+  std::sort(hashes.begin(), hashes.end());
+  const auto unique_end = std::unique(hashes.begin(), hashes.end());
+  const std::size_t unique_count = static_cast<std::size_t>(unique_end - hashes.begin());
+  EXPECT_GE(unique_count, hashes.size() - 2);  // allow at most 2 collisions
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,96 @@
+#include "core/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace fttt {
+namespace {
+
+SamplingVector make_vd(std::vector<double> v) {
+  SamplingVector vd;
+  vd.known.assign(v.size(), true);
+  vd.value = std::move(v);
+  return vd;
+}
+
+TEST(VectorDistance, ZeroForIdenticalVectors) {
+  const SamplingVector vd = make_vd({1.0, 0.0, -1.0});
+  const SignatureVector vs{1, 0, -1};
+  EXPECT_DOUBLE_EQ(vector_distance(vd, vs), 0.0);
+  EXPECT_TRUE(std::isinf(similarity(vd, vs)));
+}
+
+TEST(VectorDistance, EuclideanOverComponents) {
+  const SamplingVector vd = make_vd({1.0, 1.0});
+  const SignatureVector vs{-1, 0};
+  EXPECT_DOUBLE_EQ(vector_distance(vd, vs), std::sqrt(4.0 + 1.0));
+}
+
+TEST(VectorDistance, StarComponentsContributeZero) {
+  SamplingVector vd = make_vd({1.0, 1.0, -1.0});
+  vd.known[1] = false;  // '*'
+  const SignatureVector vs{1, -1, -1};  // middle would differ by 2
+  EXPECT_DOUBLE_EQ(vector_distance(vd, vs), 0.0);
+}
+
+TEST(VectorDistance, DimensionMismatchThrows) {
+  const SamplingVector vd = make_vd({1.0});
+  const SignatureVector vs{1, 0};
+  EXPECT_THROW(vector_distance(vd, vs), std::invalid_argument);
+  EXPECT_THROW(vector_distance(SignatureVector{1}, SignatureVector{1, 0}),
+               std::invalid_argument);
+}
+
+TEST(VectorDistance, SignatureOverloadSymmetric) {
+  const SignatureVector a{1, 0, -1, 1};
+  const SignatureVector b{0, 0, -1, -1};
+  EXPECT_DOUBLE_EQ(vector_distance(a, b), vector_distance(b, a));
+  EXPECT_DOUBLE_EQ(vector_distance(a, b), std::sqrt(1.0 + 0.0 + 0.0 + 4.0));
+}
+
+/// Paper Sec. 6 worked similarities: extended sampling vector
+/// [1/3, 1, 1, 1, 1, -1] against the (reconstructed) signatures of the
+/// six faces of Fig. 7/9. The paper reports S(f1)=1.5, S(f2)~0.832,
+/// S(f3)=0.6, S(f4)~0.949, S(f5)~0.640, S(f6)~0.514.
+class PaperSec6Similarities : public ::testing::Test {
+ protected:
+  SamplingVector vd_ = make_vd({1.0 / 3.0, 1.0, 1.0, 1.0, 1.0, -1.0});
+  SignatureVector f1_{1, 1, 1, 1, 1, -1};
+  SignatureVector f2_{1, 1, 1, 1, 1, 0};
+  SignatureVector f3_{-1, 1, 1, 1, 1, 0};
+  SignatureVector f4_{0, 1, 1, 1, 1, 0};
+  SignatureVector f5_{1, 1, 1, 1, 0, 0};
+  SignatureVector f6_{-1, 1, 1, 1, 0, 0};
+};
+
+TEST_F(PaperSec6Similarities, MatchPaperNumbers) {
+  EXPECT_NEAR(similarity(vd_, f1_), 1.5, 1e-12);
+  EXPECT_NEAR(similarity(vd_, f2_), 1.0 / std::sqrt(4.0 / 9.0 + 1.0), 1e-12);   // ~0.832
+  EXPECT_NEAR(similarity(vd_, f3_), 0.6, 1e-12);
+  EXPECT_NEAR(similarity(vd_, f4_), 1.0 / std::sqrt(1.0 / 9.0 + 1.0), 1e-12);   // ~0.949
+  EXPECT_NEAR(similarity(vd_, f5_), 1.0 / std::sqrt(4.0 / 9.0 + 2.0), 1e-12);   // ~0.640
+  EXPECT_NEAR(similarity(vd_, f6_), 1.0 / std::sqrt(16.0 / 9.0 + 2.0), 1e-12);  // ~0.514
+}
+
+TEST_F(PaperSec6Similarities, ExtendedVectorBreaksTheBasicTie) {
+  // With the basic vector [0,1,1,1,1,-1] both f1 and f4 score S = 1
+  // (the paper's motivating tie); the extended vector leaves f1 alone at
+  // the top.
+  const SamplingVector basic = make_vd({0.0, 1.0, 1.0, 1.0, 1.0, -1.0});
+  EXPECT_DOUBLE_EQ(similarity(basic, f1_), 1.0);
+  EXPECT_DOUBLE_EQ(similarity(basic, f4_), 1.0);
+
+  const double s1 = similarity(vd_, f1_);
+  for (const auto* f : {&f2_, &f3_, &f4_, &f5_, &f6_})
+    EXPECT_LT(similarity(vd_, *f), s1);
+}
+
+TEST(Similarity, MonotoneInDistance) {
+  EXPECT_GT(similarity_from_distance(1.0), similarity_from_distance(2.0));
+  EXPECT_EQ(similarity_from_distance(0.0), std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,136 @@
+#include "core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+
+namespace fttt {
+namespace {
+
+TEST(Theory, OnePairMissProbability) {
+  EXPECT_DOUBLE_EQ(theory::one_pair_miss_probability(1), 1.0);
+  EXPECT_DOUBLE_EQ(theory::one_pair_miss_probability(2), 0.5);
+  EXPECT_DOUBLE_EQ(theory::one_pair_miss_probability(5), 1.0 / 16.0);
+}
+
+TEST(Theory, CaptureProbabilityMonotoneInK) {
+  double prev = 0.0;
+  for (std::size_t k = 2; k <= 12; ++k) {
+    const double p = theory::all_flips_capture_probability(k, 45);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  EXPECT_GT(prev, 0.97);
+}
+
+TEST(Theory, CaptureProbabilityDecreasesWithPairs) {
+  EXPECT_GT(theory::all_flips_capture_probability(5, 10),
+            theory::all_flips_capture_probability(5, 100));
+}
+
+TEST(Theory, CaptureProbabilityMatchesMonteCarlo) {
+  // Simulate the model behind Sec. 5.1 directly: each pair shows one of
+  // two orders per instant with p = 1/2; a pair's flip is captured when
+  // both orders appear within the k instants.
+  RngStream rng(7);
+  const std::size_t k = 4;
+  const std::size_t pairs = 10;
+  const int trials = 200000;
+  int captured_all = 0;
+  for (int t = 0; t < trials; ++t) {
+    bool all = true;
+    for (std::size_t p = 0; p < pairs && all; ++p) {
+      bool saw_a = false;
+      bool saw_b = false;
+      for (std::size_t i = 0; i < k; ++i) (rng.bernoulli(0.5) ? saw_a : saw_b) = true;
+      all = saw_a && saw_b;
+    }
+    if (all) ++captured_all;
+  }
+  const double simulated = static_cast<double>(captured_all) / trials;
+  EXPECT_NEAR(simulated, theory::all_flips_capture_probability(k, pairs), 0.005);
+}
+
+TEST(Theory, InclusionExclusionMatchesClosedForm) {
+  // Appendix I identity: the Eq. 8 alternating sum equals (1-f)^N.
+  for (std::size_t k : {2u, 3u, 5u, 9u}) {
+    for (std::size_t pairs : {1u, 2u, 5u, 10u, 20u, 45u}) {
+      EXPECT_NEAR(theory::capture_probability_inclusion_exclusion(k, pairs),
+                  theory::all_flips_capture_probability(k, pairs), 1e-9)
+          << "k=" << k << " N=" << pairs;
+    }
+  }
+}
+
+TEST(Theory, ExpectedUncapturedPairsMatchesAppendixII) {
+  // E_N = N * f is both the uncaptured-pair count and the inter-face
+  // error expectation — the two Appendix II views of the same number.
+  EXPECT_DOUBLE_EQ(theory::expected_uncaptured_pairs(5, 12),
+                   theory::expected_interface_error(5, 12));
+}
+
+TEST(Theory, RequiredSamplingTimesPaperExample) {
+  // Sec. 5.1: 20 nodes (C(20,2) = 190 pairs), lambda = 0.99 -> k = 16.
+  EXPECT_EQ(theory::required_sampling_times(0.99, 190), 16u);
+}
+
+TEST(Theory, RequiredSamplingTimesAchievesTarget) {
+  for (double lambda : {0.9, 0.99, 0.999}) {
+    for (std::size_t pairs : {2u, 10u, 100u, 780u}) {
+      const std::size_t k = theory::required_sampling_times(lambda, pairs);
+      // The published bound uses exponent N-1; it must guarantee at least
+      // the (1-f)^(N-1) target, and in practice covers (1-f)^N too.
+      const double f = theory::one_pair_miss_probability(k);
+      EXPECT_GT(std::pow(1.0 - f, static_cast<double>(pairs - 1)), lambda);
+    }
+  }
+}
+
+TEST(Theory, RequiredSamplingTimesGrowsSlowly) {
+  // Logarithmic dependence: 4x the pairs costs ~2 extra samples.
+  const std::size_t k1 = theory::required_sampling_times(0.99, 50);
+  const std::size_t k2 = theory::required_sampling_times(0.99, 200);
+  EXPECT_LE(k2 - k1, 3u);
+}
+
+TEST(Theory, ExpectedInterfaceErrorLinearInPairs) {
+  EXPECT_DOUBLE_EQ(theory::expected_interface_error(5, 10),
+                   10.0 * theory::one_pair_miss_probability(5));
+  EXPECT_DOUBLE_EQ(theory::expected_interface_error(5, 20),
+                   2.0 * theory::expected_interface_error(5, 10));
+}
+
+TEST(Theory, ErrorBoundDecreasesWithSampling) {
+  double prev = theory::worst_case_error_bound(1, 0.002, 40.0);
+  for (std::size_t k = 2; k <= 9; ++k) {
+    const double e = theory::worst_case_error_bound(k, 0.002, 40.0);
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Theory, ErrorBoundDecreasesWithDensity) {
+  EXPECT_GT(theory::worst_case_error_bound(5, 0.001, 40.0),
+            theory::worst_case_error_bound(5, 0.004, 40.0));
+}
+
+TEST(Theory, ErrorBoundInfiniteWhenTooSparse) {
+  // Fewer than 2 expected nodes in range: no pairs, bound is infinite.
+  EXPECT_TRUE(std::isinf(theory::worst_case_error_bound(5, 1e-9, 1.0)));
+}
+
+TEST(Theory, ErrorBoundScalesAsEq10) {
+  // Eq. 10: E = O(1 / (2^((k-1)/2) rho R)). Doubling rho should halve the
+  // bound (asymptotically; n >> 1 here).
+  const double e1 = theory::worst_case_error_bound(5, 0.004, 40.0);
+  const double e2 = theory::worst_case_error_bound(5, 0.008, 40.0);
+  EXPECT_NEAR(e1 / e2, 2.0, 0.1);
+  // Increasing k by 2 divides the bound by ~2 (factor 2^(k/2) per 2 k).
+  const double e3 = theory::worst_case_error_bound(7, 0.004, 40.0);
+  EXPECT_NEAR(e1 / e3, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,84 @@
+#include "core/velocity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace fttt {
+namespace {
+
+TEST(VelocityEstimator, UninitializedState) {
+  const VelocityEstimator v;
+  EXPECT_FALSE(v.velocity().has_value());
+  EXPECT_DOUBLE_EQ(v.speed(), 0.0);
+  EXPECT_FALSE(v.heading().has_value());
+  EXPECT_FALSE(v.predict(1.0).has_value());
+}
+
+TEST(VelocityEstimator, ConvergesToConstantVelocity) {
+  VelocityEstimator v({.tau = 1.0});
+  // Target moving at (2, 1) m/s, sampled every 0.5 s for 20 s.
+  for (int i = 0; i <= 40; ++i) {
+    const double t = 0.5 * i;
+    v.update({2.0 * t, 1.0 * t}, t);
+  }
+  ASSERT_TRUE(v.velocity().has_value());
+  EXPECT_NEAR(v.velocity()->x, 2.0, 0.01);
+  EXPECT_NEAR(v.velocity()->y, 1.0, 0.01);
+  EXPECT_NEAR(v.speed(), std::sqrt(5.0), 0.02);
+}
+
+TEST(VelocityEstimator, HeadingFollowsDirection) {
+  VelocityEstimator v({.tau = 0.5});
+  for (int i = 0; i <= 20; ++i) v.update({0.0, 3.0 * 0.5 * i}, 0.5 * i);
+  ASSERT_TRUE(v.heading().has_value());
+  EXPECT_NEAR(*v.heading(), std::numbers::pi / 2.0, 0.01);  // due north
+}
+
+TEST(VelocityEstimator, PredictExtrapolatesLinearly) {
+  VelocityEstimator v({.tau = 0.5});
+  for (int i = 0; i <= 20; ++i) v.update({1.0 * 0.5 * i, 0.0}, 0.5 * i);
+  const auto predicted = v.predict(2.0);
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_NEAR(predicted->x, 10.0 + 2.0, 0.05);  // last pos 10 + v*2
+  EXPECT_NEAR(predicted->y, 0.0, 0.05);
+}
+
+TEST(VelocityEstimator, GlitchesClampedByMaxSpeed) {
+  VelocityEstimator v({.tau = 0.01, .max_speed = 5.0});  // nearly unsmoothed
+  v.update({0.0, 0.0}, 0.0);
+  v.update({100.0, 0.0}, 0.5);  // implies 200 m/s: a face-jump glitch
+  EXPECT_LE(v.speed(), 5.0 + 1e-9);
+}
+
+TEST(VelocityEstimator, SmoothingRejectsAlternatingNoise) {
+  // A stationary target whose estimates ping-pong between two faces:
+  // the smoothed velocity should stay near zero.
+  VelocityEstimator v({.tau = 3.0});
+  for (int i = 0; i <= 60; ++i)
+    v.update({i % 2 == 0 ? 0.0 : 2.0, 0.0}, 0.5 * i);
+  EXPECT_LT(v.speed(), 1.0);
+}
+
+TEST(VelocityEstimator, OutOfOrderUpdatesIgnored) {
+  VelocityEstimator v;
+  v.update({0.0, 0.0}, 1.0);
+  v.update({5.0, 0.0}, 0.5);  // goes back in time: dropped
+  EXPECT_FALSE(v.velocity().has_value());
+  v.update({1.0, 0.0}, 2.0);
+  EXPECT_TRUE(v.velocity().has_value());
+}
+
+TEST(VelocityEstimator, ResetClearsState) {
+  VelocityEstimator v;
+  v.update({0.0, 0.0}, 0.0);
+  v.update({1.0, 0.0}, 1.0);
+  EXPECT_TRUE(v.velocity().has_value());
+  v.reset();
+  EXPECT_FALSE(v.velocity().has_value());
+  EXPECT_FALSE(v.predict(1.0).has_value());
+}
+
+}  // namespace
+}  // namespace fttt

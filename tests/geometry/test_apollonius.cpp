@@ -1,0 +1,166 @@
+#include "geometry/apollonius.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/random.hpp"
+#include "geometry/bisector.hpp"
+
+namespace fttt {
+namespace {
+
+/// Points on an Apollonius circle must satisfy the defining ratio.
+TEST(Apollonius, CirclePointsSatisfyDistanceRatio) {
+  const Vec2 a{-3.0, 1.0};
+  const Vec2 b{4.0, -2.0};
+  for (double ratio : {0.5, 0.8, 1.25, 2.0, 3.7}) {
+    const Circle c = apollonius_circle(a, b, ratio);
+    for (int i = 0; i < 36; ++i) {
+      const double ang = 2.0 * std::numbers::pi * i / 36.0;
+      const Vec2 p = c.center + Vec2{std::cos(ang), std::sin(ang)} * c.radius;
+      EXPECT_NEAR(distance(p, a) / distance(p, b), ratio, 1e-9)
+          << "ratio " << ratio << " angle " << ang;
+    }
+  }
+}
+
+/// Paper Eq. 4: nodes at (d, 0), (-d, 0); the ratio-C locus (d_m/d_n = C
+/// with m the node at (d,0)) has center x = d (C^2+1)/(C^2-1) and radius
+/// 2 C d / (C^2 - 1).
+TEST(Apollonius, MatchesPaperEquation4) {
+  const double d = 5.0;
+  const double C = 1.5;
+  // Paper Fig. 2 geometry: nodes at (d, 0) and (-d, 0); Eq. 4 describes
+  // the circle centred at positive x, i.e. the ratio-C locus measured
+  // from the node at (-d, 0) (it encloses the node at (d, 0)).
+  const Circle c = apollonius_circle({-d, 0.0}, {d, 0.0}, C);
+  EXPECT_NEAR(c.center.x, d * (C * C + 1.0) / (C * C - 1.0), 1e-12);
+  EXPECT_NEAR(c.center.y, 0.0, 1e-12);
+  EXPECT_NEAR(c.radius, 2.0 * C * d / (C * C - 1.0), 1e-12);
+}
+
+TEST(Apollonius, SmallRatioCircleEnclosesA) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, 0.0};
+  const Circle c = apollonius_circle(a, b, 0.5);
+  EXPECT_TRUE(c.contains(a));
+  EXPECT_FALSE(c.contains(b));
+}
+
+TEST(Apollonius, LargeRatioCircleEnclosesB) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, 0.0};
+  const Circle c = apollonius_circle(a, b, 2.0);
+  EXPECT_TRUE(c.contains(b));
+  EXPECT_FALSE(c.contains(a));
+}
+
+TEST(Apollonius, BoundaryCirclesAreAxisymmetricAboutBisector) {
+  // For nodes at +/- d on the x axis the two circles of the uncertain
+  // boundary mirror each other across the y axis (Definition 2).
+  const Vec2 a{-5.0, 0.0};
+  const Vec2 b{5.0, 0.0};
+  const UncertainBoundary ub = uncertain_boundary(a, b, 1.4);
+  EXPECT_NEAR(ub.near_a.center.x, -ub.near_b.center.x, 1e-12);
+  EXPECT_NEAR(ub.near_a.center.y, ub.near_b.center.y, 1e-12);
+  EXPECT_NEAR(ub.near_a.radius, ub.near_b.radius, 1e-12);
+}
+
+TEST(PairRegion, ThreeRegionsAlongAxis) {
+  const Vec2 a{-5.0, 0.0};
+  const Vec2 b{5.0, 0.0};
+  const double C = 1.5;
+  EXPECT_EQ(pair_region({-5.0, 0.0}, a, b, C), +1);  // at node a
+  EXPECT_EQ(pair_region({5.0, 0.0}, a, b, C), -1);   // at node b
+  EXPECT_EQ(pair_region({0.0, 0.0}, a, b, C), 0);    // midpoint: uncertain
+}
+
+TEST(PairRegion, BoundaryPointsClassifyDecisively) {
+  // Points exactly on the near_a circle satisfy d_a/d_b = 1/C and the
+  // classification is the closed region (<=), so they read +1.
+  const Vec2 a{-5.0, 0.0};
+  const Vec2 b{5.0, 0.0};
+  const double C = 1.5;
+  const Circle near_a = uncertain_boundary(a, b, C).near_a;
+  const Vec2 p = near_a.center + Vec2{near_a.radius, 0.0};
+  EXPECT_EQ(pair_region(p, a, b, C), +1);
+}
+
+TEST(PairRegion, AntisymmetricUnderNodeSwap) {
+  RngStream rng(17);
+  const double C = 1.3;
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 a{rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)};
+    const Vec2 b{rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)};
+    if (distance(a, b) < 1e-6) continue;
+    const Vec2 p{rng.uniform(-20.0, 20.0), rng.uniform(-20.0, 20.0)};
+    EXPECT_EQ(pair_region(p, a, b, C), -pair_region(p, b, a, C));
+  }
+}
+
+TEST(PairRegion, CEqualOneDegeneratesToBisector) {
+  RngStream rng(23);
+  const Vec2 a{-3.0, 0.0};
+  const Vec2 b{3.0, 0.0};
+  for (int i = 0; i < 500; ++i) {
+    const Vec2 p{rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)};
+    EXPECT_EQ(pair_region(p, a, b, 1.0), bisector_side(p, a, b));
+  }
+}
+
+TEST(PairRegion, UncertainAreaGrowsWithC) {
+  // A point decisively classified under a small C may become uncertain
+  // under a bigger C, never the reverse.
+  const Vec2 a{-5.0, 0.0};
+  const Vec2 b{5.0, 0.0};
+  RngStream rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const Vec2 p{rng.uniform(-15.0, 15.0), rng.uniform(-15.0, 15.0)};
+    const int small = pair_region(p, a, b, 1.2);
+    const int big = pair_region(p, a, b, 2.0);
+    if (small == 0) EXPECT_EQ(big, 0);
+    if (big != 0) EXPECT_EQ(small, big);
+  }
+}
+
+TEST(PairRegion, UncertainRegionIsBetweenTheCircles) {
+  const Vec2 a{-5.0, 0.0};
+  const Vec2 b{5.0, 0.0};
+  const double C = 1.5;
+  const UncertainBoundary ub = uncertain_boundary(a, b, C);
+  RngStream rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    const Vec2 p{rng.uniform(-30.0, 30.0), rng.uniform(-30.0, 30.0)};
+    const int r = pair_region(p, a, b, C);
+    const bool inside_near_a = ub.near_a.contains(p);
+    const bool inside_near_b = ub.near_b.contains(p);
+    if (r == +1) EXPECT_TRUE(inside_near_a);
+    if (r == -1) EXPECT_TRUE(inside_near_b);
+    if (r == 0) {
+      EXPECT_FALSE(inside_near_a);
+      EXPECT_FALSE(inside_near_b);
+    }
+  }
+}
+
+TEST(BisectorSide, BasicClassification) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, 0.0};
+  EXPECT_EQ(bisector_side({1.0, 3.0}, a, b), +1);
+  EXPECT_EQ(bisector_side({9.0, -3.0}, a, b), -1);
+  EXPECT_EQ(bisector_side({5.0, 7.0}, a, b), 0);
+}
+
+TEST(Circle, ContainsAndSignedDistance) {
+  const Circle c{{1.0, 1.0}, 2.0};
+  EXPECT_TRUE(c.contains({1.0, 1.0}));
+  EXPECT_TRUE(c.contains({2.5, 1.0}));
+  EXPECT_FALSE(c.contains({3.5, 1.0}));
+  EXPECT_DOUBLE_EQ(c.signed_distance({4.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(c.signed_distance({1.0, 1.0}), -2.0);
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,72 @@
+#include "geometry/circle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fttt {
+namespace {
+
+TEST(CircleIntersections, ClassicTwoPointCase) {
+  // Unit circles at (0,0) and (1,0): intersections at (0.5, +-sqrt(3)/2).
+  const auto pts = circle_intersections({{0.0, 0.0}, 1.0}, {{1.0, 0.0}, 1.0});
+  ASSERT_TRUE(pts.has_value());
+  EXPECT_NEAR(pts->first.x, 0.5, 1e-12);
+  EXPECT_NEAR(pts->first.y, std::sqrt(3.0) / 2.0, 1e-12);
+  EXPECT_NEAR(pts->second.x, 0.5, 1e-12);
+  EXPECT_NEAR(pts->second.y, -std::sqrt(3.0) / 2.0, 1e-12);
+}
+
+TEST(CircleIntersections, PointsLieOnBothCircles) {
+  const Circle a{{-2.0, 1.0}, 3.0};
+  const Circle b{{1.5, -0.5}, 2.5};
+  const auto pts = circle_intersections(a, b);
+  ASSERT_TRUE(pts.has_value());
+  for (const Vec2 p : {pts->first, pts->second}) {
+    EXPECT_NEAR(distance(p, a.center), a.radius, 1e-9);
+    EXPECT_NEAR(distance(p, b.center), b.radius, 1e-9);
+  }
+}
+
+TEST(CircleIntersections, DisjointReturnsNothing) {
+  EXPECT_FALSE(circle_intersections({{0.0, 0.0}, 1.0}, {{10.0, 0.0}, 1.0}).has_value());
+}
+
+TEST(CircleIntersections, NestedReturnsNothing) {
+  EXPECT_FALSE(circle_intersections({{0.0, 0.0}, 5.0}, {{0.5, 0.0}, 1.0}).has_value());
+}
+
+TEST(CircleIntersections, ConcentricReturnsNothing) {
+  EXPECT_FALSE(circle_intersections({{1.0, 1.0}, 2.0}, {{1.0, 1.0}, 3.0}).has_value());
+  EXPECT_FALSE(circle_intersections({{1.0, 1.0}, 2.0}, {{1.0, 1.0}, 2.0}).has_value());
+}
+
+TEST(CircleIntersections, ExternallyTangentGivesDoubledPoint) {
+  const auto pts = circle_intersections({{0.0, 0.0}, 1.0}, {{3.0, 0.0}, 2.0});
+  ASSERT_TRUE(pts.has_value());
+  EXPECT_NEAR(distance(pts->first, pts->second), 0.0, 1e-9);
+  EXPECT_NEAR(pts->first.x, 1.0, 1e-12);
+}
+
+TEST(CircleIntersections, InternallyTangentGivesDoubledPoint) {
+  const auto pts = circle_intersections({{0.0, 0.0}, 3.0}, {{1.0, 0.0}, 2.0});
+  ASSERT_TRUE(pts.has_value());
+  EXPECT_NEAR(distance(pts->first, pts->second), 0.0, 1e-9);
+  EXPECT_NEAR(pts->first.x, 3.0, 1e-12);
+}
+
+TEST(CircleIntersections, SymmetricInArguments) {
+  const Circle a{{0.0, 0.0}, 2.0};
+  const Circle b{{2.5, 1.0}, 1.5};
+  const auto ab = circle_intersections(a, b);
+  const auto ba = circle_intersections(b, a);
+  ASSERT_TRUE(ab.has_value());
+  ASSERT_TRUE(ba.has_value());
+  // Same point set (order may swap).
+  const bool same_order = distance(ab->first, ba->first) < 1e-9;
+  const bool swapped = distance(ab->first, ba->second) < 1e-9;
+  EXPECT_TRUE(same_order || swapped);
+}
+
+}  // namespace
+}  // namespace fttt

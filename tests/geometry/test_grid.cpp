@@ -1,0 +1,70 @@
+#include "geometry/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fttt {
+namespace {
+
+TEST(UniformGrid, DimensionsCoverExtent) {
+  const UniformGrid g({{0.0, 0.0}, {100.0, 50.0}}, 10.0);
+  EXPECT_EQ(g.cols(), 10);
+  EXPECT_EQ(g.rows(), 5);
+  EXPECT_EQ(g.cell_count(), 50u);
+}
+
+TEST(UniformGrid, NonDivisibleExtentRoundsUp) {
+  const UniformGrid g({{0.0, 0.0}, {95.0, 41.0}}, 10.0);
+  EXPECT_EQ(g.cols(), 10);
+  EXPECT_EQ(g.rows(), 5);
+}
+
+TEST(UniformGrid, InvalidArgumentsThrow) {
+  EXPECT_THROW(UniformGrid({{0.0, 0.0}, {10.0, 10.0}}, 0.0), std::invalid_argument);
+  EXPECT_THROW(UniformGrid({{0.0, 0.0}, {10.0, 10.0}}, -1.0), std::invalid_argument);
+  EXPECT_THROW(UniformGrid({{5.0, 5.0}, {5.0, 10.0}}, 1.0), std::invalid_argument);
+}
+
+TEST(UniformGrid, CenterOfFirstCell) {
+  const UniformGrid g({{0.0, 0.0}, {10.0, 10.0}}, 2.0);
+  EXPECT_EQ(g.center(CellIndex{0, 0}), Vec2(1.0, 1.0));
+  EXPECT_EQ(g.center(CellIndex{4, 4}), Vec2(9.0, 9.0));
+}
+
+TEST(UniformGrid, LocateRoundTripsThroughCenter) {
+  const UniformGrid g({{0.0, 0.0}, {100.0, 100.0}}, 1.0);
+  for (std::size_t flat = 0; flat < g.cell_count(); flat += 97) {
+    const CellIndex c = g.unflatten(flat);
+    EXPECT_EQ(g.locate(g.center(c)), c);
+  }
+}
+
+TEST(UniformGrid, LocateClampsOutsidePoints) {
+  const UniformGrid g({{0.0, 0.0}, {10.0, 10.0}}, 1.0);
+  EXPECT_EQ(g.locate({-5.0, -5.0}), (CellIndex{0, 0}));
+  EXPECT_EQ(g.locate({50.0, 50.0}), (CellIndex{9, 9}));
+}
+
+TEST(UniformGrid, FlattenUnflattenBijection) {
+  const UniformGrid g({{0.0, 0.0}, {13.0, 7.0}}, 1.0);
+  for (std::size_t flat = 0; flat < g.cell_count(); ++flat)
+    EXPECT_EQ(g.flatten(g.unflatten(flat)), flat);
+}
+
+TEST(UniformGrid, Neighbors4CountAndBounds) {
+  const UniformGrid g({{0.0, 0.0}, {10.0, 10.0}}, 1.0);
+  EXPECT_EQ(g.neighbors4({0, 0}).size(), 2u);    // corner
+  EXPECT_EQ(g.neighbors4({5, 0}).size(), 3u);    // edge
+  EXPECT_EQ(g.neighbors4({5, 5}).size(), 4u);    // interior
+  for (const CellIndex n : g.neighbors4({0, 0})) EXPECT_TRUE(g.in_bounds(n));
+}
+
+TEST(UniformGrid, InBounds) {
+  const UniformGrid g({{0.0, 0.0}, {10.0, 10.0}}, 1.0);
+  EXPECT_TRUE(g.in_bounds({0, 0}));
+  EXPECT_TRUE(g.in_bounds({9, 9}));
+  EXPECT_FALSE(g.in_bounds({-1, 0}));
+  EXPECT_FALSE(g.in_bounds({0, 10}));
+}
+
+}  // namespace
+}  // namespace fttt

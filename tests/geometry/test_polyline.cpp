@@ -1,0 +1,59 @@
+#include "geometry/polyline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fttt {
+namespace {
+
+TEST(Polyline, EmptyConstructionThrows) {
+  EXPECT_THROW(Polyline(std::vector<Vec2>{}), std::invalid_argument);
+}
+
+TEST(Polyline, SinglePointHasZeroLength) {
+  const Polyline p({{3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(p.length(), 0.0);
+  EXPECT_EQ(p.point_at(0.0), Vec2(3.0, 4.0));
+  EXPECT_EQ(p.point_at(100.0), Vec2(3.0, 4.0));
+  EXPECT_EQ(p.tangent_at(0.0), Vec2(0.0, 0.0));
+}
+
+TEST(Polyline, LengthIsSumOfSegments) {
+  const Polyline p({{0.0, 0.0}, {3.0, 4.0}, {3.0, 10.0}});
+  EXPECT_DOUBLE_EQ(p.length(), 11.0);
+}
+
+TEST(Polyline, PointAtInterpolates) {
+  const Polyline p({{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}});
+  EXPECT_EQ(p.point_at(0.0), Vec2(0.0, 0.0));
+  EXPECT_EQ(p.point_at(5.0), Vec2(5.0, 0.0));
+  EXPECT_EQ(p.point_at(10.0), Vec2(10.0, 0.0));
+  EXPECT_EQ(p.point_at(15.0), Vec2(10.0, 5.0));
+  EXPECT_EQ(p.point_at(20.0), Vec2(10.0, 10.0));
+}
+
+TEST(Polyline, PointAtClampsOutsideRange) {
+  const Polyline p({{0.0, 0.0}, {10.0, 0.0}});
+  EXPECT_EQ(p.point_at(-5.0), Vec2(0.0, 0.0));
+  EXPECT_EQ(p.point_at(50.0), Vec2(10.0, 0.0));
+}
+
+TEST(Polyline, TangentFollowsSegmentDirection) {
+  const Polyline p({{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}});
+  EXPECT_EQ(p.tangent_at(5.0), Vec2(1.0, 0.0));
+  EXPECT_EQ(p.tangent_at(15.0), Vec2(0.0, 1.0));
+}
+
+TEST(Polyline, DuplicateVerticesAreSkipped) {
+  const Polyline p({{0.0, 0.0}, {5.0, 0.0}, {5.0, 0.0}, {10.0, 0.0}});
+  EXPECT_DOUBLE_EQ(p.length(), 10.0);
+  EXPECT_EQ(p.point_at(7.0), Vec2(7.0, 0.0));
+  EXPECT_EQ(p.tangent_at(5.0), Vec2(1.0, 0.0));
+}
+
+TEST(Polyline, EndTangentUsesLastRealSegment) {
+  const Polyline p({{0.0, 0.0}, {10.0, 0.0}});
+  EXPECT_EQ(p.tangent_at(10.0), Vec2(1.0, 0.0));
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,56 @@
+// Reproducibility contract: the whole experiment pipeline is a pure
+// function of (ScenarioConfig, trial), independent of thread scheduling.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "sim/montecarlo.hpp"
+#include "testbed/outdoor.hpp"
+
+namespace fttt {
+namespace {
+
+TEST(Determinism, FullPipelineStableAcrossRepeats) {
+  ScenarioConfig cfg;
+  cfg.sensor_count = 10;
+  cfg.duration = 8.0;
+  cfg.grid_cell = 2.0;
+  const std::array<Method, 4> methods{Method::kFttt, Method::kFtttExtended,
+                                      Method::kPathMatching, Method::kDirectMle};
+  const auto a = monte_carlo(cfg, methods, 3);
+  const auto b = monte_carlo(cfg, methods, 3);
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    EXPECT_DOUBLE_EQ(a[m].mean_error(), b[m].mean_error());
+    EXPECT_DOUBLE_EQ(a[m].stddev_error(), b[m].stddev_error());
+  }
+}
+
+TEST(Determinism, SeedChangesResults) {
+  ScenarioConfig cfg;
+  cfg.sensor_count = 10;
+  cfg.duration = 8.0;
+  cfg.grid_cell = 2.0;
+  const std::array<Method, 1> methods{Method::kFttt};
+  const auto a = monte_carlo(cfg, methods, 2);
+  cfg.seed += 1;
+  const auto b = monte_carlo(cfg, methods, 2);
+  EXPECT_NE(a[0].mean_error(), b[0].mean_error());
+}
+
+TEST(Determinism, OutdoorRunStableAcrossPoolSizes) {
+  OutdoorSystem::Config cfg;
+  cfg.grid_cell = 1.5;
+  const OutdoorSystem sys(cfg);
+  ThreadPool one(1);
+  ThreadPool many(8);
+  const auto a = sys.run(one);
+  const auto b = sys.run(many);
+  ASSERT_EQ(a.times.size(), b.times.size());
+  for (std::size_t i = 0; i < a.times.size(); ++i) {
+    EXPECT_EQ(a.basic[i], b.basic[i]);
+    EXPECT_EQ(a.extended[i], b.extended[i]);
+  }
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,64 @@
+// Fault-tolerance integration (paper Sec. 4.4(3)): FTTT must keep
+// producing full-dimension sampling vectors and sane estimates while nodes
+// drop out, and degrade gracefully with the dropout rate.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "sim/montecarlo.hpp"
+
+namespace fttt {
+namespace {
+
+ScenarioConfig base_config() {
+  ScenarioConfig cfg;
+  cfg.sensor_count = 12;
+  cfg.duration = 15.0;
+  cfg.grid_cell = 2.0;
+  return cfg;
+}
+
+TEST(FaultTolerance, TracksThroughModerateDropout) {
+  ScenarioConfig cfg = base_config();
+  cfg.dropout_probability = 0.2;
+  const std::array<Method, 1> methods{Method::kFttt};
+  const auto s = monte_carlo(cfg, methods, 6);
+  EXPECT_LT(s[0].mean_error(), 22.0);
+}
+
+TEST(FaultTolerance, ErrorDegradesGracefully) {
+  const std::array<Method, 1> methods{Method::kFttt};
+  std::vector<double> errors;
+  for (double p : {0.0, 0.25, 0.5}) {
+    ScenarioConfig cfg = base_config();
+    cfg.dropout_probability = p;
+    errors.push_back(monte_carlo(cfg, methods, 6)[0].mean_error());
+  }
+  // Losing half the nodes should cost accuracy...
+  EXPECT_GT(errors[2], errors[0]);
+  // ...but not catastrophically (still far better than blind guessing).
+  EXPECT_LT(errors[2], 30.0);
+}
+
+TEST(FaultTolerance, HeavyDropoutStillProducesEstimates) {
+  ScenarioConfig cfg = base_config();
+  cfg.dropout_probability = 0.8;
+  cfg.duration = 8.0;
+  const std::array<Method, 2> methods{Method::kFttt, Method::kFtttExtended};
+  const TrackingResult r = run_tracking(cfg, methods);
+  for (const auto& m : r.methods) {
+    ASSERT_EQ(m.estimates.size(), r.times.size());
+    for (const Vec2 e : m.estimates) EXPECT_TRUE(cfg.field.contains(e));
+  }
+}
+
+TEST(FaultTolerance, FaultTolerantFtttBeatsDirectMleUnderDropout) {
+  ScenarioConfig cfg = base_config();
+  cfg.dropout_probability = 0.3;
+  const std::array<Method, 2> methods{Method::kFttt, Method::kDirectMle};
+  const auto s = monte_carlo(cfg, methods, 6);
+  EXPECT_LT(s[0].mean_error(), s[1].mean_error());
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,89 @@
+#include "mobility/gauss_markov.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {100.0, 100.0}};
+
+GaussMarkovConfig base_config() {
+  GaussMarkovConfig cfg;
+  cfg.field = kField;
+  return cfg;
+}
+
+TEST(GaussMarkov, ConfigValidation) {
+  GaussMarkovConfig bad = base_config();
+  bad.memory = 1.5;
+  EXPECT_THROW(GaussMarkov(bad, RngStream(1)), std::invalid_argument);
+  bad = base_config();
+  bad.step = 0.0;
+  EXPECT_THROW(GaussMarkov(bad, RngStream(1)), std::invalid_argument);
+  bad = base_config();
+  bad.v_min = 5.0;
+  bad.v_max = 1.0;
+  EXPECT_THROW(GaussMarkov(bad, RngStream(1)), std::invalid_argument);
+}
+
+TEST(GaussMarkov, StaysInsideField) {
+  const GaussMarkov gm(base_config(), RngStream(2));
+  for (double t = 0.0; t <= 60.0; t += 0.1)
+    EXPECT_TRUE(kField.contains(gm.position_at(t))) << "t=" << t;
+}
+
+TEST(GaussMarkov, SpeedRespectsClamps) {
+  GaussMarkovConfig cfg = base_config();
+  cfg.v_max = 4.0;
+  const GaussMarkov gm(cfg, RngStream(3));
+  for (double t = 0.0; t < 59.0; t += 0.25) {
+    const double v = distance(gm.position_at(t), gm.position_at(t + 0.25)) / 0.25;
+    EXPECT_LE(v, 4.0 + 1e-9);
+  }
+}
+
+TEST(GaussMarkov, HighMemoryIsSmootherThanLowMemory) {
+  // Smoothness measured as mean angle between consecutive displacement
+  // vectors: strongly correlated motion turns less per step.
+  const auto turniness = [](double memory) {
+    GaussMarkovConfig cfg;
+    cfg.field = {{0.0, 0.0}, {10000.0, 10000.0}};  // huge: avoid reflections
+    cfg.memory = memory;
+    const GaussMarkov gm(cfg, RngStream(4));
+    double total = 0.0;
+    int count = 0;
+    for (double t = 0.5; t < 59.0; t += 0.25) {
+      const Vec2 a = gm.position_at(t) - gm.position_at(t - 0.25);
+      const Vec2 b = gm.position_at(t + 0.25) - gm.position_at(t);
+      const double na = norm(a);
+      const double nb = norm(b);
+      if (na < 1e-9 || nb < 1e-9) continue;
+      total += std::acos(std::clamp(dot(a, b) / (na * nb), -1.0, 1.0));
+      ++count;
+    }
+    return total / count;
+  };
+  EXPECT_LT(turniness(0.95), turniness(0.3));
+}
+
+TEST(GaussMarkov, Reproducible) {
+  const GaussMarkov a(base_config(), RngStream(7));
+  const GaussMarkov b(base_config(), RngStream(7));
+  for (double t = 0.0; t <= 60.0; t += 1.0) EXPECT_EQ(a.position_at(t), b.position_at(t));
+}
+
+TEST(GaussMarkov, ContinuousInterpolation) {
+  const GaussMarkov gm(base_config(), RngStream(8));
+  for (double t = 0.0; t < 59.9; t += 0.05) {
+    const double step = distance(gm.position_at(t), gm.position_at(t + 0.05));
+    EXPECT_LE(step, 8.0 * 0.05 + 1e-9);  // bounded by v_max
+  }
+}
+
+TEST(GaussMarkov, HoldsFinalPositionPastDuration) {
+  const GaussMarkov gm(base_config(), RngStream(9));
+  EXPECT_EQ(gm.position_at(60.0), gm.position_at(500.0));
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mobility/path_trace.hpp"
+#include "mobility/waypoint.hpp"
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {100.0, 100.0}};
+
+TEST(RandomWaypoint, StaysInsideField) {
+  const RandomWaypoint rw(WaypointConfig{kField, 1.0, 5.0, 0.0, 60.0}, RngStream(1));
+  for (double t = 0.0; t <= 60.0; t += 0.1)
+    EXPECT_TRUE(kField.contains(rw.position_at(t))) << "t=" << t;
+}
+
+TEST(RandomWaypoint, SpeedWithinConfiguredRange) {
+  const RandomWaypoint rw(WaypointConfig{kField, 1.0, 5.0, 0.0, 60.0}, RngStream(2));
+  const double dt = 0.01;
+  for (double t = 0.0; t < 59.0; t += 0.25) {
+    const double v = distance(rw.position_at(t), rw.position_at(t + dt)) / dt;
+    EXPECT_LE(v, 5.0 + 1e-6) << "t=" << t;
+  }
+}
+
+TEST(RandomWaypoint, ContinuousPath) {
+  const RandomWaypoint rw(WaypointConfig{kField, 1.0, 5.0, 0.0, 60.0}, RngStream(3));
+  for (double t = 0.0; t < 59.9; t += 0.05) {
+    const double step = distance(rw.position_at(t), rw.position_at(t + 0.05));
+    EXPECT_LE(step, 5.0 * 0.05 + 1e-9);
+  }
+}
+
+TEST(RandomWaypoint, PauseHoldsPosition) {
+  const RandomWaypoint rw(WaypointConfig{kField, 4.9, 5.0, 10.0, 120.0}, RngStream(4));
+  // With a 10 s pause, some sampled instants must show zero velocity.
+  int still = 0;
+  for (double t = 0.0; t < 119.0; t += 0.5)
+    if (distance(rw.position_at(t), rw.position_at(t + 0.2)) < 1e-12) ++still;
+  EXPECT_GT(still, 5);
+}
+
+TEST(RandomWaypoint, ReproducibleFromSeed) {
+  const WaypointConfig cfg{kField, 1.0, 5.0, 0.0, 60.0};
+  const RandomWaypoint a(cfg, RngStream(9));
+  const RandomWaypoint b(cfg, RngStream(9));
+  for (double t = 0.0; t <= 60.0; t += 1.0)
+    EXPECT_EQ(a.position_at(t), b.position_at(t));
+}
+
+TEST(RandomWaypoint, QueriesPastDurationHoldFinalPosition) {
+  const RandomWaypoint rw(WaypointConfig{kField, 1.0, 5.0, 0.0, 30.0}, RngStream(5));
+  EXPECT_EQ(rw.position_at(30.0), rw.position_at(1000.0));
+}
+
+TEST(RandomWaypoint, InvalidConfigThrows) {
+  EXPECT_THROW(RandomWaypoint(WaypointConfig{kField, 0.0, 5.0, 0.0, 60.0}, RngStream(1)),
+               std::invalid_argument);
+  EXPECT_THROW(RandomWaypoint(WaypointConfig{kField, 5.0, 1.0, 0.0, 60.0}, RngStream(1)),
+               std::invalid_argument);
+  EXPECT_THROW(RandomWaypoint(WaypointConfig{kField, 1.0, 5.0, 0.0, -1.0}, RngStream(1)),
+               std::invalid_argument);
+}
+
+TEST(PathTrace, ConstantSpeedArrivesOnTime) {
+  const Polyline line({{0.0, 0.0}, {30.0, 0.0}});
+  const PathTrace trace(line, 3.0, 3.0, RngStream(1));
+  EXPECT_DOUBLE_EQ(trace.duration(), 10.0);
+  EXPECT_EQ(trace.position_at(0.0), Vec2(0.0, 0.0));
+  EXPECT_EQ(trace.position_at(5.0), Vec2(15.0, 0.0));
+  EXPECT_EQ(trace.position_at(10.0), Vec2(30.0, 0.0));
+  EXPECT_EQ(trace.position_at(99.0), Vec2(30.0, 0.0));
+}
+
+TEST(PathTrace, VariableSpeedStaysOnPath) {
+  const Aabb box{{0.0, 0.0}, {100.0, 100.0}};
+  const Polyline path = u_shape_path(box, 15.0);
+  const PathTrace trace(path, 1.0, 5.0, RngStream(7));
+  for (double t = 0.0; t < trace.duration(); t += 0.25) {
+    const Vec2 p = trace.position_at(t);
+    // Every point of the "⊔" lies on x = 15, x = 85 or y = 15.
+    const bool on_path = std::abs(p.x - 15.0) < 1e-9 || std::abs(p.x - 85.0) < 1e-9 ||
+                         std::abs(p.y - 15.0) < 1e-9;
+    EXPECT_TRUE(on_path) << p;
+  }
+}
+
+TEST(PathTrace, PerLegSpeedWithinRange) {
+  const Polyline line({{0.0, 0.0}, {50.0, 0.0}, {50.0, 50.0}});
+  const PathTrace trace(line, 1.0, 5.0, RngStream(11));
+  EXPECT_GE(trace.duration(), 100.0 / 5.0);
+  EXPECT_LE(trace.duration(), 100.0 / 1.0);
+}
+
+TEST(PathTrace, InvalidSpeedsThrow) {
+  const Polyline line({{0.0, 0.0}, {10.0, 0.0}});
+  EXPECT_THROW(PathTrace(line, 0.0, 1.0, RngStream(1)), std::invalid_argument);
+  EXPECT_THROW(PathTrace(line, 2.0, 1.0, RngStream(1)), std::invalid_argument);
+}
+
+TEST(UShapePath, GeometryMatchesBox) {
+  const Aabb box{{0.0, 0.0}, {100.0, 100.0}};
+  const Polyline path = u_shape_path(box, 10.0);
+  ASSERT_EQ(path.vertices().size(), 4u);
+  EXPECT_EQ(path.vertices()[0], Vec2(10.0, 90.0));
+  EXPECT_EQ(path.vertices()[1], Vec2(10.0, 10.0));
+  EXPECT_EQ(path.vertices()[2], Vec2(90.0, 10.0));
+  EXPECT_EQ(path.vertices()[3], Vec2(90.0, 90.0));
+  EXPECT_DOUBLE_EQ(path.length(), 80.0 * 3.0);
+}
+
+}  // namespace
+}  // namespace fttt

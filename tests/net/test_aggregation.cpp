@@ -1,0 +1,146 @@
+#include "net/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/deployment.hpp"
+
+namespace fttt {
+namespace {
+
+SampleReport make_report(NodeId node, std::uint64_t epoch, std::size_t k,
+                         double send_time = 0.5) {
+  SampleReport r;
+  r.node = node;
+  r.epoch = epoch;
+  r.samples.assign(k, -50.0);
+  r.send_time = send_time;
+  return r;
+}
+
+TEST(LossyLink, ZeroLossDeliversEverything) {
+  const LossyLink link({.loss_probability = 0.0}, RngStream(1));
+  for (NodeId n = 0; n < 20; ++n)
+    EXPECT_TRUE(link.transmit(make_report(n, 0, 5)).has_value());
+}
+
+TEST(LossyLink, FullLossDeliversNothing) {
+  const LossyLink link({.loss_probability = 1.0}, RngStream(1));
+  for (NodeId n = 0; n < 20; ++n)
+    EXPECT_FALSE(link.transmit(make_report(n, 0, 5)).has_value());
+}
+
+TEST(LossyLink, LatencyWithinConfiguredBounds) {
+  const LossyLink link({.loss_probability = 0.0, .latency_min = 0.01, .latency_max = 0.02},
+                       RngStream(2));
+  for (NodeId n = 0; n < 50; ++n) {
+    const auto d = link.transmit(make_report(n, 3, 5, 1.0));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_GE(d->arrival_time, 1.01);
+    EXPECT_LT(d->arrival_time, 1.02);
+  }
+}
+
+TEST(LossyLink, DeterministicPerNodeEpoch) {
+  const LossyLink link({.loss_probability = 0.5}, RngStream(3));
+  for (NodeId n = 0; n < 20; ++n) {
+    const auto a = link.transmit(make_report(n, 7, 5));
+    const auto b = link.transmit(make_report(n, 7, 5));
+    EXPECT_EQ(a.has_value(), b.has_value());
+    if (a && b) EXPECT_DOUBLE_EQ(a->arrival_time, b->arrival_time);
+  }
+}
+
+TEST(BaseStation, ConstructorValidation) {
+  EXPECT_THROW(BaseStation(0, 5, 0.5), std::invalid_argument);
+  EXPECT_THROW(BaseStation(4, 5, 0.0), std::invalid_argument);
+}
+
+TEST(BaseStation, AssemblesOnTimeReports) {
+  BaseStation station(3, 5, 0.5);
+  station.receive({make_report(0, 0, 5), 0.2}, 0.0);
+  station.receive({make_report(2, 0, 5), 0.4}, 0.0);
+  const GroupingSampling g = station.assemble();
+  EXPECT_TRUE(g.rss[0].has_value());
+  EXPECT_FALSE(g.rss[1].has_value());
+  EXPECT_TRUE(g.rss[2].has_value());
+  EXPECT_EQ(g.instants, 5u);
+  EXPECT_EQ(g.node_count, 3u);
+}
+
+TEST(BaseStation, LateReportsDiscarded) {
+  BaseStation station(2, 5, 0.5);
+  station.receive({make_report(0, 0, 5), 0.9}, 0.0);  // deadline 0.5
+  EXPECT_EQ(station.late_reports(), 1u);
+  const GroupingSampling g = station.assemble();
+  EXPECT_FALSE(g.rss[0].has_value());
+}
+
+TEST(BaseStation, DuplicatesAndMalformedCounted) {
+  BaseStation station(2, 5, 0.5);
+  station.receive({make_report(0, 0, 5), 0.1}, 0.0);
+  station.receive({make_report(0, 0, 5), 0.2}, 0.0);  // duplicate
+  station.receive({make_report(1, 0, 3), 0.1}, 0.0);  // wrong k
+  station.receive({make_report(9, 0, 5), 0.1}, 0.0);  // unknown node
+  EXPECT_EQ(station.duplicate_reports(), 1u);
+  EXPECT_EQ(station.malformed_reports(), 2u);
+}
+
+TEST(BaseStation, AssembleResetsBuffer) {
+  BaseStation station(2, 5, 0.5);
+  station.receive({make_report(0, 0, 5), 0.1}, 0.0);
+  station.assemble();
+  const GroupingSampling next = station.assemble();
+  EXPECT_FALSE(next.rss[0].has_value());
+}
+
+TEST(EndToEnd, BaseStationPathMatchesDirectCollectionWhenPerfect) {
+  const Deployment nodes{{0, {0.0, 0.0}}, {1, {30.0, 0.0}}};
+  SamplingConfig cfg;
+  cfg.model = PathLossModel{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = 6.0, .d0 = 1.0};
+  cfg.sensing_range = 100.0;
+  cfg.sample_period = 0.1;
+  cfg.samples_per_group = 4;
+  const NoFaults faults;
+  const LossyLink perfect({.loss_probability = 0.0, .latency_min = 0.001,
+                           .latency_max = 0.002},
+                          RngStream(9));
+  const auto target = [](double) { return Vec2{10.0, 0.0}; };
+
+  const GroupingSampling direct =
+      collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(42));
+  const GroupingSampling via = collect_group_via_basestation(
+      nodes, cfg, faults, perfect, /*deadline=*/1.0, 0, 0.0, target, RngStream(42));
+
+  ASSERT_TRUE(via.rss[0] && via.rss[1]);
+  for (std::size_t t = 0; t < cfg.samples_per_group; ++t) {
+    EXPECT_DOUBLE_EQ((*via.rss[0])[t], (*direct.rss[0])[t]);
+    EXPECT_DOUBLE_EQ((*via.rss[1])[t], (*direct.rss[1])[t]);
+  }
+}
+
+TEST(EndToEnd, LossyLinkDropsColumns) {
+  const Aabb field{{0.0, 0.0}, {50.0, 50.0}};
+  const Deployment nodes = grid_deployment(field, 16);
+  SamplingConfig cfg;
+  cfg.model = PathLossModel{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = 6.0, .d0 = 1.0};
+  cfg.sensing_range = 200.0;
+  cfg.sample_period = 0.1;
+  cfg.samples_per_group = 4;
+  const NoFaults faults;
+  const LossyLink lossy({.loss_probability = 0.4}, RngStream(10));
+  const auto target = [](double) { return Vec2{25.0, 25.0}; };
+
+  std::size_t delivered = 0;
+  const int epochs = 50;
+  for (int e = 0; e < epochs; ++e) {
+    const GroupingSampling g = collect_group_via_basestation(
+        nodes, cfg, faults, lossy, 1.0, static_cast<std::uint64_t>(e), 0.0, target,
+        RngStream(42).substream(static_cast<std::uint64_t>(e)));
+    delivered += g.reporting_count();
+  }
+  const double rate = static_cast<double>(delivered) / (16.0 * epochs);
+  EXPECT_NEAR(rate, 0.6, 0.05);
+}
+
+}  // namespace
+}  // namespace fttt

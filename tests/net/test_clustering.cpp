@@ -1,0 +1,107 @@
+#include "net/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/deployment.hpp"
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {100.0, 100.0}};
+
+TEST(KmeansClusters, EveryNodeInExactlyOneCluster) {
+  RngStream rng(1);
+  const Deployment nodes = random_deployment(kField, 30, rng);
+  const auto clusters = kmeans_clusters(nodes, 5, RngStream(2));
+  std::set<NodeId> seen;
+  for (const Cluster& c : clusters) {
+    EXPECT_FALSE(c.members.empty());
+    for (NodeId m : c.members) EXPECT_TRUE(seen.insert(m).second) << "node " << m;
+  }
+  EXPECT_EQ(seen.size(), 30u);
+}
+
+TEST(KmeansClusters, KClampedToNodeCount) {
+  RngStream rng(3);
+  const Deployment nodes = random_deployment(kField, 4, rng);
+  const auto clusters = kmeans_clusters(nodes, 10, RngStream(4));
+  EXPECT_LE(clusters.size(), 4u);
+}
+
+TEST(KmeansClusters, EmptyDeploymentThrows) {
+  EXPECT_THROW(kmeans_clusters({}, 3, RngStream(1)), std::invalid_argument);
+}
+
+TEST(KmeansClusters, GeographicCoherence) {
+  // Nodes in two well-separated blobs must split into those blobs.
+  Deployment nodes;
+  NodeId id = 0;
+  RngStream rng(5);
+  for (int i = 0; i < 10; ++i)
+    nodes.push_back({id++, {rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)}});
+  for (int i = 0; i < 10; ++i)
+    nodes.push_back({id++, {rng.uniform(90.0, 100.0), rng.uniform(90.0, 100.0)}});
+  const auto clusters = kmeans_clusters(nodes, 2, RngStream(6));
+  ASSERT_EQ(clusters.size(), 2u);
+  for (const Cluster& c : clusters) {
+    // Every member on the same side as the cluster centroid.
+    const bool low = c.centroid.x < 50.0;
+    for (NodeId m : c.members) EXPECT_EQ(nodes[m].position.x < 50.0, low);
+  }
+}
+
+TEST(KmeansClusters, DeterministicFromStream) {
+  RngStream rng(7);
+  const Deployment nodes = random_deployment(kField, 20, rng);
+  const auto a = kmeans_clusters(nodes, 4, RngStream(8));
+  const auto b = kmeans_clusters(nodes, 4, RngStream(8));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) EXPECT_EQ(a[c].members, b[c].members);
+}
+
+TEST(KmeansClusters, CentroidIsMemberMean) {
+  RngStream rng(9);
+  const Deployment nodes = random_deployment(kField, 12, rng);
+  const auto clusters = kmeans_clusters(nodes, 3, RngStream(10));
+  for (const Cluster& c : clusters) {
+    Vec2 sum{};
+    for (NodeId m : c.members) sum += nodes[m].position;
+    const Vec2 mean = sum / static_cast<double>(c.members.size());
+    EXPECT_NEAR(c.centroid.x, mean.x, 1e-9);
+    EXPECT_NEAR(c.centroid.y, mean.y, 1e-9);
+  }
+}
+
+TEST(ElectHeads, UniformEnergyPicksCentralMember) {
+  Deployment nodes{{0, {0.0, 0.0}}, {1, {10.0, 0.0}}, {2, {5.0, 0.0}}};
+  std::vector<Cluster> clusters{{0, 0, {0, 1, 2}, {5.0, 0.0}}};
+  elect_heads(clusters, nodes, {1.0, 1.0, 1.0});
+  EXPECT_EQ(clusters[0].head, 2u);  // at the centroid
+}
+
+TEST(ElectHeads, EnergyOutweighsCentrality) {
+  Deployment nodes{{0, {0.0, 0.0}}, {1, {10.0, 0.0}}, {2, {5.0, 0.0}}};
+  std::vector<Cluster> clusters{{0, 0, {0, 1, 2}, {5.0, 0.0}}};
+  elect_heads(clusters, nodes, {10.0, 1.0, 1.0});  // node 0 has a fresh battery
+  EXPECT_EQ(clusters[0].head, 0u);
+}
+
+TEST(ElectHeads, EnergySizeMismatchThrows) {
+  Deployment nodes{{0, {0.0, 0.0}}, {1, {1.0, 0.0}}};
+  std::vector<Cluster> clusters{{0, 0, {0, 1}, {0.5, 0.0}}};
+  EXPECT_THROW(elect_heads(clusters, nodes, {1.0}), std::invalid_argument);
+}
+
+TEST(ClusterIndex, MapsEveryMember) {
+  RngStream rng(11);
+  const Deployment nodes = random_deployment(kField, 15, rng);
+  const auto clusters = kmeans_clusters(nodes, 3, RngStream(12));
+  const auto index = cluster_index(clusters, nodes.size());
+  for (const Cluster& c : clusters)
+    for (NodeId m : c.members) EXPECT_EQ(index[m], c.id);
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,105 @@
+#include "net/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {100.0, 100.0}};
+
+TEST(GridDeployment, CountAndDenseIds) {
+  for (std::size_t n : {1u, 5u, 9u, 10u, 16u, 40u}) {
+    const Deployment d = grid_deployment(kField, n);
+    ASSERT_EQ(d.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(d[i].id, i);
+  }
+}
+
+TEST(GridDeployment, AllInsideField) {
+  const Deployment d = grid_deployment(kField, 25);
+  for (const auto& node : d) EXPECT_TRUE(kField.contains(node.position));
+}
+
+TEST(GridDeployment, PerfectSquareIsRegularLattice) {
+  const Deployment d = grid_deployment(kField, 16);
+  std::set<double> xs;
+  std::set<double> ys;
+  for (const auto& node : d) {
+    xs.insert(node.position.x);
+    ys.insert(node.position.y);
+  }
+  EXPECT_EQ(xs.size(), 4u);
+  EXPECT_EQ(ys.size(), 4u);
+}
+
+TEST(GridDeployment, ZeroNodes) {
+  EXPECT_TRUE(grid_deployment(kField, 0).empty());
+}
+
+TEST(RandomDeployment, CountIdsAndBounds) {
+  RngStream rng(3);
+  const Deployment d = random_deployment(kField, 30, rng);
+  ASSERT_EQ(d.size(), 30u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d[i].id, i);
+    EXPECT_TRUE(kField.contains(d[i].position));
+  }
+}
+
+TEST(RandomDeployment, DifferentStreamsDiffer) {
+  RngStream a(3);
+  RngStream b(4);
+  const Deployment da = random_deployment(kField, 10, a);
+  const Deployment db = random_deployment(kField, 10, b);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 10; ++i)
+    if (!(da[i].position == db[i].position)) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomDeployment, Reproducible) {
+  RngStream a(3);
+  RngStream b(3);
+  const Deployment da = random_deployment(kField, 10, a);
+  const Deployment db = random_deployment(kField, 10, b);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(da[i].position, db[i].position);
+}
+
+TEST(CrossDeployment, NineMotesInPlusShape) {
+  const Vec2 c{50.0, 50.0};
+  const Deployment d = cross_deployment(c, 10.0);
+  ASSERT_EQ(d.size(), 9u);
+  EXPECT_EQ(d[0].position, c);
+  // Every non-centre mote sits on one of the two axes through the centre.
+  for (std::size_t i = 1; i < 9; ++i) {
+    const Vec2 rel = d[i].position - c;
+    EXPECT_TRUE(rel.x == 0.0 || rel.y == 0.0);
+    const double dist = distance(d[i].position, c);
+    EXPECT_TRUE(dist == 10.0 || dist == 20.0);
+  }
+  // Four motes at each ring distance.
+  const auto at = [&](double r) {
+    return std::count_if(d.begin(), d.end(),
+                         [&](const SensorNode& n) { return distance(n.position, c) == r; });
+  };
+  EXPECT_EQ(at(10.0), 4);
+  EXPECT_EQ(at(20.0), 4);
+}
+
+TEST(JitteredGridDeployment, StaysInFieldAndNearLattice) {
+  RngStream rng(5);
+  const Deployment base = grid_deployment(kField, 16);
+  RngStream rng2(5);
+  const Deployment jit = jittered_grid_deployment(kField, 16, 3.0, rng2);
+  ASSERT_EQ(jit.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_TRUE(kField.contains(jit[i].position));
+    EXPECT_LE(distance(jit[i].position, base[i].position), 3.0 * std::sqrt(2.0) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace fttt

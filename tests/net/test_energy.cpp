@@ -1,0 +1,77 @@
+#include "net/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fttt {
+namespace {
+
+GroupingSampling group_with(std::size_t nodes, std::size_t reporting, std::size_t k) {
+  GroupingSampling g;
+  g.node_count = nodes;
+  g.instants = k;
+  g.rss.resize(nodes);
+  for (std::size_t i = 0; i < reporting; ++i) g.rss[i] = std::vector<double>(k, -50.0);
+  return g;
+}
+
+TEST(EnergyModel, ReportBytesScaleWithK) {
+  const EnergyModel m;
+  EXPECT_EQ(m.report_bytes(5), m.header_bytes + 10);
+  EXPECT_GT(m.report_bytes(9), m.report_bytes(3));
+}
+
+TEST(EnergyModel, NodeEpochCostGrowsLinearlyInK) {
+  const EnergyModel m;
+  const double e3 = m.node_epoch_mj(3);
+  const double e6 = m.node_epoch_mj(6);
+  const double e9 = m.node_epoch_mj(9);
+  EXPECT_NEAR(e9 - e6, e6 - e3, 1e-12);  // constant marginal cost per sample
+  EXPECT_GT(e6, e3);
+}
+
+TEST(EnergyModel, StationCostScalesWithReporting) {
+  const EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.station_epoch_mj(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.station_epoch_mj(5, 10), 10.0 * m.station_epoch_mj(5, 1));
+}
+
+TEST(EnergyLedger, ChargesOnlyReportingNodes) {
+  EnergyLedger a;
+  EnergyLedger b;
+  a.charge_epoch(group_with(10, 10, 5), 0.0);
+  b.charge_epoch(group_with(10, 5, 5), 0.0);
+  EXPECT_DOUBLE_EQ(b.node_total_mj(), a.node_total_mj() / 2.0);
+}
+
+TEST(EnergyLedger, IdleChargedToAllNodes) {
+  EnergyLedger ledger;
+  ledger.charge_epoch(group_with(10, 0, 5), 1.0);
+  const EnergyModel m;
+  EXPECT_DOUBLE_EQ(ledger.node_total_mj(), 10.0 * m.idle_per_s_mj);
+  EXPECT_DOUBLE_EQ(ledger.station_total_mj(), 0.0);
+}
+
+TEST(EnergyLedger, PerLocalizationAverage) {
+  EnergyLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.per_localization_mj(), 0.0);
+  ledger.charge_epoch(group_with(4, 4, 5), 0.5);
+  ledger.charge_epoch(group_with(4, 4, 5), 0.5);
+  EXPECT_EQ(ledger.epochs(), 2u);
+  EXPECT_NEAR(ledger.per_localization_mj(), ledger.total_mj() / 2.0, 1e-12);
+}
+
+TEST(EnergyLedger, KTradeoffIsMeasurable) {
+  // The cost of doubling k is visible but sublinear in the whole budget
+  // (idle and headers amortize) — the "limited system cost" claim.
+  EnergyLedger k3;
+  EnergyLedger k9;
+  for (int e = 0; e < 100; ++e) {
+    k3.charge_epoch(group_with(10, 6, 3), 0.5);
+    k9.charge_epoch(group_with(10, 6, 9), 0.5);
+  }
+  EXPECT_GT(k9.total_mj(), k3.total_mj());
+  EXPECT_LT(k9.total_mj(), 3.0 * k3.total_mj());
+}
+
+}  // namespace
+}  // namespace fttt

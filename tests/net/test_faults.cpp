@@ -1,0 +1,116 @@
+#include "net/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace fttt {
+namespace {
+
+TEST(NoFaults, AlwaysReports) {
+  const NoFaults f;
+  for (NodeId n = 0; n < 10; ++n)
+    for (std::uint64_t e = 0; e < 10; ++e) EXPECT_TRUE(f.reports(n, e));
+}
+
+TEST(BernoulliDropout, ZeroProbabilityNeverDrops) {
+  const BernoulliDropout f(0.0, RngStream(1));
+  for (NodeId n = 0; n < 20; ++n)
+    for (std::uint64_t e = 0; e < 20; ++e) EXPECT_TRUE(f.reports(n, e));
+}
+
+TEST(BernoulliDropout, OneProbabilityAlwaysDrops) {
+  const BernoulliDropout f(1.0, RngStream(1));
+  for (NodeId n = 0; n < 20; ++n)
+    for (std::uint64_t e = 0; e < 20; ++e) EXPECT_FALSE(f.reports(n, e));
+}
+
+TEST(BernoulliDropout, RateApproximatelyP) {
+  const BernoulliDropout f(0.3, RngStream(7));
+  int drops = 0;
+  const int total = 20000;
+  for (int i = 0; i < total; ++i)
+    if (!f.reports(static_cast<NodeId>(i % 100), static_cast<std::uint64_t>(i / 100)))
+      ++drops;
+  EXPECT_NEAR(drops / static_cast<double>(total), 0.3, 0.02);
+}
+
+TEST(BernoulliDropout, DeterministicPerNodeEpoch) {
+  const BernoulliDropout f(0.5, RngStream(9));
+  for (NodeId n = 0; n < 10; ++n)
+    for (std::uint64_t e = 0; e < 10; ++e)
+      EXPECT_EQ(f.reports(n, e), f.reports(n, e));
+}
+
+TEST(BernoulliDropout, IndependentAcrossNodes) {
+  const BernoulliDropout f(0.5, RngStream(11));
+  // Not all nodes should agree at a given epoch.
+  bool any_true = false;
+  bool any_false = false;
+  for (NodeId n = 0; n < 64; ++n) (f.reports(n, 0) ? any_true : any_false) = true;
+  EXPECT_TRUE(any_true);
+  EXPECT_TRUE(any_false);
+}
+
+TEST(PermanentFailures, DeadAfterDeathEpoch) {
+  const PermanentFailures f({{3, 5}, {7, 0}});
+  EXPECT_TRUE(f.reports(3, 4));
+  EXPECT_FALSE(f.reports(3, 5));
+  EXPECT_FALSE(f.reports(3, 100));
+  EXPECT_FALSE(f.reports(7, 0));
+  EXPECT_TRUE(f.reports(1, 100));  // unlisted nodes live forever
+}
+
+TEST(BurstLoss, ZeroEnterNeverDrops) {
+  const BurstLoss f(0.0, 0.5, RngStream(13));
+  for (NodeId n = 0; n < 10; ++n)
+    for (std::uint64_t e = 0; e < 30; ++e) EXPECT_TRUE(f.reports(n, e));
+}
+
+TEST(BurstLoss, DropsComeInRuns) {
+  // With a tiny exit probability, once a node goes down it stays down for
+  // many consecutive epochs: measure the mean run length.
+  const BurstLoss f(0.1, 0.2, RngStream(17));
+  int runs = 0;
+  int down_epochs = 0;
+  for (NodeId n = 0; n < 50; ++n) {
+    bool prev_up = true;
+    for (std::uint64_t e = 0; e < 100; ++e) {
+      const bool up = f.reports(n, e);
+      if (!up) {
+        ++down_epochs;
+        if (prev_up) ++runs;
+      }
+      prev_up = up;
+    }
+  }
+  ASSERT_GT(runs, 0);
+  const double mean_run = static_cast<double>(down_epochs) / runs;
+  // Geometric with exit 0.2 -> mean run ~5.
+  EXPECT_GT(mean_run, 3.0);
+  EXPECT_LT(mean_run, 8.0);
+}
+
+TEST(BurstLoss, DeterministicReplay) {
+  const BurstLoss f(0.2, 0.3, RngStream(19));
+  for (std::uint64_t e = 0; e < 20; ++e) EXPECT_EQ(f.reports(4, e), f.reports(4, e));
+}
+
+TEST(CompositeFaults, IntersectionSemantics) {
+  auto dead3 = std::make_shared<const PermanentFailures>(
+      std::vector<std::pair<NodeId, std::uint64_t>>{{3, 0}});
+  auto dead5 = std::make_shared<const PermanentFailures>(
+      std::vector<std::pair<NodeId, std::uint64_t>>{{5, 0}});
+  const CompositeFaults f({dead3, dead5});
+  EXPECT_FALSE(f.reports(3, 1));
+  EXPECT_FALSE(f.reports(5, 1));
+  EXPECT_TRUE(f.reports(4, 1));
+}
+
+TEST(CompositeFaults, EmptyAlwaysReports) {
+  const CompositeFaults f({});
+  EXPECT_TRUE(f.reports(0, 0));
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,149 @@
+#include "net/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/deployment.hpp"
+
+namespace fttt {
+namespace {
+
+SamplingConfig noiseless_config() {
+  SamplingConfig cfg;
+  cfg.model = PathLossModel{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = 0.0, .d0 = 1.0};
+  cfg.sensing_range = 40.0;
+  cfg.sample_period = 0.1;
+  cfg.samples_per_group = 5;
+  return cfg;
+}
+
+Deployment two_nodes() {
+  return {{0, {0.0, 0.0}}, {1, {30.0, 0.0}}};
+}
+
+TEST(CollectGroup, ShapeMatchesConfig) {
+  const auto nodes = two_nodes();
+  const auto cfg = noiseless_config();
+  const NoFaults faults;
+  const auto target = [](double) { return Vec2{10.0, 0.0}; };
+  const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(1));
+  EXPECT_EQ(g.node_count, 2u);
+  EXPECT_EQ(g.instants, 5u);
+  ASSERT_EQ(g.rss.size(), 2u);
+  ASSERT_TRUE(g.rss[0].has_value());
+  ASSERT_TRUE(g.rss[1].has_value());
+  EXPECT_EQ(g.rss[0]->size(), 5u);
+  EXPECT_EQ(g.reporting_count(), 2u);
+}
+
+TEST(CollectGroup, OutOfRangeNodeIsMissing) {
+  const auto nodes = two_nodes();
+  const auto cfg = noiseless_config();
+  const NoFaults faults;
+  // Target 50 m from node 1, 20 m from node 0 (range 40).
+  const auto target = [](double) { return Vec2{-20.0, 0.0}; };
+  const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(1));
+  EXPECT_TRUE(g.rss[0].has_value());
+  EXPECT_FALSE(g.rss[1].has_value());
+  EXPECT_EQ(g.reporting_count(), 1u);
+}
+
+TEST(CollectGroup, FaultedNodeIsMissing) {
+  const auto nodes = two_nodes();
+  const auto cfg = noiseless_config();
+  const PermanentFailures faults({{0, 0}});
+  const auto target = [](double) { return Vec2{10.0, 0.0}; };
+  const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(1));
+  EXPECT_FALSE(g.rss[0].has_value());
+  EXPECT_TRUE(g.rss[1].has_value());
+}
+
+TEST(CollectGroup, NoiselessStationaryTargetGivesConstantColumns) {
+  const auto nodes = two_nodes();
+  const auto cfg = noiseless_config();
+  const NoFaults faults;
+  const auto target = [](double) { return Vec2{10.0, 5.0}; };
+  const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(1));
+  for (std::size_t t = 1; t < g.instants; ++t)
+    EXPECT_DOUBLE_EQ((*g.rss[0])[t], (*g.rss[0])[0]);
+}
+
+TEST(CollectGroup, NearerNodeReadsStrongerWithoutNoise) {
+  const auto nodes = two_nodes();
+  const auto cfg = noiseless_config();
+  const NoFaults faults;
+  const auto target = [](double) { return Vec2{5.0, 0.0}; };  // nearer node 0
+  const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(1));
+  EXPECT_GT((*g.rss[0])[0], (*g.rss[1])[0]);
+}
+
+TEST(CollectGroup, FrozenGroupIgnoresTargetMotion) {
+  // Default Def. 3 semantics: the whole group is collected at the
+  // epoch-start position even if the target model moves.
+  const auto nodes = two_nodes();
+  auto cfg = noiseless_config();
+  cfg.sample_period = 0.5;
+  const NoFaults faults;
+  const auto target = [](double t) { return Vec2{5.0 + 10.0 * t, 0.0}; };
+  const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(1));
+  for (std::size_t t = 1; t < g.instants; ++t)
+    EXPECT_DOUBLE_EQ((*g.rss[0])[t], (*g.rss[0])[0]);
+}
+
+TEST(CollectGroup, MovingTargetChangesSamplesWithinGroup) {
+  const auto nodes = two_nodes();
+  auto cfg = noiseless_config();
+  cfg.sample_period = 0.5;
+  cfg.freeze_target_during_group = false;
+  const NoFaults faults;
+  // Fast mover: 10 m/s along x, away from node 0.
+  const auto target = [](double t) { return Vec2{5.0 + 10.0 * t, 0.0}; };
+  const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(1));
+  EXPECT_LT((*g.rss[0])[4], (*g.rss[0])[0]);  // receding: weaker over time
+  EXPECT_GT((*g.rss[1])[4], (*g.rss[1])[0]);  // approaching: stronger
+}
+
+TEST(CollectGroup, ReproducibleFromStream) {
+  const auto nodes = two_nodes();
+  auto cfg = noiseless_config();
+  cfg.model.sigma = 6.0;
+  const NoFaults faults;
+  const auto target = [](double) { return Vec2{10.0, 0.0}; };
+  const GroupingSampling a = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(42));
+  const GroupingSampling b = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(42));
+  for (std::size_t t = 0; t < a.instants; ++t)
+    EXPECT_DOUBLE_EQ((*a.rss[0])[t], (*b.rss[0])[t]);
+}
+
+TEST(CollectGroup, NoiseVariesAcrossInstants) {
+  const auto nodes = two_nodes();
+  auto cfg = noiseless_config();
+  cfg.model.sigma = 6.0;
+  const NoFaults faults;
+  const auto target = [](double) { return Vec2{10.0, 0.0}; };
+  const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(42));
+  bool any_diff = false;
+  for (std::size_t t = 1; t < g.instants; ++t)
+    if ((*g.rss[0])[t] != (*g.rss[0])[0]) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CollectGroup, ClockSkewShiftsMovingTargetSamples) {
+  const auto nodes = two_nodes();
+  auto no_skew = noiseless_config();
+  no_skew.freeze_target_during_group = false;
+  auto with_skew = no_skew;
+  with_skew.clock_skew = 0.05;
+  const NoFaults faults;
+  const auto target = [](double t) { return Vec2{5.0 + 10.0 * t, 0.0}; };
+  const GroupingSampling a =
+      collect_group(nodes, no_skew, faults, 0, 0.0, target, RngStream(7));
+  const GroupingSampling b =
+      collect_group(nodes, with_skew, faults, 0, 0.0, target, RngStream(7));
+  bool any_diff = false;
+  for (std::size_t t = 0; t < a.instants; ++t)
+    if ((*a.rss[0])[t] != (*b.rss[0])[t]) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,86 @@
+#include "net/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fttt {
+namespace {
+
+SyncProtocol::Config base_config() {
+  SyncProtocol::Config cfg;
+  cfg.drift_ppm_max = 40.0;
+  cfg.beacon_interval = 10.0;
+  cfg.residual = 0.0002;
+  cfg.initial_offset_max = 0.01;
+  return cfg;
+}
+
+TEST(SyncProtocol, ZeroNodesThrows) {
+  EXPECT_THROW(SyncProtocol(0, base_config(), RngStream(1)), std::invalid_argument);
+}
+
+TEST(SyncProtocol, BadNodeIdThrows) {
+  const SyncProtocol sync(4, base_config(), RngStream(1));
+  EXPECT_THROW(sync.offset_at(4, 0.0), std::out_of_range);
+}
+
+TEST(SyncProtocol, DriftRatesWithinSpec) {
+  const SyncProtocol sync(50, base_config(), RngStream(2));
+  for (NodeId n = 0; n < 50; ++n)
+    EXPECT_LE(std::abs(sync.drift_rate(n)), 40.0e-6);
+}
+
+TEST(SyncProtocol, OffsetGrowsLinearlyBeforeFirstBeacon) {
+  const SyncProtocol sync(8, base_config(), RngStream(3));
+  for (NodeId n = 0; n < 8; ++n) {
+    const double at0 = sync.offset_at(n, 0.0);
+    const double at5 = sync.offset_at(n, 5.0);
+    EXPECT_NEAR(at5 - at0, sync.drift_rate(n) * 5.0, 1e-12);
+  }
+}
+
+TEST(SyncProtocol, BeaconCollapsesOffsetToResidual) {
+  const SyncProtocol sync(8, base_config(), RngStream(4));
+  // Right after the beacon at t = 10: residual plus negligible drift.
+  for (NodeId n = 0; n < 8; ++n)
+    EXPECT_LE(std::abs(sync.offset_at(n, 10.0 + 1e-6)), 0.0002 + 1e-9);
+}
+
+TEST(SyncProtocol, OffsetBoundedBetweenBeacons) {
+  const SyncProtocol sync(8, base_config(), RngStream(5));
+  // Anywhere past the first beacon: |offset| <= residual + drift*interval.
+  const double bound = 0.0002 + 40.0e-6 * 10.0;
+  for (double t = 10.0; t < 100.0; t += 0.37)
+    EXPECT_LE(sync.worst_offset_at(t), bound + 1e-12) << "t=" << t;
+}
+
+TEST(SyncProtocol, NoBeaconsMeansUnboundedDrift) {
+  SyncProtocol::Config cfg = base_config();
+  cfg.beacon_interval = 0.0;  // never sync
+  const SyncProtocol sync(8, cfg, RngStream(6));
+  // Offsets keep growing: worst offset at t = 1000 exceeds the bounded
+  // case's ceiling (some node has nontrivial drift w.h.p. over 8 draws).
+  EXPECT_GT(sync.worst_offset_at(1000.0), 0.0002 + 40.0e-6 * 10.0);
+}
+
+TEST(SyncProtocol, ThinnerBeaconsWorsenSync) {
+  SyncProtocol::Config tight = base_config();
+  tight.beacon_interval = 5.0;
+  SyncProtocol::Config loose = base_config();
+  loose.beacon_interval = 60.0;
+  const SyncProtocol a(16, tight, RngStream(7));
+  const SyncProtocol b(16, loose, RngStream(7));
+  // Compare just before each protocol's next beacon (worst case).
+  EXPECT_LT(a.worst_offset_at(5.0 - 1e-3), b.worst_offset_at(60.0 - 1e-3));
+}
+
+TEST(SyncProtocol, DeterministicFromStream) {
+  const SyncProtocol a(8, base_config(), RngStream(8));
+  const SyncProtocol b(8, base_config(), RngStream(8));
+  for (NodeId n = 0; n < 8; ++n)
+    EXPECT_DOUBLE_EQ(a.offset_at(n, 33.3), b.offset_at(n, 33.3));
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,158 @@
+// Channel-level properties tying the Apollonius geometry to the sampling
+// statistics — parameterized across noise settings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/sampling_vector.hpp"
+#include "core/signature.hpp"
+#include "net/deployment.hpp"
+#include "net/faults.hpp"
+#include "net/sampling.hpp"
+#include "rf/uncertainty.hpp"
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {60.0, 60.0}};
+
+// ---------------------------------------------------------------------------
+// Property (bounded channel): a pair strictly outside its uncertain
+// annulus can never report the *wrong* sign — sign flips are confined to
+// the annulus by construction. Basic sampling values therefore never
+// contradict the signature where both are decisive.
+// ---------------------------------------------------------------------------
+
+struct BoundedParams {
+  std::size_t sensors;
+  double eps;
+  std::uint64_t seed;
+};
+
+class BoundedChannelSigns : public ::testing::TestWithParam<BoundedParams> {};
+
+TEST_P(BoundedChannelSigns, DecisiveValuesNeverContradictSignature) {
+  const auto [n, eps, seed] = GetParam();
+  RngStream rng(seed);
+  const Deployment nodes = random_deployment(kField, n, rng);
+
+  const double beta = 4.0;
+  const double C = uncertainty_constant(eps, beta, 6.0);
+  SamplingConfig cfg;
+  cfg.model = PathLossModel{.ref_power_dbm = -40.0, .beta = beta, .sigma = 6.0, .d0 = 1.0};
+  cfg.model.noise = NoiseKind::kBounded;
+  cfg.model.bounded_amplitude = bounded_noise_amplitude(C, beta);
+  cfg.sensing_range = 1000.0;
+  cfg.sample_period = 0.1;
+  cfg.samples_per_group = 5;
+  const NoFaults faults;
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const Vec2 target{rng.uniform(2.0, 58.0), rng.uniform(2.0, 58.0)};
+    const bool too_close = std::any_of(nodes.begin(), nodes.end(), [&](const SensorNode& s) {
+      return distance(s.position, target) < 1.5;
+    });
+    if (too_close) continue;
+    const GroupingSampling group = collect_group(
+        nodes, cfg, faults, static_cast<std::uint64_t>(trial), 0.0,
+        [&](double) { return target; }, rng.substream(static_cast<std::uint64_t>(trial)));
+    // eps = 0 at comparison time isolates the channel's own flip
+    // confinement from the resolution deadband.
+    const SamplingVector vd = build_sampling_vector(group, 0.0, VectorMode::kBasic);
+    const SignatureVector vs = signature_at(target, nodes, C);
+    for (std::size_t c = 0; c < vs.size(); ++c) {
+      if (vs[c] == 0 || vd.value[c] == 0.0) continue;
+      EXPECT_GT(vd.value[c] * static_cast<double>(vs[c]), 0.0)
+          << "component " << c << " target " << target;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BoundedChannelSigns,
+                         ::testing::Values(BoundedParams{5, 0.5, 61},
+                                           BoundedParams{8, 1.0, 62},
+                                           BoundedParams{12, 2.0, 63},
+                                           BoundedParams{8, 3.0, 64}));
+
+// ---------------------------------------------------------------------------
+// Property (Gaussian channel): the extended node-pair value is an
+// unbiased-ish estimator of 1 - 2 Phi(-gap / (sqrt(2) sigma)) for a pair
+// with mean-RSS gap `gap` (eps = 0). Checked against Monte-Carlo over
+// many groups.
+// ---------------------------------------------------------------------------
+
+class ExtendedValueExpectation : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExtendedValueExpectation, MatchesGaussianOrderProbability) {
+  const double gap = GetParam();  // dB, node 0 stronger
+  const double sigma = 6.0;
+
+  GroupingSampling group;
+  group.node_count = 2;
+  group.instants = 5;
+  group.rss.resize(2);
+
+  RngStream rng(4242);
+  double sum = 0.0;
+  const int groups = 40000;
+  for (int g = 0; g < groups; ++g) {
+    std::vector<double> a(5);
+    std::vector<double> b(5);
+    for (int t = 0; t < 5; ++t) {
+      a[static_cast<std::size_t>(t)] = gap + rng.normal(0.0, sigma);
+      b[static_cast<std::size_t>(t)] = rng.normal(0.0, sigma);
+    }
+    group.rss[0] = std::move(a);
+    group.rss[1] = std::move(b);
+    sum += build_sampling_vector(group, 0.0, VectorMode::kExtended).value[0];
+  }
+  const double measured = sum / groups;
+  const double phi = 0.5 * std::erfc(gap / (std::sqrt(2.0) * sigma) / std::sqrt(2.0));
+  const double expected = 1.0 - 2.0 * phi;
+  EXPECT_NEAR(measured, expected, 0.01) << "gap " << gap;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExtendedValueExpectation,
+                         ::testing::Values(0.0, 2.0, 5.0, 10.0, 20.0));
+
+// ---------------------------------------------------------------------------
+// Property: under the Gaussian channel the probability that a basic pair
+// value reads 0 (flip observed) grows monotonically with k — the
+// information-collapse mechanism behind the inverted Fig. 12(b) trend.
+// ---------------------------------------------------------------------------
+
+TEST(GaussianChannel, FlipObservationGrowsWithK) {
+  const double gap = 6.0;
+  const double sigma = 6.0;
+  RngStream rng(999);
+  double prev_rate = -1.0;
+  for (std::size_t k : {2u, 4u, 8u, 16u}) {
+    int flipped = 0;
+    const int groups = 20000;
+    for (int g = 0; g < groups; ++g) {
+      GroupingSampling group;
+      group.node_count = 2;
+      group.instants = k;
+      group.rss.resize(2);
+      std::vector<double> a(k);
+      std::vector<double> b(k);
+      for (std::size_t t = 0; t < k; ++t) {
+        a[t] = gap + rng.normal(0.0, sigma);
+        b[t] = rng.normal(0.0, sigma);
+      }
+      group.rss[0] = std::move(a);
+      group.rss[1] = std::move(b);
+      if (build_sampling_vector(group, 0.0, VectorMode::kBasic).value[0] == 0.0)
+        ++flipped;
+    }
+    const double rate = static_cast<double>(flipped) / groups;
+    EXPECT_GT(rate, prev_rate) << "k=" << k;
+    prev_rate = rate;
+  }
+  EXPECT_GT(prev_rate, 0.5);  // at k=16, most groups see both orders
+}
+
+}  // namespace
+}  // namespace fttt

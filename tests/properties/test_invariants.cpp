@@ -1,0 +1,204 @@
+// Parameterized property sweeps over the core invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/matcher.hpp"
+#include "core/pairs.hpp"
+#include "core/similarity.hpp"
+#include "net/deployment.hpp"
+#include "net/faults.hpp"
+#include "net/sampling.hpp"
+#include "rf/uncertainty.hpp"
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {50.0, 50.0}};
+
+// ---------------------------------------------------------------------------
+// Property: with zero noise (sigma = 0), the sampling vector of a
+// stationary target equals its signature vector computed with
+// C = uncertainty_constant(eps, beta, 0) = 10^(eps / (10 beta)).
+// This is the exact consistency between the runtime (eps deadband) and
+// preprocessing (Apollonius ratio) sides of FTTT — mean RSS gap >= eps
+// iff distance ratio >= C when sigma = 0.
+// ---------------------------------------------------------------------------
+
+struct ConsistencyParams {
+  std::size_t sensors;
+  double eps;
+  std::uint64_t seed;
+};
+
+class NoiselessConsistency : public ::testing::TestWithParam<ConsistencyParams> {};
+
+TEST_P(NoiselessConsistency, SamplingVectorEqualsSignature) {
+  const auto [n, eps, seed] = GetParam();
+  RngStream rng(seed);
+  const Deployment nodes = random_deployment(kField, n, rng);
+  const double beta = 4.0;
+  const double C = uncertainty_constant(eps, beta, 0.0);
+
+  SamplingConfig cfg;
+  cfg.model = PathLossModel{.ref_power_dbm = -40.0, .beta = beta, .sigma = 0.0, .d0 = 1.0};
+  cfg.sensing_range = 1000.0;
+  cfg.sample_period = 0.1;
+  cfg.samples_per_group = 4;
+  const NoFaults faults;
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec2 target{rng.uniform(2.0, 48.0), rng.uniform(2.0, 48.0)};
+    // Skip targets pathologically close to a sensor (inside d0 the model
+    // clamps and the ratio argument breaks down).
+    const bool too_close = std::any_of(nodes.begin(), nodes.end(), [&](const SensorNode& s) {
+      return distance(s.position, target) < 1.5;
+    });
+    if (too_close) continue;
+
+    const GroupingSampling group = collect_group(
+        nodes, cfg, faults, 0, 0.0, [&](double) { return target; }, RngStream(1));
+    const SamplingVector vd = build_sampling_vector(group, eps, VectorMode::kBasic);
+    const SignatureVector vs = signature_at(target, nodes, C);
+    ASSERT_EQ(vd.dimension(), vs.size());
+    for (std::size_t c = 0; c < vs.size(); ++c) {
+      EXPECT_TRUE(vd.known[c]);
+      EXPECT_DOUBLE_EQ(vd.value[c], static_cast<double>(vs[c]))
+          << "component " << c << " target " << target;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NoiselessConsistency,
+    ::testing::Values(ConsistencyParams{4, 0.5, 11}, ConsistencyParams{4, 2.0, 12},
+                      ConsistencyParams{7, 1.0, 13}, ConsistencyParams{10, 1.0, 14},
+                      ConsistencyParams{10, 3.0, 15}, ConsistencyParams{15, 0.5, 16}));
+
+// ---------------------------------------------------------------------------
+// Property: Theorem 1 holds for the vast majority of neighbor-face links
+// across deployments and C values (grid raster can merge thin faces).
+// ---------------------------------------------------------------------------
+
+struct Theorem1Params {
+  std::size_t sensors;
+  double C;
+  std::uint64_t seed;
+};
+
+class Theorem1Property : public ::testing::TestWithParam<Theorem1Params> {};
+
+TEST_P(Theorem1Property, UnitLinkFractionImprovesAsGridRefines) {
+  // Theorem 1 is exact in the continuous arrangement; the raster merges
+  // several boundary crossings into one cell step, so the unit-distance
+  // fraction is below 1 but must *increase* as the grid refines
+  // (convergence to the theorem) and stay the dominant case.
+  const auto [n, C, seed] = GetParam();
+  RngStream rng(seed);
+  const Deployment nodes = random_deployment(kField, n, rng);
+  const FaceMap coarse = FaceMap::build(nodes, C, kField, 1.0);
+  const FaceMap fine = FaceMap::build(nodes, C, kField, 0.25);
+  EXPECT_GT(fine.theorem1_link_fraction(), coarse.theorem1_link_fraction() - 0.02)
+      << "n=" << n << " C=" << C;
+  EXPECT_GT(fine.theorem1_link_fraction(), 0.5)
+      << "n=" << n << " C=" << C << " faces=" << fine.face_count();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Theorem1Property,
+                         ::testing::Values(Theorem1Params{4, 1.2, 21},
+                                           Theorem1Params{6, 1.2, 22},
+                                           Theorem1Params{6, 1.5, 23},
+                                           Theorem1Params{9, 1.3, 24}));
+
+// ---------------------------------------------------------------------------
+// Property: Lemma 1 (uniqueness) — cells mapped to a face carry exactly
+// that face's signature, for every face in the map.
+// ---------------------------------------------------------------------------
+
+class Lemma1Property : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma1Property, CellSignatureMatchesItsFace) {
+  const double C = GetParam();
+  RngStream rng(31);
+  const Deployment nodes = random_deployment(kField, 6, rng);
+  const FaceMap map = FaceMap::build(nodes, C, kField, 1.0);
+  const UniformGrid& grid = map.grid();
+  for (std::size_t flat = 0; flat < grid.cell_count(); flat += 7) {
+    const Vec2 center = grid.center(flat);
+    const FaceId id = map.face_at(center);
+    EXPECT_EQ(map.face(id).signature, signature_at(center, nodes, C));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Lemma1Property, ::testing::Values(1.0, 1.1, 1.3, 1.7));
+
+// ---------------------------------------------------------------------------
+// Property: the heuristic matcher is consistent with the exhaustive one —
+// started at the exhaustive optimum it stays there (the optimum is a
+// local maximum of the similarity landscape).
+// ---------------------------------------------------------------------------
+
+class MatcherConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatcherConsistency, ExhaustiveOptimumIsHeuristicFixedPoint) {
+  RngStream rng(GetParam());
+  const Deployment nodes = random_deployment(kField, 6, rng);
+  const FaceMap map = FaceMap::build(nodes, 1.25, kField, 1.0);
+  const ExhaustiveMatcher exhaustive;
+  const HeuristicMatcher heuristic;
+  for (int trial = 0; trial < 25; ++trial) {
+    SamplingVector vd;
+    vd.value.reserve(map.dimension());
+    vd.known.assign(map.dimension(), true);
+    for (std::size_t c = 0; c < map.dimension(); ++c)
+      vd.value.push_back(static_cast<double>(
+          static_cast<int>(rng.uniform_index(3)) - 1));
+    const MatchResult best = exhaustive.match(map, vd);
+    const MatchResult climbed = heuristic.match(map, vd, best.face);
+    EXPECT_DOUBLE_EQ(climbed.similarity, best.similarity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatcherConsistency,
+                         ::testing::Values(41u, 42u, 43u, 44u));
+
+// ---------------------------------------------------------------------------
+// Property: sampling vector dimension is always C(n,2) and values bounded,
+// under random fault patterns.
+// ---------------------------------------------------------------------------
+
+class VectorShape : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VectorShape, DimensionAndBoundsUnderFaults) {
+  const std::size_t n = GetParam();
+  RngStream rng(100 + n);
+  const Deployment nodes = random_deployment(kField, n, rng);
+  SamplingConfig cfg;
+  cfg.model = PathLossModel{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = 6.0, .d0 = 1.0};
+  cfg.sensing_range = 40.0;
+  cfg.sample_period = 0.1;
+  cfg.samples_per_group = 5;
+  const BernoulliDropout faults(0.4, RngStream(9));
+  for (std::uint64_t e = 0; e < 10; ++e) {
+    const Vec2 target{rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0)};
+    const GroupingSampling group = collect_group(
+        nodes, cfg, faults, e, 0.0, [&](double) { return target; }, rng.substream(e));
+    for (VectorMode mode : {VectorMode::kBasic, VectorMode::kExtended}) {
+      const SamplingVector vd = build_sampling_vector(group, 1.0, mode);
+      EXPECT_EQ(vd.dimension(), pair_count(n));
+      for (std::size_t c = 0; c < vd.dimension(); ++c) {
+        EXPECT_GE(vd.value[c], -1.0);
+        EXPECT_LE(vd.value[c], 1.0);
+        if (mode == VectorMode::kBasic && vd.known[c])
+          EXPECT_TRUE(vd.value[c] == -1.0 || vd.value[c] == 0.0 || vd.value[c] == 1.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VectorShape, ::testing::Values(2u, 3u, 5u, 8u, 12u, 20u));
+
+}  // namespace
+}  // namespace fttt

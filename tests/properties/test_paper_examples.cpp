@@ -1,0 +1,90 @@
+// Worked examples transcribed from the paper, driven through the public
+// API end to end (Sec. 4.4(3) fault example, Fig. 7 localization).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/similarity.hpp"
+
+namespace fttt {
+namespace {
+
+SamplingVector make_vd(std::vector<double> v, std::vector<bool> known = {}) {
+  SamplingVector vd;
+  if (known.empty()) known.assign(v.size(), true);
+  vd.known = std::move(known);
+  vd.value = std::move(v);
+  return vd;
+}
+
+/// The reconstructed signature set of the paper's Fig. 7(a) running
+/// example (f1..f6 pinned by the Sec. 6 similarity values, f8 given
+/// explicitly in Sec. 4.4(3)).
+struct PaperFaces {
+  SignatureVector f1{1, 1, 1, 1, 1, -1};
+  SignatureVector f2{1, 1, 1, 1, 1, 0};
+  SignatureVector f3{-1, 1, 1, 1, 1, 0};
+  SignatureVector f4{0, 1, 1, 1, 1, 0};
+  SignatureVector f5{1, 1, 1, 1, 0, 0};
+  SignatureVector f6{-1, 1, 1, 1, 0, 0};
+  SignatureVector f8{1, 1, 1, 0, 0, 0};
+
+  std::vector<const SignatureVector*> all() const {
+    return {&f1, &f2, &f3, &f4, &f5, &f6, &f8};
+  }
+};
+
+TEST(PaperExamples, Fig7DirectMatchLandsInF3) {
+  // "the sampling vector [-1,1,1,1,1,0] ... the signature of f3 is also
+  // [-1,1,1,1,1,0]. Hence, the target is localized in face f3."
+  const PaperFaces faces;
+  const SamplingVector vd = make_vd({-1.0, 1.0, 1.0, 1.0, 1.0, 0.0});
+  EXPECT_TRUE(std::isinf(similarity(vd, faces.f3)));
+  for (const auto* f : faces.all())
+    if (f != &faces.f3) EXPECT_FALSE(std::isinf(similarity(vd, *f)));
+}
+
+TEST(PaperExamples, Fig7MaximumLikelihoodPicksF3) {
+  // "if the sampling vector appears to be [-1,1,1,1,1,1], there is no
+  // face whose signature directly matches ... the similarity between the
+  // sampling vector and the signature vector of f3 is 1, which is the
+  // maximum."
+  const PaperFaces faces;
+  const SamplingVector vd = make_vd({-1.0, 1.0, 1.0, 1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(similarity(vd, faces.f3), 1.0);
+  for (const auto* f : faces.all())
+    if (f != &faces.f3) EXPECT_LT(similarity(vd, *f), 1.0);
+}
+
+TEST(PaperExamples, Sec443FaultVectorPrefersF8) {
+  // The fault-tolerant vector [1,1,1,-1,*,1] must select f8 =
+  // [1,1,1,0,0,0] among the paper faces. (The paper prints S = 1/2; with
+  // Def. 7/Eq. 7 applied literally the value is 1/sqrt(2) — the ranking,
+  // which is what the strategy uses, is unchanged. See EXPERIMENTS.md.)
+  const PaperFaces faces;
+  const SamplingVector vd =
+      make_vd({1.0, 1.0, 1.0, -1.0, 0.0, 1.0}, {true, true, true, true, false, true});
+  const double s8 = similarity(vd, faces.f8);
+  EXPECT_NEAR(s8, 1.0 / std::sqrt(2.0), 1e-12);
+  for (const auto* f : faces.all())
+    if (f != &faces.f8) EXPECT_LT(similarity(vd, *f), s8);
+}
+
+TEST(PaperExamples, BasicTieExtendedBreaksIt) {
+  // Sec. 6: basic [0,1,1,1,1,-1] ties f1/f4 at S = 1; the extended
+  // [1/3,1,1,1,1,-1] leaves f1 uniquely on top with S = 1.5.
+  const PaperFaces faces;
+  const SamplingVector basic = make_vd({0.0, 1.0, 1.0, 1.0, 1.0, -1.0});
+  EXPECT_DOUBLE_EQ(similarity(basic, faces.f1), 1.0);
+  EXPECT_DOUBLE_EQ(similarity(basic, faces.f4), 1.0);
+
+  const SamplingVector ext = make_vd({1.0 / 3.0, 1.0, 1.0, 1.0, 1.0, -1.0});
+  EXPECT_NEAR(similarity(ext, faces.f1), 1.5, 1e-12);
+  double second_best = 0.0;
+  for (const auto* f : faces.all())
+    if (f != &faces.f1) second_best = std::max(second_best, similarity(ext, *f));
+  EXPECT_LT(second_best, 1.5);
+}
+
+}  // namespace
+}  // namespace fttt

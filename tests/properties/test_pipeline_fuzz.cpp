@@ -1,0 +1,88 @@
+// Pipeline fuzzing: random-but-valid scenario configurations driven
+// end-to-end through run_tracking. Asserts the global invariants every
+// configuration must uphold — finite in-field estimates, aligned series,
+// reproducibility — over a parameterized seed sweep.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "sim/runner.hpp"
+
+namespace fttt {
+namespace {
+
+ScenarioConfig random_config(RngStream& rng) {
+  ScenarioConfig cfg;
+  const double side = rng.uniform(40.0, 150.0);
+  cfg.field = Aabb{{0.0, 0.0}, {side, side}};
+  cfg.sensor_count = 4 + rng.uniform_index(20);
+  cfg.deployment = rng.bernoulli(0.5) ? DeploymentKind::kRandom : DeploymentKind::kGrid;
+  cfg.sensing_range = rng.uniform(20.0, side * 1.2);
+  cfg.eps = rng.uniform(0.25, 3.0);
+  cfg.model.beta = rng.uniform(2.0, 4.5);
+  cfg.model.sigma = rng.uniform(0.0, 8.0);
+  cfg.channel = rng.bernoulli(0.5) ? Channel::kBounded : Channel::kGaussian;
+  cfg.samples_per_group = 1 + rng.uniform_index(9);
+  cfg.dropout_probability = rng.bernoulli(0.3) ? rng.uniform(0.0, 0.5) : 0.0;
+  cfg.missing = rng.bernoulli(0.5) ? MissingPolicy::kMissingReadsSmaller
+                                   : MissingPolicy::kMissingUnknown;
+  cfg.calibrate_C = rng.bernoulli(0.5);
+  cfg.freeze_group = rng.bernoulli(0.8);
+  const std::array<TraceKind, 3> traces{TraceKind::kRandomWaypoint, TraceKind::kUShape,
+                                        TraceKind::kGaussMarkov};
+  cfg.trace = traces[rng.uniform_index(3)];
+  cfg.v_min = rng.uniform(0.5, 2.0);
+  cfg.v_max = cfg.v_min + rng.uniform(0.0, 4.0);
+  cfg.duration = 6.0;
+  cfg.grid_cell = rng.uniform(1.5, 4.0);
+  cfg.seed = rng.next_u64();
+  return cfg;
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineFuzz, InvariantsHoldForRandomConfigurations) {
+  RngStream rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    const ScenarioConfig cfg = random_config(rng);
+    const std::array<Method, 4> methods{Method::kFttt, Method::kFtttExtended,
+                                        Method::kPathMatching, Method::kDirectMle};
+    const TrackingResult run = run_tracking(cfg, methods);
+
+    SCOPED_TRACE("round " + std::to_string(round) + " n=" +
+                 std::to_string(cfg.sensor_count));
+    ASSERT_FALSE(run.times.empty());
+    ASSERT_EQ(run.true_positions.size(), run.times.size());
+    for (const Vec2 p : run.true_positions) EXPECT_TRUE(cfg.field.contains(p));
+    for (const auto& m : run.methods) {
+      ASSERT_EQ(m.estimates.size(), run.times.size());
+      ASSERT_EQ(m.errors.size(), run.times.size());
+      for (std::size_t i = 0; i < m.errors.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(m.errors[i]));
+        EXPECT_GE(m.errors[i], 0.0);
+        EXPECT_TRUE(std::isfinite(m.estimates[i].x));
+        EXPECT_TRUE(std::isfinite(m.estimates[i].y));
+        // Estimates are face centroids; the grid's last row/column may
+        // overhang the field by up to one cell (documented in
+        // UniformGrid), so allow exactly that slack.
+        const Aabb inflated{cfg.field.lo,
+                            cfg.field.hi + Vec2{cfg.grid_cell, cfg.grid_cell}};
+        EXPECT_TRUE(inflated.contains(m.estimates[i]))
+            << "estimate " << m.estimates[i];
+      }
+    }
+
+    // Reproducibility of the exact same configuration.
+    const TrackingResult again = run_tracking(cfg, methods);
+    for (std::size_t m = 0; m < methods.size(); ++m)
+      for (std::size_t i = 0; i < run.methods[m].errors.size(); ++i)
+        ASSERT_DOUBLE_EQ(run.methods[m].errors[i], again.methods[m].errors[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,90 @@
+#include "rf/pathloss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace fttt {
+namespace {
+
+TEST(PathLoss, ReferencePowerAtD0) {
+  const PathLossModel m{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = 6.0, .d0 = 1.0};
+  EXPECT_DOUBLE_EQ(m.mean_rss(1.0), -40.0);
+}
+
+TEST(PathLoss, TenPerDecadeTimesBeta) {
+  const PathLossModel m{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = 0.0, .d0 = 1.0};
+  EXPECT_DOUBLE_EQ(m.mean_rss(10.0), -80.0);   // one decade: -10*beta dB
+  EXPECT_DOUBLE_EQ(m.mean_rss(100.0), -120.0); // two decades
+}
+
+TEST(PathLoss, MonotonicallyDecreasingWithDistance) {
+  const PathLossModel m{.ref_power_dbm = -40.0, .beta = 3.0, .sigma = 0.0, .d0 = 1.0};
+  double prev = m.mean_rss(1.0);
+  for (double d = 2.0; d <= 100.0; d += 1.0) {
+    const double cur = m.mean_rss(d);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(PathLoss, ClampsInsideReferenceDistance) {
+  const PathLossModel m{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = 0.0, .d0 = 1.0};
+  EXPECT_DOUBLE_EQ(m.mean_rss(0.1), m.mean_rss(1.0));
+  EXPECT_DOUBLE_EQ(m.mean_rss(0.0), m.mean_rss(1.0));
+}
+
+TEST(PathLoss, SampleNoiseStatistics) {
+  const PathLossModel m{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = 6.0, .d0 = 1.0};
+  RngStream rng(55);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(m.sample_rss(20.0, rng));
+  EXPECT_NEAR(s.mean(), m.mean_rss(20.0), 0.1);
+  EXPECT_NEAR(s.stddev(), 6.0, 0.1);
+}
+
+TEST(PathLoss, ZeroSigmaIsDeterministic) {
+  const PathLossModel m{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = 0.0, .d0 = 1.0};
+  RngStream rng(55);
+  EXPECT_DOUBLE_EQ(m.sample_rss(20.0, rng), m.mean_rss(20.0));
+}
+
+TEST(PathLoss, InvertRssRoundTrips) {
+  const PathLossModel m{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = 0.0, .d0 = 1.0};
+  for (double d : {1.0, 5.0, 17.0, 40.0, 90.0})
+    EXPECT_NEAR(m.invert_rss(m.mean_rss(d)), d, 1e-9);
+}
+
+TEST(PathLoss, BoundedNoiseStaysWithinAmplitude) {
+  PathLossModel m{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = 6.0, .d0 = 1.0};
+  m.noise = NoiseKind::kBounded;
+  m.bounded_amplitude = 2.0;
+  RngStream rng(66);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = m.sample_rss(20.0, rng) - m.mean_rss(20.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 2.0);
+  }
+}
+
+TEST(PathLoss, BoundedNoisePairNeverFlipsOutsideAnnulus) {
+  // Two samples at mean gap > 2A can never reverse order — the defining
+  // property of the bounded channel.
+  PathLossModel m{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = 6.0, .d0 = 1.0};
+  m.noise = NoiseKind::kBounded;
+  m.bounded_amplitude = 1.5;
+  RngStream rng(67);
+  const double d_near = 10.0;
+  const double d_far = 20.0;  // gap = 40*log10(2) ~ 12 dB >> 2A = 3 dB
+  for (int i = 0; i < 5000; ++i)
+    EXPECT_GT(m.sample_rss(d_near, rng), m.sample_rss(d_far, rng));
+}
+
+TEST(PathLoss, BetaControlsDecaySlope) {
+  const PathLossModel fs{.ref_power_dbm = 0.0, .beta = 2.0, .sigma = 0.0, .d0 = 1.0};
+  const PathLossModel urban{.ref_power_dbm = 0.0, .beta = 4.0, .sigma = 0.0, .d0 = 1.0};
+  EXPECT_GT(fs.mean_rss(50.0), urban.mean_rss(50.0));
+}
+
+}  // namespace
+}  // namespace fttt

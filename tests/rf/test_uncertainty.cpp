@@ -1,0 +1,139 @@
+#include "rf/uncertainty.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "common/stats.hpp"
+
+namespace fttt {
+namespace {
+
+TEST(UncertaintyConstant, GreaterThanOne) {
+  EXPECT_GT(uncertainty_constant(1.0, 4.0, 6.0), 1.0);
+  EXPECT_GT(uncertainty_constant(0.5, 2.0, 1.0), 1.0);
+}
+
+TEST(UncertaintyConstant, NoNoiseNoResolutionGivesOne) {
+  EXPECT_DOUBLE_EQ(uncertainty_constant(0.0, 4.0, 0.0), 1.0);
+}
+
+TEST(UncertaintyConstant, Table1Settings) {
+  // beta = 4, sigma = 6, eps = 1 (the paper's defaults):
+  // L = ln10/40, C = exp(L + (L*sqrt(2)*6)^2 / 2).
+  const double L = std::log(10.0) / 40.0;
+  const double expected = std::exp(L * 1.0 + 0.5 * std::pow(L * std::sqrt(2.0) * 6.0, 2.0));
+  EXPECT_NEAR(uncertainty_constant(1.0, 4.0, 6.0), expected, 1e-12);
+  EXPECT_NEAR(expected, 1.1935, 1e-3);  // sanity anchor
+}
+
+TEST(UncertaintyConstant, MonotoneInResolution) {
+  double prev = uncertainty_constant(0.0, 4.0, 6.0);
+  for (double eps = 0.5; eps <= 3.0; eps += 0.5) {
+    const double c = uncertainty_constant(eps, 4.0, 6.0);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(UncertaintyConstant, MonotoneInNoise) {
+  double prev = uncertainty_constant(1.0, 4.0, 0.0);
+  for (double sigma = 1.0; sigma <= 8.0; sigma += 1.0) {
+    const double c = uncertainty_constant(1.0, 4.0, sigma);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(UncertaintyConstant, DecreasesWithBeta) {
+  // A steeper path-loss slope separates the pair better: smaller C.
+  EXPECT_GT(uncertainty_constant(1.0, 2.0, 6.0), uncertainty_constant(1.0, 4.0, 6.0));
+}
+
+TEST(UncertaintyConstant, MatchesMonteCarloExpectation) {
+  // C is defined as E[ exp( ln10 (eps - (Xn - Xm)) / (10 beta) ) ] with
+  // Xn, Xm ~ N(0, sigma^2) independent (paper Eq. 3). Check the closed
+  // form against a direct Monte-Carlo estimate.
+  const double eps = 1.0;
+  const double beta = 4.0;
+  const double sigma = 3.0;
+  RngStream rng(2718);
+  RunningStats s;
+  const double L = std::log(10.0) / (10.0 * beta);
+  for (int i = 0; i < 400000; ++i) {
+    const double xn = rng.normal(0.0, sigma);
+    const double xm = rng.normal(0.0, sigma);
+    s.add(std::exp(L * (eps - (xn - xm))));
+  }
+  EXPECT_NEAR(s.mean(), uncertainty_constant(eps, beta, sigma), 0.002);
+}
+
+TEST(UncertainAxisWidth, ZeroAtCOne) {
+  EXPECT_DOUBLE_EQ(uncertain_axis_width(5.0, 1.0), 0.0);
+}
+
+TEST(UncertainAxisWidth, GrowsWithCAndSeparation) {
+  EXPECT_LT(uncertain_axis_width(5.0, 1.2), uncertain_axis_width(5.0, 1.6));
+  EXPECT_LT(uncertain_axis_width(5.0, 1.2), uncertain_axis_width(10.0, 1.2));
+}
+
+TEST(UncertainAxisWidth, ClosedForm) {
+  // width = 2 d (C-1)/(C+1); d = 6, C = 2 -> 4.
+  EXPECT_DOUBLE_EQ(uncertain_axis_width(6.0, 2.0), 4.0);
+}
+
+TEST(NormalQuantile, MatchesKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.8413447), 1.0, 1e-4);
+  EXPECT_NEAR(normal_quantile(0.999), 3.090232, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.001), -3.090232, 1e-5);
+}
+
+TEST(NormalQuantile, InverseOfErfBasedCdf) {
+  for (double p : {0.01, 0.1, 0.3, 0.6, 0.9, 0.99}) {
+    const double z = normal_quantile(p);
+    const double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
+    EXPECT_NEAR(cdf, p, 1e-8);
+  }
+}
+
+TEST(CalibratedConstant, WidensWithKAndSigma) {
+  const double c3 = calibrated_uncertainty_constant(1.0, 4.0, 6.0, 3);
+  const double c9 = calibrated_uncertainty_constant(1.0, 4.0, 6.0, 9);
+  EXPECT_GT(c9, c3);
+  EXPECT_GT(c3, uncertainty_constant(1.0, 4.0, 6.0));  // wider than Eq. 3
+  EXPECT_GT(calibrated_uncertainty_constant(1.0, 4.0, 8.0, 5),
+            calibrated_uncertainty_constant(1.0, 4.0, 4.0, 5));
+}
+
+TEST(CalibratedConstant, ZeroSigmaFallsBackToEq3) {
+  EXPECT_DOUBLE_EQ(calibrated_uncertainty_constant(1.0, 4.0, 0.0, 5),
+                   uncertainty_constant(1.0, 4.0, 0.0));
+}
+
+TEST(CalibratedConstant, BoundaryFlipProbabilityMatchesTarget) {
+  // At the calibrated boundary the per-instant flip probability q* must
+  // satisfy 1 - (1-q)^k - q^k = p_capture. Reconstruct q from C and check.
+  const double eps = 1.0;
+  const double beta = 4.0;
+  const double sigma = 6.0;
+  const std::size_t k = 5;
+  const double C = calibrated_uncertainty_constant(eps, beta, sigma, k, 0.5);
+  const double gap = 10.0 * beta * std::log10(C);
+  const double q = 0.5 * std::erfc((gap - eps) / (std::sqrt(2.0) * sigma) / std::sqrt(2.0));
+  const double capture = 1.0 - std::pow(1.0 - q, 5.0) - std::pow(q, 5.0);
+  EXPECT_NEAR(capture, 0.5, 1e-6);
+}
+
+TEST(BoundedNoiseAmplitude, InverseOfRatioFormula) {
+  // A = 5 beta log10(C)  <=>  C = 10^(2A / (10 beta)).
+  const double A = bounded_noise_amplitude(1.5, 4.0);
+  EXPECT_NEAR(std::pow(10.0, 2.0 * A / 40.0), 1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(bounded_noise_amplitude(1.0, 4.0), 0.0);
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,88 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace fttt {
+namespace {
+
+TEST(ErrorMetrics, ZeroForPerfectEstimates) {
+  const std::vector<Vec2> path{{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}};
+  const ErrorMetrics m = error_metrics(path, path);
+  EXPECT_DOUBLE_EQ(m.mean, 0.0);
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(m.max, 0.0);
+}
+
+TEST(ErrorMetrics, KnownValues) {
+  const std::vector<Vec2> truth{{0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}};
+  const std::vector<Vec2> est{{1.0, 0.0}, {0.0, 3.0}, {0.0, 0.0}, {4.0, 0.0}};
+  const ErrorMetrics m = error_metrics(est, truth);
+  EXPECT_DOUBLE_EQ(m.mean, 2.0);
+  EXPECT_DOUBLE_EQ(m.max, 4.0);
+  EXPECT_NEAR(m.rmse, std::sqrt((1.0 + 9.0 + 0.0 + 16.0) / 4.0), 1e-12);
+  EXPECT_DOUBLE_EQ(m.p50, 2.0);  // sorted errors 0,1,3,4 -> midpoint 2
+}
+
+TEST(ErrorMetrics, LengthMismatchThrows) {
+  const std::vector<Vec2> a{{0.0, 0.0}};
+  const std::vector<Vec2> b{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_THROW(error_metrics(a, b), std::invalid_argument);
+}
+
+TEST(ErrorMetrics, EmptyInputIsZeros) {
+  const ErrorMetrics m = error_metrics({}, {});
+  EXPECT_DOUBLE_EQ(m.mean, 0.0);
+  EXPECT_DOUBLE_EQ(m.p95, 0.0);
+}
+
+TEST(SmoothnessMetrics, StraightLineHasNoTurnEnergy) {
+  std::vector<Vec2> path;
+  for (int i = 0; i < 10; ++i) path.push_back({static_cast<double>(i), 0.0});
+  const SmoothnessMetrics m = smoothness_metrics(path);
+  EXPECT_DOUBLE_EQ(m.mean_jump, 1.0);
+  EXPECT_DOUBLE_EQ(m.jump_stddev, 0.0);
+  EXPECT_DOUBLE_EQ(m.turn_energy, 0.0);
+  EXPECT_DOUBLE_EQ(m.stationary_fraction, 0.0);
+}
+
+TEST(SmoothnessMetrics, ZigzagHasHighTurnEnergy) {
+  std::vector<Vec2> zigzag;
+  for (int i = 0; i < 10; ++i)
+    zigzag.push_back({static_cast<double>(i), i % 2 == 0 ? 0.0 : 1.0});
+  std::vector<Vec2> straight;
+  for (int i = 0; i < 10; ++i) straight.push_back({static_cast<double>(i), 0.0});
+  EXPECT_GT(smoothness_metrics(zigzag).turn_energy,
+            smoothness_metrics(straight).turn_energy);
+}
+
+TEST(SmoothnessMetrics, RightAngleTurn) {
+  const std::vector<Vec2> path{{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}};
+  const SmoothnessMetrics m = smoothness_metrics(path);
+  const double right_angle = std::numbers::pi / 2.0;
+  EXPECT_NEAR(m.turn_energy, right_angle * right_angle, 1e-12);
+}
+
+TEST(SmoothnessMetrics, StationaryStepsCounted) {
+  const std::vector<Vec2> path{{0.0, 0.0}, {0.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}};
+  const SmoothnessMetrics m = smoothness_metrics(path);
+  EXPECT_NEAR(m.stationary_fraction, 2.0 / 3.0, 1e-12);
+}
+
+TEST(SmoothnessMetrics, ShortPathsAreZero) {
+  EXPECT_DOUBLE_EQ(smoothness_metrics({}).mean_jump, 0.0);
+  const std::vector<Vec2> one{{1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(smoothness_metrics(one).mean_jump, 0.0);
+}
+
+TEST(ChangeCount, CountsTransitions) {
+  const std::vector<std::uint32_t> ids{1, 1, 2, 2, 2, 3, 1};
+  EXPECT_EQ(change_count(ids), 3u);
+  EXPECT_EQ(change_count(std::vector<std::uint32_t>{}), 0u);
+  EXPECT_EQ(change_count(std::vector<std::uint32_t>{5}), 0u);
+}
+
+}  // namespace
+}  // namespace fttt

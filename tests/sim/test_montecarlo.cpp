@@ -1,0 +1,58 @@
+#include "sim/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace fttt {
+namespace {
+
+ScenarioConfig quick_config() {
+  ScenarioConfig cfg;
+  cfg.sensor_count = 8;
+  cfg.duration = 6.0;
+  cfg.grid_cell = 2.0;
+  return cfg;
+}
+
+TEST(MonteCarlo, AggregatesAllTrials) {
+  const std::array<Method, 2> methods{Method::kFttt, Method::kDirectMle};
+  const auto summary = monte_carlo(quick_config(), methods, 4);
+  ASSERT_EQ(summary.size(), 2u);
+  const std::size_t epochs = static_cast<std::size_t>(6.0 / 0.5);
+  for (const auto& s : summary) {
+    EXPECT_EQ(s.pooled.count(), 4 * epochs);
+    EXPECT_EQ(s.trial_means.count(), 4u);
+    EXPECT_GT(s.mean_error(), 0.0);
+  }
+}
+
+TEST(MonteCarlo, DeterministicAcrossThreadCounts) {
+  const std::array<Method, 1> methods{Method::kFttt};
+  ThreadPool one(1);
+  ThreadPool many(8);
+  const auto a = monte_carlo(quick_config(), methods, 4, one);
+  const auto b = monte_carlo(quick_config(), methods, 4, many);
+  EXPECT_DOUBLE_EQ(a[0].mean_error(), b[0].mean_error());
+  EXPECT_DOUBLE_EQ(a[0].stddev_error(), b[0].stddev_error());
+  EXPECT_DOUBLE_EQ(a[0].trial_means.mean(), b[0].trial_means.mean());
+}
+
+TEST(MonteCarlo, TrialMeansWithinPooledRange) {
+  const std::array<Method, 1> methods{Method::kFttt};
+  const auto s = monte_carlo(quick_config(), methods, 3);
+  EXPECT_GE(s[0].trial_means.min(), s[0].pooled.min());
+  EXPECT_LE(s[0].trial_means.max(), s[0].pooled.max());
+}
+
+TEST(MonteCarlo, MethodOrderPreserved) {
+  const std::array<Method, 3> methods{Method::kDirectMle, Method::kFttt,
+                                      Method::kPathMatching};
+  const auto s = monte_carlo(quick_config(), methods, 2);
+  EXPECT_EQ(s[0].method, Method::kDirectMle);
+  EXPECT_EQ(s[1].method, Method::kFttt);
+  EXPECT_EQ(s[2].method, Method::kPathMatching);
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,66 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fttt {
+namespace {
+
+TEST(MarkdownEscape, EscapesTableBreakers) {
+  EXPECT_EQ(markdown_escape("a|b"), "a\\|b");
+  EXPECT_EQ(markdown_escape("line1\nline2"), "line1 line2");
+  EXPECT_EQ(markdown_escape("plain"), "plain");
+}
+
+TEST(MarkdownScenario, MentionsEveryKeyParameter) {
+  ScenarioConfig cfg;
+  cfg.sensor_count = 17;
+  cfg.channel = Channel::kBounded;
+  cfg.samples_per_group = 7;
+  cfg.dropout_probability = 0.25;
+  cfg.missing = MissingPolicy::kMissingUnknown;
+  const std::string md = markdown_scenario(cfg);
+  EXPECT_NE(md.find("17"), std::string::npos);
+  EXPECT_NE(md.find("bounded"), std::string::npos);
+  EXPECT_NE(md.find("k = 7"), std::string::npos);
+  EXPECT_NE(md.find("0.25"), std::string::npos);
+  EXPECT_NE(md.find("'*'"), std::string::npos);
+}
+
+TEST(MarkdownScenario, NamesEachTraceKind) {
+  ScenarioConfig cfg;
+  cfg.trace = TraceKind::kUShape;
+  EXPECT_NE(markdown_scenario(cfg).find("U-shape"), std::string::npos);
+  cfg.trace = TraceKind::kGaussMarkov;
+  EXPECT_NE(markdown_scenario(cfg).find("Gauss-Markov"), std::string::npos);
+}
+
+TEST(MarkdownSummaryTable, OneRowPerMethodWithHeader) {
+  std::vector<MonteCarloSummary> summaries(2);
+  summaries[0].method = Method::kFttt;
+  summaries[0].pooled.add(1.0);
+  summaries[0].pooled.add(3.0);
+  summaries[0].trial_means.add(2.0);
+  summaries[1].method = Method::kDirectMle;
+  summaries[1].pooled.add(5.0);
+  summaries[1].trial_means.add(5.0);
+  const std::string md = markdown_summary_table(summaries);
+  EXPECT_NE(md.find("| method |"), std::string::npos);
+  EXPECT_NE(md.find("| FTTT | 2.000 |"), std::string::npos);
+  EXPECT_NE(md.find("| DirectMLE | 5.000 |"), std::string::npos);
+  // Header + separator + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(md.begin(), md.end(), '\n'), 4);
+}
+
+TEST(MarkdownSection, ComposesHeadingBlockAndTable) {
+  ScenarioConfig cfg;
+  std::vector<MonteCarloSummary> summaries(1);
+  summaries[0].method = Method::kFttt;
+  summaries[0].pooled.add(2.0);
+  const std::string md = markdown_section("My | Title", cfg, summaries);
+  EXPECT_EQ(md.rfind("## My \\| Title", 0), 0u);  // escaped heading first
+  EXPECT_NE(md.find("- field:"), std::string::npos);
+  EXPECT_NE(md.find("| FTTT |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,164 @@
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace fttt {
+namespace {
+
+ScenarioConfig quick_config() {
+  ScenarioConfig cfg;
+  cfg.sensor_count = 8;
+  cfg.duration = 10.0;
+  cfg.grid_cell = 2.0;
+  return cfg;
+}
+
+TEST(Runner, ProducesOneEstimatePerEpochPerMethod) {
+  const std::array<Method, 2> methods{Method::kFttt, Method::kDirectMle};
+  const TrackingResult r = run_tracking(quick_config(), methods);
+  const std::size_t epochs = static_cast<std::size_t>(10.0 / 0.5);
+  EXPECT_EQ(r.times.size(), epochs);
+  EXPECT_EQ(r.true_positions.size(), epochs);
+  ASSERT_EQ(r.methods.size(), 2u);
+  for (const auto& m : r.methods) {
+    EXPECT_EQ(m.estimates.size(), epochs);
+    EXPECT_EQ(m.errors.size(), epochs);
+  }
+}
+
+TEST(Runner, ErrorsMatchEstimateDistances) {
+  const std::array<Method, 1> methods{Method::kFttt};
+  const TrackingResult r = run_tracking(quick_config(), methods);
+  for (std::size_t i = 0; i < r.times.size(); ++i)
+    EXPECT_DOUBLE_EQ(r.methods[0].errors[i],
+                     distance(r.methods[0].estimates[i], r.true_positions[i]));
+}
+
+TEST(Runner, BuildsOnlyNeededFaceMaps) {
+  const std::array<Method, 1> fttt_only{Method::kFttt};
+  const TrackingResult a = run_tracking(quick_config(), fttt_only);
+  EXPECT_GT(a.faces_uncertain, 0u);
+  EXPECT_EQ(a.faces_bisector, 0u);
+
+  const std::array<Method, 1> mle_only{Method::kDirectMle};
+  const TrackingResult b = run_tracking(quick_config(), mle_only);
+  EXPECT_EQ(b.faces_uncertain, 0u);
+  EXPECT_GT(b.faces_bisector, 0u);
+}
+
+TEST(Runner, SameTrialReproduces) {
+  const std::array<Method, 2> methods{Method::kFttt, Method::kPathMatching};
+  const TrackingResult a = run_tracking(quick_config(), methods, 3);
+  const TrackingResult b = run_tracking(quick_config(), methods, 3);
+  ASSERT_EQ(a.methods[0].errors.size(), b.methods[0].errors.size());
+  for (std::size_t i = 0; i < a.methods[0].errors.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.methods[0].errors[i], b.methods[0].errors[i]);
+    EXPECT_DOUBLE_EQ(a.methods[1].errors[i], b.methods[1].errors[i]);
+  }
+}
+
+TEST(Runner, DifferentTrialsDiffer) {
+  const std::array<Method, 1> methods{Method::kFttt};
+  const TrackingResult a = run_tracking(quick_config(), methods, 0);
+  const TrackingResult b = run_tracking(quick_config(), methods, 1);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.true_positions.size(); ++i)
+    if (!(a.true_positions[i] == b.true_positions[i])) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Runner, GridDeploymentRuns) {
+  ScenarioConfig cfg = quick_config();
+  cfg.deployment = DeploymentKind::kGrid;
+  const std::array<Method, 1> methods{Method::kFttt};
+  const TrackingResult r = run_tracking(cfg, methods);
+  EXPECT_FALSE(r.methods[0].errors.empty());
+}
+
+TEST(Runner, UShapeTraceRuns) {
+  ScenarioConfig cfg = quick_config();
+  cfg.trace = TraceKind::kUShape;
+  const std::array<Method, 1> methods{Method::kFtttExtended};
+  const TrackingResult r = run_tracking(cfg, methods);
+  EXPECT_FALSE(r.methods[0].errors.empty());
+}
+
+TEST(Runner, DropoutConfigRuns) {
+  ScenarioConfig cfg = quick_config();
+  cfg.dropout_probability = 0.3;
+  const std::array<Method, 1> methods{Method::kFttt};
+  const TrackingResult r = run_tracking(cfg, methods);
+  EXPECT_FALSE(r.methods[0].errors.empty());
+}
+
+TEST(Runner, BoundedChannelRuns) {
+  ScenarioConfig cfg = quick_config();
+  cfg.channel = Channel::kBounded;
+  const std::array<Method, 2> methods{Method::kFttt, Method::kDirectMle};
+  const TrackingResult r = run_tracking(cfg, methods);
+  for (const auto& m : r.methods) EXPECT_FALSE(m.errors.empty());
+}
+
+TEST(Runner, ChannelChangesResults) {
+  ScenarioConfig gaussian = quick_config();
+  ScenarioConfig bounded = quick_config();
+  bounded.channel = Channel::kBounded;
+  const std::array<Method, 1> methods{Method::kFttt};
+  const TrackingResult a = run_tracking(gaussian, methods);
+  const TrackingResult b = run_tracking(bounded, methods);
+  EXPECT_NE(a.methods[0].mean_error(), b.methods[0].mean_error());
+}
+
+TEST(Runner, CalibrationTogglesDivision) {
+  // Calibration widens C, so the uncertain map has different (fewer,
+  // larger-0-region) faces than the literal Eq. 3 division.
+  ScenarioConfig calibrated = quick_config();
+  ScenarioConfig literal = quick_config();
+  literal.calibrate_C = false;
+  const std::array<Method, 1> methods{Method::kFttt};
+  const TrackingResult a = run_tracking(calibrated, methods);
+  const TrackingResult b = run_tracking(literal, methods);
+  EXPECT_NE(a.faces_uncertain, b.faces_uncertain);
+}
+
+TEST(Runner, GaussMarkovTraceRuns) {
+  ScenarioConfig cfg = quick_config();
+  cfg.trace = TraceKind::kGaussMarkov;
+  const std::array<Method, 1> methods{Method::kFttt};
+  const TrackingResult r = run_tracking(cfg, methods);
+  EXPECT_FALSE(r.methods[0].errors.empty());
+  for (const Vec2 p : r.true_positions) EXPECT_TRUE(cfg.field.contains(p));
+}
+
+TEST(Runner, MovingGroupRuns) {
+  ScenarioConfig cfg = quick_config();
+  cfg.freeze_group = false;
+  cfg.v_min = cfg.v_max = 5.0;
+  const std::array<Method, 1> methods{Method::kFttt};
+  const TrackingResult frozen_run = run_tracking(quick_config(), methods);
+  const TrackingResult moving_run = run_tracking(cfg, methods);
+  EXPECT_EQ(frozen_run.methods[0].errors.size(), moving_run.methods[0].errors.size());
+}
+
+TEST(Runner, NoMethodsThrows) {
+  EXPECT_THROW(run_tracking(quick_config(), {}), std::invalid_argument);
+}
+
+TEST(Runner, MeanAndStddevHelpers) {
+  MethodTrackResult m;
+  m.errors = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(m.mean_error(), 2.0);
+  EXPECT_DOUBLE_EQ(m.stddev_error(), 1.0);
+}
+
+TEST(MethodName, AllNamesDistinct) {
+  EXPECT_EQ(method_name(Method::kFttt), "FTTT");
+  EXPECT_EQ(method_name(Method::kFtttExtended), "FTTT-ext");
+  EXPECT_EQ(method_name(Method::kPathMatching), "PM");
+  EXPECT_EQ(method_name(Method::kDirectMle), "DirectMLE");
+}
+
+}  // namespace
+}  // namespace fttt

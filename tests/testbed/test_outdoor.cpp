@@ -1,0 +1,85 @@
+#include "testbed/outdoor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace fttt {
+namespace {
+
+OutdoorSystem::Config quick_config() {
+  OutdoorSystem::Config cfg;
+  cfg.grid_cell = 1.0;  // coarser grid for test speed
+  return cfg;
+}
+
+TEST(OutdoorSystem, ProducesAlignedSeries) {
+  const OutdoorSystem sys(quick_config());
+  const auto r = sys.run();
+  EXPECT_GT(r.times.size(), 10u);
+  EXPECT_EQ(r.truth.size(), r.times.size());
+  EXPECT_EQ(r.basic.size(), r.times.size());
+  EXPECT_EQ(r.extended.size(), r.times.size());
+  EXPECT_EQ(r.basic_error.size(), r.times.size());
+  EXPECT_EQ(r.extended_error.size(), r.times.size());
+  EXPECT_GT(r.faces, 8u);
+}
+
+TEST(OutdoorSystem, TruthFollowsUShape) {
+  const OutdoorSystem sys(quick_config());
+  const auto r = sys.run();
+  // All truth points lie on the "⊔" inset by 20% of the 60 m box: x = 32,
+  // x = 68 or y = 32.
+  for (const Vec2 p : r.truth) {
+    const bool on_path = std::abs(p.x - 32.0) < 1e-6 || std::abs(p.x - 68.0) < 1e-6 ||
+                         std::abs(p.y - 32.0) < 1e-6;
+    EXPECT_TRUE(on_path) << p;
+  }
+}
+
+TEST(OutdoorSystem, TrackingErrorIsBounded) {
+  // Both trackers should stay within a sane error band (the playground is
+  // 60 m across; errors near 30 m would mean tracking failed).
+  const OutdoorSystem sys(quick_config());
+  const auto r = sys.run();
+  EXPECT_LT(mean_of(r.basic_error), 12.0);
+  EXPECT_LT(mean_of(r.extended_error), 12.0);
+}
+
+TEST(OutdoorSystem, ExtendedSmootherOrEqual) {
+  // The paper's Sec. 7.3 observation: the extension mainly reduces error
+  // *deviation*. Allow slack but catch regressions.
+  const OutdoorSystem sys(quick_config());
+  const auto r = sys.run();
+  EXPECT_LE(stddev_of(r.extended_error), stddev_of(r.basic_error) * 1.25);
+}
+
+TEST(OutdoorSystem, Reproducible) {
+  const OutdoorSystem sys(quick_config());
+  const auto a = sys.run();
+  const auto b = sys.run();
+  ASSERT_EQ(a.times.size(), b.times.size());
+  for (std::size_t i = 0; i < a.times.size(); ++i) {
+    EXPECT_EQ(a.basic[i], b.basic[i]);
+    EXPECT_EQ(a.extended[i], b.extended[i]);
+  }
+}
+
+TEST(OutdoorSystem, PacketLossStillTracks) {
+  // 30 % report loss on a 9-mote rig silences 2-3 motes per epoch; the
+  // '*' machinery keeps the tracker functional (estimates stay in-field
+  // and beat blind guessing), with the extension clearly more robust.
+  OutdoorSystem::Config cfg = quick_config();
+  cfg.mote.packet_loss = 0.3;
+  const OutdoorSystem sys(cfg);
+  const auto r = sys.run();
+  for (const Vec2 p : r.basic) EXPECT_TRUE(cfg.field.contains(p));
+  // Blind guessing (field centre) against the "⊔" walk averages ~19 m.
+  EXPECT_LT(mean_of(r.extended_error), 14.0);
+  EXPECT_LT(mean_of(r.basic_error), 25.0);
+}
+
+}  // namespace
+}  // namespace fttt

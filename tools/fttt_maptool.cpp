@@ -1,0 +1,123 @@
+// fttt_maptool — build, save, load and inspect face-map files.
+//
+//   fttt_maptool build --sensors 10 --eps 1 --out map.bin [--adaptive]
+//   fttt_maptool info map.bin
+//
+// `build` divides a 100x100 field for a random deployment and writes the
+// FTTTMAP1 file; `info` loads one and prints its statistics — the
+// round-trip a deployment pipeline would run offline before flashing the
+// division to base stations / cluster heads (paper Sec. 4.3).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "core/adaptive_grid.hpp"
+#include "core/facemap_io.hpp"
+#include "net/deployment.hpp"
+#include "rf/uncertainty.hpp"
+
+namespace {
+
+using namespace fttt;
+
+int cmd_build(const std::vector<std::string>& args) {
+  std::size_t sensors = 10;
+  double eps = 1.0;
+  double cell = 1.0;
+  std::uint64_t seed = 2012;
+  std::string out;
+  bool adaptive = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--sensors" && i + 1 < args.size()) sensors = std::stoul(args[++i]);
+    else if (args[i] == "--eps" && i + 1 < args.size()) eps = std::stod(args[++i]);
+    else if (args[i] == "--cell" && i + 1 < args.size()) cell = std::stod(args[++i]);
+    else if (args[i] == "--seed" && i + 1 < args.size()) seed = std::stoul(args[++i]);
+    else if (args[i] == "--out" && i + 1 < args.size()) out = args[++i];
+    else if (args[i] == "--adaptive") adaptive = true;
+    else {
+      std::cerr << "build: unknown flag " << args[i] << "\n";
+      return 2;
+    }
+  }
+  if (out.empty()) {
+    std::cerr << "build: --out is required\n";
+    return 2;
+  }
+
+  const Aabb field{{0.0, 0.0}, {100.0, 100.0}};
+  RngStream rng(seed);
+  const Deployment nodes = random_deployment(field, sensors, rng);
+  const double C = calibrated_uncertainty_constant(eps, 4.0, 6.0, 5);
+
+  if (adaptive) {
+    const AdaptiveBuildResult r = build_facemap_adaptive(nodes, C, field, cell);
+    std::cout << "adaptive build: " << r.evaluations << " evaluations ("
+              << TextTable::num(r.savings() * 100.0, 1) << " % saved), "
+              << r.map.face_count() << " faces\n";
+    save_facemap(r.map, out);
+  } else {
+    const FaceMap map = FaceMap::build(nodes, C, field, cell);
+    std::cout << "uniform build: " << map.grid().cell_count() << " evaluations, "
+              << map.face_count() << " faces\n";
+    save_facemap(map, out);
+  }
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    std::cerr << "info: expected exactly one file\n";
+    return 2;
+  }
+  const FaceMap map = load_facemap(args[0]);
+
+  std::size_t min_cells = map.grid().cell_count();
+  std::size_t max_cells = 0;
+  std::size_t links = 0;
+  for (const Face& f : map.faces()) {
+    min_cells = std::min(min_cells, f.cell_count);
+    max_cells = std::max(max_cells, f.cell_count);
+    links += map.neighbors(f.id).size();
+  }
+
+  TextTable t({"property", "value"});
+  t.add_row({"sensors", std::to_string(map.nodes().size())});
+  t.add_row({"vector dimension", std::to_string(map.dimension())});
+  t.add_row({"ratio constant C", TextTable::num(map.ratio_constant(), 4)});
+  t.add_row({"field", TextTable::num(map.grid().extent().width(), 0) + " x " +
+                          TextTable::num(map.grid().extent().height(), 0) + " m"});
+  t.add_row({"cell size", TextTable::num(map.grid().cell_size(), 2) + " m"});
+  t.add_row({"cells", std::to_string(map.grid().cell_count())});
+  t.add_row({"faces", std::to_string(map.face_count())});
+  t.add_row({"smallest face (cells)", std::to_string(min_cells)});
+  t.add_row({"largest face (cells)", std::to_string(max_cells)});
+  t.add_row({"neighbor links", std::to_string(links / 2)});
+  t.add_row({"Theorem-1 link fraction", TextTable::num(map.theorem1_link_fraction(), 3)});
+  std::cout << t;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "--help") {
+    std::cout << "usage: fttt_maptool build --out FILE [--sensors N] [--eps E]\n"
+                 "                          [--cell M] [--seed N] [--adaptive]\n"
+                 "       fttt_maptool info FILE\n";
+    return args.empty() ? 2 : 0;
+  }
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (args[0] == "build") return cmd_build(rest);
+    if (args[0] == "info") return cmd_info(rest);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command: " << args[0] << "\n";
+  return 2;
+}
