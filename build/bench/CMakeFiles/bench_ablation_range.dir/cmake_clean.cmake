@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_range.dir/bench_ablation_range.cpp.o"
+  "CMakeFiles/bench_ablation_range.dir/bench_ablation_range.cpp.o.d"
+  "bench_ablation_range"
+  "bench_ablation_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

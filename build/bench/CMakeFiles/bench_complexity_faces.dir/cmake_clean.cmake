@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complexity_faces.dir/bench_complexity_faces.cpp.o"
+  "CMakeFiles/bench_complexity_faces.dir/bench_complexity_faces.cpp.o.d"
+  "bench_complexity_faces"
+  "bench_complexity_faces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complexity_faces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

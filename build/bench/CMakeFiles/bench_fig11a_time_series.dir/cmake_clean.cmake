@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_time_series.dir/bench_fig11a_time_series.cpp.o"
+  "CMakeFiles/bench_fig11a_time_series.dir/bench_fig11a_time_series.cpp.o.d"
+  "bench_fig11a_time_series"
+  "bench_fig11a_time_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_time_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11bc_vs_sensors.dir/bench_fig11bc_vs_sensors.cpp.o"
+  "CMakeFiles/bench_fig11bc_vs_sensors.dir/bench_fig11bc_vs_sensors.cpp.o.d"
+  "bench_fig11bc_vs_sensors"
+  "bench_fig11bc_vs_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11bc_vs_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

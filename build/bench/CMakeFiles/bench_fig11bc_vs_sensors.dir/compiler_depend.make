@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig11bc_vs_sensors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12b_sampling_times.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12cd_extension.dir/bench_fig12cd_extension.cpp.o"
+  "CMakeFiles/bench_fig12cd_extension.dir/bench_fig12cd_extension.cpp.o.d"
+  "bench_fig12cd_extension"
+  "bench_fig12cd_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12cd_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

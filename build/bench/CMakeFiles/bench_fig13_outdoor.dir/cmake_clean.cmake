@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_outdoor.dir/bench_fig13_outdoor.cpp.o"
+  "CMakeFiles/bench_fig13_outdoor.dir/bench_fig13_outdoor.cpp.o.d"
+  "bench_fig13_outdoor"
+  "bench_fig13_outdoor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_outdoor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_face_division.dir/bench_fig3_face_division.cpp.o"
+  "CMakeFiles/bench_fig3_face_division.dir/bench_fig3_face_division.cpp.o.d"
+  "bench_fig3_face_division"
+  "bench_fig3_face_division.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_face_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_sampling_times_theory.dir/bench_sec51_sampling_times_theory.cpp.o"
+  "CMakeFiles/bench_sec51_sampling_times_theory.dir/bench_sec51_sampling_times_theory.cpp.o.d"
+  "bench_sec51_sampling_times_theory"
+  "bench_sec51_sampling_times_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_sampling_times_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

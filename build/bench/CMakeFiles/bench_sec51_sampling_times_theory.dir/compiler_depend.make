@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec51_sampling_times_theory.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_error_bound.dir/bench_sec52_error_bound.cpp.o"
+  "CMakeFiles/bench_sec52_error_bound.dir/bench_sec52_error_bound.cpp.o.d"
+  "bench_sec52_error_bound"
+  "bench_sec52_error_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_error_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/baseline_shootout.cpp" "examples/CMakeFiles/baseline_shootout.dir/baseline_shootout.cpp.o" "gcc" "examples/CMakeFiles/baseline_shootout.dir/baseline_shootout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/fttt_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fttt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fttt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/fttt_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fttt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/fttt_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/fttt_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fttt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fttt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fttt_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

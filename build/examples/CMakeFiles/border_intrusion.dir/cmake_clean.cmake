@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/border_intrusion.dir/border_intrusion.cpp.o"
+  "CMakeFiles/border_intrusion.dir/border_intrusion.cpp.o.d"
+  "border_intrusion"
+  "border_intrusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/border_intrusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

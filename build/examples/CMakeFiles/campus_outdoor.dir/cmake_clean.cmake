@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_outdoor.dir/campus_outdoor.cpp.o"
+  "CMakeFiles/campus_outdoor.dir/campus_outdoor.cpp.o.d"
+  "campus_outdoor"
+  "campus_outdoor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_outdoor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

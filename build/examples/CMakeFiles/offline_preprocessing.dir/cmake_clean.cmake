@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_preprocessing.dir/offline_preprocessing.cpp.o"
+  "CMakeFiles/offline_preprocessing.dir/offline_preprocessing.cpp.o.d"
+  "offline_preprocessing"
+  "offline_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

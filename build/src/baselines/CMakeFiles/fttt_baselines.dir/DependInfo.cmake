@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/direct_mle.cpp" "src/baselines/CMakeFiles/fttt_baselines.dir/direct_mle.cpp.o" "gcc" "src/baselines/CMakeFiles/fttt_baselines.dir/direct_mle.cpp.o.d"
+  "/root/repo/src/baselines/path_matching.cpp" "src/baselines/CMakeFiles/fttt_baselines.dir/path_matching.cpp.o" "gcc" "src/baselines/CMakeFiles/fttt_baselines.dir/path_matching.cpp.o.d"
+  "/root/repo/src/baselines/range_based.cpp" "src/baselines/CMakeFiles/fttt_baselines.dir/range_based.cpp.o" "gcc" "src/baselines/CMakeFiles/fttt_baselines.dir/range_based.cpp.o.d"
+  "/root/repo/src/baselines/sequence_localizer.cpp" "src/baselines/CMakeFiles/fttt_baselines.dir/sequence_localizer.cpp.o" "gcc" "src/baselines/CMakeFiles/fttt_baselines.dir/sequence_localizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fttt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/fttt_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fttt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/fttt_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fttt_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fttt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

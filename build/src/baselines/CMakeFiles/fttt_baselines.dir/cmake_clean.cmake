@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fttt_baselines.dir/direct_mle.cpp.o"
+  "CMakeFiles/fttt_baselines.dir/direct_mle.cpp.o.d"
+  "CMakeFiles/fttt_baselines.dir/path_matching.cpp.o"
+  "CMakeFiles/fttt_baselines.dir/path_matching.cpp.o.d"
+  "CMakeFiles/fttt_baselines.dir/range_based.cpp.o"
+  "CMakeFiles/fttt_baselines.dir/range_based.cpp.o.d"
+  "CMakeFiles/fttt_baselines.dir/sequence_localizer.cpp.o"
+  "CMakeFiles/fttt_baselines.dir/sequence_localizer.cpp.o.d"
+  "libfttt_baselines.a"
+  "libfttt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fttt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fttt_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/fttt_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/fttt_common.dir/csv.cpp.o"
+  "CMakeFiles/fttt_common.dir/csv.cpp.o.d"
+  "CMakeFiles/fttt_common.dir/histogram.cpp.o"
+  "CMakeFiles/fttt_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/fttt_common.dir/random.cpp.o"
+  "CMakeFiles/fttt_common.dir/random.cpp.o.d"
+  "CMakeFiles/fttt_common.dir/stats.cpp.o"
+  "CMakeFiles/fttt_common.dir/stats.cpp.o.d"
+  "CMakeFiles/fttt_common.dir/table.cpp.o"
+  "CMakeFiles/fttt_common.dir/table.cpp.o.d"
+  "libfttt_common.a"
+  "libfttt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fttt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

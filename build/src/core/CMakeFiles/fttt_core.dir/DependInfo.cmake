@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_grid.cpp" "src/core/CMakeFiles/fttt_core.dir/adaptive_grid.cpp.o" "gcc" "src/core/CMakeFiles/fttt_core.dir/adaptive_grid.cpp.o.d"
+  "/root/repo/src/core/distributed_tracker.cpp" "src/core/CMakeFiles/fttt_core.dir/distributed_tracker.cpp.o" "gcc" "src/core/CMakeFiles/fttt_core.dir/distributed_tracker.cpp.o.d"
+  "/root/repo/src/core/facemap.cpp" "src/core/CMakeFiles/fttt_core.dir/facemap.cpp.o" "gcc" "src/core/CMakeFiles/fttt_core.dir/facemap.cpp.o.d"
+  "/root/repo/src/core/facemap_io.cpp" "src/core/CMakeFiles/fttt_core.dir/facemap_io.cpp.o" "gcc" "src/core/CMakeFiles/fttt_core.dir/facemap_io.cpp.o.d"
+  "/root/repo/src/core/matcher.cpp" "src/core/CMakeFiles/fttt_core.dir/matcher.cpp.o" "gcc" "src/core/CMakeFiles/fttt_core.dir/matcher.cpp.o.d"
+  "/root/repo/src/core/sampling_vector.cpp" "src/core/CMakeFiles/fttt_core.dir/sampling_vector.cpp.o" "gcc" "src/core/CMakeFiles/fttt_core.dir/sampling_vector.cpp.o.d"
+  "/root/repo/src/core/sequence.cpp" "src/core/CMakeFiles/fttt_core.dir/sequence.cpp.o" "gcc" "src/core/CMakeFiles/fttt_core.dir/sequence.cpp.o.d"
+  "/root/repo/src/core/signature.cpp" "src/core/CMakeFiles/fttt_core.dir/signature.cpp.o" "gcc" "src/core/CMakeFiles/fttt_core.dir/signature.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "src/core/CMakeFiles/fttt_core.dir/similarity.cpp.o" "gcc" "src/core/CMakeFiles/fttt_core.dir/similarity.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/core/CMakeFiles/fttt_core.dir/theory.cpp.o" "gcc" "src/core/CMakeFiles/fttt_core.dir/theory.cpp.o.d"
+  "/root/repo/src/core/track_manager.cpp" "src/core/CMakeFiles/fttt_core.dir/track_manager.cpp.o" "gcc" "src/core/CMakeFiles/fttt_core.dir/track_manager.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/core/CMakeFiles/fttt_core.dir/tracker.cpp.o" "gcc" "src/core/CMakeFiles/fttt_core.dir/tracker.cpp.o.d"
+  "/root/repo/src/core/velocity.cpp" "src/core/CMakeFiles/fttt_core.dir/velocity.cpp.o" "gcc" "src/core/CMakeFiles/fttt_core.dir/velocity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fttt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/fttt_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/fttt_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fttt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fttt_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fttt_core.dir/adaptive_grid.cpp.o"
+  "CMakeFiles/fttt_core.dir/adaptive_grid.cpp.o.d"
+  "CMakeFiles/fttt_core.dir/distributed_tracker.cpp.o"
+  "CMakeFiles/fttt_core.dir/distributed_tracker.cpp.o.d"
+  "CMakeFiles/fttt_core.dir/facemap.cpp.o"
+  "CMakeFiles/fttt_core.dir/facemap.cpp.o.d"
+  "CMakeFiles/fttt_core.dir/facemap_io.cpp.o"
+  "CMakeFiles/fttt_core.dir/facemap_io.cpp.o.d"
+  "CMakeFiles/fttt_core.dir/matcher.cpp.o"
+  "CMakeFiles/fttt_core.dir/matcher.cpp.o.d"
+  "CMakeFiles/fttt_core.dir/sampling_vector.cpp.o"
+  "CMakeFiles/fttt_core.dir/sampling_vector.cpp.o.d"
+  "CMakeFiles/fttt_core.dir/sequence.cpp.o"
+  "CMakeFiles/fttt_core.dir/sequence.cpp.o.d"
+  "CMakeFiles/fttt_core.dir/signature.cpp.o"
+  "CMakeFiles/fttt_core.dir/signature.cpp.o.d"
+  "CMakeFiles/fttt_core.dir/similarity.cpp.o"
+  "CMakeFiles/fttt_core.dir/similarity.cpp.o.d"
+  "CMakeFiles/fttt_core.dir/theory.cpp.o"
+  "CMakeFiles/fttt_core.dir/theory.cpp.o.d"
+  "CMakeFiles/fttt_core.dir/track_manager.cpp.o"
+  "CMakeFiles/fttt_core.dir/track_manager.cpp.o.d"
+  "CMakeFiles/fttt_core.dir/tracker.cpp.o"
+  "CMakeFiles/fttt_core.dir/tracker.cpp.o.d"
+  "CMakeFiles/fttt_core.dir/velocity.cpp.o"
+  "CMakeFiles/fttt_core.dir/velocity.cpp.o.d"
+  "libfttt_core.a"
+  "libfttt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fttt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

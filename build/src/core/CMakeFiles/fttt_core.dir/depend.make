@@ -1,0 +1,2 @@
+# Empty dependencies file for fttt_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/apollonius.cpp" "src/geometry/CMakeFiles/fttt_geometry.dir/apollonius.cpp.o" "gcc" "src/geometry/CMakeFiles/fttt_geometry.dir/apollonius.cpp.o.d"
+  "/root/repo/src/geometry/circle.cpp" "src/geometry/CMakeFiles/fttt_geometry.dir/circle.cpp.o" "gcc" "src/geometry/CMakeFiles/fttt_geometry.dir/circle.cpp.o.d"
+  "/root/repo/src/geometry/grid.cpp" "src/geometry/CMakeFiles/fttt_geometry.dir/grid.cpp.o" "gcc" "src/geometry/CMakeFiles/fttt_geometry.dir/grid.cpp.o.d"
+  "/root/repo/src/geometry/polyline.cpp" "src/geometry/CMakeFiles/fttt_geometry.dir/polyline.cpp.o" "gcc" "src/geometry/CMakeFiles/fttt_geometry.dir/polyline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fttt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fttt_geometry.dir/apollonius.cpp.o"
+  "CMakeFiles/fttt_geometry.dir/apollonius.cpp.o.d"
+  "CMakeFiles/fttt_geometry.dir/circle.cpp.o"
+  "CMakeFiles/fttt_geometry.dir/circle.cpp.o.d"
+  "CMakeFiles/fttt_geometry.dir/grid.cpp.o"
+  "CMakeFiles/fttt_geometry.dir/grid.cpp.o.d"
+  "CMakeFiles/fttt_geometry.dir/polyline.cpp.o"
+  "CMakeFiles/fttt_geometry.dir/polyline.cpp.o.d"
+  "libfttt_geometry.a"
+  "libfttt_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fttt_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/gauss_markov.cpp" "src/mobility/CMakeFiles/fttt_mobility.dir/gauss_markov.cpp.o" "gcc" "src/mobility/CMakeFiles/fttt_mobility.dir/gauss_markov.cpp.o.d"
+  "/root/repo/src/mobility/path_trace.cpp" "src/mobility/CMakeFiles/fttt_mobility.dir/path_trace.cpp.o" "gcc" "src/mobility/CMakeFiles/fttt_mobility.dir/path_trace.cpp.o.d"
+  "/root/repo/src/mobility/waypoint.cpp" "src/mobility/CMakeFiles/fttt_mobility.dir/waypoint.cpp.o" "gcc" "src/mobility/CMakeFiles/fttt_mobility.dir/waypoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fttt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/fttt_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

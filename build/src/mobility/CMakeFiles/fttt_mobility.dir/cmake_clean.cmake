@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fttt_mobility.dir/gauss_markov.cpp.o"
+  "CMakeFiles/fttt_mobility.dir/gauss_markov.cpp.o.d"
+  "CMakeFiles/fttt_mobility.dir/path_trace.cpp.o"
+  "CMakeFiles/fttt_mobility.dir/path_trace.cpp.o.d"
+  "CMakeFiles/fttt_mobility.dir/waypoint.cpp.o"
+  "CMakeFiles/fttt_mobility.dir/waypoint.cpp.o.d"
+  "libfttt_mobility.a"
+  "libfttt_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fttt_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

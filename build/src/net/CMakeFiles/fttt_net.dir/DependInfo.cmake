@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/aggregation.cpp" "src/net/CMakeFiles/fttt_net.dir/aggregation.cpp.o" "gcc" "src/net/CMakeFiles/fttt_net.dir/aggregation.cpp.o.d"
+  "/root/repo/src/net/clustering.cpp" "src/net/CMakeFiles/fttt_net.dir/clustering.cpp.o" "gcc" "src/net/CMakeFiles/fttt_net.dir/clustering.cpp.o.d"
+  "/root/repo/src/net/deployment.cpp" "src/net/CMakeFiles/fttt_net.dir/deployment.cpp.o" "gcc" "src/net/CMakeFiles/fttt_net.dir/deployment.cpp.o.d"
+  "/root/repo/src/net/energy.cpp" "src/net/CMakeFiles/fttt_net.dir/energy.cpp.o" "gcc" "src/net/CMakeFiles/fttt_net.dir/energy.cpp.o.d"
+  "/root/repo/src/net/faults.cpp" "src/net/CMakeFiles/fttt_net.dir/faults.cpp.o" "gcc" "src/net/CMakeFiles/fttt_net.dir/faults.cpp.o.d"
+  "/root/repo/src/net/sampling.cpp" "src/net/CMakeFiles/fttt_net.dir/sampling.cpp.o" "gcc" "src/net/CMakeFiles/fttt_net.dir/sampling.cpp.o.d"
+  "/root/repo/src/net/sync.cpp" "src/net/CMakeFiles/fttt_net.dir/sync.cpp.o" "gcc" "src/net/CMakeFiles/fttt_net.dir/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fttt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/fttt_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

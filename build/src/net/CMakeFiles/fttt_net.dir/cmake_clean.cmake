@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fttt_net.dir/aggregation.cpp.o"
+  "CMakeFiles/fttt_net.dir/aggregation.cpp.o.d"
+  "CMakeFiles/fttt_net.dir/clustering.cpp.o"
+  "CMakeFiles/fttt_net.dir/clustering.cpp.o.d"
+  "CMakeFiles/fttt_net.dir/deployment.cpp.o"
+  "CMakeFiles/fttt_net.dir/deployment.cpp.o.d"
+  "CMakeFiles/fttt_net.dir/energy.cpp.o"
+  "CMakeFiles/fttt_net.dir/energy.cpp.o.d"
+  "CMakeFiles/fttt_net.dir/faults.cpp.o"
+  "CMakeFiles/fttt_net.dir/faults.cpp.o.d"
+  "CMakeFiles/fttt_net.dir/sampling.cpp.o"
+  "CMakeFiles/fttt_net.dir/sampling.cpp.o.d"
+  "CMakeFiles/fttt_net.dir/sync.cpp.o"
+  "CMakeFiles/fttt_net.dir/sync.cpp.o.d"
+  "libfttt_net.a"
+  "libfttt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fttt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

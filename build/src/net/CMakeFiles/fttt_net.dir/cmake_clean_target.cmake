@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfttt_net.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fttt_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/fttt_parallel.dir/thread_pool.cpp.o.d"
+  "libfttt_parallel.a"
+  "libfttt_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fttt_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

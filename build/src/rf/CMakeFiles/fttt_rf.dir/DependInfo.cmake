@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/pathloss.cpp" "src/rf/CMakeFiles/fttt_rf.dir/pathloss.cpp.o" "gcc" "src/rf/CMakeFiles/fttt_rf.dir/pathloss.cpp.o.d"
+  "/root/repo/src/rf/uncertainty.cpp" "src/rf/CMakeFiles/fttt_rf.dir/uncertainty.cpp.o" "gcc" "src/rf/CMakeFiles/fttt_rf.dir/uncertainty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fttt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

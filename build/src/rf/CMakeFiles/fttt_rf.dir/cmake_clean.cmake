@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fttt_rf.dir/pathloss.cpp.o"
+  "CMakeFiles/fttt_rf.dir/pathloss.cpp.o.d"
+  "CMakeFiles/fttt_rf.dir/uncertainty.cpp.o"
+  "CMakeFiles/fttt_rf.dir/uncertainty.cpp.o.d"
+  "libfttt_rf.a"
+  "libfttt_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fttt_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cli.cpp" "src/sim/CMakeFiles/fttt_sim.dir/cli.cpp.o" "gcc" "src/sim/CMakeFiles/fttt_sim.dir/cli.cpp.o.d"
+  "/root/repo/src/sim/gnuplot.cpp" "src/sim/CMakeFiles/fttt_sim.dir/gnuplot.cpp.o" "gcc" "src/sim/CMakeFiles/fttt_sim.dir/gnuplot.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/fttt_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/fttt_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/montecarlo.cpp" "src/sim/CMakeFiles/fttt_sim.dir/montecarlo.cpp.o" "gcc" "src/sim/CMakeFiles/fttt_sim.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/fttt_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/fttt_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/sim/CMakeFiles/fttt_sim.dir/runner.cpp.o" "gcc" "src/sim/CMakeFiles/fttt_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/fttt_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/fttt_sim.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fttt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fttt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/fttt_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fttt_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fttt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/fttt_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/fttt_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fttt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

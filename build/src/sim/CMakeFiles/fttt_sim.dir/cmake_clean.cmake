@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fttt_sim.dir/cli.cpp.o"
+  "CMakeFiles/fttt_sim.dir/cli.cpp.o.d"
+  "CMakeFiles/fttt_sim.dir/gnuplot.cpp.o"
+  "CMakeFiles/fttt_sim.dir/gnuplot.cpp.o.d"
+  "CMakeFiles/fttt_sim.dir/metrics.cpp.o"
+  "CMakeFiles/fttt_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/fttt_sim.dir/montecarlo.cpp.o"
+  "CMakeFiles/fttt_sim.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/fttt_sim.dir/report.cpp.o"
+  "CMakeFiles/fttt_sim.dir/report.cpp.o.d"
+  "CMakeFiles/fttt_sim.dir/runner.cpp.o"
+  "CMakeFiles/fttt_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/fttt_sim.dir/scenario.cpp.o"
+  "CMakeFiles/fttt_sim.dir/scenario.cpp.o.d"
+  "libfttt_sim.a"
+  "libfttt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fttt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fttt_testbed.dir/outdoor.cpp.o"
+  "CMakeFiles/fttt_testbed.dir/outdoor.cpp.o.d"
+  "libfttt_testbed.a"
+  "libfttt_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fttt_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

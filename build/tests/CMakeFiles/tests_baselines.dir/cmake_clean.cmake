@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_baselines.dir/baselines/test_direct_mle.cpp.o"
+  "CMakeFiles/tests_baselines.dir/baselines/test_direct_mle.cpp.o.d"
+  "CMakeFiles/tests_baselines.dir/baselines/test_path_matching.cpp.o"
+  "CMakeFiles/tests_baselines.dir/baselines/test_path_matching.cpp.o.d"
+  "CMakeFiles/tests_baselines.dir/baselines/test_range_based.cpp.o"
+  "CMakeFiles/tests_baselines.dir/baselines/test_range_based.cpp.o.d"
+  "CMakeFiles/tests_baselines.dir/baselines/test_sequence_localizer.cpp.o"
+  "CMakeFiles/tests_baselines.dir/baselines/test_sequence_localizer.cpp.o.d"
+  "tests_baselines"
+  "tests_baselines.pdb"
+  "tests_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_common.dir/common/test_ascii_plot.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_ascii_plot.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_histogram.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_histogram.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_random.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_random.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_table_csv.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_table_csv.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_vec2.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_vec2.cpp.o.d"
+  "tests_common"
+  "tests_common.pdb"
+  "tests_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

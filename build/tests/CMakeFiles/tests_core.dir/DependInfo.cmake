@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_adaptive_grid.cpp" "tests/CMakeFiles/tests_core.dir/core/test_adaptive_grid.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_adaptive_grid.cpp.o.d"
+  "/root/repo/tests/core/test_distributed_tracker.cpp" "tests/CMakeFiles/tests_core.dir/core/test_distributed_tracker.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_distributed_tracker.cpp.o.d"
+  "/root/repo/tests/core/test_edge_cases.cpp" "tests/CMakeFiles/tests_core.dir/core/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/core/test_facemap.cpp" "tests/CMakeFiles/tests_core.dir/core/test_facemap.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_facemap.cpp.o.d"
+  "/root/repo/tests/core/test_facemap_io.cpp" "tests/CMakeFiles/tests_core.dir/core/test_facemap_io.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_facemap_io.cpp.o.d"
+  "/root/repo/tests/core/test_matcher.cpp" "tests/CMakeFiles/tests_core.dir/core/test_matcher.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_matcher.cpp.o.d"
+  "/root/repo/tests/core/test_pairs.cpp" "tests/CMakeFiles/tests_core.dir/core/test_pairs.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_pairs.cpp.o.d"
+  "/root/repo/tests/core/test_sampling_vector.cpp" "tests/CMakeFiles/tests_core.dir/core/test_sampling_vector.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_sampling_vector.cpp.o.d"
+  "/root/repo/tests/core/test_sequence.cpp" "tests/CMakeFiles/tests_core.dir/core/test_sequence.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_sequence.cpp.o.d"
+  "/root/repo/tests/core/test_signature.cpp" "tests/CMakeFiles/tests_core.dir/core/test_signature.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_signature.cpp.o.d"
+  "/root/repo/tests/core/test_similarity.cpp" "tests/CMakeFiles/tests_core.dir/core/test_similarity.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_similarity.cpp.o.d"
+  "/root/repo/tests/core/test_theory.cpp" "tests/CMakeFiles/tests_core.dir/core/test_theory.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_theory.cpp.o.d"
+  "/root/repo/tests/core/test_track_manager.cpp" "tests/CMakeFiles/tests_core.dir/core/test_track_manager.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_track_manager.cpp.o.d"
+  "/root/repo/tests/core/test_tracker.cpp" "tests/CMakeFiles/tests_core.dir/core/test_tracker.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_tracker.cpp.o.d"
+  "/root/repo/tests/core/test_velocity.cpp" "tests/CMakeFiles/tests_core.dir/core/test_velocity.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_velocity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/fttt_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fttt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fttt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fttt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/fttt_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fttt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/fttt_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/fttt_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fttt_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fttt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

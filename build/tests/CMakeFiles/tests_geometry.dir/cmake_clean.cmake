@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_geometry.dir/geometry/test_apollonius.cpp.o"
+  "CMakeFiles/tests_geometry.dir/geometry/test_apollonius.cpp.o.d"
+  "CMakeFiles/tests_geometry.dir/geometry/test_circle.cpp.o"
+  "CMakeFiles/tests_geometry.dir/geometry/test_circle.cpp.o.d"
+  "CMakeFiles/tests_geometry.dir/geometry/test_grid.cpp.o"
+  "CMakeFiles/tests_geometry.dir/geometry/test_grid.cpp.o.d"
+  "CMakeFiles/tests_geometry.dir/geometry/test_polyline.cpp.o"
+  "CMakeFiles/tests_geometry.dir/geometry/test_polyline.cpp.o.d"
+  "tests_geometry"
+  "tests_geometry.pdb"
+  "tests_geometry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_integration.dir/integration/test_determinism.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/test_determinism.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/test_fault_tolerance.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/test_fault_tolerance.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/test_tracking_quality.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/test_tracking_quality.cpp.o.d"
+  "tests_integration"
+  "tests_integration.pdb"
+  "tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_mobility.dir/mobility/test_gauss_markov.cpp.o"
+  "CMakeFiles/tests_mobility.dir/mobility/test_gauss_markov.cpp.o.d"
+  "CMakeFiles/tests_mobility.dir/mobility/test_mobility.cpp.o"
+  "CMakeFiles/tests_mobility.dir/mobility/test_mobility.cpp.o.d"
+  "tests_mobility"
+  "tests_mobility.pdb"
+  "tests_mobility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

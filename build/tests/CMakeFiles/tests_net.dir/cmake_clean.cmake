@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_net.dir/net/test_aggregation.cpp.o"
+  "CMakeFiles/tests_net.dir/net/test_aggregation.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/test_clustering.cpp.o"
+  "CMakeFiles/tests_net.dir/net/test_clustering.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/test_deployment.cpp.o"
+  "CMakeFiles/tests_net.dir/net/test_deployment.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/test_energy.cpp.o"
+  "CMakeFiles/tests_net.dir/net/test_energy.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/test_faults.cpp.o"
+  "CMakeFiles/tests_net.dir/net/test_faults.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/test_sampling.cpp.o"
+  "CMakeFiles/tests_net.dir/net/test_sampling.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/test_sync.cpp.o"
+  "CMakeFiles/tests_net.dir/net/test_sync.cpp.o.d"
+  "tests_net"
+  "tests_net.pdb"
+  "tests_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

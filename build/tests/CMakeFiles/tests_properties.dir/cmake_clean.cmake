@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_properties.dir/properties/test_channels.cpp.o"
+  "CMakeFiles/tests_properties.dir/properties/test_channels.cpp.o.d"
+  "CMakeFiles/tests_properties.dir/properties/test_invariants.cpp.o"
+  "CMakeFiles/tests_properties.dir/properties/test_invariants.cpp.o.d"
+  "CMakeFiles/tests_properties.dir/properties/test_paper_examples.cpp.o"
+  "CMakeFiles/tests_properties.dir/properties/test_paper_examples.cpp.o.d"
+  "CMakeFiles/tests_properties.dir/properties/test_pipeline_fuzz.cpp.o"
+  "CMakeFiles/tests_properties.dir/properties/test_pipeline_fuzz.cpp.o.d"
+  "tests_properties"
+  "tests_properties.pdb"
+  "tests_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_rf.dir/rf/test_pathloss.cpp.o"
+  "CMakeFiles/tests_rf.dir/rf/test_pathloss.cpp.o.d"
+  "CMakeFiles/tests_rf.dir/rf/test_uncertainty.cpp.o"
+  "CMakeFiles/tests_rf.dir/rf/test_uncertainty.cpp.o.d"
+  "tests_rf"
+  "tests_rf.pdb"
+  "tests_rf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

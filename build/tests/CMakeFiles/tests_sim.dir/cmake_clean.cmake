@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_sim.dir/sim/test_cli.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/test_cli.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/test_gnuplot.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/test_gnuplot.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/test_metrics.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/test_metrics.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/test_montecarlo.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/test_montecarlo.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/test_report.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/test_report.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/test_runner.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/test_runner.cpp.o.d"
+  "tests_sim"
+  "tests_sim.pdb"
+  "tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_testbed.dir/testbed/test_outdoor.cpp.o"
+  "CMakeFiles/tests_testbed.dir/testbed/test_outdoor.cpp.o.d"
+  "tests_testbed"
+  "tests_testbed.pdb"
+  "tests_testbed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_common[1]_include.cmake")
+include("/root/repo/build/tests/tests_parallel[1]_include.cmake")
+include("/root/repo/build/tests/tests_geometry[1]_include.cmake")
+include("/root/repo/build/tests/tests_rf[1]_include.cmake")
+include("/root/repo/build/tests/tests_net[1]_include.cmake")
+include("/root/repo/build/tests/tests_mobility[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_baselines[1]_include.cmake")
+include("/root/repo/build/tests/tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/tests_testbed[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")
+include("/root/repo/build/tests/tests_properties[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fttt_maptool.dir/fttt_maptool.cpp.o"
+  "CMakeFiles/fttt_maptool.dir/fttt_maptool.cpp.o.d"
+  "fttt_maptool"
+  "fttt_maptool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fttt_maptool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fttt_maptool.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fttt_report.dir/fttt_report.cpp.o"
+  "CMakeFiles/fttt_report.dir/fttt_report.cpp.o.d"
+  "fttt_report"
+  "fttt_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fttt_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

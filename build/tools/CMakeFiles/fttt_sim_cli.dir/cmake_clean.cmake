@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fttt_sim_cli.dir/fttt_sim.cpp.o"
+  "CMakeFiles/fttt_sim_cli.dir/fttt_sim.cpp.o.d"
+  "fttt_sim"
+  "fttt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fttt_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
