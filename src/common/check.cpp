@@ -1,0 +1,60 @@
+#include "common/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace fttt {
+
+std::string ContractViolation::to_string() const {
+  std::ostringstream os;
+  os << "FTTT contract violation\n"
+     << "  kind:      " << kind << "\n";
+  if (condition != nullptr && condition[0] != '\0')
+    os << "  condition: " << condition << "\n";
+  os << "  location:  " << file << ":" << line << " (" << function << ")";
+  if (!message.empty()) os << "\n  message:   " << message;
+  return os.str();
+}
+
+ContractError::ContractError(ContractViolation v)
+    : std::logic_error(v.to_string()), violation_(std::move(v)) {}
+
+namespace {
+
+[[noreturn]] void default_contract_handler(const ContractViolation& v) {
+  const std::string report = v.to_string();
+  std::fputs(report.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<ContractHandler> g_handler{&default_contract_handler};
+
+}  // namespace
+
+ContractHandler set_contract_handler(ContractHandler handler) noexcept {
+  if (handler == nullptr) handler = &default_contract_handler;
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void throwing_contract_handler(const ContractViolation& v) {
+  throw ContractError(v);
+}
+
+namespace detail {
+
+void contract_fail(const char* kind, const char* condition, const char* file,
+                   int line, const char* function, std::string message) {
+  const ContractViolation v{kind,     condition,          file,
+                            line,     function,           std::move(message)};
+  g_handler.load(std::memory_order_acquire)(v);
+  // A handler that returns breaks the [[noreturn]] contract of this
+  // function; terminate rather than continue past a failed invariant.
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace fttt

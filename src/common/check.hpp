@@ -1,0 +1,137 @@
+// Runtime contract layer: FTTT_CHECK / FTTT_DCHECK / FTTT_UNREACHABLE.
+//
+// The FTTT pipeline rests on invariants the type system cannot express —
+// face signatures are unique per face (Lemma 1), sampling vectors agree in
+// dimension with signature vectors (Defs. 4-6), Apollonius radii stay
+// positive for C > 1 (Eq. 3-4). These macros make those invariants
+// machine-checked at the point where they hold, with a structured failure
+// report (kind, condition, location, optional streamed detail).
+//
+//   FTTT_CHECK(cond, detail...)   always-on; for cheap, load-bearing
+//                                 invariants and API preconditions.
+//   FTTT_DCHECK(cond, detail...)  compiled out when FTTT_CONTRACTS is 0;
+//                                 for hot-loop invariants. The condition
+//                                 and detail still parse (no bit-rot) but
+//                                 generate no code.
+//   FTTT_UNREACHABLE(detail...)   marks control flow that must not happen.
+//
+// Extra arguments are streamed into the failure message:
+//   FTTT_CHECK(ratio > 0.0, "ratio=", ratio);
+//
+// Failure dispatches to an installable handler (default: print the report
+// to stderr and abort). Tests install `throwing_contract_handler` via
+// `ScopedContractHandler` so contract fires become catchable exceptions.
+//
+// FTTT_CONTRACTS defaults to 1; the build toggles it with the CMake option
+// of the same name (-DFTTT_CONTRACTS=OFF compiles every DCHECK out).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#ifndef FTTT_CONTRACTS
+#ifdef FTTT_DISABLE_CONTRACTS
+#define FTTT_CONTRACTS 0
+#else
+#define FTTT_CONTRACTS 1
+#endif
+#endif
+
+namespace fttt {
+
+/// Structured description of a failed contract, handed to the handler.
+struct ContractViolation {
+  const char* kind;       ///< "FTTT_CHECK" | "FTTT_DCHECK" | "FTTT_UNREACHABLE"
+  const char* condition;  ///< stringified condition ("" for UNREACHABLE)
+  const char* file;
+  int line;
+  const char* function;
+  std::string message;    ///< streamed detail, may be empty
+
+  /// Multi-line human-readable report.
+  std::string to_string() const;
+};
+
+/// Thrown by `throwing_contract_handler`; carries the full violation.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(ContractViolation v);
+  const ContractViolation& violation() const noexcept { return violation_; }
+
+ private:
+  ContractViolation violation_;
+};
+
+/// Invoked on contract failure. Must not return (throw or terminate); if
+/// it does return, std::abort() follows.
+using ContractHandler = void (*)(const ContractViolation&);
+
+/// Install a failure handler; returns the previous one. Thread-safe.
+ContractHandler set_contract_handler(ContractHandler handler) noexcept;
+
+/// Handler that throws ContractError instead of aborting (for tests).
+[[noreturn]] void throwing_contract_handler(const ContractViolation& v);
+
+/// RAII: install a handler for the current scope, restore on exit.
+class ScopedContractHandler {
+ public:
+  explicit ScopedContractHandler(ContractHandler handler) noexcept
+      : previous_(set_contract_handler(handler)) {}
+  ~ScopedContractHandler() { set_contract_handler(previous_); }
+  ScopedContractHandler(const ScopedContractHandler&) = delete;
+  ScopedContractHandler& operator=(const ScopedContractHandler&) = delete;
+
+ private:
+  ContractHandler previous_;
+};
+
+namespace detail {
+
+[[noreturn]] void contract_fail(const char* kind, const char* condition,
+                                const char* file, int line,
+                                const char* function, std::string message);
+
+inline std::string format_contract_message() { return {}; }
+
+template <typename... Args>
+std::string format_contract_message(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Swallows the (unevaluated) condition and detail of a disabled DCHECK so
+/// variables referenced only in contracts never trip -Wunused.
+template <typename... Args>
+constexpr void contract_sink(const Args&...) noexcept {}
+
+}  // namespace detail
+}  // namespace fttt
+
+#define FTTT_CHECK(cond, ...)                                                \
+  (static_cast<bool>(cond)                                                   \
+       ? static_cast<void>(0)                                                \
+       : ::fttt::detail::contract_fail(                                      \
+             "FTTT_CHECK", #cond, __FILE__, __LINE__, __func__,              \
+             ::fttt::detail::format_contract_message(__VA_ARGS__)))
+
+#define FTTT_UNREACHABLE(...)                                                \
+  ::fttt::detail::contract_fail(                                             \
+      "FTTT_UNREACHABLE", "", __FILE__, __LINE__, __func__,                  \
+      ::fttt::detail::format_contract_message(__VA_ARGS__))
+
+#if FTTT_CONTRACTS
+#define FTTT_DCHECK(cond, ...)                                               \
+  (static_cast<bool>(cond)                                                   \
+       ? static_cast<void>(0)                                                \
+       : ::fttt::detail::contract_fail(                                      \
+             "FTTT_DCHECK", #cond, __FILE__, __LINE__, __func__,             \
+             ::fttt::detail::format_contract_message(__VA_ARGS__)))
+#else
+// Never evaluated (the ternary folds to a no-op) but still type-checked.
+#define FTTT_DCHECK(cond, ...)                                               \
+  (true ? static_cast<void>(0)                                               \
+        : ::fttt::detail::contract_sink(static_cast<bool>(cond)              \
+                                            __VA_OPT__(, ) __VA_ARGS__))
+#endif

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/check.hpp"
 #include "core/pairs.hpp"
 #include "core/similarity.hpp"
 
@@ -60,11 +61,16 @@ FaceMap FaceMap::from_cells(const Deployment& nodes, double C, UniformGrid grid,
   // Phase 2 (sequential): dedup signatures into faces, accumulate
   // centroids. Face ids are assigned in cell scan order, so the id
   // assignment is deterministic.
+  const std::size_t dim = pair_count(nodes.size());
   std::unordered_map<SignatureVector, FaceId, SigHash> face_of;
   face_of.reserve(cells / 4);
   map.cell_face_.resize(cells);
   std::vector<Vec2> centroid_sum;
   for (std::size_t flat = 0; flat < cells; ++flat) {
+    // Defs. 4-6: every cell signature spans exactly the C(n,2) canonical
+    // pairs, or face dedup would conflate vectors of different spaces.
+    FTTT_DCHECK(cell_sig[flat].size() == dim, "cell ", flat,
+                " signature dimension ", cell_sig[flat].size(), " != ", dim);
     auto [it, inserted] = face_of.try_emplace(std::move(cell_sig[flat]),
                                               static_cast<FaceId>(map.faces_.size()));
     if (inserted) {
@@ -76,8 +82,16 @@ FaceMap FaceMap::from_cells(const Deployment& nodes, double C, UniformGrid grid,
     centroid_sum[id] += grid.center(flat);
     ++map.faces_[id].cell_count;
   }
-  for (Face& f : map.faces_)
+  // Lemma 1: the signature -> face map is a bijection. try_emplace keyed
+  // on the full signature guarantees uniqueness; the id/count bookkeeping
+  // must have stayed consistent with it.
+  FTTT_CHECK(map.faces_.size() == face_of.size(),
+             "face table and signature index disagree: ", map.faces_.size(),
+             " faces vs ", face_of.size(), " unique signatures");
+  for (Face& f : map.faces_) {
+    FTTT_DCHECK(f.cell_count > 0, "face ", f.id, " owns no cells");
     f.centroid = centroid_sum[f.id] / static_cast<double>(f.cell_count);
+  }
 
   // Phase 3: neighbor-face links from 4-adjacency of cells (right and up
   // neighbors suffice to see every adjacent cell pair once).

@@ -1,5 +1,6 @@
 #include "core/matcher.hpp"
 
+#include "common/check.hpp"
 #include "core/similarity.hpp"
 
 namespace fttt {
@@ -8,6 +9,8 @@ namespace {
 
 /// Finalize a result from the tied set (mean of tied centroids).
 void finalize(const FaceMap& map, MatchResult& r) {
+  FTTT_CHECK(!r.tied_faces.empty(),
+             "matcher produced no candidate face (empty map?)");
   Vec2 sum{};
   for (FaceId f : r.tied_faces) sum += map.face(f).centroid;
   r.position = sum / static_cast<double>(r.tied_faces.size());
@@ -17,6 +20,9 @@ void finalize(const FaceMap& map, MatchResult& r) {
 }  // namespace
 
 MatchResult ExhaustiveMatcher::match(const FaceMap& map, const SamplingVector& vd) const {
+  FTTT_DCHECK(vd.dimension() == map.dimension(),
+              "sampling vector dimension ", vd.dimension(),
+              " != face-map dimension ", map.dimension());
   MatchResult r;
   r.similarity = -1.0;
   for (const Face& f : map.faces()) {
@@ -35,6 +41,11 @@ MatchResult ExhaustiveMatcher::match(const FaceMap& map, const SamplingVector& v
 
 MatchResult HeuristicMatcher::match(const FaceMap& map, const SamplingVector& vd,
                                     FaceId start) const {
+  FTTT_CHECK(start < map.face_count(), "warm-start face ", start,
+             " out of range (", map.face_count(), " faces)");
+  FTTT_DCHECK(vd.dimension() == map.dimension(),
+              "sampling vector dimension ", vd.dimension(),
+              " != face-map dimension ", map.dimension());
   MatchResult r;
   FaceId current = start;
   double s_current = similarity(vd, map.face(current).signature);

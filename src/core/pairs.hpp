@@ -6,9 +6,10 @@
 // the two vector spaces line up component by component.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <utility>
+
+#include "common/check.hpp"
 
 namespace fttt {
 
@@ -17,14 +18,14 @@ constexpr std::size_t pair_count(std::size_t n) { return n * (n - 1) / 2; }
 
 /// Flat index of pair (i, j), i < j < n, in the canonical enumeration.
 constexpr std::size_t pair_index(std::size_t i, std::size_t j, std::size_t n) {
-  assert(i < j && j < n);
+  FTTT_DCHECK(i < j && j < n, "pair (", i, ",", j, ") invalid for n=", n);
   // Pairs with first element < i occupy sum_{a<i} (n-1-a) slots.
   return i * (2 * n - i - 1) / 2 + (j - i - 1);
 }
 
 /// Inverse of pair_index: the (i, j) pair at flat position `idx`.
 constexpr std::pair<std::size_t, std::size_t> pair_at(std::size_t idx, std::size_t n) {
-  assert(idx < pair_count(n));
+  FTTT_DCHECK(idx < pair_count(n), "pair index ", idx, " >= C(n,2)=", pair_count(n));
   std::size_t i = 0;
   std::size_t block = n - 1;  // pairs whose first element is i
   while (idx >= block) {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "core/pairs.hpp"
 
 namespace fttt {
@@ -20,6 +21,9 @@ namespace {
 double both_present_value(const std::vector<double>& rss_i,
                           const std::vector<double>& rss_j, double eps,
                           VectorMode mode) {
+  FTTT_DCHECK(rss_i.size() == rss_j.size(), "ragged pair columns: ",
+              rss_i.size(), " vs ", rss_j.size());
+  FTTT_DCHECK(!rss_i.empty(), "pair value over zero sampling instants");
   const std::size_t k = rss_i.size();
   std::size_t above = 0;  // N_ij: instants with rss_i decisively above
   std::size_t below = 0;  // N_ji
@@ -72,6 +76,12 @@ SamplingVector build_sampling_vector(const GroupingSampling& group, double eps,
       }
     }
   }
+  // Def. 5: exactly C(n,2) pair components were filled, in canonical
+  // order, so the vector is dimension-compatible with every signature
+  // built over the same n nodes.
+  FTTT_DCHECK(c == pair_count(n), "filled ", c, " of ", pair_count(n),
+              " pair components");
+  FTTT_DCHECK(vd.dimension() == pair_count(n));
   return vd;
 }
 

@@ -1,11 +1,13 @@
 #include "core/signature.hpp"
 
+#include "common/check.hpp"
 #include "core/pairs.hpp"
 #include "geometry/apollonius.hpp"
 
 namespace fttt {
 
 SignatureVector signature_at(Vec2 p, const Deployment& nodes, double C) {
+  FTTT_DCHECK(C >= 1.0, "signature_at: uncertainty constant C=", C);
   const std::size_t n = nodes.size();
   SignatureVector sig;
   sig.reserve(pair_count(n));
@@ -13,6 +15,10 @@ SignatureVector signature_at(Vec2 p, const Deployment& nodes, double C) {
     for (std::size_t j = i + 1; j < n; ++j)
       sig.push_back(static_cast<SigValue>(
           pair_region(p, nodes[i].position, nodes[j].position, C)));
+  // Defs. 4-6: the signature dimension is exactly C(n,2) in canonical
+  // pair order — every sampling vector lines up against it component-wise.
+  FTTT_DCHECK(sig.size() == pair_count(n),
+              "signature dimension ", sig.size(), " != C(n,2)=", pair_count(n));
   return sig;
 }
 

@@ -1,13 +1,15 @@
 #include "geometry/apollonius.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.hpp"
 
 namespace fttt {
 
 Circle apollonius_circle(Vec2 a, Vec2 b, double ratio) {
-  assert(ratio > 0.0 && ratio != 1.0);
-  assert(!(a == b));
+  FTTT_CHECK(ratio > 0.0 && ratio != 1.0,
+             "Apollonius locus degenerates to the bisector: ratio=", ratio);
+  FTTT_CHECK(!(a == b), "coincident sensors have no Apollonius circle");
   // { p : |p-a| = ratio * |p-b| }. Squaring and collecting terms gives a
   // circle with center (a - r^2 b) / (1 - r^2) and radius
   // r * |a - b| / |1 - r^2|.
@@ -15,11 +17,15 @@ Circle apollonius_circle(Vec2 a, Vec2 b, double ratio) {
   const double denom = 1.0 - r2;
   const Vec2 center = (a - b * r2) / denom;
   const double radius = ratio * distance(a, b) / std::abs(denom);
+  // Eq. 3-4: for any valid ratio the radius is strictly positive and
+  // finite; a non-finite value means the inputs were already degenerate.
+  FTTT_DCHECK(std::isfinite(radius) && radius > 0.0,
+              "non-positive Apollonius radius ", radius, " for ratio=", ratio);
   return Circle{center, radius};
 }
 
 UncertainBoundary uncertain_boundary(Vec2 a, Vec2 b, double C) {
-  assert(C > 1.0);
+  FTTT_CHECK(C > 1.0, "uncertain boundary needs C > 1, got C=", C);
   return UncertainBoundary{
       .near_a = apollonius_circle(a, b, 1.0 / C),
       .near_b = apollonius_circle(a, b, C),
@@ -27,7 +33,7 @@ UncertainBoundary uncertain_boundary(Vec2 a, Vec2 b, double C) {
 }
 
 int pair_region(Vec2 p, Vec2 a, Vec2 b, double C) {
-  assert(C >= 1.0);
+  FTTT_DCHECK(C >= 1.0, "uncertainty constant below 1: C=", C);
   // Compare squared distances against C^2 to avoid square roots:
   //   d(p,a)/d(p,b) <= 1/C   <=>   C^2 * da2 <= db2
   //   d(p,a)/d(p,b) >= C     <=>   da2 >= C^2 * db2

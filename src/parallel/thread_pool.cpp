@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "common/check.hpp"
+
 namespace fttt {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -13,21 +15,36 @@ ThreadPool::ThreadPool(std::size_t threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mu_);
+    if (stopping_ && workers_.empty()) return;  // already shut down
     stopping_ = true;
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
+  // Workers only exit once the queue is drained, so nothing enqueued
+  // before the stop was dropped.
+  FTTT_DCHECK(tasks_.empty(), "queued tasks survived shutdown drain");
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+bool ThreadPool::stopped() const {
+  std::lock_guard lock(mu_);
+  return stopping_;
+}
+
+bool ThreadPool::submit(std::function<void()> task) {
+  FTTT_CHECK(task != nullptr, "ThreadPool::submit: empty task");
   {
     std::lock_guard lock(mu_);
+    if (stopping_) return false;  // rejected: pool is (being) shut down
     tasks_.push(std::move(task));
   }
   cv_task_.notify_one();
+  return true;
 }
 
 void ThreadPool::worker_loop() {
@@ -96,10 +113,15 @@ void parallel_for(std::size_t begin, std::size_t end,
   state->begin = begin;
   state->end = end;
   state->fn = &fn;
+  FTTT_DCHECK(state->chunk_size * state->chunks >= n,
+              "chunk partition does not cover the range: n=", n,
+              " chunks=", state->chunks, " chunk_size=", state->chunk_size);
 
+  // A rejected submit (pool concurrently shut down) is harmless: the
+  // caller participates below and claims any chunk no helper took.
   const std::size_t helpers = std::min(state->chunks - 1, workers);
   for (std::size_t h = 0; h < helpers; ++h)
-    pool.submit([state] { state->run_chunks(); });
+    (void)pool.submit([state] { state->run_chunks(); });
 
   state->run_chunks();  // caller participates; prevents nested deadlock
 

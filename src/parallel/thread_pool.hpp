@@ -27,8 +27,20 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task; runs on some worker.
-  void submit(std::function<void()> task);
+  /// Enqueue a task; runs on some worker. Returns true if the task was
+  /// accepted. After shutdown() (or once the destructor has begun) the
+  /// pool rejects new work and returns false — the task is destroyed
+  /// without running, never silently raced against the joining workers.
+  bool submit(std::function<void()> task);
+
+  /// Stop accepting work, drain every already-queued task, and join the
+  /// workers. Idempotent and safe to call concurrently with submit(): a
+  /// racing submit either enqueues before the stop (and its task runs
+  /// during the drain) or observes the stop and returns false.
+  void shutdown();
+
+  /// True once shutdown() has been called (or the destructor has begun).
+  bool stopped() const;
 
   std::size_t thread_count() const { return workers_.size(); }
 
@@ -38,7 +50,7 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::queue<std::function<void()>> tasks_;
   bool stopping_{false};

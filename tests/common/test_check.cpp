@@ -1,0 +1,104 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fttt {
+namespace {
+
+/// Installs the throwing handler for each test so contract fires surface
+/// as catchable ContractError instead of aborting the test binary.
+class CheckTest : public ::testing::Test {
+ protected:
+  ScopedContractHandler scoped_{&throwing_contract_handler};
+};
+
+TEST_F(CheckTest, PassingCheckIsSilentAndEvaluatesOnce) {
+  int evaluations = 0;
+  FTTT_CHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(CheckTest, FailingCheckThrowsThroughInstalledHandler) {
+  EXPECT_THROW(FTTT_CHECK(1 == 2), ContractError);
+}
+
+TEST_F(CheckTest, ViolationCarriesStructuredFields) {
+  try {
+    const int dim = 7;
+    FTTT_CHECK(dim == 10, "dimension mismatch: dim=", dim);
+    FAIL() << "check did not fire";
+  } catch (const ContractError& e) {
+    const ContractViolation& v = e.violation();
+    EXPECT_STREQ(v.kind, "FTTT_CHECK");
+    EXPECT_STREQ(v.condition, "dim == 10");
+    EXPECT_NE(std::string(v.file).find("test_check.cpp"), std::string::npos);
+    EXPECT_GT(v.line, 0);
+    EXPECT_EQ(v.message, "dimension mismatch: dim=7");
+    // what() is the full report: kind, condition, location, message.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("FTTT_CHECK"), std::string::npos);
+    EXPECT_NE(what.find("dim == 10"), std::string::npos);
+    EXPECT_NE(what.find("dimension mismatch: dim=7"), std::string::npos);
+  }
+}
+
+TEST_F(CheckTest, UnreachableAlwaysFires) {
+  try {
+    FTTT_UNREACHABLE("fell off the routing switch");
+    FAIL() << "unreachable did not fire";
+  } catch (const ContractError& e) {
+    EXPECT_STREQ(e.violation().kind, "FTTT_UNREACHABLE");
+    EXPECT_EQ(e.violation().message, "fell off the routing switch");
+  }
+}
+
+TEST_F(CheckTest, ReportFormatsWithoutConditionForUnreachable) {
+  const ContractViolation v{"FTTT_UNREACHABLE", "", "f.cpp", 3, "fn", "m"};
+  const std::string s = v.to_string();
+  EXPECT_EQ(s.find("condition:"), std::string::npos);
+  EXPECT_NE(s.find("f.cpp:3"), std::string::npos);
+  EXPECT_NE(s.find("m"), std::string::npos);
+}
+
+TEST_F(CheckTest, HandlerInstallReturnsPrevious) {
+  // scoped_ already swapped in the throwing handler; a nested swap must
+  // return it, and restoring must bring it back.
+  ContractHandler prev = set_contract_handler(&throwing_contract_handler);
+  EXPECT_EQ(prev, &throwing_contract_handler);
+  set_contract_handler(prev);
+}
+
+#if FTTT_CONTRACTS
+
+TEST_F(CheckTest, DcheckFiresWhenContractsEnabled) {
+  EXPECT_THROW(FTTT_DCHECK(false, "debug invariant"), ContractError);
+  try {
+    FTTT_DCHECK(2 + 2 == 5);
+    FAIL() << "dcheck did not fire";
+  } catch (const ContractError& e) {
+    EXPECT_STREQ(e.violation().kind, "FTTT_DCHECK");
+    EXPECT_STREQ(e.violation().condition, "2 + 2 == 5");
+  }
+}
+
+#endif  // FTTT_CONTRACTS
+
+TEST_F(CheckTest, DcheckCompiledOutBehavior) {
+  // Cross-reference: test_check_off.cpp compiles this same contract with
+  // FTTT_CONTRACTS forced to 0 and asserts the condition is never
+  // evaluated; here we only pin the enabled-mode single evaluation.
+  int evaluations = 0;
+  FTTT_DCHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, FTTT_CONTRACTS ? 1 : 0);
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,43 @@
+// Compiled with FTTT_DISABLE_CONTRACTS (see tests/CMakeLists.txt): proves
+// that FTTT_DCHECK compiles out completely — the condition and the detail
+// arguments still type-check but are never evaluated — while FTTT_CHECK
+// and FTTT_UNREACHABLE stay armed regardless of the toggle.
+#define FTTT_DISABLE_CONTRACTS 1
+
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+static_assert(FTTT_CONTRACTS == 0,
+              "this TU must compile with contracts disabled");
+
+namespace fttt {
+namespace {
+
+TEST(CheckContractsOff, DcheckDoesNotEvaluateCondition) {
+  int evaluations = 0;
+  FTTT_DCHECK([&] {
+    ++evaluations;
+    return false;  // would fire if contracts were on
+  }());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckContractsOff, DcheckDoesNotEvaluateDetailArguments) {
+  int detail_evaluations = 0;
+  auto detail = [&] {
+    ++detail_evaluations;
+    return "expensive";
+  };
+  FTTT_DCHECK(false, detail());
+  EXPECT_EQ(detail_evaluations, 0);
+}
+
+TEST(CheckContractsOff, CheckStaysArmed) {
+  ScopedContractHandler scoped(&throwing_contract_handler);
+  EXPECT_THROW(FTTT_CHECK(false, "always-on"), ContractError);
+  EXPECT_THROW(FTTT_UNREACHABLE(), ContractError);
+}
+
+}  // namespace
+}  // namespace fttt

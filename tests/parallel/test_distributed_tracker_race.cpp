@@ -1,0 +1,134 @@
+// Race probe for the distributed (cluster-head) tracking layer. The
+// builds below hammer the shared global ThreadPool from several client
+// threads at once, and localization runs concurrently on independent
+// instances; under the tsan preset any hidden shared mutable state
+// (static caches, shared maps, pool bookkeeping) becomes a hard failure.
+#include "core/distributed_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/deployment.hpp"
+#include "net/faults.hpp"
+#include "net/sampling.hpp"
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {80.0, 80.0}};
+
+Deployment field_nodes() { return grid_deployment(kField, 16); }
+
+GroupingSampling sample_at(const Deployment& nodes, Vec2 target,
+                           std::uint64_t epoch) {
+  SamplingConfig cfg;
+  cfg.model = PathLossModel{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = 0.0, .d0 = 1.0};
+  cfg.sensing_range = 60.0;
+  cfg.sample_period = 0.1;
+  cfg.samples_per_group = 3;
+  const NoFaults faults;
+  return collect_group(nodes, cfg, faults, epoch, 0.0,
+                       [&](double) { return target; },
+                       RngStream(3).substream(epoch));
+}
+
+DistributedTracker::Config tracker_config() {
+  DistributedTracker::Config cfg;
+  cfg.clusters = 3;
+  cfg.eps = 0.0;
+  cfg.grid_cell = 2.0;
+  return cfg;
+}
+
+TEST(DistributedTrackerRace, ConcurrentBuildsOnSharedGlobalPool) {
+  // Each constructor runs per-head FaceMap::build sweeps through the
+  // process-global pool; concurrent clients must not perturb each other.
+  const Deployment nodes = field_nodes();
+  const DistributedTracker reference(nodes, 1.2, kField, tracker_config());
+
+  const int kClients = 4;
+  std::vector<std::unique_ptr<DistributedTracker>> built(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      built[static_cast<std::size_t>(c)] = std::make_unique<DistributedTracker>(
+          nodes, 1.2, kField, tracker_config());
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (const auto& dt : built) {
+    ASSERT_NE(dt, nullptr);
+    EXPECT_EQ(dt->cluster_count(), reference.cluster_count());
+    EXPECT_EQ(dt->total_faces(), reference.total_faces());
+    EXPECT_EQ(dt->max_dimension(), reference.max_dimension());
+  }
+}
+
+TEST(DistributedTrackerRace, ConcurrentLocalizeOnIndependentInstances) {
+  // localize() mutates per-instance routing state, so instances are the
+  // unit of thread confinement; concurrent trajectories on separate
+  // instances must reproduce the serial result bit for bit.
+  const Deployment nodes = field_nodes();
+  const std::vector<Vec2> targets{{17.0, 13.0}, {61.0, 22.0}, {20.0, 57.0},
+                                  {66.0, 63.0}, {41.0, 38.0}};
+
+  auto run_trajectory = [&](DistributedTracker& dt) {
+    std::vector<Vec2> fixes;
+    fixes.reserve(targets.size());
+    std::uint64_t epoch = 0;
+    for (Vec2 target : targets)
+      fixes.push_back(dt.localize(sample_at(nodes, target, epoch++)).position);
+    return fixes;
+  };
+
+  DistributedTracker serial(nodes, 1.2, kField, tracker_config());
+  const std::vector<Vec2> expected = run_trajectory(serial);
+
+  const int kClients = 3;
+  std::vector<std::vector<Vec2>> results(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      DistributedTracker dt(nodes, 1.2, kField, tracker_config());
+      results[static_cast<std::size_t>(c)] = run_trajectory(dt);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (const auto& fixes : results) {
+    ASSERT_EQ(fixes.size(), expected.size());
+    for (std::size_t i = 0; i < fixes.size(); ++i) {
+      EXPECT_EQ(fixes[i].x, expected[i].x) << "fix " << i;
+      EXPECT_EQ(fixes[i].y, expected[i].y) << "fix " << i;
+    }
+  }
+}
+
+TEST(DistributedTrackerRace, ConcurrentConstQueriesOnSharedInstance) {
+  const Deployment nodes = field_nodes();
+  const DistributedTracker dt(nodes, 1.2, kField, tracker_config());
+  const std::size_t faces = dt.total_faces();
+  const std::size_t dim = dt.max_dimension();
+
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(dt.total_faces(), faces);
+        EXPECT_EQ(dt.max_dimension(), dim);
+        EXPECT_EQ(dt.clusters().size(), dt.cluster_count());
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+}
+
+}  // namespace
+}  // namespace fttt

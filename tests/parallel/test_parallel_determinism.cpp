@@ -1,0 +1,75 @@
+// Bit-reproducibility of the data-parallel layer at 1/2/8 threads: the
+// determinism contract (docs/ARCHITECTURE.md) says thread count is a
+// performance knob, never a results knob. Runs clean under TSan.
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "core/facemap.hpp"
+#include "net/deployment.hpp"
+
+namespace fttt {
+namespace {
+
+/// Per-index RNG-substream kernel: any scheduling-order dependence shows
+/// up as a bitwise difference between thread counts.
+std::vector<double> substream_sweep(ThreadPool& pool) {
+  std::vector<double> out(96);
+  parallel_for(0, out.size(),
+               [&](std::size_t i) {
+                 RngStream rng = RngStream(77).substream(i);
+                 RunningStats s;
+                 for (int d = 0; d < 50; ++d) s.add(rng.normal(0.0, 1.0));
+                 out[i] = s.mean() + s.stddev();
+               },
+               pool);
+  return out;
+}
+
+TEST(ParallelDeterminism, SweepIdenticalAtOneTwoEightThreads) {
+  ThreadPool one(1);
+  ThreadPool two(2);
+  ThreadPool eight(8);
+  const std::vector<double> ref = substream_sweep(one);
+  EXPECT_EQ(ref, substream_sweep(two));
+  EXPECT_EQ(ref, substream_sweep(eight));
+}
+
+TEST(ParallelDeterminism, RepeatedRunsOnSamePoolAreIdentical) {
+  ThreadPool pool(8);
+  const std::vector<double> first = substream_sweep(pool);
+  for (int run = 0; run < 3; ++run) EXPECT_EQ(first, substream_sweep(pool));
+}
+
+TEST(ParallelDeterminism, FaceMapBuildIdenticalAcrossThreadCounts) {
+  // FaceMap::build parallelizes phase 1 over cells and assigns face ids
+  // in a sequential phase 2; the whole map must be invariant to the pool
+  // size used for phase 1.
+  const Aabb field{{0.0, 0.0}, {40.0, 40.0}};
+  const Deployment nodes = grid_deployment(field, 9);
+
+  auto build_with = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    return FaceMap::build(nodes, 1.2, field, 2.0, pool);
+  };
+  const FaceMap ref = build_with(1);
+  for (std::size_t threads : {2, 8}) {
+    const FaceMap map = build_with(threads);
+    ASSERT_EQ(map.face_count(), ref.face_count()) << threads << " threads";
+    for (std::size_t flat = 0; flat < map.grid().cell_count(); ++flat)
+      ASSERT_EQ(map.face_of_cell(flat), ref.face_of_cell(flat))
+          << "cell " << flat << " at " << threads << " threads";
+    for (FaceId f = 0; f < map.face_count(); ++f) {
+      ASSERT_EQ(map.face(f).signature, ref.face(f).signature) << "face " << f;
+      ASSERT_EQ(map.neighbors(f), ref.neighbors(f)) << "face " << f;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fttt

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Repo-convention linter for the FTTT codebase.
+
+Fast, dependency-free checks that clang-tidy does not cover, run as a
+ctest (see tools/CMakeLists.txt) and as the `lint` build target:
+
+  pragma-once        every header starts its preprocessor life with
+                     `#pragma once` (no include guards, no guard drift)
+  using-namespace    no `using namespace` at any scope in headers (it
+                     leaks into every includer)
+  include-order      each contiguous #include block is sorted (the repo
+                     convention: related-header first, then grouped
+                     std / project blocks separated by blank lines)
+  banned-random      no rand()/srand()/time(nullptr) randomness outside
+                     src/common/random.* — everything must flow through
+                     RngStream so parallel sweeps stay bit-reproducible
+
+Suppress a finding on one line with: // fttt-lint: allow(<rule>)
+
+Exit status: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+HEADER_SUFFIXES = {".hpp", ".h"}
+SOURCE_SUFFIXES = {".hpp", ".h", ".cpp", ".cc"}
+
+ALLOW_RE = re.compile(r"//\s*fttt-lint:\s*allow\(([a-z-]+)\)")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+# rand( / srand( not preceded by an identifier char, member access, or
+# scope qualifier other than std:: (std::rand is just as banned).
+BANNED_RAND_RE = re.compile(r"(?<![\w.>:])(?:std\s*::\s*)?s?rand\s*\(")
+BANNED_TIME_RE = re.compile(r"(?<![\w.>:])(?:std\s*::\s*)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)")
+
+RANDOM_EXEMPT = re.compile(r"src/common/random\.(hpp|cpp)$")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Blank out string/char literals and // comments (line-local
+    approximation; block comments spanning lines are rare here and the
+    checks are resilient to them)."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        ch = line[i]
+        if ch == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if ch in "\"'":
+            quote = ch
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            i += 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+class FileLinter:
+    def __init__(self, path: Path, repo_root: Path):
+        self.path = path
+        try:
+            self.rel = path.relative_to(repo_root).as_posix()
+        except ValueError:  # explicit file argument outside the repo
+            self.rel = path.as_posix()
+        self.lines = path.read_text(encoding="utf-8",
+                                    errors="replace").splitlines()
+        self.violations: list[tuple[int, str, str]] = []
+
+    def allow(self, line: str, rule: str) -> bool:
+        m = ALLOW_RE.search(line)
+        return bool(m and m.group(1) == rule)
+
+    def report(self, lineno: int, rule: str, message: str) -> None:
+        if not self.allow(self.lines[lineno - 1], rule):
+            self.violations.append((lineno, rule, message))
+
+    def check_pragma_once(self) -> None:
+        if self.path.suffix not in HEADER_SUFFIXES:
+            return
+        for lineno, line in enumerate(self.lines, 1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("//"):
+                continue
+            if stripped.startswith("#"):
+                if stripped.replace(" ", "") == "#pragmaonce":
+                    return
+                self.report(lineno, "pragma-once",
+                            "first preprocessor directive must be "
+                            "'#pragma once', found: " + stripped)
+                return
+            self.report(lineno, "pragma-once",
+                        "header has code before '#pragma once'")
+            return
+        self.report(1, "pragma-once", "header lacks '#pragma once'")
+
+    def check_using_namespace(self) -> None:
+        if self.path.suffix not in HEADER_SUFFIXES:
+            return
+        for lineno, line in enumerate(self.lines, 1):
+            if USING_NAMESPACE_RE.match(strip_comments_and_strings(line)):
+                self.report(lineno, "using-namespace",
+                            "'using namespace' in a header leaks into "
+                            "every includer")
+
+    def check_include_order(self) -> None:
+        block: list[tuple[int, str]] = []
+
+        def flush() -> None:
+            keys = [key for _, key in block]
+            if keys != sorted(keys):
+                for (lineno, key), expected in zip(block, sorted(keys)):
+                    if key != expected:
+                        self.report(lineno, "include-order",
+                                    f"include block not sorted: '{key}' "
+                                    f"where '{expected}' belongs")
+                        break
+            block.clear()
+
+        for lineno, line in enumerate(self.lines, 1):
+            m = INCLUDE_RE.match(line)
+            if m:
+                block.append((lineno, m.group(2)))
+            else:
+                flush()
+        flush()
+
+    def check_banned_random(self) -> None:
+        if RANDOM_EXEMPT.search(self.rel):
+            return
+        for lineno, line in enumerate(self.lines, 1):
+            code = strip_comments_and_strings(line)
+            if BANNED_RAND_RE.search(code):
+                self.report(lineno, "banned-random",
+                            "rand()/srand() breaks reproducibility; use "
+                            "fttt::RngStream (src/common/random.hpp)")
+            if BANNED_TIME_RE.search(code):
+                self.report(lineno, "banned-random",
+                            "time(nullptr) seeding breaks reproducibility; "
+                            "use fttt::RngStream substreams")
+
+    def run(self) -> list[tuple[int, str, str]]:
+        self.check_pragma_once()
+        self.check_using_namespace()
+        self.check_include_order()
+        self.check_banned_random()
+        return self.violations
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    repo_root = Path(__file__).resolve().parent.parent
+    targets = []
+    for arg in argv[1:]:
+        p = Path(arg).resolve()
+        if p.is_dir():
+            targets.extend(sorted(f for f in p.rglob("*")
+                                  if f.suffix in SOURCE_SUFFIXES))
+        elif p.is_file():
+            targets.append(p)
+        else:
+            print(f"fttt_lint: no such path: {arg}", file=sys.stderr)
+            return 2
+
+    total = 0
+    for path in targets:
+        linter = FileLinter(path, repo_root)
+        for lineno, rule, message in linter.run():
+            print(f"{linter.rel}:{lineno}: [{rule}] {message}")
+            total += 1
+
+    if total:
+        print(f"fttt_lint: {total} violation(s) in "
+              f"{len(targets)} file(s) checked", file=sys.stderr)
+        return 1
+    print(f"fttt_lint: clean ({len(targets)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
