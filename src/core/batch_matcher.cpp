@@ -1,0 +1,246 @@
+#include "core/batch_matcher.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "core/similarity.hpp"
+
+namespace fttt {
+
+namespace {
+
+const FaceMap& require_map(const std::shared_ptr<const FaceMap>& map) {
+  if (!map) throw std::invalid_argument("BatchMatcher: null face map");
+  return *map;
+}
+
+// Function multi-versioning for the hot kernels. The release build targets
+// baseline x86-64 (SSE2); these loops are pure element-wise double math, so
+// the wider AVX2/AVX-512 clones stay bit-identical to the default one: IEEE
+// subtract, multiply, add, sqrt and divide are correctly rounded in every
+// lane, and this TU compiles with -ffp-contract=off (see core/CMakeLists.txt)
+// so no clone fuses d*d + acc into an FMA. The loader's ifunc resolver picks
+// the widest ISA the CPU supports.
+//
+// TSan is incompatible with ifunc dispatch (the resolver runs before the
+// sanitizer runtime is initialized and segfaults at load), so thread-
+// sanitized builds keep the single baseline version.
+#if defined(__SANITIZE_THREAD__)
+#define FTTT_NO_VECTOR_CLONES 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FTTT_NO_VECTOR_CLONES 1
+#endif
+#endif
+#if defined(__x86_64__) && defined(__gnu_linux__) && \
+    defined(__has_attribute) && !defined(FTTT_NO_VECTOR_CLONES)
+#if __has_attribute(target_clones)
+#define FTTT_VECTOR_CLONES \
+  __attribute__((target_clones("default", "avx2", "avx512f")))
+#endif
+#endif
+#ifndef FTTT_VECTOR_CLONES
+#define FTTT_VECTOR_CLONES
+#endif
+
+/// acc[f] += (v - p[f])^2 over one plane segment. `__restrict` holds by
+/// construction: `acc` is per-call scratch, `p` the immutable table.
+FTTT_VECTOR_CLONES
+void accumulate_plane(double* __restrict acc, const SigValue* __restrict p,
+                      double v, std::size_t len) {
+  for (std::size_t f = 0; f < len; ++f) {
+    const double d = v - static_cast<double>(p[f]);
+    acc[f] += d * d;
+  }
+}
+
+/// In-place acc[f] -> similarity_from_distance(sqrt(acc[f])). Bit-identical
+/// to the scalar transform: acc is a sum of squares, so sqrt(acc) is +0 or
+/// positive, and 1.0 / +0 == +inf is exactly what similarity_from_distance
+/// returns for a zero distance; for positive distances the expressions
+/// agree literally.
+FTTT_VECTOR_CLONES
+void similarity_in_place(double* __restrict acc, std::size_t len) {
+  for (std::size_t f = 0; f < len; ++f) acc[f] = 1.0 / std::sqrt(acc[f]);
+}
+
+}  // namespace
+
+BatchMatcher::BatchMatcher(std::shared_ptr<const FaceMap> map)
+    : BatchMatcher(std::move(map), Config{}, ThreadPool::global()) {}
+
+BatchMatcher::BatchMatcher(std::shared_ptr<const FaceMap> map, Config config,
+                           ThreadPool& pool)
+    : map_(std::move(map)), config_(config), pool_(&pool), table_(require_map(map_)) {
+  FTTT_CHECK(config_.face_block > 0, "BatchMatcher: zero face_block");
+}
+
+void BatchMatcher::match_into(const SamplingVector& vd, double* acc,
+                              MatchResult& out) const {
+  FTTT_DCHECK(vd.dimension() == table_.dimension(),
+              "sampling vector dimension ", vd.dimension(),
+              " != face-map dimension ", table_.dimension());
+  const std::size_t padded = table_.padded_faces();
+  const std::size_t faces = table_.face_count();
+  const std::size_t dim = table_.dimension();
+  std::fill(acc, acc + padded, 0.0);
+
+  // Blocked plane-major accumulation: per column block (acc slice + one
+  // plane segment L1-resident), stream every known plane. Within a face,
+  // squared terms add in ascending pair order — the exact floating-point
+  // operation sequence of the scalar vector_distance — so the equivalence
+  // contract holds to the bit. The kernel vectorizes across faces, which
+  // never reassociates a single face's sum.
+  for (std::size_t lo = 0; lo < padded; lo += config_.face_block) {
+    const std::size_t len = std::min(config_.face_block, padded - lo);
+    for (std::size_t c = 0; c < dim; ++c) {
+      if (!vd.known[c]) continue;  // Eq. 7 '*': skip the whole plane
+      accumulate_plane(acc + lo, table_.plane(c) + lo, vd.value[c], len);
+    }
+  }
+
+  // Selection yields exactly what ExhaustiveMatcher::match's running
+  // compare chain yields — the chain computes max similarity with ties in
+  // ascending face order — restructured into a vectorizable transform pass
+  // followed by a max scan and a tie sweep over the same values.
+  similarity_in_place(acc, faces);
+  double best = -1.0;
+  for (std::size_t f = 0; f < faces; ++f)
+    if (acc[f] > best) best = acc[f];
+  out = MatchResult{};
+  out.similarity = best;
+  out.faces_examined = faces;
+  for (std::size_t f = 0; f < faces; ++f)
+    if (acc[f] == best) out.tied_faces.push_back(static_cast<FaceId>(f));
+  detail::finalize_match(*map_, out);
+}
+
+MatchResult BatchMatcher::match_one(const SamplingVector& vd) const {
+  std::vector<double> acc(table_.padded_faces());
+  MatchResult r;
+  match_into(vd, acc.data(), r);
+  return r;
+}
+
+/// Shared bookkeeping of one batch fan-out. Bulk tasks may outlive the
+/// match() call (they exit as soon as every chunk is claimed), so the
+/// state is reference-counted and batch/results pointers are only
+/// dereferenced while a successfully claimed chunk is in flight — which
+/// the caller's completion wait orders before return.
+struct BatchMatcher::BatchState {
+  const BatchMatcher* matcher{nullptr};
+  const std::vector<SamplingVector>* batch{nullptr};
+  MatchResult* results{nullptr};
+  std::size_t chunks{0};
+  std::size_t chunk_size{0};
+  /// scratch[slot] is owned by bulk task `slot` (the caller uses the last
+  /// slot); a task runs on exactly one worker, so no slot is shared.
+  std::vector<std::vector<double>> scratch;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+
+  void run(std::size_t slot) {
+    std::vector<double>& acc = scratch[slot];
+    const std::size_t n = batch->size();
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::size_t lo = std::min(n, c * chunk_size);
+      const std::size_t hi = std::min(n, lo + chunk_size);
+      for (std::size_t i = lo; i < hi; ++i)
+        matcher->match_into((*batch)[i], acc.data(), results[i]);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks)
+        done.notify_all();
+    }
+  }
+};
+
+std::vector<MatchResult> BatchMatcher::match(
+    const std::vector<SamplingVector>& batch) const {
+  std::vector<MatchResult> results(batch.size());
+  if (batch.empty()) return results;
+
+  const std::size_t n = batch.size();
+  const std::size_t padded = table_.padded_faces();
+  const std::size_t workers = pool_->stopped() ? 1 : pool_->thread_count();
+  if (n < config_.min_parallel_batch || workers <= 1) {
+    std::vector<double> acc(padded);
+    for (std::size_t i = 0; i < n; ++i) match_into(batch[i], acc.data(), results[i]);
+    return results;
+  }
+
+  auto state = std::make_shared<BatchState>();
+  state->matcher = this;
+  state->batch = &batch;
+  state->results = results.data();
+  state->chunks = std::min(n, workers * 4);
+  state->chunk_size = (n + state->chunks - 1) / state->chunks;
+  const std::size_t helpers = std::min(state->chunks - 1, workers);
+  state->scratch.assign(helpers + 1, std::vector<double>(padded));
+
+  // One bulk submission — a single queue-mutex round-trip for the whole
+  // fan-out. A rejected submission (pool concurrently shut down) is
+  // harmless: the caller claims every chunk below.
+  (void)pool_->submit_range(helpers,
+                            [state](std::size_t slot) { state->run(slot); });
+  state->run(helpers);  // caller participates with the last scratch slot
+
+  std::size_t done = state->done.load(std::memory_order_acquire);
+  while (done < state->chunks) {
+    state->done.wait(done, std::memory_order_acquire);
+    done = state->done.load(std::memory_order_acquire);
+  }
+  return results;
+}
+
+double BatchMatcher::column_similarity(const SamplingVector& vd, FaceId face) const {
+  // Column walk (strided by padded_faces()); term order matches the
+  // scalar vector_distance exactly.
+  double acc = 0.0;
+  for (std::size_t c = 0; c < table_.dimension(); ++c) {
+    if (!vd.known[c]) continue;
+    const double d = vd.value[c] - static_cast<double>(table_.at(c, face));
+    acc += d * d;
+  }
+  return similarity_from_distance(std::sqrt(acc));
+}
+
+MatchResult BatchMatcher::climb(const SamplingVector& vd, FaceId start) const {
+  FTTT_CHECK(start < table_.face_count(), "warm-start face ", start,
+             " out of range (", table_.face_count(), " faces)");
+  FTTT_DCHECK(vd.dimension() == table_.dimension(),
+              "sampling vector dimension ", vd.dimension(),
+              " != face-map dimension ", table_.dimension());
+  MatchResult r;
+  FaceId current = start;
+  double s_current = column_similarity(vd, current);
+  ++r.faces_examined;
+
+  // Steepest-ascent loop of Algorithm 2, traversal order identical to
+  // HeuristicMatcher::match (neighbors in ascending id order).
+  for (;;) {
+    FaceId best_neighbor = current;
+    double s_best = s_current;
+    for (FaceId nb : map_->neighbors(current)) {
+      ++r.faces_examined;
+      const double s = column_similarity(vd, nb);
+      if (s > s_best) {
+        s_best = s;
+        best_neighbor = nb;
+      }
+    }
+    if (best_neighbor == current) break;
+    current = best_neighbor;
+    s_current = s_best;
+  }
+
+  r.similarity = s_current;
+  r.tied_faces.assign(1, current);
+  detail::finalize_match(*map_, r);
+  return r;
+}
+
+}  // namespace fttt

@@ -1,0 +1,79 @@
+// Batched SoA localization engine.
+//
+// The paper's matchers (core/matcher.hpp) localize one sampling vector at
+// a time against row-of-structs signatures. Heavy multi-target traffic
+// wants the transpose: BatchMatcher keeps the face signatures as a
+// SignatureTable (one contiguous int8 plane per node pair) and localizes
+// a whole batch of sampling vectors in one pass — blocked distance
+// accumulation over the planes (unit-stride inner loop the compiler
+// vectorizes), '*' wildcards lifted to per-plane skips, and the batch
+// fanned out across the thread pool with one bulk submission and
+// per-slot scratch.
+//
+// Equivalence contract: match()/match_one() are *bit-identical* to
+// ExhaustiveMatcher::match (same floating-point accumulation order per
+// face, same similarity transform, same comparison and tie-break
+// sequence), and climb() is bit-identical to HeuristicMatcher::match.
+// The scalar matchers remain as the executable specification;
+// tests/core/test_batch_matcher.cpp enforces the contract.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/matcher.hpp"
+#include "core/signature_table.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fttt {
+
+class BatchMatcher {
+ public:
+  struct Config {
+    /// Accumulator columns per block: the block's doubles plus one plane
+    /// segment should stay L1-resident (1024 -> 8 KiB acc + 1 KiB plane).
+    std::size_t face_block{1024};
+    /// Batches below this size run on the caller; pool fan-out overhead
+    /// would exceed the matching work.
+    std::size_t min_parallel_batch{16};
+  };
+
+  /// Builds the SoA table from `map` (throws std::invalid_argument on
+  /// null). `pool` serves every subsequent match() fan-out. (Two
+  /// overloads because a nested class's member initializers cannot feed
+  /// a default argument of the enclosing class.)
+  explicit BatchMatcher(std::shared_ptr<const FaceMap> map);
+  BatchMatcher(std::shared_ptr<const FaceMap> map, Config config,
+               ThreadPool& pool = ThreadPool::global());
+
+  /// Localize every vector of `batch`; results[i] is the match of
+  /// batch[i], each bit-identical to ExhaustiveMatcher::match.
+  std::vector<MatchResult> match(const std::vector<SamplingVector>& batch) const;
+
+  /// Single-vector exhaustive match over the SoA table (no pool fan-out).
+  MatchResult match_one(const SamplingVector& vd) const;
+
+  /// Algorithm 2 hill climb (steepest similarity ascent over neighbor
+  /// links) consulting the SoA table; bit-identical to HeuristicMatcher.
+  MatchResult climb(const SamplingVector& vd, FaceId start) const;
+
+  const SignatureTable& table() const { return table_; }
+  const FaceMap& map() const { return *map_; }
+
+ private:
+  struct BatchState;
+
+  /// Accumulate distance^2 of `vd` over all face columns into `acc`
+  /// (padded_faces() doubles of scratch) and select the result.
+  void match_into(const SamplingVector& vd, double* acc, MatchResult& out) const;
+
+  /// Similarity of one face via a column walk (hill-climb support).
+  double column_similarity(const SamplingVector& vd, FaceId face) const;
+
+  std::shared_ptr<const FaceMap> map_;
+  Config config_;
+  ThreadPool* pool_;
+  SignatureTable table_;
+};
+
+}  // namespace fttt

@@ -91,9 +91,10 @@ GroupingSampling DistributedTracker::project(const GroupingSampling& group,
   return local;
 }
 
-TrackEstimate DistributedTracker::localize(const GroupingSampling& group) {
-  // Route: strongest mean column RSS among reporting members wins.
-  std::size_t best = active_;  // sticky when nobody hears anything
+std::optional<std::size_t> DistributedTracker::route(const GroupingSampling& group) const {
+  // Strongest mean column RSS among reporting members wins; ties go to
+  // the lowest cluster index (strict > below).
+  std::size_t best = 0;
   double best_score = -std::numeric_limits<double>::max();
   bool any = false;
   for (std::size_t c = 0; c < heads_.size(); ++c) {
@@ -111,14 +112,43 @@ TrackEstimate DistributedTracker::localize(const GroupingSampling& group) {
       best = c;
     }
   }
-  if (any) {
-    if (has_served_ && best != active_) ++handoffs_;
-    active_ = best;
+  if (!any) return std::nullopt;
+  return best;
+}
+
+TrackEstimate DistributedTracker::localize(const GroupingSampling& group) {
+  const std::optional<std::size_t> routed = route(group);
+  if (routed) {  // sticky on the previous head when nobody hears anything
+    if (has_served_ && *routed != active_) ++handoffs_;
+    active_ = *routed;
     has_served_ = true;
   }
 
   Head& head = heads_[active_];
   return head.tracker->localize(project(group, head.members));
+}
+
+std::vector<TrackEstimate> DistributedTracker::localize_batch(
+    const std::vector<GroupingSampling>& frame) {
+  std::vector<TrackEstimate> results(frame.size());
+  // Scatter the frame across heads, then one batched localization per
+  // head over its share. Epochs nobody hears fall back to the sticky
+  // active head, mirroring the single-target path.
+  std::vector<std::vector<std::size_t>> share(heads_.size());
+  for (std::size_t i = 0; i < frame.size(); ++i)
+    share[route(frame[i]).value_or(active_)].push_back(i);
+
+  for (std::size_t c = 0; c < heads_.size(); ++c) {
+    if (share[c].empty()) continue;
+    Head& head = heads_[c];
+    std::vector<GroupingSampling> projected;
+    projected.reserve(share[c].size());
+    for (std::size_t i : share[c]) projected.push_back(project(frame[i], head.members));
+    const std::vector<TrackEstimate> estimates = head.tracker->localize_batch(projected);
+    for (std::size_t k = 0; k < share[c].size(); ++k)
+      results[share[c][k]] = estimates[k];
+  }
+  return results;
 }
 
 std::size_t DistributedTracker::total_faces() const {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/tracker.hpp"
@@ -44,6 +45,17 @@ class DistributedTracker {
   /// Localize from a *global* grouping sampling (indexed by global node
   /// ids). Routes to the cluster with the strongest aggregate signal.
   TrackEstimate localize(const GroupingSampling& group);
+
+  /// Localize a frame of independent epochs (multi-target traffic): each
+  /// epoch routes to its strongest cluster and every head localizes its
+  /// share in one SoA batch pass (FtttTracker::localize_batch). The
+  /// single-target active-cluster / handoff bookkeeping is untouched —
+  /// it has no meaning across independent targets.
+  std::vector<TrackEstimate> localize_batch(const std::vector<GroupingSampling>& frame);
+
+  /// Cluster whose members hear `group` the strongest (mean column RSS),
+  /// or nullopt when no member reports.
+  std::optional<std::size_t> route(const GroupingSampling& group) const;
 
   std::size_t cluster_count() const { return heads_.size(); }
   std::size_t active_cluster() const { return active_; }

@@ -5,10 +5,9 @@
 
 namespace fttt {
 
-namespace {
+namespace detail {
 
-/// Finalize a result from the tied set (mean of tied centroids).
-void finalize(const FaceMap& map, MatchResult& r) {
+void finalize_match(const FaceMap& map, MatchResult& r) {
   FTTT_CHECK(!r.tied_faces.empty(),
              "matcher produced no candidate face (empty map?)");
   Vec2 sum{};
@@ -17,7 +16,7 @@ void finalize(const FaceMap& map, MatchResult& r) {
   r.face = r.tied_faces.front();
 }
 
-}  // namespace
+}  // namespace detail
 
 MatchResult ExhaustiveMatcher::match(const FaceMap& map, const SamplingVector& vd) const {
   FTTT_DCHECK(vd.dimension() == map.dimension(),
@@ -35,7 +34,7 @@ MatchResult ExhaustiveMatcher::match(const FaceMap& map, const SamplingVector& v
       r.tied_faces.push_back(f.id);
     }
   }
-  finalize(map, r);
+  detail::finalize_match(map, r);
   return r;
 }
 
@@ -71,7 +70,7 @@ MatchResult HeuristicMatcher::match(const FaceMap& map, const SamplingVector& vd
 
   r.similarity = s_current;
   r.tied_faces.assign(1, current);
-  finalize(map, r);
+  detail::finalize_match(map, r);
   return r;
 }
 

@@ -28,6 +28,16 @@ struct MatchResult {
   std::vector<FaceId> tied_faces;  ///< all faces at the maximum (>= 1)
 };
 
+namespace detail {
+
+/// Shared result finalization: position = mean centroid of the tied set,
+/// face = lowest tied id (Sec. 6 opening). Every matcher front-end —
+/// scalar reference and SoA batch engine alike — funnels through this so
+/// tie-breaking stays identical across implementations.
+void finalize_match(const FaceMap& map, MatchResult& r);
+
+}  // namespace detail
+
 /// Full scan maximum-likelihood matcher.
 class ExhaustiveMatcher {
  public:

@@ -1,0 +1,21 @@
+#include "core/signature_table.hpp"
+
+#include "common/check.hpp"
+
+namespace fttt {
+
+SignatureTable::SignatureTable(const FaceMap& map)
+    : face_count_(map.face_count()),
+      dimension_(map.dimension()),
+      padded_((map.face_count() + kBlock - 1) / kBlock * kBlock) {
+  FTTT_CHECK(face_count_ > 0, "SignatureTable: empty face map");
+  data_.assign(dimension_ * padded_, 0);
+  for (const Face& f : map.faces()) {
+    FTTT_DCHECK(f.signature.size() == dimension_, "face ", f.id,
+                " signature dimension ", f.signature.size(), " != ", dimension_);
+    for (std::size_t c = 0; c < dimension_; ++c)
+      data_[c * padded_ + f.id] = f.signature[c];
+  }
+}
+
+}  // namespace fttt

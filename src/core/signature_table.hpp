@@ -1,0 +1,51 @@
+// Structure-of-arrays signature table (the batched-matching backbone).
+//
+// A FaceMap stores faces row-of-structs: face -> signature vector. Bulk
+// matching wants the transpose: one contiguous int8_t *plane* per node
+// pair holding that pair's component for every face, faces as columns
+// padded to a cache-line multiple. Distance accumulation over a batch of
+// sampling vectors then streams each plane once with a unit-stride,
+// auto-vectorizable inner loop, and a '*' component skips a whole plane
+// instead of branching per face (the Eq. 7 wildcard lifted to a per-plane
+// mask).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/facemap.hpp"
+
+namespace fttt {
+
+class SignatureTable {
+ public:
+  /// Columns per padding block: one 64-byte cache line of int8 columns,
+  /// so every plane starts line-aligned relative to the first.
+  static constexpr std::size_t kBlock = 64;
+
+  explicit SignatureTable(const FaceMap& map);
+
+  std::size_t face_count() const { return face_count_; }
+  std::size_t dimension() const { return dimension_; }
+
+  /// face_count() rounded up to kBlock: the stride between planes.
+  std::size_t padded_faces() const { return padded_; }
+
+  /// Plane of node pair `pair`: padded_faces() components, one per face
+  /// column in face-id order; pad columns hold 0.
+  const SigValue* plane(std::size_t pair) const {
+    return data_.data() + pair * padded_;
+  }
+
+  /// Component of `pair` for one face (column access; prefer plane()
+  /// streaming in hot loops — columns stride by padded_faces()).
+  SigValue at(std::size_t pair, FaceId face) const { return plane(pair)[face]; }
+
+ private:
+  std::size_t face_count_{0};
+  std::size_t dimension_{0};
+  std::size_t padded_{0};
+  std::vector<SigValue> data_;  ///< dimension_ planes of padded_ columns
+};
+
+}  // namespace fttt

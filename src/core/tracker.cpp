@@ -5,9 +5,7 @@
 namespace fttt {
 
 FtttTracker::FtttTracker(std::shared_ptr<const FaceMap> map, Config config)
-    : map_(std::move(map)), config_(config) {
-  if (!map_) throw std::invalid_argument("FtttTracker: null face map");
-}
+    : map_(std::move(map)), config_(config), batch_(map_) {}
 
 TrackEstimate FtttTracker::localize(const GroupingSampling& group) {
   if (group.node_count != map_->nodes().size())
@@ -16,6 +14,8 @@ TrackEstimate FtttTracker::localize(const GroupingSampling& group) {
   const SamplingVector vd =
       build_sampling_vector(group, config_.eps, config_.mode, config_.missing);
 
+  // Both paths run on the SoA signature table (bit-identical to the
+  // scalar reference matchers, see core/batch_matcher.hpp).
   MatchResult result;
   if (config_.use_heuristic) {
     // Warm start from the previous localization when available; a cold
@@ -23,21 +23,52 @@ TrackEstimate FtttTracker::localize(const GroupingSampling& group) {
     // Initialization()).
     const FaceId start =
         previous_face_.value_or(map_->face_at(map_->grid().extent().center()));
-    result = heuristic_.match(*map_, vd, start);
+    result = batch_.climb(vd, start);
     if (result.similarity < config_.fallback_similarity) {
-      const MatchResult full = exhaustive_.match(*map_, vd);
+      const MatchResult full = batch_.match_one(vd);
       stats_.faces_examined += full.faces_examined;
       ++stats_.fallbacks;
       if (full.similarity > result.similarity) result = full;
     }
   } else {
-    result = exhaustive_.match(*map_, vd);
+    result = batch_.match_one(vd);
   }
 
   ++stats_.localizations;
   stats_.faces_examined += result.faces_examined;
   previous_face_ = result.face;
   return TrackEstimate{result.position, result.face, result.similarity};
+}
+
+std::vector<TrackEstimate> FtttTracker::localize_batch(
+    const std::vector<const GroupingSampling*>& groups) {
+  std::vector<SamplingVector> vds;
+  vds.reserve(groups.size());
+  for (const GroupingSampling* group : groups) {
+    if (!group || group->node_count != map_->nodes().size())
+      throw std::invalid_argument(
+          "FtttTracker: grouping sampling node count != map deployment");
+    vds.push_back(build_sampling_vector(*group, config_.eps, config_.mode,
+                                        config_.missing));
+  }
+
+  const std::vector<MatchResult> matches = batch_.match(vds);
+  std::vector<TrackEstimate> estimates;
+  estimates.reserve(matches.size());
+  for (const MatchResult& m : matches) {
+    ++stats_.localizations;
+    stats_.faces_examined += m.faces_examined;
+    estimates.push_back(TrackEstimate{m.position, m.face, m.similarity});
+  }
+  return estimates;
+}
+
+std::vector<TrackEstimate> FtttTracker::localize_batch(
+    const std::vector<GroupingSampling>& groups) {
+  std::vector<const GroupingSampling*> ptrs;
+  ptrs.reserve(groups.size());
+  for (const GroupingSampling& g : groups) ptrs.push_back(&g);
+  return localize_batch(ptrs);
 }
 
 }  // namespace fttt

@@ -5,12 +5,16 @@
 //   - basic / extended sampling vectors (Sec. 4.2 / Sec. 6),
 //   - exhaustive or heuristic matching, with warm starts from the previous
 //     localization (Algorithm 2's consecutive-tracking speedup),
-//   - fault-tolerant vectors ('*' components, Sec. 4.4(3)) transparently.
+//   - fault-tolerant vectors ('*' components, Sec. 4.4(3)) transparently,
+//   - batched multi-target localization over the SoA signature table
+//     (localize_batch; see core/batch_matcher.hpp).
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <vector>
 
+#include "core/batch_matcher.hpp"
 #include "core/facemap.hpp"
 #include "core/matcher.hpp"
 
@@ -50,6 +54,14 @@ class FtttTracker {
   /// start for the next call.
   TrackEstimate localize(const GroupingSampling& group);
 
+  /// Localize a frame of independent sampling epochs (multi-target
+  /// traffic) in one SoA batch pass. Every vector goes through the
+  /// exhaustive ML matcher; the single-target warm start is unaffected.
+  /// The pointer overload avoids copying k x n sampling matrices when the
+  /// caller holds a scattered subset (TrackManager::process_frame).
+  std::vector<TrackEstimate> localize_batch(const std::vector<GroupingSampling>& groups);
+  std::vector<TrackEstimate> localize_batch(const std::vector<const GroupingSampling*>& groups);
+
   /// Forget the previous face (target lost / new track).
   void reset() { previous_face_.reset(); }
 
@@ -57,11 +69,13 @@ class FtttTracker {
   const FaceMap& map() const { return *map_; }
   const Config& config() const { return config_; }
 
+  /// The batched SoA matching engine (shared signature table).
+  const BatchMatcher& matcher() const { return batch_; }
+
  private:
   std::shared_ptr<const FaceMap> map_;
   Config config_;
-  ExhaustiveMatcher exhaustive_;
-  HeuristicMatcher heuristic_;
+  BatchMatcher batch_;
   std::optional<FaceId> previous_face_;
   Stats stats_;
 };

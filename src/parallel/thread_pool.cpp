@@ -47,6 +47,27 @@ bool ThreadPool::submit(std::function<void()> task) {
   return true;
 }
 
+std::size_t ThreadPool::submit_range(std::size_t count,
+                                     std::function<void(std::size_t)> fn) {
+  FTTT_CHECK(fn != nullptr, "ThreadPool::submit_range: empty task");
+  if (count == 0) return 0;
+  // One shared callable: the queue holds `count` thin index-binding
+  // wrappers instead of `count` copies of the (possibly capture-heavy)
+  // function object.
+  auto shared = std::make_shared<std::function<void(std::size_t)>>(std::move(fn));
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return 0;  // rejected: pool is (being) shut down
+    for (std::size_t i = 0; i < count; ++i)
+      tasks_.push([shared, i] { (*shared)(i); });
+  }
+  if (count == 1)
+    cv_task_.notify_one();
+  else
+    cv_task_.notify_all();
+  return count;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

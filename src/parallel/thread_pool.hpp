@@ -33,6 +33,14 @@ class ThreadPool {
   /// without running, never silently raced against the joining workers.
   bool submit(std::function<void()> task);
 
+  /// Bulk submission: enqueue `count` tasks fn(0) .. fn(count-1) under a
+  /// *single* queue-mutex acquisition (batch fan-outs would otherwise pay
+  /// one lock round-trip per task). All-or-nothing: returns `count` when
+  /// every task was accepted, 0 when the pool is (being) shut down —
+  /// the same rejection contract as submit(), so a racing shutdown either
+  /// drains the whole range or none of it.
+  std::size_t submit_range(std::size_t count, std::function<void(std::size_t)> fn);
+
   /// Stop accepting work, drain every already-queued task, and join the
   /// workers. Idempotent and safe to call concurrently with submit(): a
   /// racing submit either enqueues before the stop (and its task runs

@@ -1,0 +1,80 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace fttt {
+namespace {
+
+TEST(SubmitRange, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 257;
+  std::vector<std::atomic<int>> hits(n);
+  std::atomic<std::size_t> done{0};
+  const std::size_t accepted = pool.submit_range(n, [&](std::size_t i) {
+    hits[i].fetch_add(1);
+    if (done.fetch_add(1) + 1 == n) done.notify_all();
+  });
+  EXPECT_EQ(accepted, n);
+  std::size_t d = done.load();
+  while (d < n) {
+    done.wait(d);
+    d = done.load();
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(SubmitRange, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.submit_range(0, [](std::size_t) { FAIL() << "must not run"; }), 0u);
+}
+
+TEST(SubmitRange, RejectedAfterShutdownLikeSubmit) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  std::atomic<int> ran{0};
+  // The bulk API carries submit()'s contract: after shutdown() the pool
+  // rejects the whole range and nothing runs.
+  EXPECT_EQ(pool.submit_range(8, [&](std::size_t) { ran.fetch_add(1); }), 0u);
+  EXPECT_FALSE(pool.submit([&] { ran.fetch_add(1); }));
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(SubmitRange, AllOrNothingAgainstConcurrentShutdown) {
+  // A submit_range racing shutdown() either lands the whole range before
+  // the stop (and the drain runs every task) or observes the stop and
+  // lands nothing — never a partial range.
+  for (int trial = 0; trial < 20; ++trial) {
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    std::thread stopper([&] { pool.shutdown(); });
+    const std::size_t n = 16;
+    const std::size_t accepted =
+        pool.submit_range(n, [&](std::size_t) { ran.fetch_add(1); });
+    stopper.join();  // shutdown() drained everything that was enqueued
+    EXPECT_TRUE(accepted == 0 || accepted == n) << "partial acceptance";
+    EXPECT_EQ(static_cast<std::size_t>(ran.load()), accepted);
+  }
+}
+
+TEST(SubmitRange, SingleTaskRange) {
+  ThreadPool pool(2);
+  std::atomic<int> got{-1};
+  pool.submit_range(1, [&](std::size_t i) {
+    got.store(static_cast<int>(i));
+    got.notify_all();
+  });
+  int g = got.load();
+  while (g < 0) {
+    got.wait(g);
+    g = got.load();
+  }
+  EXPECT_EQ(g, 0);
+}
+
+}  // namespace
+}  // namespace fttt

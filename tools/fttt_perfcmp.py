@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json perf trajectories and fail on regression.
+
+usage: fttt_perfcmp.py BASELINE CURRENT [--tolerance 25%] [--absolute]
+
+Results are keyed by (name, batch). The default comparison uses the
+machine-portable ratio metric `speedup_vs_scalar` (higher is better):
+the gate fails when current < baseline * (1 - tolerance). Rows without a
+speedup in the baseline (e.g. the scalar reference itself) are skipped.
+
+--absolute additionally compares `ns_per_localization` (lower is better;
+current must stay <= baseline * (1 + tolerance)). Absolute nanoseconds
+only mean something when baseline and current ran on comparable hardware,
+so CI sticks to the ratio gate; use --absolute for local A/B runs.
+
+Rows present in only one file are reported but never fatal: new bench
+rows may land before the committed baseline is refreshed (the refresh
+procedure is in docs/perf.md).
+
+Exit status: 0 no regression, 1 regression, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def parse_tolerance(text: str) -> float:
+    """'25%' or '0.25' -> 0.25."""
+    text = text.strip()
+    try:
+        value = float(text[:-1]) / 100.0 if text.endswith("%") else float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad tolerance: {text!r}")
+    if not 0.0 <= value < 1.0:
+        raise argparse.ArgumentTypeError(f"tolerance out of [0, 1): {text!r}")
+    return value
+
+
+def load_results(path: Path) -> dict[tuple[str, int], dict]:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"fttt_perfcmp: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    rows = doc.get("results")
+    if not isinstance(rows, list):
+        print(f"fttt_perfcmp: {path}: no 'results' array", file=sys.stderr)
+        sys.exit(2)
+    table: dict[tuple[str, int], dict] = {}
+    for row in rows:
+        table[(row["name"], int(row.get("batch", 1)))] = row
+    return table
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fttt_perfcmp.py",
+        description="Fail when a BENCH_*.json regresses against its baseline.")
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument("--tolerance", type=parse_tolerance, default=0.25,
+                        help="allowed slack, e.g. 25%% or 0.25 (default 25%%)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="also gate ns_per_localization (same-machine runs only)")
+    args = parser.parse_args(argv[1:])
+
+    baseline = load_results(args.baseline)
+    current = load_results(args.current)
+
+    regressions = 0
+    compared = 0
+    for key, base in sorted(baseline.items()):
+        name = f"{key[0]} batch={key[1]}"
+        cur = current.get(key)
+        if cur is None:
+            print(f"  [missing] {name}: in baseline only (not fatal)")
+            continue
+
+        base_speedup = base.get("speedup_vs_scalar")
+        cur_speedup = cur.get("speedup_vs_scalar")
+        if base_speedup is not None:
+            compared += 1
+            floor = base_speedup * (1.0 - args.tolerance)
+            if cur_speedup is None or cur_speedup < floor:
+                print(f"  [REGRESSION] {name}: speedup {cur_speedup} "
+                      f"< floor {floor:.3f} (baseline {base_speedup})")
+                regressions += 1
+            else:
+                print(f"  [ok] {name}: speedup {cur_speedup:.3f} "
+                      f">= floor {floor:.3f}")
+
+        if args.absolute and "ns_per_localization" in base:
+            compared += 1
+            ceiling = base["ns_per_localization"] * (1.0 + args.tolerance)
+            ns = cur.get("ns_per_localization")
+            if ns is None or ns > ceiling:
+                print(f"  [REGRESSION] {name}: {ns} ns/loc "
+                      f"> ceiling {ceiling:.1f}")
+                regressions += 1
+            else:
+                print(f"  [ok] {name}: {ns:.1f} ns/loc <= ceiling {ceiling:.1f}")
+
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  [new] {key[0]} batch={key[1]}: no baseline yet (not fatal)")
+
+    if compared == 0:
+        print("fttt_perfcmp: nothing comparable between the two files",
+              file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"fttt_perfcmp: {regressions} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance", file=sys.stderr)
+        return 1
+    print(f"fttt_perfcmp: ok ({compared} metric(s) within "
+          f"{args.tolerance:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
