@@ -118,7 +118,16 @@ void BatchMatcher::match_into(const SamplingVector& vd, double* acc,
   detail::finalize_match(*map_, out);
 }
 
+void BatchMatcher::require_dimension(const SamplingVector& vd) const {
+  // Public-API guard kept in release builds, mirroring the scalar path
+  // (vector_distance throws the same type); the per-vector hot loop in
+  // match_into keeps only a DCHECK.
+  if (vd.dimension() != table_.dimension())
+    throw std::invalid_argument("BatchMatcher: sampling vector dimension mismatch");
+}
+
 MatchResult BatchMatcher::match_one(const SamplingVector& vd) const {
+  require_dimension(vd);
   std::vector<double> acc(table_.padded_faces());
   MatchResult r;
   match_into(vd, acc.data(), r);
@@ -134,6 +143,9 @@ struct BatchMatcher::BatchState {
   const BatchMatcher* matcher{nullptr};
   const std::vector<SamplingVector>* batch{nullptr};
   MatchResult* results{nullptr};
+  /// batch->size(), snapshotted before submission: a straggler task that
+  /// loses every chunk claim must not touch the caller-owned vector at all.
+  std::size_t n{0};
   std::size_t chunks{0};
   std::size_t chunk_size{0};
   /// scratch[slot] is owned by bulk task `slot` (the caller uses the last
@@ -144,7 +156,6 @@ struct BatchMatcher::BatchState {
 
   void run(std::size_t slot) {
     std::vector<double>& acc = scratch[slot];
-    const std::size_t n = batch->size();
     for (;;) {
       const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) return;
@@ -162,6 +173,7 @@ std::vector<MatchResult> BatchMatcher::match(
     const std::vector<SamplingVector>& batch) const {
   std::vector<MatchResult> results(batch.size());
   if (batch.empty()) return results;
+  for (const SamplingVector& vd : batch) require_dimension(vd);
 
   const std::size_t n = batch.size();
   const std::size_t padded = table_.padded_faces();
@@ -176,6 +188,7 @@ std::vector<MatchResult> BatchMatcher::match(
   state->matcher = this;
   state->batch = &batch;
   state->results = results.data();
+  state->n = n;
   state->chunks = std::min(n, workers * 4);
   state->chunk_size = (n + state->chunks - 1) / state->chunks;
   const std::size_t helpers = std::min(state->chunks - 1, workers);
@@ -211,9 +224,7 @@ double BatchMatcher::column_similarity(const SamplingVector& vd, FaceId face) co
 MatchResult BatchMatcher::climb(const SamplingVector& vd, FaceId start) const {
   FTTT_CHECK(start < table_.face_count(), "warm-start face ", start,
              " out of range (", table_.face_count(), " faces)");
-  FTTT_DCHECK(vd.dimension() == table_.dimension(),
-              "sampling vector dimension ", vd.dimension(),
-              " != face-map dimension ", table_.dimension());
+  require_dimension(vd);
   MatchResult r;
   FaceId current = start;
   double s_current = column_similarity(vd, current);

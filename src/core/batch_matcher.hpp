@@ -70,6 +70,10 @@ class BatchMatcher {
   /// Similarity of one face via a column walk (hill-climb support).
   double column_similarity(const SamplingVector& vd, FaceId face) const;
 
+  /// Throws std::invalid_argument when vd's dimension != the table's
+  /// (same failure type as the scalar vector_distance path).
+  void require_dimension(const SamplingVector& vd) const;
+
   std::shared_ptr<const FaceMap> map_;
   Config config_;
   ThreadPool* pool_;

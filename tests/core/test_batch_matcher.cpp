@@ -85,6 +85,17 @@ TEST(BatchMatcher, EmptyBatchYieldsEmptyResults) {
   EXPECT_TRUE(matcher.match({}).empty());
 }
 
+TEST(BatchMatcher, DimensionMismatchThrowsLikeScalarPath) {
+  const auto map = make_map(5, 3);
+  const BatchMatcher matcher(map);
+  SamplingVector wrong;
+  wrong.value.assign(map->dimension() + 1, 0.0);
+  wrong.known.assign(map->dimension() + 1, true);
+  EXPECT_THROW(matcher.match_one(wrong), std::invalid_argument);
+  EXPECT_THROW(matcher.match({wrong}), std::invalid_argument);
+  EXPECT_THROW(matcher.climb(wrong, 0), std::invalid_argument);
+}
+
 TEST(BatchMatcher, EquivalentToExhaustiveAcrossRandomDeployments) {
   const ExhaustiveMatcher reference;
   for (const std::size_t sensors : {4u, 7u, 10u}) {

@@ -46,13 +46,18 @@ def load_results(path: Path) -> dict[tuple[str, int], dict]:
     except (OSError, json.JSONDecodeError) as err:
         print(f"fttt_perfcmp: cannot read {path}: {err}", file=sys.stderr)
         sys.exit(2)
-    rows = doc.get("results")
+    rows = doc.get("results") if isinstance(doc, dict) else None
     if not isinstance(rows, list):
         print(f"fttt_perfcmp: {path}: no 'results' array", file=sys.stderr)
         sys.exit(2)
     table: dict[tuple[str, int], dict] = {}
-    for row in rows:
-        table[(row["name"], int(row.get("batch", 1)))] = row
+    for i, row in enumerate(rows):
+        try:
+            table[(row["name"], int(row.get("batch", 1)))] = row
+        except (TypeError, KeyError, ValueError) as err:
+            print(f"fttt_perfcmp: {path}: malformed results row {i}: {err!r}",
+                  file=sys.stderr)
+            sys.exit(2)
     return table
 
 

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Self-test for fttt_perfcmp.py exit-status contract (run as a ctest).
+
+Covers the documented statuses: 0 within tolerance, 1 regression, and 2
+for unreadable files, missing 'results', and malformed result rows — the
+last one is what CI scripts key on, so a traceback escaping as status 1
+would silently flip a parse error into a "regression".
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+PERFCMP = Path(__file__).resolve().parent / "fttt_perfcmp.py"
+
+
+def run(baseline: object, current: object, *extra: str) -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp) / "base.json"
+        cur = Path(tmp) / "cur.json"
+        base.write_text(json.dumps(baseline), encoding="utf-8")
+        cur.write_text(json.dumps(current), encoding="utf-8")
+        proc = subprocess.run(
+            [sys.executable, str(PERFCMP), str(base), str(cur), *extra],
+            capture_output=True, text=True)
+        return proc.returncode
+
+
+def doc(*rows: dict) -> dict:
+    return {"results": list(rows)}
+
+
+def main() -> int:
+    ok_row = {"name": "soa", "batch": 256, "speedup_vs_scalar": 5.0}
+    slow_row = {"name": "soa", "batch": 256, "speedup_vs_scalar": 1.0}
+    checks = [
+        ("ok within tolerance", run(doc(ok_row), doc(ok_row)), 0),
+        ("regression", run(doc(ok_row), doc(slow_row)), 1),
+        ("not json", run("not-a-doc", doc(ok_row)), 2),
+        ("no results array", run({"results": 7}, doc(ok_row)), 2),
+        ("row missing name", run(doc({"batch": 1}), doc(ok_row)), 2),
+        ("row non-int batch", run(doc({"name": "x", "batch": "wat"}),
+                                  doc(ok_row)), 2),
+        ("row not a dict", run(doc(ok_row), {"results": [5]}), 2),
+        ("nothing comparable", run(doc(), doc()), 2),
+    ]
+    failures = 0
+    for label, got, want in checks:
+        status = "ok" if got == want else "FAIL"
+        if got != want:
+            failures += 1
+        print(f"  [{status}] {label}: exit {got} (want {want})")
+    if failures:
+        print(f"test_fttt_perfcmp: {failures} check(s) failed", file=sys.stderr)
+        return 1
+    print(f"test_fttt_perfcmp: all {len(checks)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
