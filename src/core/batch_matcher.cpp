@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 #include "common/check.hpp"
 #include "core/similarity.hpp"
+#include "obs/obs.hpp"
 
 namespace fttt {
 
@@ -40,10 +42,12 @@ const FaceMap& require_map(const std::shared_ptr<const FaceMap>& map) {
 #if __has_attribute(target_clones)
 #define FTTT_VECTOR_CLONES \
   __attribute__((target_clones("default", "avx2", "avx512f")))
+#define FTTT_HAS_VECTOR_CLONES 1
 #endif
 #endif
 #ifndef FTTT_VECTOR_CLONES
 #define FTTT_VECTOR_CLONES
+#define FTTT_HAS_VECTOR_CLONES 0
 #endif
 
 /// acc[f] += (v - p[f])^2 over one plane segment. `__restrict` holds by
@@ -76,6 +80,7 @@ BatchMatcher::BatchMatcher(std::shared_ptr<const FaceMap> map, Config config,
                            ThreadPool& pool)
     : map_(std::move(map)), config_(config), pool_(&pool), table_(require_map(map_)) {
   FTTT_CHECK(config_.face_block > 0, "BatchMatcher: zero face_block");
+  FTTT_OBS_GAUGE_SET("matcher.kernel.clones", FTTT_HAS_VECTOR_CLONES);
 }
 
 void BatchMatcher::match_into(const SamplingVector& vd, double* acc,
@@ -86,6 +91,7 @@ void BatchMatcher::match_into(const SamplingVector& vd, double* acc,
   const std::size_t padded = table_.padded_faces();
   const std::size_t faces = table_.face_count();
   const std::size_t dim = table_.dimension();
+  FTTT_OBS_COUNT("matcher.planes.skipped", vd.unknown_count());
   std::fill(acc, acc + padded, 0.0);
 
   // Blocked plane-major accumulation: per column block (acc slice + one
@@ -127,6 +133,7 @@ void BatchMatcher::require_dimension(const SamplingVector& vd) const {
 }
 
 MatchResult BatchMatcher::match_one(const SamplingVector& vd) const {
+  FTTT_OBS_SPAN("matcher.match_one");
   require_dimension(vd);
   std::vector<double> acc(table_.padded_faces());
   MatchResult r;
@@ -173,6 +180,9 @@ std::vector<MatchResult> BatchMatcher::match(
     const std::vector<SamplingVector>& batch) const {
   std::vector<MatchResult> results(batch.size());
   if (batch.empty()) return results;
+  FTTT_OBS_SPAN("matcher.batch");
+  FTTT_OBS_COUNT("matcher.batch.vectors", batch.size());
+  FTTT_OBS_HIST("matcher.batch.size", "vectors", batch.size());
   for (const SamplingVector& vd : batch) require_dimension(vd);
 
   const std::size_t n = batch.size();
@@ -225,7 +235,9 @@ MatchResult BatchMatcher::climb(const SamplingVector& vd, FaceId start) const {
   FTTT_CHECK(start < table_.face_count(), "warm-start face ", start,
              " out of range (", table_.face_count(), " faces)");
   require_dimension(vd);
+  FTTT_OBS_SPAN("matcher.climb");
   MatchResult r;
+  std::uint64_t steps = 0;
   FaceId current = start;
   double s_current = column_similarity(vd, current);
   ++r.faces_examined;
@@ -246,8 +258,11 @@ MatchResult BatchMatcher::climb(const SamplingVector& vd, FaceId start) const {
     if (best_neighbor == current) break;
     current = best_neighbor;
     s_current = s_best;
+    ++steps;
   }
 
+  FTTT_OBS_COUNT("matcher.climb.steps", steps);
+  FTTT_OBS_COUNT("matcher.climb.faces", r.faces_examined);
   r.similarity = s_current;
   r.tied_faces.assign(1, current);
   detail::finalize_match(*map_, r);

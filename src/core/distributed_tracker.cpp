@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace fttt {
 
 DistributedTracker::DistributedTracker(const Deployment& nodes, double C,
@@ -92,6 +94,7 @@ GroupingSampling DistributedTracker::project(const GroupingSampling& group,
 }
 
 std::optional<std::size_t> DistributedTracker::route(const GroupingSampling& group) const {
+  FTTT_OBS_SPAN("distributed.route");
   // Strongest mean column RSS among reporting members wins; ties go to
   // the lowest cluster index (strict > below).
   std::size_t best = 0;
@@ -112,14 +115,20 @@ std::optional<std::size_t> DistributedTracker::route(const GroupingSampling& gro
       best = c;
     }
   }
-  if (!any) return std::nullopt;
+  if (!any) {
+    FTTT_OBS_COUNT("distributed.route.unheard", 1);
+    return std::nullopt;
+  }
   return best;
 }
 
 TrackEstimate DistributedTracker::localize(const GroupingSampling& group) {
   const std::optional<std::size_t> routed = route(group);
   if (routed) {  // sticky on the previous head when nobody hears anything
-    if (has_served_ && *routed != active_) ++handoffs_;
+    if (has_served_ && *routed != active_) {
+      ++handoffs_;
+      FTTT_OBS_COUNT("distributed.handoffs", 1);
+    }
     active_ = *routed;
     has_served_ = true;
   }
@@ -130,6 +139,7 @@ TrackEstimate DistributedTracker::localize(const GroupingSampling& group) {
 
 std::vector<TrackEstimate> DistributedTracker::localize_batch(
     const std::vector<GroupingSampling>& frame) {
+  FTTT_OBS_SPAN("distributed.localize_batch");
   std::vector<TrackEstimate> results(frame.size());
   // Scatter the frame across heads, then one batched localization per
   // head over its share. Epochs nobody hears fall back to the sticky

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "core/pairs.hpp"
+#include "obs/obs.hpp"
 
 namespace fttt {
 
@@ -82,6 +83,7 @@ SamplingVector build_sampling_vector(const GroupingSampling& group, double eps,
   FTTT_DCHECK(c == pair_count(n), "filled ", c, " of ", pair_count(n),
               " pair components");
   FTTT_DCHECK(vd.dimension() == pair_count(n));
+  FTTT_OBS_COUNT("vector.pairs.widened", vd.unknown_count());
   return vd;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace fttt {
 
 FtttTracker::FtttTracker(std::shared_ptr<const FaceMap> map, Config config)
@@ -11,6 +13,7 @@ TrackEstimate FtttTracker::localize(const GroupingSampling& group) {
   if (group.node_count != map_->nodes().size())
     throw std::invalid_argument("FtttTracker: grouping sampling node count != map deployment");
 
+  FTTT_OBS_SPAN("tracker.localize");
   const SamplingVector vd =
       build_sampling_vector(group, config_.eps, config_.mode, config_.missing);
 
@@ -23,25 +26,32 @@ TrackEstimate FtttTracker::localize(const GroupingSampling& group) {
     // Initialization()).
     const FaceId start =
         previous_face_.value_or(map_->face_at(map_->grid().extent().center()));
+    FTTT_OBS_COUNT("tracker.climb.calls", 1);
     result = batch_.climb(vd, start);
     if (result.similarity < config_.fallback_similarity) {
       const MatchResult full = batch_.match_one(vd);
       stats_.faces_examined += full.faces_examined;
       ++stats_.fallbacks;
+      FTTT_OBS_COUNT("tracker.fallbacks", 1);
       if (full.similarity > result.similarity) result = full;
     }
   } else {
+    FTTT_OBS_COUNT("tracker.exhaustive.calls", 1);
     result = batch_.match_one(vd);
   }
 
   ++stats_.localizations;
   stats_.faces_examined += result.faces_examined;
+  FTTT_OBS_COUNT("tracker.localizations", 1);
+  FTTT_OBS_COUNT("tracker.faces_examined", result.faces_examined);
   previous_face_ = result.face;
   return TrackEstimate{result.position, result.face, result.similarity};
 }
 
 std::vector<TrackEstimate> FtttTracker::localize_batch(
     const std::vector<const GroupingSampling*>& groups) {
+  FTTT_OBS_SPAN("tracker.localize_batch");
+  FTTT_OBS_HIST("tracker.batch.size", "vectors", groups.size());
   std::vector<SamplingVector> vds;
   vds.reserve(groups.size());
   for (const GroupingSampling* group : groups) {
@@ -60,6 +70,7 @@ std::vector<TrackEstimate> FtttTracker::localize_batch(
     stats_.faces_examined += m.faces_examined;
     estimates.push_back(TrackEstimate{m.position, m.face, m.similarity});
   }
+  FTTT_OBS_COUNT("tracker.localizations", matches.size());
   return estimates;
 }
 

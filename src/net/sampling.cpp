@@ -1,5 +1,7 @@
 #include "net/sampling.hpp"
 
+#include "obs/obs.hpp"
+
 namespace fttt {
 
 std::size_t GroupingSampling::reporting_count() const {
@@ -13,15 +15,28 @@ GroupingSampling collect_group(const Deployment& nodes, const SamplingConfig& cf
                                const FaultModel& faults, std::uint64_t epoch, double t0,
                                const std::function<Vec2(double)>& target_at,
                                const RngStream& epoch_stream) {
+  FTTT_OBS_SPAN("net.collect_group");
   GroupingSampling group;
   group.node_count = nodes.size();
   group.instants = cfg.samples_per_group;
   group.rss.resize(nodes.size());
 
+  // Local tallies, flushed as single counter adds below: collect_group is
+  // per-epoch hot, so one atomic round-trip per outcome, not per node.
+  std::uint64_t dropped_fault = 0;
+  std::uint64_t dropped_range = 0;
+  std::uint64_t samples_taken = 0;
+
   const Vec2 target_at_start = target_at(t0);
   for (const SensorNode& node : nodes) {
-    if (!faults.reports(node.id, epoch)) continue;
-    if (distance(node.position, target_at_start) > cfg.sensing_range) continue;
+    if (!faults.reports(node.id, epoch)) {
+      ++dropped_fault;
+      continue;
+    }
+    if (distance(node.position, target_at_start) > cfg.sensing_range) {
+      ++dropped_range;
+      continue;
+    }
 
     // Per-node clock skew: derived once per (epoch, node) so a node's
     // instants are coherently shifted, as real crystal offsets are.
@@ -41,8 +56,12 @@ GroupingSampling collect_group(const Deployment& nodes, const SamplingConfig& cf
       RngStream noise = epoch_stream.substream(node.id, t + 1);
       samples.push_back(cfg.model.sample_rss(d, noise));
     }
+    samples_taken += cfg.samples_per_group;
     group.rss[node.id] = std::move(samples);
   }
+  FTTT_OBS_COUNT("net.dropped.fault", dropped_fault);
+  FTTT_OBS_COUNT("net.dropped.range", dropped_range);
+  FTTT_OBS_COUNT("net.samples.taken", samples_taken);
   return group;
 }
 

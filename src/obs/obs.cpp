@@ -1,0 +1,432 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace fttt::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Process trace epoch: captured once, on the first now_ns() call.
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// One span event as buffered per thread. `name` points at the site's
+/// string literal — immortal by the SpanSite contract.
+struct TraceEvent {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+/// Per-thread span ring buffer. The owning thread appends under `mu`
+/// (uncontended except while an export walks the rings); the newest
+/// `events.size()` spans survive, older ones are dropped and counted.
+struct ThreadRing {
+  explicit ThreadRing(std::uint64_t tid_, std::size_t capacity)
+      : tid(tid_), events(capacity) {}
+
+  void push(const TraceEvent& e) {
+    std::lock_guard lock(mu);
+    events[pushed % events.size()] = e;
+    ++pushed;
+  }
+
+  std::mutex mu;
+  std::uint64_t tid;
+  std::vector<TraceEvent> events;
+  std::uint64_t pushed{0};  ///< total appended; dropped = pushed - size
+};
+
+}  // namespace
+
+/// Exact moments + log bins behind Histogram's opaque pointer.
+struct Histogram::Impl {
+  Impl() : log_bins(kLogLo, kLogHi, kBins) {}
+
+  // 72 bins over 9 decades: 0.125 decades per bin (see obs.hpp).
+  static constexpr double kLogLo = -1.0;
+  static constexpr double kLogHi = 8.0;
+  static constexpr std::size_t kBins = 72;
+
+  mutable std::mutex mu;
+  fttt::Histogram log_bins;
+  std::uint64_t count{0};
+  double sum{0.0};
+  double min{0.0};
+  double max{0.0};
+};
+
+Histogram::Histogram(std::string name, std::string unit)
+    : name_(std::move(name)), unit_(std::move(unit)), impl_(new Impl) {}
+
+void Histogram::record(double value) noexcept {
+  // Non-positive values cannot be log-binned; clamp into the lowest bin
+  // (a 0 µs span is a sub-resolution measurement, not an error).
+  const double log_v = value > 0.0 ? std::log10(value) : Impl::kLogLo;
+  std::lock_guard lock(impl_->mu);
+  impl_->log_bins.add(log_v);
+  impl_->sum += value;
+  if (impl_->count == 0) {
+    impl_->min = value;
+    impl_->max = value;
+  } else {
+    impl_->min = std::min(impl_->min, value);
+    impl_->max = std::max(impl_->max, value);
+  }
+  ++impl_->count;
+}
+
+Histogram::Summary Histogram::summary() const {
+  std::lock_guard lock(impl_->mu);
+  Summary s;
+  s.count = impl_->count;
+  if (s.count == 0) return s;
+  s.sum = impl_->sum;
+  s.min = impl_->min;
+  s.max = impl_->max;
+  s.p50 = std::pow(10.0, impl_->log_bins.quantile(0.50));
+  s.p90 = std::pow(10.0, impl_->log_bins.quantile(0.90));
+  s.p99 = std::pow(10.0, impl_->log_bins.quantile(0.99));
+  return s;
+}
+
+/// The global registry. Intentionally leaked (never destroyed): pool
+/// workers may still be recording while static destructors run, and a
+/// leaked registry keeps every Counter/Histogram reference valid until
+/// the process exits. Not in an anonymous namespace — it is the
+/// `friend class Registry` of the metric types in obs.hpp.
+class Registry {
+ public:
+  Counter& counter(const std::string& name) {
+    std::lock_guard lock(mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+      it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)))
+               .first;
+    return *it->second;
+  }
+
+  Gauge& gauge(const std::string& name) {
+    std::lock_guard lock(mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+      it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name))).first;
+    return *it->second;
+  }
+
+  Histogram& histogram(const std::string& name, const std::string& unit) {
+    std::lock_guard lock(mu_);
+    return histogram_locked(name, unit);
+  }
+
+  SpanSite& site(const char* name) {
+    std::lock_guard lock(mu_);
+    auto it = sites_.find(name);
+    if (it == sites_.end()) {
+      Histogram& hist = histogram_locked(name, "us");
+      it = sites_.emplace(name, std::make_unique<SpanSite>(SpanSite{name, &hist}))
+               .first;
+    }
+    return *it->second;
+  }
+
+  std::shared_ptr<ThreadRing> make_ring() {
+    std::lock_guard lock(mu_);
+    auto ring = std::make_shared<ThreadRing>(next_tid_++, ring_capacity_);
+    rings_.push_back(ring);
+    return ring;
+  }
+
+  void set_ring_capacity(std::size_t events) {
+    std::lock_guard lock(mu_);
+    ring_capacity_ = std::max<std::size_t>(1, events);
+  }
+
+  MetricsSnapshot snapshot() const {
+    MetricsSnapshot snap;
+    std::lock_guard lock(mu_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_)
+      snap.histograms.push_back({name, h->unit(), h->summary()});
+    return snap;  // std::map iteration is already name-sorted
+  }
+
+  /// Copy every ring's live events, oldest first per thread, plus the
+  /// total number of overwritten (dropped) events.
+  std::vector<std::pair<std::uint64_t, std::vector<TraceEvent>>> trace_events(
+      std::uint64_t* dropped) const {
+    std::vector<std::shared_ptr<ThreadRing>> rings;
+    {
+      std::lock_guard lock(mu_);
+      rings = rings_;
+    }
+    std::vector<std::pair<std::uint64_t, std::vector<TraceEvent>>> out;
+    *dropped = 0;
+    for (const auto& ring : rings) {
+      std::lock_guard lock(ring->mu);
+      const std::size_t cap = ring->events.size();
+      const std::uint64_t n = std::min<std::uint64_t>(ring->pushed, cap);
+      *dropped += ring->pushed - n;
+      std::vector<TraceEvent> events;
+      events.reserve(static_cast<std::size_t>(n));
+      const std::uint64_t first = ring->pushed - n;
+      for (std::uint64_t i = first; i < ring->pushed; ++i)
+        events.push_back(ring->events[i % cap]);
+      out.emplace_back(ring->tid, std::move(events));
+    }
+    return out;
+  }
+
+  void reset() {
+    std::lock_guard lock(mu_);
+    for (auto& [name, c] : counters_) c->value_.store(0, std::memory_order_relaxed);
+    for (auto& [name, g] : gauges_) g->value_.store(0, std::memory_order_relaxed);
+    for (auto& [name, h] : histograms_) {
+      Histogram::Impl& impl = *h->impl_;
+      std::lock_guard hist_lock(impl.mu);
+      impl.log_bins = fttt::Histogram(Histogram::Impl::kLogLo,
+                                      Histogram::Impl::kLogHi,
+                                      Histogram::Impl::kBins);
+      impl.count = 0;
+      impl.sum = 0.0;
+      impl.min = 0.0;
+      impl.max = 0.0;
+    }
+    for (auto& ring : rings_) {
+      std::lock_guard ring_lock(ring->mu);
+      ring->pushed = 0;
+    }
+  }
+
+ private:
+  Histogram& histogram_locked(const std::string& name, const std::string& unit) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+      it = histograms_
+               .emplace(name, std::unique_ptr<Histogram>(new Histogram(name, unit)))
+               .first;
+    return *it->second;
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<SpanSite>> sites_;
+  std::vector<std::shared_ptr<ThreadRing>> rings_;
+  std::uint64_t next_tid_{1};
+  std::size_t ring_capacity_{16384};
+};
+
+namespace {
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked on purpose, see class comment
+  return *r;
+}
+
+ThreadRing& this_thread_ring() {
+  // The shared_ptr keeps the ring alive past thread exit (the registry
+  // holds the other reference), so exports after a worker joined still
+  // see its spans.
+  thread_local std::shared_ptr<ThreadRing> ring = registry().make_ring();
+  return *ring;
+}
+
+/// Minimal JSON string escaping (names are controlled literals, but the
+/// exporters must never emit malformed documents).
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20)
+          os << "\\u00" << "0123456789abcdef"[(ch >> 4) & 0xf]
+             << "0123456789abcdef"[ch & 0xf];
+        else
+          os << ch;
+    }
+  }
+}
+
+/// Doubles in JSON: finite, fixed notation, microsecond-friendly.
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  os << buf;
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  if (on) (void)now_ns();  // pin the trace epoch before the first span
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() noexcept {
+  const auto elapsed = std::chrono::steady_clock::now() - trace_epoch();
+  // +1 keeps the value strictly positive: 0 is the "not recorded"
+  // sentinel in Span and the thread pool's queue stamps.
+  return static_cast<std::uint64_t>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) +
+         1;
+}
+
+Counter& counter(const std::string& name) { return registry().counter(name); }
+Gauge& gauge(const std::string& name) { return registry().gauge(name); }
+Histogram& histogram(const std::string& name, const std::string& unit) {
+  return registry().histogram(name, unit);
+}
+SpanSite& span_site(const char* name) { return registry().site(name); }
+
+Span::Span(SpanSite& site) noexcept : site_(nullptr) {
+  if (!enabled()) return;
+  site_ = &site;
+  start_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (site_ == nullptr) return;
+  const std::uint64_t dur_ns = now_ns() - start_ns_;
+  site_->hist->record(static_cast<double>(dur_ns) / 1000.0);
+  this_thread_ring().push(TraceEvent{site_->name, start_ns_, dur_ns});
+}
+
+MetricsSnapshot snapshot() { return registry().snapshot(); }
+
+void write_metrics_json(std::ostream& os) {
+  const MetricsSnapshot snap = snapshot();
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << '"';
+    json_escape(os, snap.counters[i].first);
+    os << "\": " << snap.counters[i].second;
+  }
+  os << (snap.counters.empty() ? "},\n" : "\n  },\n");
+  os << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << '"';
+    json_escape(os, snap.gauges[i].first);
+    os << "\": " << snap.gauges[i].second;
+  }
+  os << (snap.gauges.empty() ? "},\n" : "\n  },\n");
+  os << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    os << (i ? ",\n    " : "\n    ") << '"';
+    json_escape(os, h.name);
+    os << "\": {\"unit\": \"";
+    json_escape(os, h.unit);
+    os << "\", \"count\": " << h.summary.count << ", \"sum\": ";
+    json_number(os, h.summary.sum);
+    os << ", \"min\": ";
+    json_number(os, h.summary.min);
+    os << ", \"max\": ";
+    json_number(os, h.summary.max);
+    os << ", \"p50\": ";
+    json_number(os, h.summary.p50);
+    os << ", \"p90\": ";
+    json_number(os, h.summary.p90);
+    os << ", \"p99\": ";
+    json_number(os, h.summary.p99);
+    os << "}";
+  }
+  os << (snap.histograms.empty() ? "}\n" : "\n  }\n");
+  os << "}\n";
+}
+
+bool write_metrics_json(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_metrics_json(os);
+  return static_cast<bool>(os.flush());
+}
+
+void write_metrics_text(std::ostream& os) {
+  const MetricsSnapshot snap = snapshot();
+  for (const auto& [name, v] : snap.counters)
+    os << "counter   " << name << " = " << v << "\n";
+  for (const auto& [name, v] : snap.gauges)
+    os << "gauge     " << name << " = " << v << "\n";
+  for (const auto& h : snap.histograms) {
+    os << "histogram " << h.name << " (" << h.unit << "): count=" << h.summary.count;
+    if (h.summary.count > 0) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    " mean=%.2f min=%.2f max=%.2f p50=%.2f p90=%.2f p99=%.2f",
+                    h.summary.sum / static_cast<double>(h.summary.count),
+                    h.summary.min, h.summary.max, h.summary.p50, h.summary.p90,
+                    h.summary.p99);
+      os << buf;
+    }
+    os << "\n";
+  }
+}
+
+void write_chrome_trace(std::ostream& os) {
+  std::uint64_t dropped = 0;
+  const auto per_thread = registry().trace_events(&dropped);
+  counter("obs.trace.dropped").add(dropped);
+
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"args\": {\"name\": \"fttt\"}}";
+  for (const auto& [tid, events] : per_thread) {
+    os << ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+       << tid << ", \"args\": {\"name\": \"fttt-thread-" << tid << "\"}}";
+    for (const TraceEvent& e : events) {
+      os << ",\n  {\"name\": \"";
+      json_escape(os, e.name);
+      os << "\", \"cat\": \"fttt\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << tid
+         << ", \"ts\": ";
+      json_number(os, static_cast<double>(e.start_ns) / 1000.0);
+      os << ", \"dur\": ";
+      json_number(os, static_cast<double>(e.dur_ns) / 1000.0);
+      os << "}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return static_cast<bool>(os.flush());
+}
+
+void reset() { registry().reset(); }
+
+void set_ring_capacity(std::size_t events) { registry().set_ring_capacity(events); }
+
+}  // namespace fttt::obs

@@ -1,0 +1,312 @@
+// Runtime observability: counters, gauges, latency histograms, RAII spans.
+//
+// Design goals, in priority order:
+//   1. Near-zero cost when idle. Recording is off by default; every
+//      instrumentation macro guards on one relaxed atomic load, so a
+//      release hot path pays a single predictable branch. Configuring
+//      with -DFTTT_OBS=OFF removes even that branch: the macros expand to
+//      nothing (arguments stay type-checked but unevaluated, the same
+//      contract as FTTT_DCHECK in common/check.hpp).
+//   2. Thread-safe by construction. Counters and gauges are single
+//      atomics; histograms take a per-instance mutex; span events land in
+//      per-thread ring buffers (one short lock on the owning thread's
+//      ring), so worker threads never contend on shared trace state.
+//   3. Exportable. The whole registry serializes as a plain-text or JSON
+//      metrics snapshot, and the span rings as a Chrome-trace JSON
+//      timeline (load in chrome://tracing or https://ui.perfetto.dev).
+//
+// Metric names are dot-separated lowercase ("tracker.localize"); the
+// operator's handbook (docs/observability.md) documents every name this
+// repo emits, its unit, and the subsystem that owns it. Instrumentation
+// sites must pass string literals (the registry stores the pointer for
+// spans and the macros cache the registry lookup in a function-local
+// static, so the name must outlive the program's instrumented phase).
+//
+// This layer depends only on `common` (the log-binned latency summaries
+// reuse fttt::Histogram) so every other subsystem — parallel included —
+// can instrument itself without a dependency cycle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+// Compile-time gate. The CMake option FTTT_OBS=OFF defines
+// FTTT_DISABLE_OBS globally; a single TU can also force the macros off
+// (see tests/obs/test_obs_off.cpp) without a redefinition clash.
+#ifndef FTTT_OBS_ENABLED
+#ifdef FTTT_DISABLE_OBS
+#define FTTT_OBS_ENABLED 0
+#else
+#define FTTT_OBS_ENABLED 1
+#endif
+#endif
+
+namespace fttt::obs {
+
+/// True in TUs where the instrumentation macros are live. Deliberately
+/// not `inline` — each TU gets its own internal-linkage copy, so a
+/// macro-off test TU sees `false` without violating the ODR.
+constexpr bool kCompiledIn = FTTT_OBS_ENABLED != 0;
+
+/// Global recording switch (default off). The macros check it with one
+/// relaxed load; flipping it mid-run is safe (spans already open finish
+/// recording).
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Nanoseconds since the process trace epoch (first obs use). Strictly
+/// positive, so 0 is usable as a "not recorded" sentinel.
+std::uint64_t now_ns() noexcept;
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  const std::string& name() const noexcept { return name_; }
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, config facts).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  const std::string& name() const noexcept { return name_; }
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log-binned value distribution: exact count/sum/min/max plus
+/// quantiles from a fttt::Histogram over log10(value), 72 bins covering
+/// [0.1, 1e8) — 0.125 decades (~33% relative error) per bin, which is
+/// plenty for "where did the time go" questions. Values are whatever
+/// unit the site declares (spans record microseconds). Thread-safe via a
+/// per-instance mutex; record() is two compares and an increment under
+/// the lock.
+class Histogram {
+ public:
+  struct Summary {
+    std::uint64_t count{0};
+    double sum{0.0};
+    double min{0.0};
+    double max{0.0};
+    double p50{0.0};  ///< log-bin upper edge, see class comment
+    double p90{0.0};
+    double p99{0.0};
+  };
+
+  void record(double value) noexcept;
+  Summary summary() const;
+  const std::string& name() const noexcept { return name_; }
+  const std::string& unit() const noexcept { return unit_; }
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, std::string unit);
+
+  struct Impl;  // mutex + fttt::Histogram + exact moments (in obs.cpp)
+  std::string name_;
+  std::string unit_;
+  Impl* impl_;  // owned; leaked with the registry (see obs.cpp)
+};
+
+/// Registry lookup: find-or-create by name. References stay valid for
+/// the life of the process (the registry is never torn down, so worker
+/// threads draining during static destruction cannot touch freed
+/// metrics). Creating the same name with a different unit keeps the
+/// first unit. These take a registry mutex — call sites on hot paths
+/// should cache the reference (the macros below do).
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name, const std::string& unit = "us");
+
+/// One instrumentation site for spans: the literal name plus the
+/// latency histogram fed by every span at the site.
+struct SpanSite {
+  const char* name;
+  Histogram* hist;
+};
+
+/// Find-or-create the site for `name` (must be a string literal or
+/// otherwise immortal storage — the trace buffer stores the pointer).
+SpanSite& span_site(const char* name);
+
+/// RAII span: construction stamps the start, destruction records the
+/// duration into the site's histogram (microseconds) and appends a
+/// Chrome-trace "X" event to the calling thread's ring buffer. When
+/// recording is disabled at construction, both ends are a no-op.
+class Span {
+ public:
+  explicit Span(SpanSite& site) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  SpanSite* site_;  ///< nullptr when recording was off at construction
+  std::uint64_t start_ns_{0};
+};
+
+/// Point-in-time copy of every registered metric, sorted by name (the
+/// export order is deterministic even though registration order is not).
+struct MetricsSnapshot {
+  struct HistogramRow {
+    std::string name;
+    std::string unit;
+    Histogram::Summary summary;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramRow> histograms;
+};
+
+MetricsSnapshot snapshot();
+
+/// Metrics snapshot as JSON: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {unit, count, sum, min, max, p50, p90, p99}}}.
+void write_metrics_json(std::ostream& os);
+
+/// File convenience: false when the path cannot be opened or the write
+/// fails.
+bool write_metrics_json(const std::string& path);
+
+/// Human-readable snapshot (one metric per line, aligned).
+void write_metrics_text(std::ostream& os);
+
+/// Every buffered span as a Chrome-trace JSON document
+/// ({"traceEvents": [...]}; "X" complete events, ts/dur in microseconds)
+/// plus per-thread metadata. Loadable by chrome://tracing and Perfetto.
+/// Rings are ring *buffers*: each thread keeps its most recent events
+/// (default 16384) and the export reports drops via the
+/// "obs.trace.dropped" counter.
+void write_chrome_trace(std::ostream& os);
+
+/// File convenience: false when the path cannot be opened or the write
+/// fails.
+bool write_chrome_trace(const std::string& path);
+
+/// Zero every counter/gauge/histogram and clear the span rings. Names
+/// stay registered. Test support; not meant for concurrent use with
+/// active recording.
+void reset();
+
+/// Capacity (events) of span rings created after this call (default
+/// 16384 per thread). Existing rings keep their size.
+void set_ring_capacity(std::size_t events);
+
+namespace detail {
+
+/// Swallows the (unevaluated) arguments of a compiled-out macro so
+/// variables referenced only in instrumentation never trip -Wunused.
+template <typename... Args>
+constexpr void obs_sink(const Args&...) noexcept {}
+
+}  // namespace detail
+}  // namespace fttt::obs
+
+#define FTTT_OBS_CONCAT_IMPL(a, b) a##b
+#define FTTT_OBS_CONCAT(a, b) FTTT_OBS_CONCAT_IMPL(a, b)
+
+#if FTTT_OBS_ENABLED
+
+// The `_AT` layer exists because __COUNTER__ increments on every
+// expansion: the unique variable token must be minted once and passed
+// down, not spelled twice.
+
+/// Bump a counter by `delta`. `delta` is evaluated only while recording
+/// is enabled; the registry lookup happens once per call site.
+#define FTTT_OBS_COUNT_AT(name, delta, tag)                                  \
+  do {                                                                       \
+    if (::fttt::obs::enabled()) {                                            \
+      static ::fttt::obs::Counter& tag = ::fttt::obs::counter(name);         \
+      tag.add(static_cast<std::uint64_t>(delta));                            \
+    }                                                                        \
+  } while (0)
+#define FTTT_OBS_COUNT(name, delta)                                          \
+  FTTT_OBS_COUNT_AT(name, delta, FTTT_OBS_CONCAT(fttt_obs_ctr_, __COUNTER__))
+
+/// Set a gauge to `value` (evaluated only while recording is enabled).
+#define FTTT_OBS_GAUGE_SET_AT(name, value, tag)                              \
+  do {                                                                       \
+    if (::fttt::obs::enabled()) {                                            \
+      static ::fttt::obs::Gauge& tag = ::fttt::obs::gauge(name);             \
+      tag.set(static_cast<std::int64_t>(value));                             \
+    }                                                                        \
+  } while (0)
+#define FTTT_OBS_GAUGE_SET(name, value)                                      \
+  FTTT_OBS_GAUGE_SET_AT(name, value,                                         \
+                        FTTT_OBS_CONCAT(fttt_obs_gge_, __COUNTER__))
+
+/// Record `value` (declared `unit`) into a histogram.
+#define FTTT_OBS_HIST_AT(name, unit, value, tag)                             \
+  do {                                                                       \
+    if (::fttt::obs::enabled()) {                                            \
+      static ::fttt::obs::Histogram& tag = ::fttt::obs::histogram(name, unit); \
+      tag.record(static_cast<double>(value));                                \
+    }                                                                        \
+  } while (0)
+#define FTTT_OBS_HIST(name, unit, value)                                     \
+  FTTT_OBS_HIST_AT(name, unit, value,                                        \
+                   FTTT_OBS_CONCAT(fttt_obs_hst_, __COUNTER__))
+
+/// Open an RAII span covering the rest of the enclosing scope. Records a
+/// latency histogram sample (microseconds, named after the span) and a
+/// Chrome-trace event when recording is enabled.
+#define FTTT_OBS_SPAN_AT(name, site_tag, span_tag)                           \
+  static ::fttt::obs::SpanSite& site_tag = ::fttt::obs::span_site(name);     \
+  ::fttt::obs::Span span_tag { site_tag }
+#define FTTT_OBS_SPAN(name)                                                  \
+  FTTT_OBS_SPAN_AT(name, FTTT_OBS_CONCAT(fttt_obs_site_, __LINE__),          \
+                   FTTT_OBS_CONCAT(fttt_obs_span_, __LINE__))
+
+/// `now_ns()` when recording is enabled, else 0. For sites that need a
+/// raw timestamp (e.g. queue-wait attribution in the thread pool).
+#define FTTT_OBS_NOW_NS()                                                    \
+  (::fttt::obs::enabled() ? ::fttt::obs::now_ns()                            \
+                          : static_cast<std::uint64_t>(0))
+
+#else  // !FTTT_OBS_ENABLED — macros vanish, arguments stay type-checked
+
+#define FTTT_OBS_COUNT(name, delta)                                          \
+  (true ? static_cast<void>(0) : ::fttt::obs::detail::obs_sink(name, delta))
+#define FTTT_OBS_GAUGE_SET(name, value)                                      \
+  (true ? static_cast<void>(0) : ::fttt::obs::detail::obs_sink(name, value))
+#define FTTT_OBS_HIST(name, unit, value)                                     \
+  (true ? static_cast<void>(0)                                               \
+        : ::fttt::obs::detail::obs_sink(name, unit, value))
+#define FTTT_OBS_SPAN(name)                                                  \
+  (true ? static_cast<void>(0) : ::fttt::obs::detail::obs_sink(name))
+#define FTTT_OBS_NOW_NS() (static_cast<std::uint64_t>(0))
+
+#endif  // FTTT_OBS_ENABLED

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace fttt {
 
@@ -40,10 +41,15 @@ bool ThreadPool::submit(std::function<void()> task) {
   FTTT_CHECK(task != nullptr, "ThreadPool::submit: empty task");
   {
     std::lock_guard lock(mu_);
-    if (stopping_) return false;  // rejected: pool is (being) shut down
-    tasks_.push(std::move(task));
+    if (stopping_) {
+      FTTT_OBS_COUNT("pool.tasks.rejected", 1);
+      return false;  // rejected: pool is (being) shut down
+    }
+    tasks_.push(Task{std::move(task), FTTT_OBS_NOW_NS()});
+    FTTT_OBS_GAUGE_SET("pool.queue.depth", tasks_.size());
   }
   cv_task_.notify_one();
+  FTTT_OBS_COUNT("pool.tasks.submitted", 1);
   return true;
 }
 
@@ -57,10 +63,18 @@ std::size_t ThreadPool::submit_range(std::size_t count,
   auto shared = std::make_shared<std::function<void(std::size_t)>>(std::move(fn));
   {
     std::lock_guard lock(mu_);
-    if (stopping_) return 0;  // rejected: pool is (being) shut down
+    if (stopping_) {
+      FTTT_OBS_COUNT("pool.tasks.rejected", count);
+      return 0;  // rejected: pool is (being) shut down
+    }
+    const std::uint64_t enqueue_ns = FTTT_OBS_NOW_NS();
     for (std::size_t i = 0; i < count; ++i)
-      tasks_.push([shared, i] { (*shared)(i); });
+      tasks_.push(Task{[shared, i] { (*shared)(i); }, enqueue_ns});
+    FTTT_OBS_GAUGE_SET("pool.queue.depth", tasks_.size());
   }
+  FTTT_OBS_COUNT("pool.tasks.submitted", count);
+  FTTT_OBS_COUNT("pool.submit_range.calls", 1);
+  FTTT_OBS_HIST("pool.submit_range.width", "tasks", count);
   if (count == 1)
     cv_task_.notify_one();
   else
@@ -70,15 +84,26 @@ std::size_t ThreadPool::submit_range(std::size_t count,
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mu_);
       cv_task_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      FTTT_OBS_GAUGE_SET("pool.queue.depth", tasks_.size());
     }
-    task();
+    // Wait/run attribution only when the task was stamped at enqueue
+    // (recording on) *and* recording is still on at pop — begun stays 0
+    // otherwise and both histogram sites are skipped.
+    const std::uint64_t begun = task.enqueue_ns != 0 ? FTTT_OBS_NOW_NS() : 0;
+    if (begun != 0)
+      FTTT_OBS_HIST("pool.task.wait", "us",
+                    static_cast<double>(begun - task.enqueue_ns) / 1000.0);
+    task.fn();
+    if (begun != 0)
+      FTTT_OBS_HIST("pool.task.run", "us",
+                    static_cast<double>(FTTT_OBS_NOW_NS() - begun) / 1000.0);
   }
 }
 

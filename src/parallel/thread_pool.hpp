@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -56,11 +57,19 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  /// Queue element: the task plus its enqueue timestamp (obs "ns since
+  /// trace epoch"; 0 when observability recording was off at submit, so
+  /// the pop side never mixes clocks across an enable/disable flip).
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns{0};
+  };
+
   void worker_loop();
 
   mutable std::mutex mu_;
   std::condition_variable cv_task_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   bool stopping_{false};
   std::vector<std::thread> workers_;
 };

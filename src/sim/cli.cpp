@@ -77,6 +77,12 @@ run:
   --trials N             Monte-Carlo trials (default 10)
   --csv PATH             mirror results to CSV
   --help                 this text
+
+observability (see docs/observability.md):
+  --metrics PATH         write a metrics snapshot (counters, gauges,
+                         latency histograms) as JSON after the run
+  --trace-out PATH       write a Chrome-trace (Perfetto) span timeline;
+                         a ".json" operand to --trace means the same
 )";
 }
 
@@ -122,7 +128,19 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
       if (v == "waypoint") cfg.trace = TraceKind::kRandomWaypoint;
       else if (v == "ushape") cfg.trace = TraceKind::kUShape;
       else if (v == "gauss-markov") cfg.trace = TraceKind::kGaussMarkov;
-      else return fail("unknown trace: " + v);
+      // Overloaded flag: a ".json" operand is a Chrome-trace output path
+      // (--trace-out is the unambiguous spelling), anything else must be
+      // a mobility kind.
+      else if (v.size() > 5 && v.compare(v.size() - 5, 5, ".json") == 0)
+        opt.trace_path = v;
+      else
+        return fail("unknown trace: " + v +
+                    " (want waypoint|ushape|gauss-markov, or a .json "
+                    "Chrome-trace output path)");
+    } else if (arg == "--trace-out" && need(1)) {
+      opt.trace_path = args[++i];
+    } else if (arg == "--metrics" && need(1)) {
+      opt.metrics_path = args[++i];
     } else if (arg == "--channel" && need(1)) {
       const std::string& v = args[++i];
       if (v == "gaussian") cfg.channel = Channel::kGaussian;

@@ -19,6 +19,8 @@ struct CliOptions {
   std::vector<Method> methods{Method::kFttt};
   std::size_t trials{10};
   std::optional<std::string> csv_path;
+  std::optional<std::string> metrics_path;  ///< --metrics: obs snapshot JSON
+  std::optional<std::string> trace_path;    ///< --trace-out: Chrome-trace JSON
   bool want_help{false};
 };
 
@@ -35,7 +37,13 @@ struct CliParseResult {
 ///   --range R --eps E --beta B --sigma S --channel gaussian|bounded
 ///   --k K --rate HZ --period S --dropout P --speed VMIN VMAX
 ///   --duration S --grid-cell M --seed N --no-calibrate-c --moving-group
-///   --methods fttt,fttt-ext,pm,mle --trials N --csv PATH --help
+///   --methods fttt,fttt-ext,pm,mle --trials N --csv PATH
+///   --metrics PATH --trace-out PATH --help
+///
+/// `--trace` is overloaded for compatibility: an operand naming a mobility
+/// kind (waypoint | ushape | gauss-markov) selects the target trace, while
+/// an operand ending in ".json" is taken as the Chrome-trace output path
+/// (same as the unambiguous --trace-out).
 CliParseResult parse_cli(const std::vector<std::string>& args);
 
 /// The --help text.

@@ -14,6 +14,7 @@
 #include "net/deployment.hpp"
 #include "net/faults.hpp"
 #include "net/sampling.hpp"
+#include "obs/obs.hpp"
 #include "rf/uncertainty.hpp"
 
 namespace fttt {
@@ -95,12 +96,16 @@ TrackingResult run_tracking(const ScenarioConfig& cfg, std::span<const Method> m
   const bool needs_bisector = std::any_of(methods.begin(), methods.end(), [](Method m) {
     return m == Method::kPathMatching || m == Method::kDirectMle;
   });
-  if (needs_uncertain)
+  if (needs_uncertain) {
+    FTTT_OBS_SPAN("sim.facemap.build");
     uncertain_map = std::make_shared<const FaceMap>(
         FaceMap::build(nodes, C, cfg.field, cfg.grid_cell, pool));
-  if (needs_bisector)
+  }
+  if (needs_bisector) {
+    FTTT_OBS_SPAN("sim.facemap.build");
     bisector_map = std::make_shared<const FaceMap>(
         FaceMap::build(nodes, 1.0, cfg.field, cfg.grid_cell, pool));
+  }
 
   // Trackers, one per requested method.
   std::vector<AnyTracker> trackers;
@@ -163,6 +168,8 @@ TrackingResult run_tracking(const ScenarioConfig& cfg, std::span<const Method> m
       static_cast<std::uint64_t>(cfg.duration / cfg.localization_period);
   const auto target_at = [&](double t) { return trace->position_at(t); };
   for (std::uint64_t e = 0; e < epochs; ++e) {
+    FTTT_OBS_SPAN("sim.epoch");
+    FTTT_OBS_COUNT("sim.epochs", 1);
     const double t0 = static_cast<double>(e) * cfg.localization_period;
     const GroupingSampling group = collect_group(nodes, sampling, faults, e, t0,
                                                  target_at, root.substream(4, e));

@@ -1,0 +1,215 @@
+// Observability layer: registry semantics, histogram summaries, span
+// recording, exporters, and the runtime on/off gate. Metric names are
+// unique per test because the registry is process-global by design.
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace fttt::obs {
+namespace {
+
+/// Restores the recording switch (tests toggle it freely).
+struct ScopedRecording {
+  explicit ScopedRecording(bool on) { set_enabled(on); }
+  ~ScopedRecording() { set_enabled(false); }
+};
+
+TEST(ObsRegistry, CounterFindOrCreateAccumulates) {
+  Counter& a = counter("test.registry.ctr");
+  Counter& b = counter("test.registry.ctr");
+  EXPECT_EQ(&a, &b);
+  const std::uint64_t before = a.value();
+  a.add(3);
+  b.add();
+  EXPECT_EQ(a.value(), before + 4);
+}
+
+TEST(ObsRegistry, GaugeLastWriteWins) {
+  Gauge& g = gauge("test.registry.gge");
+  g.set(7);
+  g.set(-2);
+  EXPECT_EQ(g.value(), -2);
+}
+
+TEST(ObsRegistry, HistogramKeepsFirstUnit) {
+  Histogram& h = histogram("test.registry.hst", "ms");
+  Histogram& again = histogram("test.registry.hst", "frames");
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(h.unit(), "ms");
+}
+
+TEST(ObsHistogram, ExactMomentsAndBandedQuantiles) {
+  Histogram& h = histogram("test.hist.moments", "us");
+  for (double v : {1.0, 10.0, 100.0, 1000.0}) h.record(v);
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 1111.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  // Quantiles come from log bins 0.125 decades wide: accept the band.
+  EXPECT_GE(s.p50, 10.0 * 0.7);
+  EXPECT_LE(s.p50, 10.0 * 1.5);
+  EXPECT_GE(s.p99, 1000.0 * 0.7);
+  EXPECT_LE(s.p99, 1000.0 * 1.5);
+}
+
+TEST(ObsHistogram, NonPositiveValuesClampIntoLowestBin) {
+  Histogram& h = histogram("test.hist.clamp", "us");
+  h.record(0.0);
+  h.record(-5.0);
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.min, -5.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(ObsClock, NowNsStrictlyPositiveAndMonotonic) {
+  const std::uint64_t a = now_ns();
+  const std::uint64_t b = now_ns();
+  EXPECT_GT(a, 0u);
+  EXPECT_GE(b, a);
+}
+
+TEST(ObsSpan, RecordsDurationWhenEnabled) {
+  ScopedRecording rec(true);
+  SpanSite& site = span_site("test.span.enabled");
+  { Span span{site}; }
+  const Histogram::Summary s = site.hist->summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_GE(s.min, 0.0);
+}
+
+TEST(ObsSpan, NoopWhenDisabled) {
+  set_enabled(false);
+  SpanSite& site = span_site("test.span.disabled");
+  { Span span{site}; }
+  EXPECT_EQ(site.hist->summary().count, 0u);
+}
+
+TEST(ObsSpan, ExportedAsChromeTraceEvent) {
+  ScopedRecording rec(true);
+  SpanSite& site = span_site("test.span.exported");
+  { Span span{site}; }
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("test.span.exported"), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(ObsExport, RingOverflowCountsDrops) {
+  ScopedRecording rec(true);
+  set_ring_capacity(4);
+  // A fresh thread gets a fresh (4-event) ring; 10 spans overflow it.
+  std::thread t([] {
+    SpanSite& site = span_site("test.ring.overflow");
+    for (int i = 0; i < 10; ++i) Span span{site};
+  });
+  t.join();
+  set_ring_capacity(16384);  // restore the default for later tests
+  const std::uint64_t before = counter("obs.trace.dropped").value();
+  std::ostringstream os;
+  write_chrome_trace(os);
+  EXPECT_GE(counter("obs.trace.dropped").value(), before + 6);
+}
+
+TEST(ObsExport, SnapshotIsNameSorted) {
+  counter("test.sort.b");
+  counter("test.sort.a");
+  const MetricsSnapshot snap = snapshot();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i)
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+}
+
+TEST(ObsExport, MetricsJsonHasAllSections) {
+  counter("test.json.ctr").add(5);
+  gauge("test.json.gge").set(9);
+  histogram("test.json.hst", "us").record(2.5);
+  std::ostringstream os;
+  write_metrics_json(os);
+  const std::string doc = os.str();
+  EXPECT_EQ(doc.front(), '{');
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(doc.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"test.json.ctr\": 5"), std::string::npos);
+  EXPECT_NE(doc.find("\"test.json.gge\": 9"), std::string::npos);
+  EXPECT_NE(doc.find("\"unit\": \"us\""), std::string::npos);
+}
+
+TEST(ObsExport, MetricsTextMentionsEveryKind) {
+  counter("test.text.ctr").add(1);
+  gauge("test.text.gge").set(4);
+  histogram("test.text.hst", "us").record(1.0);
+  std::ostringstream os;
+  write_metrics_text(os);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("counter   test.text.ctr"), std::string::npos);
+  EXPECT_NE(doc.find("gauge     test.text.gge"), std::string::npos);
+  EXPECT_NE(doc.find("histogram test.text.hst"), std::string::npos);
+}
+
+TEST(ObsMacros, RecordOnlyWhileEnabled) {
+  if (!kCompiledIn) GTEST_SKIP() << "obs macros compiled out in this build";
+  set_enabled(false);
+  int evaluations = 0;
+  const auto count_eval = [&] {
+    ++evaluations;
+    return 1;
+  };
+  FTTT_OBS_COUNT("test.macro.gate", count_eval());
+  EXPECT_EQ(evaluations, 0) << "delta must not be evaluated while off";
+  EXPECT_EQ(counter("test.macro.gate").value(), 0u);
+
+  ScopedRecording rec(true);
+  FTTT_OBS_COUNT("test.macro.gate", count_eval());
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(counter("test.macro.gate").value(), 1u);
+}
+
+TEST(ObsMacros, GaugeHistSpanEndToEnd) {
+  if (!kCompiledIn) GTEST_SKIP() << "obs macros compiled out in this build";
+  ScopedRecording rec(true);
+  FTTT_OBS_GAUGE_SET("test.macro.gge", 42);
+  FTTT_OBS_HIST("test.macro.hst", "items", 17);
+  {
+    FTTT_OBS_SPAN("test.macro.span");
+  }
+  EXPECT_EQ(gauge("test.macro.gge").value(), 42);
+  EXPECT_EQ(histogram("test.macro.hst", "items").summary().count, 1u);
+  EXPECT_EQ(histogram("test.macro.span", "us").summary().count, 1u);
+}
+
+TEST(ObsMacros, NowNsFollowsTheGate) {
+  if (!kCompiledIn) GTEST_SKIP() << "obs macros compiled out in this build";
+  set_enabled(false);
+  EXPECT_EQ(FTTT_OBS_NOW_NS(), 0u);
+  ScopedRecording rec(true);
+  EXPECT_GT(FTTT_OBS_NOW_NS(), 0u);
+}
+
+TEST(ObsReset, ZeroesValuesKeepsNames) {
+  ScopedRecording rec(true);
+  counter("test.reset.ctr").add(3);
+  gauge("test.reset.gge").set(8);
+  histogram("test.reset.hst", "us").record(4.0);
+  SpanSite& site = span_site("test.reset.span");
+  { Span span{site}; }
+  reset();
+  EXPECT_EQ(counter("test.reset.ctr").value(), 0u);
+  EXPECT_EQ(gauge("test.reset.gge").value(), 0);
+  EXPECT_EQ(histogram("test.reset.hst", "us").summary().count, 0u);
+  EXPECT_EQ(site.hist->summary().count, 0u);
+  std::ostringstream os;
+  write_chrome_trace(os);
+  EXPECT_EQ(os.str().find("test.reset.span"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fttt::obs

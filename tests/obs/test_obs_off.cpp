@@ -1,0 +1,65 @@
+// Compiled with FTTT_DISABLE_OBS forced on for this TU (guarded: the
+// whole build may already define it via -DFTTT_OBS=OFF): proves the
+// instrumentation macros compile out completely — arguments still
+// type-check but are never evaluated, even while recording is enabled —
+// and that the registry/exporter API keeps working so an FTTT_OBS=OFF
+// binary still links and emits (empty) artifacts.
+#ifndef FTTT_DISABLE_OBS
+#define FTTT_DISABLE_OBS 1
+#endif
+
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+static_assert(FTTT_OBS_ENABLED == 0,
+              "this TU must compile with the obs macros disabled");
+static_assert(!fttt::obs::kCompiledIn,
+              "kCompiledIn must mirror the per-TU macro gate");
+
+namespace fttt::obs {
+namespace {
+
+TEST(ObsOff, MacrosDoNotEvaluateArguments) {
+  set_enabled(true);
+  int evaluations = 0;
+  const auto count_eval = [&] {
+    ++evaluations;
+    return 1;
+  };
+  FTTT_OBS_COUNT("testoff.ctr", count_eval());
+  FTTT_OBS_GAUGE_SET("testoff.gge", count_eval());
+  FTTT_OBS_HIST("testoff.hst", "items", count_eval());
+  FTTT_OBS_SPAN("testoff.span");
+  set_enabled(false);
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(counter("testoff.ctr").value(), 0u);
+  EXPECT_EQ(gauge("testoff.gge").value(), 0);
+  EXPECT_EQ(histogram("testoff.hst", "items").summary().count, 0u);
+  EXPECT_EQ(histogram("testoff.span", "us").summary().count, 0u);
+}
+
+TEST(ObsOff, NowNsMacroIsZero) {
+  set_enabled(true);
+  EXPECT_EQ(FTTT_OBS_NOW_NS(), static_cast<std::uint64_t>(0));
+  set_enabled(false);
+}
+
+TEST(ObsOff, ApiAndExportersStillLink) {
+  // Direct API calls bypass the macro gate: recording works, so the
+  // exporters stay useful for code that opts in explicitly.
+  counter("testoff.api.ctr").add(2);
+  std::ostringstream metrics;
+  write_metrics_json(metrics);
+  EXPECT_NE(metrics.str().find("\"testoff.api.ctr\": 2"), std::string::npos);
+  std::ostringstream trace;
+  write_chrome_trace(trace);
+  EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fttt::obs

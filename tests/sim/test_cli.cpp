@@ -57,6 +57,33 @@ TEST(Cli, TraceKinds) {
   EXPECT_FALSE(parse_cli({"--trace", "teleport"}).ok());
 }
 
+TEST(Cli, ObservabilityFlags) {
+  const CliOptions opt = must_parse(
+      {"--metrics", "/tmp/m.json", "--trace-out", "/tmp/t.trace.json"});
+  EXPECT_EQ(opt.metrics_path.value(), "/tmp/m.json");
+  EXPECT_EQ(opt.trace_path.value(), "/tmp/t.trace.json");
+  EXPECT_FALSE(must_parse({}).metrics_path.has_value());
+  EXPECT_FALSE(must_parse({}).trace_path.has_value());
+  EXPECT_FALSE(parse_cli({"--metrics"}).ok());
+  EXPECT_FALSE(parse_cli({"--trace-out"}).ok());
+}
+
+TEST(Cli, TraceFlagSniffsJsonOperandAsOutputPath) {
+  // A ".json" operand means "Chrome-trace output here"; mobility kinds
+  // keep working; anything else is still rejected.
+  const CliOptions opt = must_parse({"--trace", "out/run.trace.json"});
+  EXPECT_EQ(opt.trace_path.value(), "out/run.trace.json");
+  EXPECT_EQ(opt.scenario.trace, TraceKind::kRandomWaypoint);  // untouched
+
+  const CliOptions both =
+      must_parse({"--trace", "ushape", "--trace", "spans.json"});
+  EXPECT_EQ(both.scenario.trace, TraceKind::kUShape);
+  EXPECT_EQ(both.trace_path.value(), "spans.json");
+
+  EXPECT_FALSE(parse_cli({"--trace", "spans.txt"}).ok());
+  EXPECT_FALSE(parse_cli({"--trace", ".json"}).ok());
+}
+
 TEST(Cli, ToggleFlags) {
   const CliOptions opt = must_parse({"--no-calibrate-c", "--moving-group"});
   EXPECT_FALSE(opt.scenario.calibrate_C);

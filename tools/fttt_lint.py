@@ -14,8 +14,13 @@ ctest (see tools/CMakeLists.txt) and as the `lint` build target:
   banned-random      no rand()/srand()/time(nullptr) randomness outside
                      src/common/random.* — everything must flow through
                      RngStream so parallel sweeps stay bit-reproducible
+  doc-links          relative markdown links in *.md files must resolve
+                     to an existing file or directory (external schemes
+                     and #anchors are skipped) — keeps the docs index
+                     and cross-references from rotting
 
 Suppress a finding on one line with: // fttt-lint: allow(<rule>)
+(markdown: <!-- fttt-lint: allow(doc-links) --> on the same line)
 
 Exit status: 0 clean, 1 violations found, 2 usage error.
 """
@@ -28,8 +33,9 @@ from pathlib import Path
 
 HEADER_SUFFIXES = {".hpp", ".h"}
 SOURCE_SUFFIXES = {".hpp", ".h", ".cpp", ".cc"}
+DOC_SUFFIXES = {".md"}
 
-ALLOW_RE = re.compile(r"//\s*fttt-lint:\s*allow\(([a-z-]+)\)")
+ALLOW_RE = re.compile(r"fttt-lint:\s*allow\(([a-z-]+)\)")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
 # rand( / srand( not preceded by an identifier char, member access, or
@@ -38,6 +44,13 @@ BANNED_RAND_RE = re.compile(r"(?<![\w.>:])(?:std\s*::\s*)?s?rand\s*\(")
 BANNED_TIME_RE = re.compile(r"(?<![\w.>:])(?:std\s*::\s*)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)")
 
 RANDOM_EXEMPT = re.compile(r"src/common/random\.(hpp|cpp)$")
+
+# Markdown: [text](target) — target captured up to the first ')' or
+# whitespace (titles after the target are tolerated).
+MD_LINK_RE = re.compile(r"\[[^\]]*\]\(\s*<?([^)\s>]+)>?[^)]*\)")
+MD_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+MD_INLINE_CODE_RE = re.compile(r"`[^`]*`")
+URL_SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -147,7 +160,37 @@ class FileLinter:
                             "time(nullptr) seeding breaks reproducibility; "
                             "use fttt::RngStream substreams")
 
+    def check_doc_links(self) -> None:
+        in_fence = False
+        for lineno, line in enumerate(self.lines, 1):
+            if MD_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in MD_LINK_RE.finditer(MD_INLINE_CODE_RE.sub("``", line)):
+                target = m.group(1)
+                if URL_SCHEME_RE.match(target):  # http:, https:, mailto:, ...
+                    continue
+                if target.startswith("#"):  # same-document anchor
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                if path.startswith("/"):
+                    self.report(lineno, "doc-links",
+                                f"absolute link target '{target}' is not "
+                                "portable; use a repo-relative path")
+                    continue
+                if not (self.path.parent / path).exists():
+                    self.report(lineno, "doc-links",
+                                f"broken relative link: '{target}' does not "
+                                "resolve from " + self.rel)
+
     def run(self) -> list[tuple[int, str, str]]:
+        if self.path.suffix in DOC_SUFFIXES:
+            self.check_doc_links()
+            return self.violations
         self.check_pragma_once()
         self.check_using_namespace()
         self.check_include_order()
@@ -165,7 +208,8 @@ def main(argv: list[str]) -> int:
         p = Path(arg).resolve()
         if p.is_dir():
             targets.extend(sorted(f for f in p.rglob("*")
-                                  if f.suffix in SOURCE_SUFFIXES))
+                                  if f.suffix in SOURCE_SUFFIXES
+                                  or f.suffix in DOC_SUFFIXES))
         elif p.is_file():
             targets.append(p)
         else:

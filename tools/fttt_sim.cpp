@@ -9,6 +9,7 @@
 
 #include "common/csv.hpp"
 #include "common/table.hpp"
+#include "obs/obs.hpp"
 #include "sim/cli.hpp"
 #include "sim/montecarlo.hpp"
 
@@ -25,6 +26,17 @@ int main(int argc, char** argv) {
   if (opt.want_help) {
     std::cout << cli_usage();
     return 0;
+  }
+
+  // Observability recording costs one predictable branch per probe when
+  // off, so it is opt-in: enabled only for the duration of the run when
+  // an export destination was requested.
+  const bool want_obs = opt.metrics_path || opt.trace_path;
+  if (want_obs) {
+    if (!obs::kCompiledIn)
+      std::cerr << "warning: this binary was built with FTTT_OBS=OFF; "
+                   "--metrics/--trace-out will export empty data\n";
+    obs::set_enabled(true);
   }
 
   const ScenarioConfig& cfg = opt.scenario;
@@ -55,6 +67,22 @@ int main(int argc, char** argv) {
           TextTable::num(s.stddev_error(), 6), TextTable::num(s.pooled.min(), 6),
           TextTable::num(s.pooled.max(), 6)});
     std::cout << "\nwrote " << *opt.csv_path << "\n";
+  }
+
+  if (want_obs) {
+    obs::set_enabled(false);
+    if (opt.metrics_path) {
+      if (obs::write_metrics_json(*opt.metrics_path))
+        std::cout << "wrote metrics " << *opt.metrics_path << "\n";
+      else
+        std::cerr << "error: cannot write metrics to " << *opt.metrics_path << "\n";
+    }
+    if (opt.trace_path) {
+      if (obs::write_chrome_trace(*opt.trace_path))
+        std::cout << "wrote trace " << *opt.trace_path << "\n";
+      else
+        std::cerr << "error: cannot write trace to " << *opt.trace_path << "\n";
+    }
   }
   return 0;
 }

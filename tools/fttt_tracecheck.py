@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace (Perfetto) JSON file emitted by fttt's
+observability layer, plus (optionally) a metrics snapshot.
+
+Checks that the document is something chrome://tracing / ui.perfetto.dev
+will actually load: a {"traceEvents": [...]} object (or the legacy bare
+event array), where every event carries a string "ph" from the trace
+event format, a string "name", and — for all but metadata events — a
+non-negative numeric "ts" with "pid"/"tid" identifiers. Complete ("X")
+events must also carry a non-negative "dur".
+
+Usage:
+  fttt_tracecheck.py TRACE.json [--require-span NAME]...
+                     [--metrics METRICS.json [--require-histogram NAME]...]
+  fttt_tracecheck.py --self-test
+
+--require-span fails unless at least one "X" event has that exact name;
+--require-histogram fails unless the metrics snapshot has that histogram
+with count > 0. Exit status: 0 valid, 1 invalid, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# "ph" values from the Trace Event Format spec (the subset any modern
+# viewer understands; fttt only emits "M" and "X").
+KNOWN_PHASES = set("BEXIiMCbensftPNODSTpv(")
+
+# Phases that describe the trace rather than a moment in it, so they
+# carry no timestamp.
+METADATA_PHASES = {"M"}
+
+
+def _fail(errors: list[str], message: str) -> None:
+    errors.append(message)
+
+
+def validate_events(doc: object) -> tuple[list[str], list[dict]]:
+    """Return (errors, events). Accepts the object form and the legacy
+    bare-array form of the trace event format."""
+    errors: list[str] = []
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            _fail(errors, 'top-level object lacks a "traceEvents" array')
+            return errors, []
+    elif isinstance(doc, list):
+        events = doc
+    else:
+        _fail(errors, "top level must be an object or an event array, got "
+              + type(doc).__name__)
+        return errors, []
+
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            _fail(errors, f"{where}: event is not an object")
+            continue
+        ph = event.get("ph")
+        if not isinstance(ph, str) or len(ph) != 1 or ph not in KNOWN_PHASES:
+            _fail(errors, f'{where}: bad "ph" {ph!r}')
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            _fail(errors, f'{where}: missing or empty "name"')
+        if ph in METADATA_PHASES:
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            _fail(errors, f'{where}: "ts" must be a non-negative number, '
+                  f"got {ts!r}")
+        for key in ("pid", "tid"):
+            if key not in event:
+                _fail(errors, f'{where}: missing "{key}"')
+        if ph == "X":
+            dur = event.get("dur")
+            if (not isinstance(dur, (int, float)) or isinstance(dur, bool)
+                    or dur < 0):
+                _fail(errors, f'{where}: "X" event needs a non-negative '
+                      f'"dur", got {dur!r}')
+    return errors, [e for e in events if isinstance(e, dict)]
+
+
+def check_trace(path: str, require_spans: list[str]) -> list[str]:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSON: {exc}"]
+
+    errors, events = validate_events(doc)
+    span_names = {e.get("name") for e in events if e.get("ph") == "X"}
+    for name in require_spans:
+        if name not in span_names:
+            _fail(errors, f'{path}: no "X" span named "{name}" '
+                  f"(saw: {', '.join(sorted(n for n in span_names if n)) or 'none'})")
+    return errors
+
+
+def check_metrics(path: str, require_histograms: list[str]) -> list[str]:
+    errors: list[str] = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSON: {exc}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: metrics snapshot must be a JSON object"]
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            _fail(errors, f'{path}: missing "{section}" object')
+    histograms = doc.get("histograms")
+    if isinstance(histograms, dict):
+        for name in require_histograms:
+            row = histograms.get(name)
+            if not isinstance(row, dict):
+                _fail(errors, f'{path}: no histogram named "{name}"')
+            elif not isinstance(row.get("count"), int) or row["count"] <= 0:
+                _fail(errors, f'{path}: histogram "{name}" has no samples '
+                      f"(count={row.get('count')!r})")
+    return errors
+
+
+def self_test() -> int:
+    good = {"displayTimeUnit": "ms", "traceEvents": [
+        {"name": "process_name", "ph": "M", "pid": 1,
+         "args": {"name": "fttt"}},
+        {"name": "tracker.localize", "cat": "fttt", "ph": "X",
+         "pid": 1, "tid": 1, "ts": 10.5, "dur": 3.25},
+    ]}
+    cases = [
+        ("well-formed object trace", good, 0),
+        ("legacy bare array", good["traceEvents"], 0),
+        ("wrong top level", "not a trace", 1),
+        ("missing traceEvents", {"displayTimeUnit": "ms"}, 1),
+        ("bad ph", {"traceEvents": [{"name": "x", "ph": "ZZ", "pid": 1,
+                                     "tid": 1, "ts": 0}]}, 1),
+        ("negative ts", {"traceEvents": [{"name": "x", "ph": "X", "pid": 1,
+                                          "tid": 1, "ts": -1, "dur": 1}]}, 1),
+        ("X without dur", {"traceEvents": [{"name": "x", "ph": "X", "pid": 1,
+                                            "tid": 1, "ts": 0}]}, 1),
+        ("missing tid", {"traceEvents": [{"name": "x", "ph": "X", "pid": 1,
+                                          "ts": 0, "dur": 1}]}, 1),
+    ]
+    failures = 0
+    for label, doc, want in cases:
+        errors, _ = validate_events(doc)
+        got = 1 if errors else 0
+        status = "ok" if got == want else "FAIL"
+        if got != want:
+            failures += 1
+        print(f"self-test: {status}: {label} (errors={len(errors)})")
+
+    errors, events = validate_events(good)
+    assert not errors
+    spans = {e["name"] for e in events if e.get("ph") == "X"}
+    if "tracker.localize" not in spans:
+        print("self-test: FAIL: span extraction")
+        failures += 1
+    if failures:
+        print(f"self-test: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print("self-test: all cases passed")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fttt_tracecheck",
+        description="validate fttt Chrome-trace / metrics JSON exports")
+    parser.add_argument("trace", nargs="?",
+                        help="Chrome-trace JSON file to validate")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help='fail unless an "X" span with this name exists')
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="also validate a metrics snapshot JSON")
+    parser.add_argument("--require-histogram", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this histogram has count > 0")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in validation cases and exit")
+    args = parser.parse_args(argv[1:])
+
+    if args.self_test:
+        return self_test()
+    if not args.trace and not args.metrics:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    errors: list[str] = []
+    if args.trace:
+        errors += check_trace(args.trace, args.require_span)
+    elif args.require_span:
+        print("fttt_tracecheck: --require-span needs a trace file",
+              file=sys.stderr)
+        return 2
+    if args.metrics:
+        errors += check_metrics(args.metrics, args.require_histogram)
+    elif args.require_histogram:
+        print("fttt_tracecheck: --require-histogram needs --metrics",
+              file=sys.stderr)
+        return 2
+
+    for error in errors:
+        print(f"fttt_tracecheck: {error}")
+    if errors:
+        print(f"fttt_tracecheck: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    checked = " and ".join(p for p in (args.trace, args.metrics) if p)
+    print(f"fttt_tracecheck: ok ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
