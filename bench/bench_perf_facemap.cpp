@@ -1,0 +1,262 @@
+// Perf harness for the plane-major face-map construction engine.
+//
+// Times the legacy per-cell FaceMap::build against FaceMapBuilder's
+// span-fill rasterization on the Table 1 default scenario, plus the
+// incremental fail/recover rebuild that re-rasterizes nothing, and emits
+// BENCH_facemap.json (ns/build, builds/s, speedup vs the legacy path).
+// tools/fttt_perfcmp.py diffs that file against the checked-in baseline
+// (bench/baselines/BENCH_facemap.json) and gates CI on regressions;
+// docs/perf.md has the full procedure.
+//
+//   bench_perf_facemap [--fast] [--json PATH] [--builds N] [--repeats R]
+//
+// Before timing, the builder's map is checked bit-identical to the
+// legacy build — ids, signatures, centroids, adjacency — including after
+// a fail/recover round trip (which must also rasterize zero planes). A
+// wrong-but-fast engine fails the bench, not just the unit suite.
+//
+// Single-thread rows run on a ThreadPool(1) so the gated speedups
+// measure the algorithm, not the CI machine's core count; the _mt row is
+// informational only (no baseline speedup, so perfcmp skips it).
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/facemap.hpp"
+#include "core/facemap_builder.hpp"
+#include "core/pairs.hpp"
+#include "net/deployment.hpp"
+#include "rf/uncertainty.hpp"
+
+namespace {
+
+using namespace fttt;
+
+struct Options {
+  bool fast = false;
+  std::string json_path = "BENCH_facemap.json";
+  std::size_t builds = 5;   ///< builds per timed pass
+  std::size_t repeats = 5;  ///< timed passes; best (min) wins
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--fast") {
+      opt.fast = true;
+      opt.builds = 2;
+      opt.repeats = 3;
+    } else if (arg == "--json" && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (arg == "--builds" && i + 1 < argc) {
+      opt.builds = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--repeats" && i + 1 < argc) {
+      opt.repeats = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--fast] [--json PATH] [--builds N] [--repeats R]\n";
+      std::exit(2);
+    }
+  }
+  if (opt.builds == 0 || opt.repeats == 0) {
+    std::cerr << "bench_perf_facemap: --builds/--repeats must be >= 1\n";
+    std::exit(2);
+  }
+  return opt;
+}
+
+/// Best-of-R wall time of `fn` in seconds.
+template <typename Fn>
+double time_best(std::size_t repeats, Fn&& fn) {
+  double best = 1e300;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Row {
+  std::string name;
+  std::size_t batch;
+  double ns_per_build;
+  double throughput_per_s;
+  double speedup_vs_legacy;  ///< < 0 means "not applicable" (the baseline row)
+};
+
+void fail(const std::string& message) {
+  std::cerr << "bench_perf_facemap: " << message << "\n";
+  std::exit(1);
+}
+
+/// Bit-equivalence check (the executable-spec contract the unit suite
+/// enforces in depth; re-verified here so timing never blesses a wrong map).
+void expect_identical(const FaceMap& legacy, const FaceMap& plane,
+                      const std::string& what) {
+  if (legacy.face_count() != plane.face_count())
+    fail(what + ": face_count mismatch");
+  const std::size_t cells = legacy.grid().cell_count();
+  for (std::size_t c = 0; c < cells; ++c)
+    if (legacy.face_of_cell(c) != plane.face_of_cell(c))
+      fail(what + ": cell_face mismatch at cell " + std::to_string(c));
+  for (FaceId f = 0; f < legacy.face_count(); ++f) {
+    const Face& a = legacy.face(f);
+    const Face& b = plane.face(f);
+    if (a.signature != b.signature || a.centroid.x != b.centroid.x ||
+        a.centroid.y != b.centroid.y || a.cell_count != b.cell_count ||
+        legacy.neighbors(f) != plane.neighbors(f))
+      fail(what + ": face " + std::to_string(f) + " mismatch");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  // Table 1 default scenario: 100 x 100 m^2 field, n = 10 random nodes,
+  // beta = 4, sigma_X = 6, eps = 1 dBm. Grid resolution 0.5 m — the
+  // outdoor-testbed default and the finest production grid, where
+  // construction cost actually bites. The engine's advantage *grows*
+  // with resolution (span fills amortize the per-row work over more
+  // cells while the legacy path stays strictly per-cell), so coarser
+  // grids show smaller ratios; docs/perf.md tabulates the scaling.
+  const Aabb field{{0.0, 0.0}, {100.0, 100.0}};
+  const std::size_t sensors = 10;
+  RngStream rng(42);
+  const Deployment nodes = random_deployment(field, sensors, rng);
+  const double C = uncertainty_constant(1.0, 4.0, 6.0);
+  const double cell = 0.5;
+  const NodeId victim = 3;  // fail/recover subject for the incremental row
+
+  ThreadPool single(1);
+
+  // Correctness gate before any timing: full build and a fail/recover
+  // round trip must match the legacy division bit-for-bit, and the round
+  // trip must hit the plane cache (zero rasterization).
+  {
+    const FaceMap legacy = FaceMap::build(nodes, C, field, cell, single);
+    FaceMapBuilder builder(nodes, C, field, cell, single);
+    expect_identical(legacy, builder.build(), "full build");
+    builder.deactivate(victim);
+    (void)builder.build();
+    builder.activate(victim);
+    const FaceMap revived = builder.build();
+    expect_identical(legacy, revived, "fail/recover round trip");
+    if (builder.last_planes_rasterized() != 0)
+      fail("fail/recover round trip rasterized planes (cache miss)");
+  }
+
+  std::vector<Row> rows;
+  const double ops = static_cast<double>(opt.builds);
+  volatile std::size_t sink = 0;  // defeat whole-loop elision
+
+  // Legacy reference: per-cell signature_at, single thread.
+  const double legacy_s = time_best(opt.repeats, [&] {
+    std::size_t acc = 0;
+    for (std::size_t k = 0; k < opt.builds; ++k)
+      acc += FaceMap::build(nodes, C, field, cell, single).face_count();
+    sink = acc;
+  }) / ops;
+  rows.push_back({"legacy_full", 1, legacy_s * 1e9, 1.0 / legacy_s, -1.0});
+
+  // Plane-major full build, single thread (the gated algorithmic win).
+  // A fresh builder per build so every pass pays allocation + all
+  // C(n,2) plane rasterizations, matching what the legacy row pays.
+  const double plane_s = time_best(opt.repeats, [&] {
+    std::size_t acc = 0;
+    for (std::size_t k = 0; k < opt.builds; ++k) {
+      FaceMapBuilder b(nodes, C, field, cell, single);
+      acc += b.build().face_count();
+    }
+    sink = acc;
+  }) / ops;
+  rows.push_back({"plane_full", 1, plane_s * 1e9, 1.0 / plane_s, legacy_s / plane_s});
+
+  // Plane-major full build on the shared pool: informational (machine
+  // dependent), never gated.
+  const double mt_s = time_best(opt.repeats, [&] {
+    std::size_t acc = 0;
+    for (std::size_t k = 0; k < opt.builds; ++k) {
+      FaceMapBuilder b(nodes, C, field, cell);
+      acc += b.build().face_count();
+    }
+    sink = acc;
+  }) / ops;
+  rows.push_back({"plane_full_mt", 1, mt_s * 1e9, 1.0 / mt_s, legacy_s / mt_s});
+
+  // Incremental fail/recover rebuild: warm plane cache, so each build is
+  // pure regroup — the path DistributedTracker::on_node_failed takes.
+  // Gated against the legacy *full* rebuild it replaces.
+  FaceMapBuilder warm(nodes, C, field, cell, single);
+  (void)warm.build();
+  warm.deactivate(victim);
+  (void)warm.build();
+  warm.activate(victim);
+  (void)warm.build();  // cache now holds both divisions
+  const double incr_s = time_best(opt.repeats, [&] {
+    std::size_t acc = 0;
+    for (std::size_t k = 0; k < opt.builds; ++k) {
+      warm.deactivate(victim);
+      acc += warm.build().face_count();
+      warm.activate(victim);
+      acc += warm.build().face_count();
+    }
+    sink = acc;
+  }) / (2.0 * ops);
+  if (warm.last_planes_rasterized() != 0)
+    fail("timed incremental rebuild rasterized planes (cache miss)");
+  rows.push_back(
+      {"incremental_revive", 1, incr_s * 1e9, 1.0 / incr_s, legacy_s / incr_s});
+  (void)sink;
+
+  // Human-readable report.
+  const UniformGrid grid(field, cell);
+  std::cout << "facemap perf (Table 1 scenario: n=" << sensors
+            << ", cells=" << grid.cell_count() << ", pairs=" << pair_count(sensors)
+            << ", builds/pass=" << opt.builds
+            << ", threads=" << ThreadPool::global().thread_count() << ")\n";
+  for (const Row& r : rows) {
+    std::cout << "  " << r.name << ": " << r.ns_per_build / 1e6 << " ms/build, "
+              << r.throughput_per_s << " builds/s";
+    if (r.speedup_vs_legacy > 0.0)
+      std::cout << ", speedup " << r.speedup_vs_legacy << "x";
+    std::cout << "\n";
+  }
+
+  // Machine-readable trajectory point. Keys mirror BENCH_matcher.json so
+  // fttt_perfcmp.py gates both with one code path: "ns_per_localization"
+  // here is ns per (re)build, "speedup_vs_scalar" is speedup vs the
+  // legacy per-cell build.
+  std::ofstream json(opt.json_path);
+  if (!json) fail("cannot write " + opt.json_path);
+  json.precision(6);
+  json << "{\n"
+       << "  \"bench\": \"facemap\",\n"
+       << "  \"scenario\": {\"sensors\": " << sensors
+       << ", \"cells\": " << grid.cell_count()
+       << ", \"pairs\": " << pair_count(sensors)
+       << ", \"builds_per_pass\": " << opt.builds
+       << ", \"threads\": " << ThreadPool::global().thread_count()
+       << ", \"fast\": " << (opt.fast ? "true" : "false") << "},\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"name\": \"" << r.name << "\", \"batch\": " << r.batch
+         << ", \"ns_per_localization\": " << r.ns_per_build
+         << ", \"throughput_per_s\": " << r.throughput_per_s;
+    if (r.speedup_vs_legacy > 0.0)
+      json << ", \"speedup_vs_scalar\": " << r.speedup_vs_legacy;
+    json << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote " << opt.json_path << "\n";
+  return 0;
+}

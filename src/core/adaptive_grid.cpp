@@ -4,11 +4,14 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace fttt {
 
 AdaptiveBuildResult build_facemap_adaptive(const Deployment& nodes, double C,
                                            const Aabb& field, double fine_cell,
                                            int block_factor, ThreadPool& pool) {
+  FTTT_OBS_SPAN("facemap.adaptive.build");
   if (block_factor < 2)
     throw std::invalid_argument("build_facemap_adaptive: block_factor must be >= 2");
 
@@ -72,6 +75,8 @@ AdaptiveBuildResult build_facemap_adaptive(const Deployment& nodes, double C,
       },
       pool);
 
+  FTTT_OBS_COUNT("facemap.adaptive.evaluations", evaluations.load());
+  FTTT_OBS_COUNT("facemap.adaptive.blocks_refined", refined.load());
   AdaptiveBuildResult result{
       FaceMap::from_cells(nodes, C, grid, std::move(cell_sig)),
       evaluations.load(), cells, refined.load(), block_count};

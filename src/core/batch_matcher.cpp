@@ -83,6 +83,19 @@ BatchMatcher::BatchMatcher(std::shared_ptr<const FaceMap> map, Config config,
   FTTT_OBS_GAUGE_SET("matcher.kernel.clones", FTTT_HAS_VECTOR_CLONES);
 }
 
+BatchMatcher::BatchMatcher(std::shared_ptr<const FaceMap> map, SignatureTable table)
+    : BatchMatcher(std::move(map), std::move(table), Config{}, ThreadPool::global()) {}
+
+BatchMatcher::BatchMatcher(std::shared_ptr<const FaceMap> map, SignatureTable table,
+                           Config config, ThreadPool& pool)
+    : map_(std::move(map)), config_(config), pool_(&pool), table_(std::move(table)) {
+  const FaceMap& m = require_map(map_);
+  if (table_.face_count() != m.face_count() || table_.dimension() != m.dimension())
+    throw std::invalid_argument("BatchMatcher: signature table does not match map");
+  FTTT_CHECK(config_.face_block > 0, "BatchMatcher: zero face_block");
+  FTTT_OBS_GAUGE_SET("matcher.kernel.clones", FTTT_HAS_VECTOR_CLONES);
+}
+
 void BatchMatcher::match_into(const SamplingVector& vd, double* acc,
                               MatchResult& out) const {
   FTTT_DCHECK(vd.dimension() == table_.dimension(),

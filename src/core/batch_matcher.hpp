@@ -46,6 +46,14 @@ class BatchMatcher {
   BatchMatcher(std::shared_ptr<const FaceMap> map, Config config,
                ThreadPool& pool = ThreadPool::global());
 
+  /// Adopt a prebuilt SoA table (the zero-transposition handoff from
+  /// FaceMapBuilder::take_signature_table). Throws std::invalid_argument
+  /// when `map` is null or `table` disagrees with it in face count or
+  /// dimension. (Two overloads for the same nested-class reason.)
+  BatchMatcher(std::shared_ptr<const FaceMap> map, SignatureTable table);
+  BatchMatcher(std::shared_ptr<const FaceMap> map, SignatureTable table,
+               Config config, ThreadPool& pool = ThreadPool::global());
+
   /// Localize every vector of `batch`; results[i] is the match of
   /// batch[i], each bit-identical to ExhaustiveMatcher::match.
   std::vector<MatchResult> match(const std::vector<SamplingVector>& batch) const;

@@ -75,12 +75,67 @@ DistributedTracker::DistributedTracker(const Deployment& nodes, double C,
     territory.hi.x = std::min(field.hi.x, territory.hi.x + config.territory_margin);
     territory.hi.y = std::min(field.hi.y, territory.hi.y + config.territory_margin);
 
-    head.map = std::make_shared<const FaceMap>(
-        FaceMap::build(local, C, territory, config.grid_cell, pool));
+    head.alive.assign(head.members.size(), 1);
+    head.map_members = head.members;
+    head.builder = std::make_unique<FaceMapBuilder>(std::move(local), C, territory,
+                                                    config.grid_cell, pool);
+    head.map = std::make_shared<const FaceMap>(head.builder->build());
     head.tracker = std::make_unique<FtttTracker>(
         head.map, FtttTracker::Config{config.mode, config.eps, true, 0.5});
     heads_.push_back(std::move(head));
   }
+}
+
+bool DistributedTracker::rebuild_head(Head& head) {
+  if (head.builder->active_count() < 2) {
+    // A head needs at least one live pair to divide its territory; keep
+    // serving the previous map (dead members' columns read '*' via the
+    // sampling layer) until a recovery restores a pair.
+    FTTT_OBS_COUNT("distributed.rebuild_deferred", 1);
+    return false;
+  }
+  FTTT_OBS_SPAN("distributed.head_rebuild");
+  head.map = std::make_shared<const FaceMap>(head.builder->build());
+  std::vector<NodeId> live;
+  live.reserve(head.members.size());
+  for (std::size_t i = 0; i < head.members.size(); ++i)
+    if (head.alive[i]) live.push_back(head.members[i]);
+  head.map_members = std::move(live);
+  head.tracker =
+      std::make_unique<FtttTracker>(head.map, head.tracker->config());
+  ++map_rebuilds_;
+  FTTT_OBS_COUNT("distributed.map_rebuilds", 1);
+  return true;
+}
+
+bool DistributedTracker::on_node_failed(NodeId global) {
+  for (Head& head : heads_) {
+    const auto it =
+        std::lower_bound(head.members.begin(), head.members.end(), global);
+    if (it == head.members.end() || *it != global) continue;
+    const std::size_t local =
+        static_cast<std::size_t>(it - head.members.begin());
+    if (!head.alive[local]) return false;
+    head.alive[local] = 0;
+    head.builder->deactivate(static_cast<NodeId>(local));
+    return rebuild_head(head);
+  }
+  return false;
+}
+
+bool DistributedTracker::on_node_recovered(NodeId global) {
+  for (Head& head : heads_) {
+    const auto it =
+        std::lower_bound(head.members.begin(), head.members.end(), global);
+    if (it == head.members.end() || *it != global) continue;
+    const std::size_t local =
+        static_cast<std::size_t>(it - head.members.begin());
+    if (head.alive[local]) return false;
+    head.alive[local] = 1;
+    head.builder->activate(static_cast<NodeId>(local));
+    return rebuild_head(head);
+  }
+  return false;
 }
 
 GroupingSampling DistributedTracker::project(const GroupingSampling& group,
@@ -134,7 +189,7 @@ TrackEstimate DistributedTracker::localize(const GroupingSampling& group) {
   }
 
   Head& head = heads_[active_];
-  return head.tracker->localize(project(group, head.members));
+  return head.tracker->localize(project(group, head.map_members));
 }
 
 std::vector<TrackEstimate> DistributedTracker::localize_batch(
@@ -153,7 +208,8 @@ std::vector<TrackEstimate> DistributedTracker::localize_batch(
     Head& head = heads_[c];
     std::vector<GroupingSampling> projected;
     projected.reserve(share[c].size());
-    for (std::size_t i : share[c]) projected.push_back(project(frame[i], head.members));
+    for (std::size_t i : share[c])
+      projected.push_back(project(frame[i], head.map_members));
     const std::vector<TrackEstimate> estimates = head.tracker->localize_batch(projected);
     for (std::size_t k = 0; k < share[c].size(); ++k)
       results[share[c][k]] = estimates[k];

@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/facemap_builder.hpp"
 #include "core/tracker.hpp"
 #include "net/clustering.hpp"
 
@@ -57,6 +58,25 @@ class DistributedTracker {
   /// or nullopt when no member reports.
   std::optional<std::size_t> route(const GroupingSampling& group) const;
 
+  // -- Deployment deltas (net/faults.hpp fail/recover semantics) -----------
+
+  /// Node `global` failed: drop it from its owning head's division with an
+  /// incremental rebuild (the head's plane cache means a fail/recover
+  /// delta rasterizes nothing; only grouping is re-derived). Returns true
+  /// when the head's map was rebuilt. Returns false — the head keeps
+  /// serving its previous map, with the dead member's columns reading
+  /// '*' — when the node is unknown, already failed, or fewer than two
+  /// live members would remain.
+  bool on_node_failed(NodeId global);
+
+  /// Node `global` recovered: restore it to its head's division. Same
+  /// return convention as on_node_failed (false when unknown, already
+  /// live, or the head still lacks a live pair).
+  bool on_node_recovered(NodeId global);
+
+  /// Incremental head-map rebuilds performed so far (fault churn metric).
+  std::size_t map_rebuilds() const { return map_rebuilds_; }
+
   std::size_t cluster_count() const { return heads_.size(); }
   std::size_t active_cluster() const { return active_; }
   std::size_t handoffs() const { return handoffs_; }
@@ -72,7 +92,13 @@ class DistributedTracker {
  private:
   struct Head {
     std::vector<NodeId> members;           ///< global ids, ascending
-    std::shared_ptr<const FaceMap> map;    ///< over relabeled members
+    std::vector<char> alive;               ///< parallel to members
+    /// Global ids the *current* map covers — stays behind `alive` while a
+    /// rebuild is deferred (fewer than two live members). Projection must
+    /// follow the served map, not the live set.
+    std::vector<NodeId> map_members;
+    std::unique_ptr<FaceMapBuilder> builder;  ///< plane cache, local ids
+    std::shared_ptr<const FaceMap> map;       ///< over relabeled members
     std::unique_ptr<FtttTracker> tracker;
   };
 
@@ -80,10 +106,15 @@ class DistributedTracker {
   static GroupingSampling project(const GroupingSampling& group,
                                   const std::vector<NodeId>& members);
 
+  /// Re-derive `head`'s map/tracker from its builder after a delta;
+  /// deferred (returns false) below two live members.
+  bool rebuild_head(Head& head);
+
   std::vector<Cluster> clusters_;
   std::vector<Head> heads_;
   std::size_t active_{0};
   std::size_t handoffs_{0};
+  std::size_t map_rebuilds_{0};
   bool has_served_{false};
 };
 

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/check.hpp"
 #include "core/pairs.hpp"
@@ -12,30 +11,81 @@
 
 namespace fttt {
 
-namespace {
+namespace facemap_detail {
 
-struct SigHash {
-  std::size_t operator()(const SignatureVector& s) const { return signature_hash(s); }
-};
-
-}  // namespace
-
-namespace {
-
-void validate_build_inputs(const Deployment& nodes, double C) {
+void validate_build_inputs(const Deployment& nodes, double C, const char* what) {
   if (nodes.size() < 2)
-    throw std::invalid_argument("FaceMap::build: need at least two sensors");
-  if (C < 1.0) throw std::invalid_argument("FaceMap::build: C must be >= 1");
+    throw std::invalid_argument(std::string(what) + ": need at least two sensors");
+  if (C < 1.0) throw std::invalid_argument(std::string(what) + ": C must be >= 1");
   for (std::size_t i = 0; i < nodes.size(); ++i)
     if (nodes[i].id != i)
-      throw std::invalid_argument("FaceMap::build: node ids must be dense 0..n-1");
+      throw std::invalid_argument(std::string(what) + ": node ids must be dense 0..n-1");
 }
 
-}  // namespace
+std::vector<std::vector<FaceId>> derive_adjacency(const UniformGrid& grid,
+                                                  const std::vector<FaceId>& cell_face,
+                                                  std::size_t face_count) {
+  // Right and up neighbors suffice to see every adjacent cell pair once.
+  // Duplicate links are collected freely and deduplicated by one
+  // sort+unique — far cheaper than per-link hashing on the ~O(boundary)
+  // link count, and the sorted order makes every face's list come out
+  // ascending without a per-face sort.
+  std::vector<std::uint64_t> links;
+  links.reserve(face_count * 4);
+  const int cols = grid.cols();
+  const int rows = grid.rows();
+  for (int j = 0; j < rows; ++j) {
+    const std::size_t base = grid.flatten({0, j});
+    for (int i = 0; i < cols; ++i) {
+      const FaceId a = cell_face[base + static_cast<std::size_t>(i)];
+      if (i + 1 < cols) {
+        const FaceId b = cell_face[base + static_cast<std::size_t>(i) + 1];
+        if (a != b)
+          links.push_back((static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+                          std::max(a, b));
+      }
+      if (j + 1 < rows) {
+        const FaceId b =
+            cell_face[base + static_cast<std::size_t>(cols) + static_cast<std::size_t>(i)];
+        if (a != b)
+          links.push_back((static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+                          std::max(a, b));
+      }
+    }
+  }
+  return adjacency_from_links(std::move(links), face_count);
+}
+
+std::vector<std::vector<FaceId>> adjacency_from_links(std::vector<std::uint64_t>&& links,
+                                                      std::size_t face_count) {
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+
+  // Degree counting first so every list is allocated exactly once.
+  std::vector<std::size_t> degree(face_count, 0);
+  for (std::uint64_t packed : links) {
+    ++degree[static_cast<FaceId>(packed >> 32)];
+    ++degree[static_cast<FaceId>(packed & 0xFFFFFFFFULL)];
+  }
+  std::vector<std::vector<FaceId>> adjacency(face_count);
+  for (std::size_t f = 0; f < face_count; ++f) adjacency[f].reserve(degree[f]);
+  // Two passes over the (min, max)-sorted links keep each list ascending:
+  // first every face's smaller neighbors (ascending because the links are
+  // sorted by min then max), then every face's larger neighbors.
+  for (std::uint64_t packed : links)
+    adjacency[static_cast<FaceId>(packed & 0xFFFFFFFFULL)].push_back(
+        static_cast<FaceId>(packed >> 32));
+  for (std::uint64_t packed : links)
+    adjacency[static_cast<FaceId>(packed >> 32)].push_back(
+        static_cast<FaceId>(packed & 0xFFFFFFFFULL));
+  return adjacency;
+}
+
+}  // namespace facemap_detail
 
 FaceMap FaceMap::build(const Deployment& nodes, double C, const Aabb& field,
                        double cell_size, ThreadPool& pool) {
-  validate_build_inputs(nodes, C);
+  facemap_detail::validate_build_inputs(nodes, C, "FaceMap::build");
   const UniformGrid grid(field, cell_size);
   const std::size_t cells = grid.cell_count();
 
@@ -51,7 +101,7 @@ FaceMap FaceMap::build(const Deployment& nodes, double C, const Aabb& field,
 
 FaceMap FaceMap::from_cells(const Deployment& nodes, double C, UniformGrid grid,
                             std::vector<SignatureVector>&& cell_sig) {
-  validate_build_inputs(nodes, C);
+  facemap_detail::validate_build_inputs(nodes, C, "FaceMap::from_cells");
   if (cell_sig.size() != grid.cell_count())
     throw std::invalid_argument("FaceMap::from_cells: signature count != cell count");
 
@@ -60,9 +110,13 @@ FaceMap FaceMap::from_cells(const Deployment& nodes, double C, UniformGrid grid,
 
   // Phase 2 (sequential): dedup signatures into faces, accumulate
   // centroids. Face ids are assigned in cell scan order, so the id
-  // assignment is deterministic.
+  // assignment is deterministic. The dedup table is keyed by the FNV
+  // hash of a signature, with the (rare) hash-bucket candidates compared
+  // against their face's stored signature — moving whole
+  // SignatureVectors through an unordered_map as keys re-hashed the full
+  // vector on every lookup and was the grouping hot spot.
   const std::size_t dim = pair_count(nodes.size());
-  std::unordered_map<SignatureVector, FaceId, SigHash> face_of;
+  std::unordered_map<std::size_t, std::vector<FaceId>> face_of;
   face_of.reserve(cells / 4);
   map.cell_face_.resize(cells);
   std::vector<Vec2> centroid_sum;
@@ -71,56 +125,46 @@ FaceMap FaceMap::from_cells(const Deployment& nodes, double C, UniformGrid grid,
     // pairs, or face dedup would conflate vectors of different spaces.
     FTTT_DCHECK(cell_sig[flat].size() == dim, "cell ", flat,
                 " signature dimension ", cell_sig[flat].size(), " != ", dim);
-    auto [it, inserted] = face_of.try_emplace(std::move(cell_sig[flat]),
-                                              static_cast<FaceId>(map.faces_.size()));
-    if (inserted) {
-      map.faces_.push_back(Face{it->second, it->first, Vec2{}, 0});
+    SignatureVector& sig = cell_sig[flat];
+    std::vector<FaceId>& bucket = face_of[signature_hash(sig)];
+    FaceId id = static_cast<FaceId>(map.faces_.size());
+    for (FaceId candidate : bucket) {
+      if (map.faces_[candidate].signature == sig) {
+        id = candidate;
+        break;
+      }
+    }
+    if (id == map.faces_.size()) {
+      bucket.push_back(id);
+      map.faces_.push_back(Face{id, std::move(sig), Vec2{}, 0});
       centroid_sum.push_back(Vec2{});
     }
-    const FaceId id = it->second;
     map.cell_face_[flat] = id;
     centroid_sum[id] += grid.center(flat);
     ++map.faces_[id].cell_count;
   }
-  // Lemma 1: the signature -> face map is a bijection. try_emplace keyed
-  // on the full signature guarantees uniqueness; the id/count bookkeeping
-  // must have stayed consistent with it.
-  FTTT_CHECK(map.faces_.size() == face_of.size(),
-             "face table and signature index disagree: ", map.faces_.size(),
-             " faces vs ", face_of.size(), " unique signatures");
+  // Lemma 1: the signature -> face map is a bijection. Bucketed
+  // candidates are compared on the full signature, so distinct
+  // signatures never share a face; the id/count bookkeeping must have
+  // stayed consistent with the bucket table.
+  FTTT_CHECK(!map.faces_.empty(), "face grouping produced no faces for ",
+             cells, " cells");
   for (Face& f : map.faces_) {
     FTTT_DCHECK(f.cell_count > 0, "face ", f.id, " owns no cells");
     f.centroid = centroid_sum[f.id] / static_cast<double>(f.cell_count);
   }
 
-  // Phase 3: neighbor-face links from 4-adjacency of cells (right and up
-  // neighbors suffice to see every adjacent cell pair once).
-  std::unordered_set<std::uint64_t> links;
-  const int cols = grid.cols();
-  const int rows = grid.rows();
-  for (int j = 0; j < rows; ++j) {
-    for (int i = 0; i < cols; ++i) {
-      const FaceId a = map.cell_face_[grid.flatten({i, j})];
-      if (i + 1 < cols) {
-        const FaceId b = map.cell_face_[grid.flatten({i + 1, j})];
-        if (a != b) links.insert((static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b));
-      }
-      if (j + 1 < rows) {
-        const FaceId b = map.cell_face_[grid.flatten({i, j + 1})];
-        if (a != b) links.insert((static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b));
-      }
-    }
-  }
-  map.adjacency_.resize(map.faces_.size());
-  for (std::uint64_t packed : links) {
-    const FaceId a = static_cast<FaceId>(packed >> 32);
-    const FaceId b = static_cast<FaceId>(packed & 0xFFFFFFFFULL);
-    map.adjacency_[a].push_back(b);
-    map.adjacency_[b].push_back(a);
-  }
-  for (auto& adj : map.adjacency_) std::sort(adj.begin(), adj.end());
+  // Phase 3: neighbor-face links from 4-adjacency of cells.
+  map.adjacency_ = facemap_detail::derive_adjacency(grid, map.cell_face_,
+                                                    map.faces_.size());
 
   return map;
+}
+
+FaceId FaceMap::face_at(Vec2 p) const {
+  if (!grid_.extent().contains(p))
+    throw std::out_of_range("FaceMap::face_at: point outside the field extent");
+  return cell_face_[grid_.flatten(grid_.locate(p))];
 }
 
 std::size_t FaceMap::dimension() const { return pair_count(nodes_.size()); }

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/vec2.hpp"
 #include "core/signature.hpp"
 #include "geometry/grid.hpp"
@@ -62,10 +63,22 @@ class FaceMap {
   const std::vector<FaceId>& neighbors(FaceId id) const { return adjacency_[id]; }
 
   /// Face owning the cell that contains point `p`.
-  FaceId face_at(Vec2 p) const { return cell_face_[grid_.flatten(grid_.locate(p))]; }
+  ///
+  /// Contract: `p` must lie inside the field extent (boundary included —
+  /// boundary points clamp to the adjacent cell, matching
+  /// UniformGrid::locate). A point strictly outside the extent has no
+  /// face and throws std::out_of_range; the silent clamp-to-edge-cell
+  /// aliasing that `grid().locate` performs is reserved for in-field
+  /// boundary rounding only.
+  FaceId face_at(Vec2 p) const;
 
   /// Face owning the cell with flat index `flat` (serialization support).
-  FaceId face_of_cell(std::size_t flat) const { return cell_face_[flat]; }
+  /// Contract-checked: `flat` must be a valid flat cell index.
+  FaceId face_of_cell(std::size_t flat) const {
+    FTTT_CHECK(flat < cell_face_.size(), "face_of_cell: flat index ", flat,
+               " >= cell count ", cell_face_.size());
+    return cell_face_[flat];
+  }
 
   const UniformGrid& grid() const { return grid_; }
   const Deployment& nodes() const { return nodes_; }
@@ -80,6 +93,8 @@ class FaceMap {
   double theorem1_link_fraction() const;
 
  private:
+  friend class FaceMapBuilder;  ///< plane-major engine assembles maps directly
+
   FaceMap(UniformGrid grid, Deployment nodes, double C)
       : grid_(grid), nodes_(std::move(nodes)), C_(C) {}
 
@@ -90,5 +105,31 @@ class FaceMap {
   std::vector<FaceId> cell_face_;             ///< flat cell -> face id
   std::vector<std::vector<FaceId>> adjacency_;
 };
+
+namespace facemap_detail {
+
+/// Shared precondition checks of every build entry point (FaceMap::build,
+/// FaceMap::from_cells, FaceMapBuilder). `what` names the caller in the
+/// thrown message.
+void validate_build_inputs(const Deployment& nodes, double C, const char* what);
+
+/// Phase 3 of map assembly: neighbor-face links from 4-adjacency of
+/// cells, each list sorted ascending. Shared by the legacy from_cells
+/// path and the plane-major builder so both derive bit-identical
+/// adjacency from the same cell->face assignment.
+std::vector<std::vector<FaceId>> derive_adjacency(const UniformGrid& grid,
+                                                  const std::vector<FaceId>& cell_face,
+                                                  std::size_t face_count);
+
+/// Adjacency lists from packed (min << 32 | max) face links, duplicates
+/// welcome: one sort+unique, then each list comes out ascending with a
+/// single exact-sized allocation. derive_adjacency feeds it the links it
+/// scans from the cell grid; the plane-major builder feeds it the same
+/// link set read off its run boundaries — identical input, identical
+/// output.
+std::vector<std::vector<FaceId>> adjacency_from_links(std::vector<std::uint64_t>&& links,
+                                                      std::size_t face_count);
+
+}  // namespace facemap_detail
 
 }  // namespace fttt

@@ -1,0 +1,635 @@
+#include "core/facemap_builder.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.hpp"
+#include "core/pairs.hpp"
+#include "geometry/apollonius.hpp"
+#include "geometry/circle.hpp"
+#include "obs/obs.hpp"
+
+namespace fttt {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Span-fill soundness (the bit-equivalence argument).
+//
+// pair_region decides with two comparisons on squared distances:
+//   decisively_a:  da2 * c2 <= db2        (c2 = C^2)
+//   decisively_b:  da2 >= c2 * db2
+// For C > 1 each comparison tests membership of a *closed disk*: expanding
+// the Apollonius construction (geometry/apollonius.cpp) gives the identity
+//   c2*da2 - db2 = (c2 - 1) * (|p - m_a|^2 - r_a^2)
+//   da2 - c2*db2 = (1 - c2) * (|p - m_b|^2 - r_b^2)
+// where (m_a, r_a) is the circle of ratio 1/C (encloses a) and (m_b, r_b)
+// the circle of ratio C (encloses b). So "decisively a" is exactly
+// "inside the near-a disk" and "decisively b" exactly "inside the near-b
+// disk" — in real arithmetic. In floating point the comparison value
+// carries a few ulps of error, bounded by E = kTolRel * (1 + c2) * M
+// where M bounds every squared distance in play (kTolRel over-covers the
+// true relative error by ~3 orders of magnitude). Dividing through the
+// identity, the FP decision can only disagree with the real-arithmetic
+// disk test inside the annulus | |p-m|^2 - r^2 | <= E / (c2 - 1).
+//
+// A disk meets a grid row in at most one x-interval, so per row we fill
+//   - the certain interior (interval shrunk below the annulus, minus one
+//     column of conversion slack) with the disk's value by std::fill —
+//     every such cell satisfies its comparison beyond any FP ambiguity,
+//     and the two disks' certain interiors cannot overlap (membership in
+//     both forces c2 <= 1), so the write is final;
+//   - the two edge windows (interval widened above the annulus, plus one
+//     column of slack) by calling pair_region itself;
+//   - nothing elsewhere: those cells are certainly outside this disk and
+//     keep 0 or the other disk's value.
+// Every cell therefore ends up holding exactly pair_region's value.
+//
+// C == 1 degenerates both comparisons to da2 <=> db2, a half-plane split:
+// f(p) = da2 - db2 = gx*x + gy*y + k is linear, so per row the ambiguous
+// band is an x-interval around the root, handled the same way. Degenerate
+// pairs (coincident or nearly coincident nodes, non-finite circle
+// parameters from extreme C) fall back to exact per-cell evaluation of
+// the whole plane — always correct, merely slower, and never hit by sane
+// deployments.
+// ---------------------------------------------------------------------------
+
+/// Relative FP-ambiguity tolerance on pair_region's comparison values.
+/// The comparisons are ~6 IEEE ops, so the true relative error is a few
+/// 1e-16; 1e-12 over-covers it while keeping the ambiguity windows a
+/// couple of columns wide at most.
+constexpr double kTolRel = 1e-12;
+
+/// Below this squared separation (a micron) the Apollonius construction
+/// is numerically meaningless; the pair's plane is evaluated exactly.
+constexpr double kDegenerateSeparation2 = 1e-12;
+
+}  // namespace
+
+// May land outside [0, cols); the result is clamped to a small guard
+// The reciprocal multiply lands within one column of the true answer;
+// the correction loops then settle it *exactly* against the cached cell
+// centers (the very values the exact evaluator compares against), so
+// callers need no conversion slack: every column strictly outside the
+// returned range really is on the far side of x.
+int FaceMapBuilder::col_first_ge(double x) const {
+  const int cols = grid_.cols();
+  const double v = std::ceil((x - grid_.extent().lo.x) * inv_cell_ - 0.5);
+  int i = static_cast<int>(
+      std::min(std::max(v, 0.0), static_cast<double>(cols)));
+  while (i < cols && center_x_[static_cast<std::size_t>(i)] < x) ++i;
+  while (i > 0 && center_x_[static_cast<std::size_t>(i - 1)] >= x) --i;
+  return i;  // in [0, cols]; cols means "no column qualifies"
+}
+
+int FaceMapBuilder::col_last_le(double x) const {
+  const int cols = grid_.cols();
+  const double v = std::floor((x - grid_.extent().lo.x) * inv_cell_ - 0.5);
+  int i = static_cast<int>(
+      std::min(std::max(v, -1.0), static_cast<double>(cols - 1)));
+  while (i + 1 < cols && center_x_[static_cast<std::size_t>(i + 1)] <= x) ++i;
+  while (i >= 0 && center_x_[static_cast<std::size_t>(i)] > x) --i;
+  return i;  // in [-1, cols - 1]; -1 means "no column qualifies"
+}
+
+FaceMapBuilder::FaceMapBuilder(Deployment roster, double C, const Aabb& field,
+                               double cell_size, ThreadPool& pool)
+    : grid_(field, cell_size), C_(C), inv_cell_(1.0 / grid_.cell_size()),
+      pool_(&pool), roster_(std::move(roster)) {
+  facemap_detail::validate_build_inputs(roster_, C_, "FaceMapBuilder");
+  active_.assign(roster_.size(), 1);
+  row_start_mask_.assign(mask_words(), 0);
+  for (int j = 0; j < grid_.rows(); ++j) {
+    const std::size_t c = grid_.flatten({0, j});
+    row_start_mask_[c >> 6] |= std::uint64_t{1} << (c & 63);
+  }
+  center_x_.resize(static_cast<std::size_t>(grid_.cols()));
+  for (int i = 0; i < grid_.cols(); ++i)
+    center_x_[static_cast<std::size_t>(i)] = grid_.center({i, 0}).x;
+}
+
+void FaceMapBuilder::deactivate(NodeId id) {
+  FTTT_CHECK(id < roster_.size(), "FaceMapBuilder::deactivate: node ", id,
+             " outside roster of ", roster_.size());
+  active_[id] = 0;
+}
+
+void FaceMapBuilder::activate(NodeId id) {
+  FTTT_CHECK(id < roster_.size(), "FaceMapBuilder::activate: node ", id,
+             " outside roster of ", roster_.size());
+  active_[id] = 1;
+}
+
+void FaceMapBuilder::move_node(NodeId id, Vec2 position) {
+  FTTT_CHECK(id < roster_.size(), "FaceMapBuilder::move_node: node ", id,
+             " outside roster of ", roster_.size());
+  roster_[id].position = position;
+  for (const auto& [key, slot] : slot_) {
+    const NodeId i = static_cast<NodeId>(key >> 32);
+    const NodeId j = static_cast<NodeId>(key & 0xFFFFFFFFULL);
+    if (i == id || j == id) slot_valid_[slot] = 0;
+  }
+}
+
+NodeId FaceMapBuilder::add_node(Vec2 position) {
+  const NodeId id = static_cast<NodeId>(roster_.size());
+  roster_.push_back(SensorNode{id, position});
+  active_.push_back(1);
+  return id;
+}
+
+bool FaceMapBuilder::is_active(NodeId id) const {
+  FTTT_CHECK(id < roster_.size(), "FaceMapBuilder::is_active: node ", id,
+             " outside roster of ", roster_.size());
+  return active_[id] != 0;
+}
+
+std::size_t FaceMapBuilder::active_count() const {
+  std::size_t n = 0;
+  for (char a : active_) n += a != 0;
+  return n;
+}
+
+Deployment FaceMapBuilder::active_deployment() const {
+  Deployment out;
+  out.reserve(roster_.size());
+  for (const SensorNode& node : roster_)
+    if (active_[node.id])
+      out.push_back(SensorNode{static_cast<NodeId>(out.size()), node.position});
+  return out;
+}
+
+std::uint32_t FaceMapBuilder::slot_of(NodeId i, NodeId j) {
+  FTTT_DCHECK(i < j, "plane slot wants an ordered pair, got (", i, ",", j, ")");
+  const std::uint64_t key = (static_cast<std::uint64_t>(i) << 32) | j;
+  const auto [it, inserted] =
+      slot_.try_emplace(key, static_cast<std::uint32_t>(slot_valid_.size()));
+  if (inserted) {
+    slot_valid_.push_back(0);
+    planes_.resize(planes_.size() + padded_cells());
+    masks_.resize(masks_.size() + mask_words());
+  }
+  return it->second;
+}
+
+double FaceMapBuilder::decision_tolerance(Vec2 a, Vec2 b) const {
+  // M bounds every squared distance pair_region can see: the farthest
+  // cell center from either node. Cell centers may overhang the extent
+  // by up to one cell (the last row/column is never truncated).
+  const Aabb& e = grid_.extent();
+  const double pad = grid_.cell_size();
+  double m2 = 1.0;
+  const Vec2 corners[4] = {{e.lo.x - pad, e.lo.y - pad},
+                           {e.hi.x + pad, e.lo.y - pad},
+                           {e.lo.x - pad, e.hi.y + pad},
+                           {e.hi.x + pad, e.hi.y + pad}};
+  for (Vec2 corner : corners)
+    m2 = std::max({m2, distance2(corner, a), distance2(corner, b)});
+  return kTolRel * (1.0 + C_ * C_) * m2;
+}
+
+void FaceMapBuilder::fill_exact(Vec2 a, Vec2 b, int j, int i0, int i1,
+                                SigValue* plane) const {
+  i0 = std::max(i0, 0);
+  i1 = std::min(i1, grid_.cols() - 1);
+  if (i0 > i1) return;
+  const std::size_t base = grid_.flatten({0, j});
+  const double y = grid_.center({0, j}).y;  // constant along the row
+  for (int i = i0; i <= i1; ++i)
+    plane[base + static_cast<std::size_t>(i)] = static_cast<SigValue>(
+        pair_region(Vec2{center_x_[static_cast<std::size_t>(i)], y}, a, b, C_));
+}
+
+void FaceMapBuilder::rasterize_disk(Vec2 a, Vec2 b, Vec2 center, double radius,
+                                    SigValue inside, SigValue* plane) const {
+  const double c2 = C_ * C_;
+  // Annulus half-thickness in squared-distance units (see the soundness
+  // note above), plus an absolute term covering the cancellation error of
+  // rem = r^2 - dy^2 itself when the circle is huge (C close to 1 pushes
+  // the center and radius far outside the field).
+  const double tol2 = decision_tolerance(a, b) / (c2 - 1.0) +
+                      kTolRel * (radius * radius + norm2(center) + 1.0);
+  const int cols = grid_.cols();
+  const int rows = grid_.rows();
+  const double r2 = radius * radius;
+  if (!std::isfinite(r2) || !std::isfinite(tol2)) {
+    // Squaring a finite-but-huge radius overflowed (C pathologically close
+    // to 1): per-row exact evaluation is always sound, merely slower.
+    for (int j = 0; j < rows; ++j) fill_exact(a, b, j, 0, cols - 1, plane);
+    return;
+  }
+  for (int j = 0; j < rows; ++j) {
+    const double dy = grid_.center({0, j}).y - center.y;
+    const double rem = r2 - dy * dy;
+    if (rem + tol2 < 0.0) continue;  // row certainly clear of the disk
+    const double e_out = std::sqrt(rem + tol2);
+    // Window bounds (the column conversion is exact, so no slack):
+    // outside them the row is certainly outside the disk — the sqrt and
+    // subtraction round at ~1e-16 relative, orders below the 1e-12
+    // relative head-room tol2 already carries.
+    const int w_lo = col_first_ge(center.x - e_out);
+    const int w_hi = col_last_le(center.x + e_out);
+    if (w_lo > w_hi) continue;
+    if (rem - tol2 <= 0.0) {
+      // Near-tangent row: no certain interior, the whole window is edge.
+      fill_exact(a, b, j, w_lo, w_hi, plane);
+      continue;
+    }
+    const double e_in = std::sqrt(rem - tol2);
+    // Certain interior: every center in [-e_in, e_in] of center.x is
+    // inside the disk beyond any FP ambiguity.
+    const int s_lo = col_first_ge(center.x - e_in);
+    const int s_hi = col_last_le(center.x + e_in);
+    if (s_lo > s_hi) {
+      fill_exact(a, b, j, w_lo, w_hi, plane);
+      continue;
+    }
+    fill_exact(a, b, j, w_lo, s_lo - 1, plane);
+    fill_exact(a, b, j, s_hi + 1, w_hi, plane);
+    const int f_lo = std::max(s_lo, 0);
+    const int f_hi = std::min(s_hi, cols - 1);
+    if (f_lo <= f_hi) {
+      const std::size_t base = grid_.flatten({0, j});
+      std::fill(plane + base + static_cast<std::size_t>(f_lo),
+                plane + base + static_cast<std::size_t>(f_hi) + 1, inside);
+    }
+  }
+}
+
+void FaceMapBuilder::rasterize_bisector(Vec2 a, Vec2 b, SigValue* plane) const {
+  // C == 1: f(p) = da2 - db2 = gx*x + gy*y + k, +1 where f < 0, -1 where
+  // f > 0, 0 only exactly on the bisector.
+  const double tol = decision_tolerance(a, b);
+  const double gx = 2.0 * (b.x - a.x);
+  const double gy = 2.0 * (b.y - a.y);
+  const double k = norm2(a) - norm2(b);
+  const int cols = grid_.cols();
+  const int rows = grid_.rows();
+  const SigValue left = gx > 0.0 ? SigValue{+1} : SigValue{-1};
+  // Anything wider than the grid means "evaluate the whole row exactly";
+  // the guard also routes non-finite window bounds (overflowed x0) there.
+  const double guard = grid_.extent().width() + 2.0 * grid_.cell_size() + 2.0;
+  for (int j = 0; j < rows; ++j) {
+    const double y = grid_.center({0, j}).y;
+    const double fy = gy * y + k;
+    if (gx == 0.0) {
+      // bx == ax exactly: the row is uniform. The comparison da2 <= db2
+      // shares the identical (x-ax)^2 term on both sides, and IEEE
+      // rounding is monotone, so a row-level |fy| > tol decides every
+      // cell the same way pair_region does.
+      if (std::abs(fy) <= tol) {
+        fill_exact(a, b, j, 0, cols - 1, plane);
+      } else {
+        const std::size_t base = grid_.flatten({0, j});
+        std::fill(plane + base, plane + base + static_cast<std::size_t>(cols),
+                  fy < 0.0 ? SigValue{+1} : SigValue{-1});
+      }
+      continue;
+    }
+    const double x0 = -fy / gx;
+    const double halfw = tol / std::abs(gx);
+    // A window wider than the grid (including halfw = inf from a tiny gx)
+    // degenerates to whole-row exact evaluation; a far-off but finite x0
+    // is fine — the clamped column conversion turns it into a uniform
+    // row fill below. Only non-finite x0 (unreachable past the halfw
+    // guard, kept for safety) must not reach the conversion.
+    if (!(halfw < guard) || !std::isfinite(x0)) {
+      fill_exact(a, b, j, 0, cols - 1, plane);
+      continue;
+    }
+    const int w_lo = col_first_ge(x0 - halfw);
+    const int w_hi = col_last_le(x0 + halfw);
+    const std::size_t base = grid_.flatten({0, j});
+    if (w_lo > 0)
+      std::fill(plane + base,
+                plane + base + static_cast<std::size_t>(std::min(w_lo, cols)),
+                left);
+    if (w_hi < cols - 1)
+      std::fill(plane + base + static_cast<std::size_t>(std::max(w_hi + 1, 0)),
+                plane + base + static_cast<std::size_t>(cols),
+                static_cast<SigValue>(-left));
+    fill_exact(a, b, j, w_lo, w_hi, plane);
+  }
+}
+
+void FaceMapBuilder::rasterize_pair(NodeId i, NodeId j, SigValue* plane,
+                                    std::uint64_t* mask) const {
+  const Vec2 a = roster_[i].position;
+  const Vec2 b = roster_[j].position;
+  std::fill(plane, plane + padded_cells(), SigValue{0});
+  const int rows = grid_.rows();
+  const bool degenerate = distance2(a, b) < kDegenerateSeparation2;
+  if (degenerate) {
+    for (int row = 0; row < rows; ++row)
+      fill_exact(a, b, row, 0, grid_.cols() - 1, plane);
+  } else if (C_ == 1.0) {
+    rasterize_bisector(a, b, plane);
+  } else {
+    const Circle near_a = apollonius_circle(a, b, 1.0 / C_);
+    const Circle near_b = apollonius_circle(a, b, C_);
+    const bool finite = std::isfinite(near_a.center.x) && std::isfinite(near_a.center.y) &&
+                        std::isfinite(near_a.radius) && std::isfinite(near_b.center.x) &&
+                        std::isfinite(near_b.center.y) && std::isfinite(near_b.radius) &&
+                        std::isfinite(C_ * C_) && std::isfinite(decision_tolerance(a, b));
+    if (!finite) {
+      for (int row = 0; row < rows; ++row)
+        fill_exact(a, b, row, 0, grid_.cols() - 1, plane);
+    } else {
+      rasterize_disk(a, b, near_a.center, near_a.radius, SigValue{+1}, plane);
+      rasterize_disk(a, b, near_b.center, near_b.radius, SigValue{-1}, plane);
+    }
+  }
+
+  // Run-boundary mask: bit c is set where the plane's value differs from
+  // cell c-1. Row starts are forced on (their left-diff compares against
+  // the previous row's last cell, which is meaningless but absorbed by
+  // the forced bit), so grouping runs never span rows. Word-at-a-time
+  // XOR keeps this at memory speed: spans make most 8-byte groups equal.
+  const std::size_t cells = grid_.cell_count();
+  const std::size_t words = mask_words();
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = row_start_mask_[w];
+    const std::size_t c0 = w * 64;
+    const std::size_t lim = std::min<std::size_t>(64, cells - c0);
+    std::size_t k = c0 == 0 ? 1 : 0;
+    for (; k + 8 <= lim; k += 8) {
+      std::uint64_t cur;
+      std::uint64_t prev;
+      std::memcpy(&cur, plane + c0 + k, 8);
+      std::memcpy(&prev, plane + c0 + k - 1, 8);
+      if (const std::uint64_t d = cur ^ prev) {
+        for (std::size_t t = 0; t < 8; ++t)
+          if ((d >> (8 * t)) & 0xFF) bits |= std::uint64_t{1} << (k + t);
+      }
+    }
+    for (; k < lim; ++k)
+      if (plane[c0 + k] != plane[c0 + k - 1]) bits |= std::uint64_t{1} << k;
+    mask[w] = bits;
+  }
+}
+
+FaceMap FaceMapBuilder::build() {
+  if (build_count_ == 0) {
+    FTTT_OBS_SPAN("facemap.build");
+    return build_impl();
+  }
+  FTTT_OBS_SPAN("facemap.rebuild_incremental");
+  return build_impl();
+}
+
+FaceMap FaceMapBuilder::build_impl() {
+  const Deployment active = active_deployment();
+  if (active.size() < 2)
+    throw std::invalid_argument("FaceMapBuilder::build: fewer than two active sensors");
+
+  // Map the compacted canonical pairs onto roster pairs. Compaction
+  // preserves roster order, so compacted pair (ci, cj) is roster pair
+  // (ids[ci], ids[cj]) with the same a/b orientation — cached planes stay
+  // valid across activation flips.
+  std::vector<NodeId> ids;
+  ids.reserve(roster_.size());
+  for (const SensorNode& node : roster_)
+    if (active_[node.id]) ids.push_back(node.id);
+
+  const std::size_t dim = pair_count(ids.size());
+  std::vector<std::uint32_t> slots;
+  slots.reserve(dim);
+  std::vector<std::uint32_t> missing;
+  std::vector<std::pair<NodeId, NodeId>> missing_pairs;
+  for (std::size_t ci = 0; ci < ids.size(); ++ci) {
+    for (std::size_t cj = ci + 1; cj < ids.size(); ++cj) {
+      const std::uint32_t slot = slot_of(ids[ci], ids[cj]);
+      slots.push_back(slot);
+      if (!slot_valid_[slot]) {
+        missing.push_back(slot);
+        missing_pairs.emplace_back(ids[ci], ids[cj]);
+      }
+    }
+  }
+
+  // Rasterize the cache misses (all planes on the first build, none at
+  // all after a pure kill/revive delta). plane_data is stable from here:
+  // slot_of above performed every allocation.
+  const std::uint64_t t0 = FTTT_OBS_NOW_NS();
+  parallel_for(0, missing.size(),
+               [&](std::size_t k) {
+                 rasterize_pair(missing_pairs[k].first, missing_pairs[k].second,
+                                plane_data(missing[k]), mask_data(missing[k]));
+               },
+               *pool_);
+  const std::uint64_t t1 = FTTT_OBS_NOW_NS();
+  for (std::uint32_t slot : missing) slot_valid_[slot] = 1;
+  last_rasterized_ = missing.size();
+  rasterized_total_ += missing.size();
+  ++build_count_;
+  FTTT_OBS_COUNT("facemap.planes_rasterized", missing.size());
+  FTTT_OBS_COUNT("facemap.cells_rasterized", missing.size() * grid_.cell_count());
+  if (t1 > t0 && !missing.empty())
+    FTTT_OBS_HIST("facemap.build.cells_per_sec", "cells/s",
+                  static_cast<double>(missing.size() * grid_.cell_count()) * 1e9 /
+                      static_cast<double>(t1 - t0));
+
+  std::vector<const SigValue*> planes;
+  planes.reserve(dim);
+  std::vector<const std::uint64_t*> masks;
+  masks.reserve(dim);
+  for (std::uint32_t slot : slots) {
+    planes.push_back(plane_data(slot));
+    masks.push_back(mask_data(slot));
+  }
+  return assemble(active, planes, masks);
+}
+
+FaceMap FaceMapBuilder::assemble(const Deployment& active,
+                                 const std::vector<const SigValue*>& planes,
+                                 const std::vector<const std::uint64_t*>& masks) {
+  const std::size_t cells = grid_.cell_count();
+  const std::size_t dim = planes.size();
+  const std::size_t words = mask_words();
+
+  // A cell heads a run iff any plane changes value at it (or it starts a
+  // row): OR the cached per-plane boundary masks. Run interiors carry
+  // their head's exact signature, so only heads need grouping — the
+  // whole-signature work drops from O(cells * dim) to O(heads * dim).
+  std::vector<std::uint64_t> boundary(masks[0], masks[0] + words);
+  for (std::size_t p = 1; p < dim; ++p)
+    for (std::size_t w = 0; w < words; ++w) boundary[w] |= masks[p][w];
+
+  std::vector<std::uint32_t> heads;
+  heads.reserve(cells / 4);
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = boundary[w];
+    while (bits) {
+      heads.push_back(static_cast<std::uint32_t>(
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits))));
+      bits &= bits - 1;
+    }
+  }
+  const std::size_t nheads = heads.size();
+
+  // Trit-pack each head's signature: a plane value in {-1, 0, 1} is one
+  // base-3 digit and 40 digits fit a 64-bit word (3^40 < 2^64), so a
+  // signature packs into ceil(dim / 40) words and two heads have equal
+  // packed words iff their signatures are equal — the packing is
+  // injective. Where two consecutive planes share a word the sweep folds
+  // both in one pass (k = 9k + 3a + b), halving the gather loop count.
+  constexpr std::size_t kTritsPerWord = 40;
+  const std::size_t kw = (dim + kTritsPerWord - 1) / kTritsPerWord;
+  std::vector<std::uint64_t> keys(nheads * kw, 0);
+  for (std::size_t p = 0; p < dim;) {
+    std::uint64_t* word = keys.data() + p / kTritsPerWord;
+    if (p + 1 < dim && (p + 1) / kTritsPerWord == p / kTritsPerWord) {
+      const SigValue* pa = planes[p];
+      const SigValue* pb = planes[p + 1];
+      for (std::size_t h = 0; h < nheads; ++h) {
+        const std::uint32_t c = heads[h];
+        std::uint64_t& k = word[h * kw];
+        k = k * 9 + static_cast<std::uint64_t>(3 * (static_cast<int>(pa[c]) + 1) +
+                                               (static_cast<int>(pb[c]) + 1));
+      }
+      p += 2;
+    } else {
+      const SigValue* pa = planes[p];
+      for (std::size_t h = 0; h < nheads; ++h) {
+        const std::uint32_t c = heads[h];
+        std::uint64_t& k = word[h * kw];
+        k = k * 3 + static_cast<std::uint64_t>(static_cast<int>(pa[c]) + 1);
+      }
+      ++p;
+    }
+  }
+
+  // Group the heads by packed signature with ids in first-occurrence
+  // order over the head sequence. Every signature's first cell (legacy
+  // scan order) is a run head, so the ids reproduce the legacy
+  // assignment exactly. Open addressing; the hash only routes to a
+  // bucket — equality is always decided by comparing the full packed
+  // words, so grouping stays exact whatever the hash does.
+  constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+  std::size_t cap = 64;
+  while (cap < 2 * nheads) cap <<= 1;
+  const std::size_t cap_mask = cap - 1;
+  std::vector<std::uint32_t> bucket_head(cap, kEmpty);  // head index claiming it
+  std::vector<std::uint32_t> bucket_id(cap);
+  std::vector<std::uint32_t> group(nheads);
+  std::vector<std::uint32_t> rep;  // representative (first) cell per face
+  rep.reserve(nheads / 2 + 1);
+  for (std::size_t h = 0; h < nheads; ++h) {
+    const std::uint64_t* k = keys.data() + h * kw;
+    std::uint64_t x = 0x9E3779B97F4A7C15ULL;
+    for (std::size_t w = 0; w < kw; ++w) {
+      x ^= k[w];
+      x *= 0xFF51AFD7ED558CCDULL;
+      x ^= x >> 33;
+    }
+    std::size_t idx = static_cast<std::size_t>(x) & cap_mask;
+    for (;;) {
+      const std::uint32_t occupant = bucket_head[idx];
+      if (occupant == kEmpty) {
+        bucket_head[idx] = static_cast<std::uint32_t>(h);
+        bucket_id[idx] = static_cast<std::uint32_t>(rep.size());
+        group[h] = bucket_id[idx];
+        rep.push_back(heads[h]);
+        break;
+      }
+      if (std::equal(k, k + kw, keys.data() + occupant * kw)) {
+        group[h] = bucket_id[idx];
+        break;
+      }
+      idx = (idx + 1) & cap_mask;
+    }
+  }
+  const std::size_t faces = rep.size();
+
+  // Expand runs into the cell -> face table, accumulating centroids and
+  // cell counts per cell in scan order — the same additions in the same
+  // order as the legacy grouping, hence bit-identical centroids. Every
+  // horizontal face boundary sits at a (non-row-start) run head, so the
+  // right-neighbor adjacency links fall out of the same sweep for free.
+  std::vector<FaceId> cell_face(cells);
+  std::vector<Vec2> centroid_sum(faces, Vec2{});
+  std::vector<std::size_t> cell_count(faces, 0);
+  std::vector<std::uint64_t> links;
+  links.reserve(nheads * 2);
+  const int cols = grid_.cols();
+  const int rows = grid_.rows();
+  std::size_t h = 0;
+  std::size_t flat = 0;
+  for (int j = 0; j < rows; ++j) {
+    const double y = grid_.center({0, j}).y;
+    FaceId id = 0;  // every row start is a head, so always reassigned
+    for (int i = 0; i < cols; ++i, ++flat) {
+      if (h < nheads && heads[h] == flat) {
+        const FaceId next_id = static_cast<FaceId>(group[h++]);
+        if (i > 0 && next_id != id)
+          links.push_back((static_cast<std::uint64_t>(std::min(id, next_id)) << 32) |
+                          std::max(id, next_id));
+        id = next_id;
+      }
+      cell_face[flat] = id;
+      centroid_sum[id].x += center_x_[static_cast<std::size_t>(i)];
+      centroid_sum[id].y += y;
+      ++cell_count[id];
+    }
+  }
+
+  // Up-neighbor links: one flat compare of each row against the next.
+  // A face pair sharing a multi-cell stretch of row boundary repeats
+  // consecutively here; dropping those repeats up front keeps the
+  // sort+unique in adjacency_from_links short.
+  for (int j = 0; j + 1 < rows; ++j) {
+    const FaceId* cur = cell_face.data() + grid_.flatten({0, j});
+    const FaceId* up = cur + cols;
+    std::uint64_t last = ~std::uint64_t{0};
+    for (int i = 0; i < cols; ++i)
+      if (cur[i] != up[i]) {
+        const std::uint64_t packed =
+            (static_cast<std::uint64_t>(std::min(cur[i], up[i])) << 32) |
+            std::max(cur[i], up[i]);
+        if (packed != last) links.push_back(packed);
+        last = packed;
+      }
+  }
+
+  // Emit the SoA table and per-face signatures straight from the planes
+  // (gathers at the representative cells only).
+  const std::size_t padded_faces = SignatureTable::padded_for(faces);
+  std::vector<SigValue> table(dim * padded_faces, 0);
+  std::vector<SignatureVector> sigs(faces, SignatureVector(dim));
+  for (std::size_t p = 0; p < dim; ++p) {
+    const SigValue* plane = planes[p];
+    SigValue* row = table.data() + p * padded_faces;
+    for (std::size_t f = 0; f < faces; ++f) {
+      const SigValue v = plane[rep[f]];
+      row[f] = v;
+      sigs[f][p] = v;
+    }
+  }
+
+  FaceMap map(grid_, active, C_);
+  map.faces_.reserve(faces);
+  for (std::size_t f = 0; f < faces; ++f)
+    map.faces_.push_back(Face{static_cast<FaceId>(f), std::move(sigs[f]),
+                              centroid_sum[f] / static_cast<double>(cell_count[f]),
+                              cell_count[f]});
+  map.cell_face_ = std::move(cell_face);
+  map.adjacency_ = facemap_detail::adjacency_from_links(std::move(links), faces);
+  table_ = SignatureTable(faces, dim, std::move(table));
+  return map;
+}
+
+SignatureTable FaceMapBuilder::take_signature_table() {
+  if (!table_)
+    throw std::logic_error(
+        "FaceMapBuilder::take_signature_table: no table — build() first "
+        "(the table is consumed by each take)");
+  SignatureTable taken = std::move(*table_);
+  table_.reset();
+  return taken;
+}
+
+}  // namespace fttt

@@ -1,0 +1,191 @@
+// Plane-major face-map construction engine with incremental updates.
+//
+// FaceMap::build computes `signature_at` per cell: every cell pays a
+// heap-allocated SignatureVector and C(n,2) pair_region evaluations —
+// O(cells * n^2) distance math rebuilt wholesale on every deployment
+// change. This engine inverts the loop order. For each node pair it
+// rasterizes the pair's two Apollonius circles (Sec. 3.2, Eq. 4) — or
+// the C == 1 perpendicular bisector — directly onto a row-major int8
+// cell *plane* by per-row span fills: a circle meets a grid row in at
+// most one x-interval, so the interior is filled by `std::fill` with no
+// per-cell distance math, and only a narrow ambiguity window around each
+// span edge (where floating-point could disagree with `pair_region`) is
+// evaluated exactly. Face grouping is *run-compressed*: each plane keeps
+// a cached bitmask of the cells whose value differs from their left
+// neighbor, the active masks OR into one boundary mask per build, and
+// only the run-head cells (where any component changes) are grouped —
+// each head's signature trit-packs into base-3 64-bit words (an
+// injective encoding, so packed-word equality *is* signature equality)
+// and heads group by exact packed-key comparison — while run interiors
+// inherit their head's face. The per-face signatures
+// and the SignatureTable are then emitted in the table's final layout —
+// BatchMatcher adopts it with zero transposition.
+//
+// Bit-equivalence contract: build() is *bit-identical* to
+// FaceMap::build on the active deployment — same cell -> face
+// assignment, same face ids (cell scan order), signatures, centroids
+// (same accumulation order), adjacency, including the C == 1 degenerate
+// bisector division. FaceMap::build stays in the tree as the executable
+// specification; tests/core/test_facemap_builder.cpp enforces the
+// contract. Interior span cells are provably on the decided side of the
+// boundary (the ambiguity tolerance over-covers FP error by ~3 orders of
+// magnitude); edge windows call pair_region itself; and grouping
+// compares full packed signatures (the bucket hash only routes, never
+// decides equality; every signature's first cell is a run head, so ids
+// keep the legacy scan-order assignment), so the contract holds
+// unconditionally — nothing is probabilistic.
+//
+// Incremental rebuild: the builder caches one plane per roster pair.
+// When a deployment delta arrives — node failed or recovered
+// (net/faults.hpp semantics), added, or moved — only planes involving
+// changed nodes are re-rasterized (none at all for fail/recover, whose
+// planes stay cached) and grouping/adjacency is re-derived: an
+// O(cells * n) update instead of the O(cells * n^2) wholesale rebuild.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/vec2.hpp"
+#include "core/facemap.hpp"
+#include "core/signature_table.hpp"
+#include "geometry/grid.hpp"
+#include "net/sensor.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fttt {
+
+class FaceMapBuilder {
+ public:
+  /// Prepare a builder for `roster` (dense ids 0..n-1, all initially
+  /// active) with ratio constant `C >= 1` over `field` cells of side
+  /// `cell_size`. Validation matches FaceMap::build; rasterization and
+  /// grouping fan out over `pool`.
+  FaceMapBuilder(Deployment roster, double C, const Aabb& field, double cell_size,
+                 ThreadPool& pool = ThreadPool::global());
+
+  // -- Deployment deltas ---------------------------------------------------
+
+  /// Node failed: drop it from subsequent builds. Its planes stay cached
+  /// so a later recovery costs no rasterization at all.
+  void deactivate(NodeId id);
+
+  /// Node recovered: restore it to subsequent builds.
+  void activate(NodeId id);
+
+  /// Node repositioned: invalidates the n-1 cached planes involving it.
+  void move_node(NodeId id, Vec2 position);
+
+  /// Grow the roster by a new (active) node; returns its roster id.
+  NodeId add_node(Vec2 position);
+
+  bool is_active(NodeId id) const;
+  std::size_t roster_size() const { return roster_.size(); }
+  std::size_t active_count() const;
+
+  /// The active nodes re-labeled to dense ids 0..m-1 in roster order —
+  /// exactly the deployment a from-scratch FaceMap::build would get.
+  Deployment active_deployment() const;
+
+  // -- Build ---------------------------------------------------------------
+
+  /// Divide the field for the current active set. Rasterizes only planes
+  /// not already cached (all of them on the first call), then re-derives
+  /// grouping and adjacency. Bit-identical to
+  /// FaceMap::build(active_deployment(), ...). Throws std::invalid_argument
+  /// when fewer than two nodes are active.
+  FaceMap build();
+
+  /// SoA table of the faces produced by the last build(), emitted
+  /// plane-major straight from the cell planes (zero transposition) —
+  /// feed it to BatchMatcher's adopting constructor. Consumes the stored
+  /// table; throws std::logic_error before the first build() or when
+  /// called twice without an intervening build().
+  SignatureTable take_signature_table();
+
+  // -- Introspection (benches, tests, obs) ---------------------------------
+
+  std::size_t build_count() const { return build_count_; }
+  /// Planes rasterized by the most recent build() (cache misses only).
+  std::size_t last_planes_rasterized() const { return last_rasterized_; }
+  std::size_t planes_rasterized_total() const { return rasterized_total_; }
+
+  const UniformGrid& grid() const { return grid_; }
+  double ratio_constant() const { return C_; }
+
+ private:
+  /// Cells rounded up to one cache line of int8 columns: the stride
+  /// between planes (SignatureTable::kBlock alignment convention).
+  static constexpr std::size_t kPad = 64;
+
+  std::size_t padded_cells() const { return (grid_.cell_count() + kPad - 1) / kPad * kPad; }
+
+  SigValue* plane_data(std::uint32_t slot) { return planes_.data() + slot * padded_cells(); }
+  const SigValue* plane_data(std::uint32_t slot) const {
+    return planes_.data() + slot * padded_cells();
+  }
+
+  /// Words of the per-plane run-boundary bitmask (one bit per cell).
+  std::size_t mask_words() const { return (grid_.cell_count() + 63) / 64; }
+  std::uint64_t* mask_data(std::uint32_t slot) { return masks_.data() + slot * mask_words(); }
+  const std::uint64_t* mask_data(std::uint32_t slot) const {
+    return masks_.data() + slot * mask_words();
+  }
+
+  /// Slot of roster pair (i, j), i < j, allocating if new.
+  std::uint32_t slot_of(NodeId i, NodeId j);
+
+  /// Rasterize roster pair (i, j) onto `plane` (exact pair_region values
+  /// in every cell; see the span-fill scheme in the .cpp) and derive its
+  /// run-boundary bitmask into `mask`.
+  void rasterize_pair(NodeId i, NodeId j, SigValue* plane, std::uint64_t* mask) const;
+
+  void rasterize_disk(Vec2 a, Vec2 b, Vec2 center, double radius, SigValue inside,
+                      SigValue* plane) const;
+  void rasterize_bisector(Vec2 a, Vec2 b, SigValue* plane) const;
+
+  /// pair_region over cells [i0, i1] of row j (the exact-evaluation
+  /// window fill).
+  void fill_exact(Vec2 a, Vec2 b, int j, int i0, int i1, SigValue* plane) const;
+
+  /// Absolute FP-ambiguity tolerance on pair_region's decision
+  /// quantities for pair (a, b); see the .cpp derivation.
+  double decision_tolerance(Vec2 a, Vec2 b) const;
+
+  /// First/last grid column whose cell-center x is >= / <= x: a cached
+  /// 1/cell reciprocal gets within one column, then correction loops
+  /// settle the answer exactly against center_x_ — no caller-side slack.
+  int col_first_ge(double x) const;
+  int col_last_le(double x) const;
+
+  /// build() minus the obs span (the span name depends on build_count_).
+  FaceMap build_impl();
+
+  FaceMap assemble(const Deployment& active,
+                   const std::vector<const SigValue*>& planes,
+                   const std::vector<const std::uint64_t*>& masks);
+
+  UniformGrid grid_;
+  double C_;
+  double inv_cell_;              ///< 1 / grid cell size
+  ThreadPool* pool_;
+  Deployment roster_;            ///< full roster, ids dense 0..n-1
+  std::vector<char> active_;     ///< per roster node
+
+  std::vector<SigValue> planes_;                          ///< slots x padded_cells
+  std::vector<std::uint64_t> masks_;                      ///< slots x mask_words
+  std::unordered_map<std::uint64_t, std::uint32_t> slot_; ///< packed (i,j) -> slot
+  std::vector<char> slot_valid_;                          ///< per slot
+  std::vector<std::uint64_t> row_start_mask_;  ///< bits at every row's first cell
+  std::vector<double> center_x_;               ///< per-column cell-center x
+
+  std::optional<SignatureTable> table_;  ///< product of the last build()
+
+  std::size_t build_count_{0};
+  std::size_t last_rasterized_{0};
+  std::size_t rasterized_total_{0};
+};
+
+}  // namespace fttt

@@ -4,6 +4,18 @@
 
 namespace fttt {
 
+SignatureTable::SignatureTable(std::size_t faces, std::size_t dimension,
+                               std::vector<SigValue> data)
+    : face_count_(faces),
+      dimension_(dimension),
+      padded_(padded_for(faces)),
+      data_(std::move(data)) {
+  FTTT_CHECK(face_count_ > 0, "SignatureTable: empty face set");
+  FTTT_CHECK(data_.size() == dimension_ * padded_,
+             "SignatureTable: plane data size ", data_.size(), " != ",
+             dimension_, " planes x ", padded_, " columns");
+}
+
 SignatureTable::SignatureTable(const FaceMap& map)
     : face_count_(map.face_count()),
       dimension_(map.dimension()),

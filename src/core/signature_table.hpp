@@ -41,7 +41,20 @@ class SignatureTable {
   /// streaming in hot loops — columns stride by padded_faces()).
   SigValue at(std::size_t pair, FaceId face) const { return plane(pair)[face]; }
 
+  /// Padded plane stride for `faces` face columns.
+  static constexpr std::size_t padded_for(std::size_t faces) {
+    return (faces + kBlock - 1) / kBlock * kBlock;
+  }
+
  private:
+  friend class FaceMapBuilder;  ///< emits planes directly (no transposition)
+
+  /// Adopt prebuilt plane data (dimension planes of padded_for(faces)
+  /// columns, pad columns zero). Contract-checked, not validated against
+  /// a map: reserved for the plane-major builder, which derives the data
+  /// and the map from the same cell planes.
+  SignatureTable(std::size_t faces, std::size_t dimension, std::vector<SigValue> data);
+
   std::size_t face_count_{0};
   std::size_t dimension_{0};
   std::size_t padded_{0};

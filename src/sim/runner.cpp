@@ -7,6 +7,7 @@
 
 #include "baselines/direct_mle.hpp"
 #include "baselines/path_matching.hpp"
+#include "core/facemap_builder.hpp"
 #include "core/tracker.hpp"
 #include "mobility/gauss_markov.hpp"
 #include "mobility/path_trace.hpp"
@@ -98,13 +99,13 @@ TrackingResult run_tracking(const ScenarioConfig& cfg, std::span<const Method> m
   });
   if (needs_uncertain) {
     FTTT_OBS_SPAN("sim.facemap.build");
-    uncertain_map = std::make_shared<const FaceMap>(
-        FaceMap::build(nodes, C, cfg.field, cfg.grid_cell, pool));
+    FaceMapBuilder builder(nodes, C, cfg.field, cfg.grid_cell, pool);
+    uncertain_map = std::make_shared<const FaceMap>(builder.build());
   }
   if (needs_bisector) {
     FTTT_OBS_SPAN("sim.facemap.build");
-    bisector_map = std::make_shared<const FaceMap>(
-        FaceMap::build(nodes, 1.0, cfg.field, cfg.grid_cell, pool));
+    FaceMapBuilder builder(nodes, 1.0, cfg.field, cfg.grid_cell, pool);
+    bisector_map = std::make_shared<const FaceMap>(builder.build());
   }
 
   // Trackers, one per requested method.

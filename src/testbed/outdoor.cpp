@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 
+#include "core/facemap_builder.hpp"
 #include "core/tracker.hpp"
 #include "mobility/path_trace.hpp"
 #include "net/aggregation.hpp"
@@ -32,8 +33,8 @@ OutdoorSystem::Result OutdoorSystem::run(ThreadPool& pool) const {
   const double eps = cfg_.mote.adc_step_db;
   const double C = calibrated_uncertainty_constant(
       eps, cfg_.acoustic.beta, cfg_.acoustic.sigma, cfg_.samples_per_group);
-  auto map = std::make_shared<const FaceMap>(
-      FaceMap::build(motes, C, cfg_.field, cfg_.grid_cell, pool));
+  FaceMapBuilder map_builder(motes, C, cfg_.field, cfg_.grid_cell, pool);
+  auto map = std::make_shared<const FaceMap>(map_builder.build());
 
   // Silence here is MIB520 link loss, not weak signal: mark those pairs
   // '*' rather than applying Eq. 6's missing-reads-smaller rule.

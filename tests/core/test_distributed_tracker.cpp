@@ -170,5 +170,66 @@ TEST(DistributedTracker, LocalizeBatchLeavesHandoffBookkeepingUntouched) {
   EXPECT_EQ(dt.handoffs(), handoffs);
 }
 
+TEST(DistributedTracker, NodeFailureRebuildsOwningHeadIncrementally) {
+  const Deployment nodes = field_nodes();
+  DistributedTracker dt = make_tracker(nodes, 4);
+  const std::size_t faces_before = dt.total_faces();
+
+  // Kill one node: exactly its owning head re-derives its division.
+  EXPECT_TRUE(dt.on_node_failed(5));
+  EXPECT_EQ(dt.map_rebuilds(), 1u);
+  EXPECT_FALSE(dt.on_node_failed(5));  // already failed: no-op
+  EXPECT_EQ(dt.map_rebuilds(), 1u);
+  EXPECT_FALSE(dt.on_node_failed(999));  // unknown node
+  const std::size_t faces_degraded = dt.total_faces();
+  EXPECT_LT(faces_degraded, faces_before);  // one fewer node -> coarser head
+
+  // Tracking keeps working against the degraded division.
+  for (Vec2 target : {Vec2{27.0, 22.0}, Vec2{73.0, 26.0}}) {
+    const TrackEstimate e = dt.localize(sample_at(nodes, target));
+    EXPECT_LT(distance(e.position, target), 25.0) << target;
+  }
+
+  // Recovery restores the exact original division (the builder's plane
+  // cache makes the fail/recover round trip rasterize nothing).
+  EXPECT_TRUE(dt.on_node_recovered(5));
+  EXPECT_FALSE(dt.on_node_recovered(5));  // already live: no-op
+  EXPECT_EQ(dt.map_rebuilds(), 2u);
+  EXPECT_EQ(dt.total_faces(), faces_before);
+}
+
+TEST(DistributedTracker, HeadBelowOnePairDefersRebuild) {
+  // Three well-separated tight pairs force 2-member heads: killing both
+  // members of one must not rebuild a sub-pair map — the head keeps
+  // serving its previous division until a member recovers.
+  const Deployment nodes{{0, {5.0, 5.0}},  {1, {12.0, 5.0}},
+                         {2, {88.0, 5.0}}, {3, {95.0, 5.0}},
+                         {4, {45.0, 95.0}}, {5, {52.0, 95.0}}};
+  DistributedTracker dt = make_tracker(nodes, 3);
+  const std::size_t faces_before = dt.total_faces();
+
+  // Find two nodes sharing a cluster.
+  NodeId a = 0, b = 0;
+  bool found = false;
+  for (const Cluster& c : dt.clusters()) {
+    if (c.members.size() == 2) {
+      a = c.members[0];
+      b = c.members[1];
+      found = true;
+      break;
+    }
+  }
+  if (!found) GTEST_SKIP() << "clustering produced no 2-member head";
+
+  EXPECT_FALSE(dt.on_node_failed(a));  // 1 live member left: deferred
+  EXPECT_FALSE(dt.on_node_failed(b));  // 0 live members: deferred
+  EXPECT_EQ(dt.map_rebuilds(), 0u);
+  EXPECT_EQ(dt.total_faces(), faces_before);  // old map still served
+  EXPECT_FALSE(dt.on_node_recovered(a));      // still below a pair
+  EXPECT_TRUE(dt.on_node_recovered(b));       // pair restored -> rebuild
+  EXPECT_EQ(dt.total_faces(), faces_before);
+  (void)dt.localize(sample_at(nodes, {50.0, 50.0}));
+}
+
 }  // namespace
 }  // namespace fttt

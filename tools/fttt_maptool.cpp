@@ -1,12 +1,21 @@
 // fttt_maptool — build, save, load and inspect face-map files.
 //
 //   fttt_maptool build --sensors 10 --eps 1 --out map.bin [--adaptive]
+//                      [--bench] [--incremental]
 //   fttt_maptool info map.bin
 //
 // `build` divides a 100x100 field for a random deployment and writes the
 // FTTTMAP1 file; `info` loads one and prints its statistics — the
 // round-trip a deployment pipeline would run offline before flashing the
 // division to base stations / cluster heads (paper Sec. 4.3).
+//
+// `--bench` times the legacy per-cell build against the plane-major
+// construction engine on the same deployment (verifying the two maps are
+// bit-identical first — a mismatch is a hard error, not a perf number);
+// `--incremental` additionally cycles a fail/recover of every node
+// through the builder's cached planes and reports the regroup-only
+// rebuild cost the distributed tracker pays on a head failure.
+#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -14,6 +23,7 @@
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "core/adaptive_grid.hpp"
+#include "core/facemap_builder.hpp"
 #include "core/facemap_io.hpp"
 #include "net/deployment.hpp"
 #include "rf/uncertainty.hpp"
@@ -22,6 +32,29 @@ namespace {
 
 using namespace fttt;
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The builder's bit-equivalence contract, checked on live tool output
+/// (the unit suite enforces it in depth; a tool run must never print a
+/// speedup for a map that differs from the specification build).
+bool maps_identical(const FaceMap& a, const FaceMap& b) {
+  if (a.face_count() != b.face_count()) return false;
+  for (std::size_t c = 0; c < a.grid().cell_count(); ++c)
+    if (a.face_of_cell(c) != b.face_of_cell(c)) return false;
+  for (FaceId f = 0; f < a.face_count(); ++f) {
+    const Face& fa = a.face(f);
+    const Face& fb = b.face(f);
+    if (fa.signature != fb.signature || fa.centroid.x != fb.centroid.x ||
+        fa.centroid.y != fb.centroid.y || fa.cell_count != fb.cell_count ||
+        a.neighbors(f) != b.neighbors(f))
+      return false;
+  }
+  return true;
+}
+
 int cmd_build(const std::vector<std::string>& args) {
   std::size_t sensors = 10;
   double eps = 1.0;
@@ -29,6 +62,8 @@ int cmd_build(const std::vector<std::string>& args) {
   std::uint64_t seed = 2012;
   std::string out;
   bool adaptive = false;
+  bool bench = false;
+  bool incremental = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--sensors" && i + 1 < args.size()) sensors = std::stoul(args[++i]);
     else if (args[i] == "--eps" && i + 1 < args.size()) eps = std::stod(args[++i]);
@@ -36,6 +71,8 @@ int cmd_build(const std::vector<std::string>& args) {
     else if (args[i] == "--seed" && i + 1 < args.size()) seed = std::stoul(args[++i]);
     else if (args[i] == "--out" && i + 1 < args.size()) out = args[++i];
     else if (args[i] == "--adaptive") adaptive = true;
+    else if (args[i] == "--bench") bench = true;
+    else if (args[i] == "--incremental") { bench = true; incremental = true; }
     else {
       std::cerr << "build: unknown flag " << args[i] << "\n";
       return 2;
@@ -51,12 +88,64 @@ int cmd_build(const std::vector<std::string>& args) {
   const Deployment nodes = random_deployment(field, sensors, rng);
   const double C = calibrated_uncertainty_constant(eps, 4.0, 6.0, 5);
 
+  if (adaptive && bench) {
+    std::cerr << "build: --adaptive and --bench/--incremental are exclusive\n";
+    return 2;
+  }
+
   if (adaptive) {
     const AdaptiveBuildResult r = build_facemap_adaptive(nodes, C, field, cell);
     std::cout << "adaptive build: " << r.evaluations << " evaluations ("
               << TextTable::num(r.savings() * 100.0, 1) << " % saved), "
               << r.map.face_count() << " faces\n";
     save_facemap(r.map, out);
+  } else if (bench) {
+    auto t0 = std::chrono::steady_clock::now();
+    const FaceMap legacy = FaceMap::build(nodes, C, field, cell);
+    const double legacy_s = seconds_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    FaceMapBuilder builder(nodes, C, field, cell);
+    const FaceMap map = builder.build();
+    const double plane_s = seconds_since(t0);
+
+    if (!maps_identical(legacy, map)) {
+      std::cerr << "build: plane-major map differs from the legacy build "
+                   "(bit-equivalence contract violated)\n";
+      return 1;
+    }
+    std::cout << "legacy per-cell build: " << TextTable::num(legacy_s * 1e3, 2)
+              << " ms, " << legacy.face_count() << " faces\n"
+              << "plane-major build:     " << TextTable::num(plane_s * 1e3, 2)
+              << " ms (speedup " << TextTable::num(legacy_s / plane_s, 2)
+              << "x), maps bit-identical\n";
+
+    if (incremental) {
+      // Fail/recover every node once: the planes are already cached, so
+      // each of the 2n rebuilds is pure regrouping.
+      t0 = std::chrono::steady_clock::now();
+      for (NodeId id = 0; id < nodes.size(); ++id) {
+        builder.deactivate(id);
+        (void)builder.build();
+        builder.activate(id);
+        (void)builder.build();
+      }
+      const double incr_s = seconds_since(t0) / (2.0 * static_cast<double>(nodes.size()));
+      if (builder.last_planes_rasterized() != 0) {
+        std::cerr << "build: incremental rebuild rasterized planes "
+                     "(plane cache violated)\n";
+        return 1;
+      }
+      if (!maps_identical(legacy, builder.build())) {
+        std::cerr << "build: map after fail/recover cycles differs from the "
+                     "legacy build\n";
+        return 1;
+      }
+      std::cout << "incremental rebuild:   " << TextTable::num(incr_s * 1e3, 2)
+                << " ms/update (speedup " << TextTable::num(legacy_s / incr_s, 2)
+                << "x vs full legacy rebuild), zero planes re-rasterized\n";
+    }
+    save_facemap(map, out);
   } else {
     const FaceMap map = FaceMap::build(nodes, C, field, cell);
     std::cout << "uniform build: " << map.grid().cell_count() << " evaluations, "
@@ -107,6 +196,7 @@ int main(int argc, char** argv) {
   if (args.empty() || args[0] == "--help") {
     std::cout << "usage: fttt_maptool build --out FILE [--sensors N] [--eps E]\n"
                  "                          [--cell M] [--seed N] [--adaptive]\n"
+                 "                          [--bench] [--incremental]\n"
                  "       fttt_maptool info FILE\n";
     return args.empty() ? 2 : 0;
   }

@@ -1,7 +1,12 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_*.json perf trajectories and fail on regression.
+"""Compare BENCH_*.json perf trajectories and fail on any regression.
 
-usage: fttt_perfcmp.py BASELINE CURRENT [--tolerance 25%] [--absolute]
+usage: fttt_perfcmp.py BASELINE CURRENT [BASELINE CURRENT ...]
+                       [--tolerance 25%] [--absolute]
+
+Positional arguments form baseline/current pairs, so one invocation can
+gate several bench families at once (CI runs the matcher and the facemap
+trajectories together); an odd file count is a usage error (exit 2).
 
 Results are keyed by (name, batch). The default comparison uses the
 machine-portable ratio metric `speedup_vs_scalar` (higher is better):
@@ -61,20 +66,11 @@ def load_results(path: Path) -> dict[tuple[str, int], dict]:
     return table
 
 
-def main(argv: list[str]) -> int:
-    parser = argparse.ArgumentParser(
-        prog="fttt_perfcmp.py",
-        description="Fail when a BENCH_*.json regresses against its baseline.")
-    parser.add_argument("baseline", type=Path)
-    parser.add_argument("current", type=Path)
-    parser.add_argument("--tolerance", type=parse_tolerance, default=0.25,
-                        help="allowed slack, e.g. 25%% or 0.25 (default 25%%)")
-    parser.add_argument("--absolute", action="store_true",
-                        help="also gate ns_per_localization (same-machine runs only)")
-    args = parser.parse_args(argv[1:])
-
-    baseline = load_results(args.baseline)
-    current = load_results(args.current)
+def compare_pair(baseline_path: Path, current_path: Path, tolerance: float,
+                 absolute: bool) -> tuple[int, int]:
+    """Gate one baseline/current pair; returns (compared, regressions)."""
+    baseline = load_results(baseline_path)
+    current = load_results(current_path)
 
     regressions = 0
     compared = 0
@@ -89,7 +85,7 @@ def main(argv: list[str]) -> int:
         cur_speedup = cur.get("speedup_vs_scalar")
         if base_speedup is not None:
             compared += 1
-            floor = base_speedup * (1.0 - args.tolerance)
+            floor = base_speedup * (1.0 - tolerance)
             if cur_speedup is None or cur_speedup < floor:
                 print(f"  [REGRESSION] {name}: speedup {cur_speedup} "
                       f"< floor {floor:.3f} (baseline {base_speedup})")
@@ -98,9 +94,9 @@ def main(argv: list[str]) -> int:
                 print(f"  [ok] {name}: speedup {cur_speedup:.3f} "
                       f">= floor {floor:.3f}")
 
-        if args.absolute and "ns_per_localization" in base:
+        if absolute and "ns_per_localization" in base:
             compared += 1
-            ceiling = base["ns_per_localization"] * (1.0 + args.tolerance)
+            ceiling = base["ns_per_localization"] * (1.0 + tolerance)
             ns = cur.get("ns_per_localization")
             if ns is None or ns > ceiling:
                 print(f"  [REGRESSION] {name}: {ns} ns/loc "
@@ -111,6 +107,37 @@ def main(argv: list[str]) -> int:
 
     for key in sorted(set(current) - set(baseline)):
         print(f"  [new] {key[0]} batch={key[1]}: no baseline yet (not fatal)")
+
+    return compared, regressions
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fttt_perfcmp.py",
+        description="Fail when a BENCH_*.json regresses against its baseline.")
+    parser.add_argument("files", type=Path, nargs="+",
+                        metavar="BASELINE CURRENT",
+                        help="one or more baseline/current file pairs")
+    parser.add_argument("--tolerance", type=parse_tolerance, default=0.25,
+                        help="allowed slack, e.g. 25%% or 0.25 (default 25%%)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="also gate ns_per_localization (same-machine runs only)")
+    args = parser.parse_args(argv[1:])
+
+    if len(args.files) % 2 != 0:
+        print("fttt_perfcmp: positional files must form BASELINE CURRENT "
+              f"pairs, got {len(args.files)} file(s)", file=sys.stderr)
+        return 2
+
+    regressions = 0
+    compared = 0
+    for i in range(0, len(args.files), 2):
+        baseline_path, current_path = args.files[i], args.files[i + 1]
+        print(f"{baseline_path} vs {current_path}:")
+        pair_compared, pair_regressions = compare_pair(
+            baseline_path, current_path, args.tolerance, args.absolute)
+        compared += pair_compared
+        regressions += pair_regressions
 
     if compared == 0:
         print("fttt_perfcmp: nothing comparable between the two files",

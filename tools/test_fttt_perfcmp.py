@@ -18,16 +18,22 @@ from pathlib import Path
 PERFCMP = Path(__file__).resolve().parent / "fttt_perfcmp.py"
 
 
-def run(baseline: object, current: object, *extra: str) -> int:
+def run_files(docs: list[object], *extra: str) -> int:
+    """Write each doc to its own file and pass them all positionally."""
     with tempfile.TemporaryDirectory() as tmp:
-        base = Path(tmp) / "base.json"
-        cur = Path(tmp) / "cur.json"
-        base.write_text(json.dumps(baseline), encoding="utf-8")
-        cur.write_text(json.dumps(current), encoding="utf-8")
+        paths = []
+        for i, doc_obj in enumerate(docs):
+            path = Path(tmp) / f"f{i}.json"
+            path.write_text(json.dumps(doc_obj), encoding="utf-8")
+            paths.append(str(path))
         proc = subprocess.run(
-            [sys.executable, str(PERFCMP), str(base), str(cur), *extra],
+            [sys.executable, str(PERFCMP), *paths, *extra],
             capture_output=True, text=True)
         return proc.returncode
+
+
+def run(baseline: object, current: object, *extra: str) -> int:
+    return run_files([baseline, current], *extra)
 
 
 def doc(*rows: dict) -> dict:
@@ -47,6 +53,12 @@ def main() -> int:
                                   doc(ok_row)), 2),
         ("row not a dict", run(doc(ok_row), {"results": [5]}), 2),
         ("nothing comparable", run(doc(), doc()), 2),
+        # Multi-pair invocations (CI gates matcher + facemap in one call).
+        ("two pairs ok",
+         run_files([doc(ok_row), doc(ok_row), doc(ok_row), doc(ok_row)]), 0),
+        ("regression in second pair",
+         run_files([doc(ok_row), doc(ok_row), doc(ok_row), doc(slow_row)]), 1),
+        ("odd file count", run_files([doc(ok_row), doc(ok_row), doc(ok_row)]), 2),
     ]
     failures = 0
     for label, got, want in checks:
