@@ -2,8 +2,10 @@
 // Sweeps k and reports tracking accuracy together with per-localization
 // energy (IRIS/MTS300-class cost model): what a deployment pays for the
 // accuracy that grouping sampling buys.
+#include <algorithm>
 #include <array>
 #include <iostream>
+#include <span>
 
 #include "bench_common.hpp"
 #include "net/deployment.hpp"
@@ -40,12 +42,11 @@ int main(int argc, char** argv) {
     const auto reporting =
         static_cast<std::size_t>(coverage * static_cast<double>(cfg.sensor_count));
     EnergyLedger ledger;
-    GroupingSampling epoch;
-    epoch.node_count = cfg.sensor_count;
-    epoch.instants = k;
-    epoch.rss.resize(cfg.sensor_count);
-    for (std::size_t i = 0; i < reporting; ++i)
-      epoch.rss[i] = std::vector<double>(k, -50.0);
+    GroupingSampling epoch(cfg.sensor_count, k);
+    for (std::size_t i = 0; i < reporting; ++i) {
+      std::span<double> column = epoch.set_column(i);
+      std::fill(column.begin(), column.end(), -50.0);
+    }
     for (int e = 0; e < 100; ++e) ledger.charge_epoch(epoch, cfg.localization_period);
 
     const double node_mj = ledger.node_total_mj() / 100.0;

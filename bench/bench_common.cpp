@@ -15,10 +15,13 @@ Options parse_options(int argc, char** argv) {
       opt.duration = 10.0;
     } else if (arg == "--trials" && i + 1 < argc) {
       opt.trials = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opt.threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--csv" && i + 1 < argc) {
       opt.csv_path = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--fast] [--trials N] [--csv out.csv]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--fast] [--trials N] [--threads N] [--csv out.csv]\n";
       std::exit(2);
     }
   }
@@ -35,6 +38,10 @@ ScenarioConfig default_scenario(const Options& opt) {
   // Channel::kGaussian for sensitivity panels (see EXPERIMENTS.md).
   cfg.channel = Channel::kBounded;
   return cfg;
+}
+
+BenchPool::BenchPool(const Options& opt) {
+  if (opt.threads > 0) owned_ = std::make_unique<ThreadPool>(opt.threads);
 }
 
 void print_scenario(std::ostream& os, const ScenarioConfig& cfg) {

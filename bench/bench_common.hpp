@@ -2,9 +2,11 @@
 //
 // Every bench binary prints the paper table/figure it reproduces as text
 // rows and optionally mirrors them to CSV:
-//   bench_figXX [--fast] [--trials N] [--csv out.csv]
+//   bench_figXX [--fast] [--trials N] [--threads N] [--csv out.csv]
 // --fast shrinks trial counts/durations so the full bench suite stays in
-// CI-friendly time; shapes remain, confidence intervals widen.
+// CI-friendly time; shapes remain, confidence intervals widen. --threads
+// pins the worker count (0 = the shared global pool) so results recorded
+// on heterogeneous machines stay attributable.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +17,7 @@
 
 #include "common/csv.hpp"
 #include "common/table.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sim/scenario.hpp"
 
 namespace fttt::bench {
@@ -23,6 +26,7 @@ struct Options {
   bool fast = false;
   std::size_t trials = 10;      ///< Monte-Carlo trials per sweep point
   double duration = 30.0;       ///< seconds per tracking run
+  std::size_t threads = 0;      ///< worker count; 0 = shared global pool
   std::optional<std::string> csv_path;
 };
 
@@ -32,6 +36,19 @@ Options parse_options(int argc, char** argv);
 /// Scenario with the bench-suite defaults applied (Table 1 values with a
 /// coarser 2 m preprocessing grid so sweeps finish in minutes).
 ScenarioConfig default_scenario(const Options& opt);
+
+/// The pool `--threads` selected: the shared global pool for 0 (the
+/// default), otherwise an owned pool with exactly that many workers.
+/// Bench JSON rows should record `pool().thread_count()` so trajectory
+/// points carry the parallelism they were measured at.
+class BenchPool {
+ public:
+  explicit BenchPool(const Options& opt);
+  ThreadPool& pool() { return owned_ ? *owned_ : ThreadPool::global(); }
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+};
 
 /// Print the Table 1 parameter block the run uses.
 void print_scenario(std::ostream& os, const ScenarioConfig& cfg);

@@ -8,25 +8,25 @@ namespace fttt {
 
 SamplingVector one_shot_vector(const GroupingSampling& group, std::size_t instant,
                                double eps, MissingPolicy missing) {
-  if (instant >= group.instants)
+  if (instant >= group.instants())
     throw std::out_of_range("one_shot_vector: instant out of range");
-  const std::size_t n = group.node_count;
+  const std::size_t n = group.node_count();
   SamplingVector v;
   v.value.assign(pair_count(n), 0.0);
   v.known.assign(pair_count(n), true);
   std::size_t c = 0;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j, ++c) {
-      const auto& col_i = group.rss[i];
-      const auto& col_j = group.rss[j];
-      if (col_i && col_j) {
-        v.value[c] = compare_rss((*col_i)[instant], (*col_j)[instant], eps);
-      } else if (col_i && !col_j) {
+      const bool has_i = group.has(i);
+      const bool has_j = group.has(j);
+      if (has_i && has_j) {
+        v.value[c] = compare_rss(group.column(i)[instant], group.column(j)[instant], eps);
+      } else if (has_i && !has_j) {
         if (missing == MissingPolicy::kMissingReadsSmaller)
           v.value[c] = +1.0;  // same missing-node convention as Eq. 6
         else
           v.known[c] = false;
-      } else if (!col_i && col_j) {
+      } else if (!has_i && has_j) {
         if (missing == MissingPolicy::kMissingReadsSmaller)
           v.value[c] = -1.0;
         else
@@ -46,7 +46,7 @@ DirectMleTracker::DirectMleTracker(std::shared_ptr<const FaceMap> bisector_map,
 }
 
 TrackEstimate DirectMleTracker::localize(const GroupingSampling& group) {
-  if (group.node_count != map_->nodes().size())
+  if (group.node_count() != map_->nodes().size())
     throw std::invalid_argument("DirectMleTracker: node count mismatch");
   const SamplingVector v = one_shot_vector(group, 0, eps_, missing_);
   const MatchResult r = matcher_.match(*map_, v);

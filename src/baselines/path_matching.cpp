@@ -19,7 +19,7 @@ PathMatchingTracker::PathMatchingTracker(std::shared_ptr<const FaceMap> bisector
 }
 
 TrackEstimate PathMatchingTracker::localize(const GroupingSampling& group) {
-  if (group.node_count != map_->nodes().size())
+  if (group.node_count() != map_->nodes().size())
     throw std::invalid_argument("PathMatchingTracker: node count mismatch");
 
   // 1. Score every face against this step's one-shot vector; keep top-K.
@@ -33,6 +33,27 @@ TrackEstimate PathMatchingTracker::localize(const GroupingSampling& group) {
     const double capped = std::min(s, 1e6);
     step.push_back(Candidate{f.id, std::log(capped)});
   }
+  return advance(std::move(step));
+}
+
+TrackEstimate PathMatchingTracker::localize_scored(
+    std::span<const double> face_similarity) {
+  if (face_similarity.size() < map_->face_count())
+    throw std::invalid_argument(
+        "PathMatchingTracker: similarity span smaller than the face count");
+  std::vector<Candidate> step;
+  step.reserve(map_->face_count());
+  for (const Face& f : map_->faces()) {
+    // Same capped-log transform as localize(); with bit-identical
+    // similarities the candidate list — and therefore the whole window
+    // state — matches the scalar path exactly.
+    const double capped = std::min(face_similarity[f.id], 1e6);
+    step.push_back(Candidate{f.id, std::log(capped)});
+  }
+  return advance(std::move(step));
+}
+
+TrackEstimate PathMatchingTracker::advance(std::vector<Candidate> step) {
   const std::size_t keep = std::min(config_.candidates, step.size());
   std::partial_sort(step.begin(), step.begin() + static_cast<std::ptrdiff_t>(keep),
                     step.end(), [](const Candidate& a, const Candidate& b) {

@@ -17,6 +17,7 @@
 
 #include <deque>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/facemap.hpp"
@@ -52,6 +53,13 @@ class PathMatchingTracker {
   /// observation, appends it to the window and re-solves the path.
   TrackEstimate localize(const GroupingSampling& group);
 
+  /// Feed one step whose per-face similarities were already computed (the
+  /// epoch pipeline batches the face scans over the SoA signature table,
+  /// bit-identical to the scalar scan in localize). `face_similarity[f]`
+  /// must be the similarity of face f; only the first face_count() entries
+  /// are read.
+  TrackEstimate localize_scored(std::span<const double> face_similarity);
+
   /// Drop the observation window (new track).
   void reset() { window_.clear(); }
 
@@ -60,6 +68,10 @@ class PathMatchingTracker {
     FaceId face;
     double log_likelihood;  ///< log similarity of this face at this step
   };
+
+  /// Shared tail of both localize entries: top-K selection, window push,
+  /// Viterbi re-solve, estimate extraction.
+  TrackEstimate advance(std::vector<Candidate> step);
 
   std::shared_ptr<const FaceMap> map_;
   Config config_;

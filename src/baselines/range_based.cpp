@@ -1,6 +1,7 @@
 #include "baselines/range_based.hpp"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 namespace fttt {
@@ -8,7 +9,7 @@ namespace fttt {
 namespace {
 
 /// Mean RSS of a column over the group's instants.
-double column_mean(const std::vector<double>& samples) {
+double column_mean(std::span<const double> samples) {
   double acc = 0.0;
   for (double s : samples) acc += s;
   return acc / static_cast<double>(samples.size());
@@ -20,15 +21,15 @@ WeightedCentroidLocalizer::WeightedCentroidLocalizer(Deployment nodes)
     : nodes_(std::move(nodes)) {}
 
 TrackEstimate WeightedCentroidLocalizer::localize(const GroupingSampling& group) const {
-  if (group.node_count != nodes_.size())
+  if (group.node_count() != nodes_.size())
     throw std::invalid_argument("WeightedCentroidLocalizer: node count mismatch");
   Vec2 weighted{};
   double total = 0.0;
   Vec2 plain{};
   std::size_t reporting = 0;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (!group.rss[i]) continue;
-    const double w = std::pow(10.0, column_mean(*group.rss[i]) / 10.0);
+    if (!group.has(i)) continue;
+    const double w = std::pow(10.0, column_mean(group.column(i)) / 10.0);
     weighted += nodes_[i].position * w;
     total += w;
     plain += nodes_[i].position;
@@ -45,16 +46,16 @@ TrilaterationLocalizer::TrilaterationLocalizer(Deployment nodes, Config config)
     : nodes_(std::move(nodes)), config_(config), fallback_(nodes_) {}
 
 TrackEstimate TrilaterationLocalizer::localize(const GroupingSampling& group) const {
-  if (group.node_count != nodes_.size())
+  if (group.node_count() != nodes_.size())
     throw std::invalid_argument("TrilaterationLocalizer: node count mismatch");
 
   // Ranging: invert mean RSS per reporting node.
   std::vector<Vec2> anchors;
   std::vector<double> ranges;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (!group.rss[i]) continue;
+    if (!group.has(i)) continue;
     anchors.push_back(nodes_[i].position);
-    ranges.push_back(config_.model.invert_rss(column_mean(*group.rss[i])));
+    ranges.push_back(config_.model.invert_rss(column_mean(group.column(i))));
   }
   if (anchors.size() < 3) return fallback_.localize(group);
 

@@ -22,16 +22,16 @@ SequenceLocalizer::SequenceLocalizer(std::shared_ptr<const FaceMap> map)
 }
 
 TrackEstimate SequenceLocalizer::localize(const GroupingSampling& group) const {
-  if (group.node_count != map_->nodes().size())
+  if (group.node_count() != map_->nodes().size())
     throw std::invalid_argument("SequenceLocalizer: node count mismatch");
-  if (group.instants == 0)
+  if (group.instants() == 0)
     throw std::invalid_argument("SequenceLocalizer: empty group");
 
   // Rank vector of the first instant; missing nodes read NaN.
-  std::vector<double> rss(group.node_count,
+  std::vector<double> rss(group.node_count(),
                           std::numeric_limits<double>::quiet_NaN());
-  for (std::size_t i = 0; i < group.node_count; ++i)
-    if (group.rss[i]) rss[i] = (*group.rss[i])[0];
+  for (std::size_t i = 0; i < group.node_count(); ++i)
+    if (group.has(i)) rss[i] = group.column(i)[0];
   const std::vector<std::uint32_t> observed = rank_vector(rss);
 
   double best_tau = -2.0;

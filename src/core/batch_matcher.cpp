@@ -78,7 +78,8 @@ BatchMatcher::BatchMatcher(std::shared_ptr<const FaceMap> map)
 
 BatchMatcher::BatchMatcher(std::shared_ptr<const FaceMap> map, Config config,
                            ThreadPool& pool)
-    : map_(std::move(map)), config_(config), pool_(&pool), table_(require_map(map_)) {
+    : map_(std::move(map)), config_(config), pool_(&pool),
+      table_(std::make_shared<const SignatureTable>(require_map(map_))) {
   FTTT_CHECK(config_.face_block > 0, "BatchMatcher: zero face_block");
   FTTT_OBS_GAUGE_SET("matcher.kernel.clones", FTTT_HAS_VECTOR_CLONES);
 }
@@ -88,22 +89,52 @@ BatchMatcher::BatchMatcher(std::shared_ptr<const FaceMap> map, SignatureTable ta
 
 BatchMatcher::BatchMatcher(std::shared_ptr<const FaceMap> map, SignatureTable table,
                            Config config, ThreadPool& pool)
-    : map_(std::move(map)), config_(config), pool_(&pool), table_(std::move(table)) {
+    : map_(std::move(map)), config_(config), pool_(&pool),
+      table_(std::make_shared<const SignatureTable>(std::move(table))) {
   const FaceMap& m = require_map(map_);
-  if (table_.face_count() != m.face_count() || table_.dimension() != m.dimension())
+  if (table_->face_count() != m.face_count() || table_->dimension() != m.dimension())
     throw std::invalid_argument("BatchMatcher: signature table does not match map");
   FTTT_CHECK(config_.face_block > 0, "BatchMatcher: zero face_block");
   FTTT_OBS_GAUGE_SET("matcher.kernel.clones", FTTT_HAS_VECTOR_CLONES);
 }
 
+BatchMatcher::BatchMatcher(std::shared_ptr<const FaceMap> map,
+                           std::shared_ptr<const SignatureTable> table)
+    : map_(std::move(map)), config_(Config{}), pool_(&ThreadPool::global()),
+      table_(std::move(table)) {
+  const FaceMap& m = require_map(map_);
+  if (!table_) throw std::invalid_argument("BatchMatcher: null signature table");
+  if (table_->face_count() != m.face_count() || table_->dimension() != m.dimension())
+    throw std::invalid_argument("BatchMatcher: signature table does not match map");
+  FTTT_OBS_GAUGE_SET("matcher.kernel.clones", FTTT_HAS_VECTOR_CLONES);
+}
+
 void BatchMatcher::match_into(const SamplingVector& vd, double* acc,
                               MatchResult& out) const {
-  FTTT_DCHECK(vd.dimension() == table_.dimension(),
+  FTTT_DCHECK(vd.dimension() == table_->dimension(),
               "sampling vector dimension ", vd.dimension(),
-              " != face-map dimension ", table_.dimension());
-  const std::size_t padded = table_.padded_faces();
-  const std::size_t faces = table_.face_count();
-  const std::size_t dim = table_.dimension();
+              " != face-map dimension ", table_->dimension());
+  const std::size_t faces = table_->face_count();
+  similarities_unchecked(vd, acc);
+
+  // Selection yields exactly what ExhaustiveMatcher::match's running
+  // compare chain yields — the chain computes max similarity with ties in
+  // ascending face order — restructured into a vectorizable transform pass
+  // followed by a max scan and a tie sweep over the same values.
+  double best = -1.0;
+  for (std::size_t f = 0; f < faces; ++f)
+    if (acc[f] > best) best = acc[f];
+  out = MatchResult{};
+  out.similarity = best;
+  out.faces_examined = faces;
+  for (std::size_t f = 0; f < faces; ++f)
+    if (acc[f] == best) out.tied_faces.push_back(static_cast<FaceId>(f));
+  detail::finalize_match(*map_, out);
+}
+
+void BatchMatcher::similarities_unchecked(const SamplingVector& vd, double* acc) const {
+  const std::size_t padded = table_->padded_faces();
+  const std::size_t dim = table_->dimension();
   FTTT_OBS_COUNT("matcher.planes.skipped", vd.unknown_count());
   std::fill(acc, acc + padded, 0.0);
 
@@ -117,38 +148,34 @@ void BatchMatcher::match_into(const SamplingVector& vd, double* acc,
     const std::size_t len = std::min(config_.face_block, padded - lo);
     for (std::size_t c = 0; c < dim; ++c) {
       if (!vd.known[c]) continue;  // Eq. 7 '*': skip the whole plane
-      accumulate_plane(acc + lo, table_.plane(c) + lo, vd.value[c], len);
+      accumulate_plane(acc + lo, table_->plane(c) + lo, vd.value[c], len);
     }
   }
+  // The in-place transform covers the padded width so similarities_into
+  // callers and the match selection share one kernel; pad slots transform
+  // garbage accumulator values and are never read.
+  similarity_in_place(acc, table_->padded_faces());
+}
 
-  // Selection yields exactly what ExhaustiveMatcher::match's running
-  // compare chain yields — the chain computes max similarity with ties in
-  // ascending face order — restructured into a vectorizable transform pass
-  // followed by a max scan and a tie sweep over the same values.
-  similarity_in_place(acc, faces);
-  double best = -1.0;
-  for (std::size_t f = 0; f < faces; ++f)
-    if (acc[f] > best) best = acc[f];
-  out = MatchResult{};
-  out.similarity = best;
-  out.faces_examined = faces;
-  for (std::size_t f = 0; f < faces; ++f)
-    if (acc[f] == best) out.tied_faces.push_back(static_cast<FaceId>(f));
-  detail::finalize_match(*map_, out);
+void BatchMatcher::similarities_into(const SamplingVector& vd, std::span<double> out) const {
+  require_dimension(vd);
+  if (out.size() < table_->padded_faces())
+    throw std::invalid_argument("BatchMatcher::similarities_into: output too small");
+  similarities_unchecked(vd, out.data());
 }
 
 void BatchMatcher::require_dimension(const SamplingVector& vd) const {
   // Public-API guard kept in release builds, mirroring the scalar path
   // (vector_distance throws the same type); the per-vector hot loop in
   // match_into keeps only a DCHECK.
-  if (vd.dimension() != table_.dimension())
+  if (vd.dimension() != table_->dimension())
     throw std::invalid_argument("BatchMatcher: sampling vector dimension mismatch");
 }
 
 MatchResult BatchMatcher::match_one(const SamplingVector& vd) const {
   FTTT_OBS_SPAN("matcher.match_one");
   require_dimension(vd);
-  std::vector<double> acc(table_.padded_faces());
+  std::vector<double> acc(table_->padded_faces());
   MatchResult r;
   match_into(vd, acc.data(), r);
   return r;
@@ -199,7 +226,7 @@ std::vector<MatchResult> BatchMatcher::match(
   for (const SamplingVector& vd : batch) require_dimension(vd);
 
   const std::size_t n = batch.size();
-  const std::size_t padded = table_.padded_faces();
+  const std::size_t padded = table_->padded_faces();
   const std::size_t workers = pool_->stopped() ? 1 : pool_->thread_count();
   if (n < config_.min_parallel_batch || workers <= 1) {
     std::vector<double> acc(padded);
@@ -236,17 +263,17 @@ double BatchMatcher::column_similarity(const SamplingVector& vd, FaceId face) co
   // Column walk (strided by padded_faces()); term order matches the
   // scalar vector_distance exactly.
   double acc = 0.0;
-  for (std::size_t c = 0; c < table_.dimension(); ++c) {
+  for (std::size_t c = 0; c < table_->dimension(); ++c) {
     if (!vd.known[c]) continue;
-    const double d = vd.value[c] - static_cast<double>(table_.at(c, face));
+    const double d = vd.value[c] - static_cast<double>(table_->at(c, face));
     acc += d * d;
   }
   return similarity_from_distance(std::sqrt(acc));
 }
 
 MatchResult BatchMatcher::climb(const SamplingVector& vd, FaceId start) const {
-  FTTT_CHECK(start < table_.face_count(), "warm-start face ", start,
-             " out of range (", table_.face_count(), " faces)");
+  FTTT_CHECK(start < table_->face_count(), "warm-start face ", start,
+             " out of range (", table_->face_count(), " faces)");
   require_dimension(vd);
   FTTT_OBS_SPAN("matcher.climb");
   MatchResult r;

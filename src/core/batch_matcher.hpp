@@ -19,6 +19,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/matcher.hpp"
@@ -54,6 +55,12 @@ class BatchMatcher {
   BatchMatcher(std::shared_ptr<const FaceMap> map, SignatureTable table,
                Config config, ThreadPool& pool = ThreadPool::global());
 
+  /// Share an already-built SoA table (e.g. a FaceMapCache entry): several
+  /// matchers over the same map then pay for one transposition total.
+  /// Same validation as the adopting constructors; throws on null table.
+  BatchMatcher(std::shared_ptr<const FaceMap> map,
+               std::shared_ptr<const SignatureTable> table);
+
   /// Localize every vector of `batch`; results[i] is the match of
   /// batch[i], each bit-identical to ExhaustiveMatcher::match.
   std::vector<MatchResult> match(const std::vector<SamplingVector>& batch) const;
@@ -65,7 +72,18 @@ class BatchMatcher {
   /// links) consulting the SoA table; bit-identical to HeuristicMatcher.
   MatchResult climb(const SamplingVector& vd, FaceId start) const;
 
-  const SignatureTable& table() const { return table_; }
+  /// Per-face similarities of `vd` in one blocked SoA pass: `out` must
+  /// hold padded_faces() doubles; entries [0, face_count()) are filled
+  /// with values bit-identical to the scalar
+  /// similarity(vd, face.signature) of every face (pad entries are
+  /// meaningless). This is the kernel match() selects over, exposed so
+  /// face-scan consumers (path matching) share it.
+  void similarities_into(const SamplingVector& vd, std::span<double> out) const;
+
+  const SignatureTable& table() const { return *table_; }
+
+  /// The shared table handle (for cache-aware construction of siblings).
+  std::shared_ptr<const SignatureTable> shared_table() const { return table_; }
   const FaceMap& map() const { return *map_; }
 
  private:
@@ -74,6 +92,10 @@ class BatchMatcher {
   /// Accumulate distance^2 of `vd` over all face columns into `acc`
   /// (padded_faces() doubles of scratch) and select the result.
   void match_into(const SamplingVector& vd, double* acc, MatchResult& out) const;
+
+  /// The accumulation + similarity transform shared by match_into and
+  /// similarities_into (no selection, no validation).
+  void similarities_unchecked(const SamplingVector& vd, double* acc) const;
 
   /// Similarity of one face via a column walk (hill-climb support).
   double column_similarity(const SamplingVector& vd, FaceId face) const;
@@ -85,7 +107,7 @@ class BatchMatcher {
   std::shared_ptr<const FaceMap> map_;
   Config config_;
   ThreadPool* pool_;
-  SignatureTable table_;
+  std::shared_ptr<const SignatureTable> table_;
 };
 
 }  // namespace fttt

@@ -140,11 +140,11 @@ bool DistributedTracker::on_node_recovered(NodeId global) {
 
 GroupingSampling DistributedTracker::project(const GroupingSampling& group,
                                              const std::vector<NodeId>& members) {
-  GroupingSampling local;
-  local.node_count = members.size();
-  local.instants = group.instants;
-  local.rss.reserve(members.size());
-  for (NodeId m : members) local.rss.push_back(group.rss[m]);
+  GroupingSampling local(members.size(), group.instants());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const NodeId m = members[i];
+    if (group.has(m)) local.set_column(i, group.column(m));
+  }
   return local;
 }
 
@@ -158,10 +158,10 @@ std::optional<std::size_t> DistributedTracker::route(const GroupingSampling& gro
   for (std::size_t c = 0; c < heads_.size(); ++c) {
     double strongest = -std::numeric_limits<double>::max();
     for (NodeId m : heads_[c].members) {
-      if (!group.rss[m]) continue;
+      if (!group.has(m)) continue;
       double mean = 0.0;
-      for (double s : *group.rss[m]) mean += s;
-      mean /= static_cast<double>(group.rss[m]->size());
+      for (double s : group.column(m)) mean += s;
+      mean /= static_cast<double>(group.instants());
       strongest = std::max(strongest, mean);
       any = true;
     }

@@ -1,6 +1,6 @@
 #include "core/sampling_vector.hpp"
 
-#include <stdexcept>
+#include <span>
 
 #include "common/check.hpp"
 #include "core/pairs.hpp"
@@ -18,12 +18,11 @@ std::size_t SamplingVector::unknown_count() const {
 namespace {
 
 /// Pair value when both nodes reported: Def. 4 (basic) / Def. 10
-/// (extended) over the k instants.
-double both_present_value(const std::vector<double>& rss_i,
-                          const std::vector<double>& rss_j, double eps,
+/// (extended) over the k instants. Columns come from the SoA grouping
+/// sampling, so both are contiguous k-sample runs.
+double both_present_value(std::span<const double> rss_i,
+                          std::span<const double> rss_j, double eps,
                           VectorMode mode) {
-  FTTT_DCHECK(rss_i.size() == rss_j.size(), "ragged pair columns: ",
-              rss_i.size(), " vs ", rss_j.size());
   FTTT_DCHECK(!rss_i.empty(), "pair value over zero sampling instants");
   const std::size_t k = rss_i.size();
   std::size_t above = 0;  // N_ij: instants with rss_i decisively above
@@ -45,9 +44,7 @@ double both_present_value(const std::vector<double>& rss_i,
 
 SamplingVector build_sampling_vector(const GroupingSampling& group, double eps,
                                      VectorMode mode, MissingPolicy missing) {
-  const std::size_t n = group.node_count;
-  if (group.rss.size() != n)
-    throw std::invalid_argument("build_sampling_vector: rss size != node_count");
+  const std::size_t n = group.node_count();
 
   SamplingVector vd;
   vd.value.assign(pair_count(n), 0.0);
@@ -55,19 +52,19 @@ SamplingVector build_sampling_vector(const GroupingSampling& group, double eps,
 
   std::size_t c = 0;
   for (std::size_t i = 0; i < n; ++i) {
+    const bool has_i = group.has(i);
+    const std::span<const double> col_i =
+        has_i ? group.column(i) : std::span<const double>{};
     for (std::size_t j = i + 1; j < n; ++j, ++c) {
-      const auto& col_i = group.rss[i];
-      const auto& col_j = group.rss[j];
-      if (col_i && col_j) {
-        if (col_i->size() != group.instants || col_j->size() != group.instants)
-          throw std::invalid_argument("build_sampling_vector: ragged column");
-        vd.value[c] = both_present_value(*col_i, *col_j, eps, mode);
-      } else if (col_i && !col_j) {
+      const bool has_j = group.has(j);
+      if (has_i && has_j) {
+        vd.value[c] = both_present_value(col_i, group.column(j), eps, mode);
+      } else if (has_i && !has_j) {
         if (missing == MissingPolicy::kMissingReadsSmaller)
           vd.value[c] = +1.0;  // Eq. 6: missing node reads smaller
         else
           vd.known[c] = false;
-      } else if (!col_i && col_j) {
+      } else if (!has_i && has_j) {
         if (missing == MissingPolicy::kMissingReadsSmaller)
           vd.value[c] = -1.0;
         else

@@ -9,13 +9,19 @@ namespace fttt {
 FtttTracker::FtttTracker(std::shared_ptr<const FaceMap> map, Config config)
     : map_(std::move(map)), config_(config), batch_(map_) {}
 
-TrackEstimate FtttTracker::localize(const GroupingSampling& group) {
-  if (group.node_count != map_->nodes().size())
-    throw std::invalid_argument("FtttTracker: grouping sampling node count != map deployment");
+FtttTracker::FtttTracker(std::shared_ptr<const FaceMap> map, Config config,
+                         std::shared_ptr<const SignatureTable> table)
+    : map_(std::move(map)), config_(config), batch_(map_, std::move(table)) {}
 
+TrackEstimate FtttTracker::localize(const GroupingSampling& group) {
+  if (group.node_count() != map_->nodes().size())
+    throw std::invalid_argument("FtttTracker: grouping sampling node count != map deployment");
+  return localize(
+      build_sampling_vector(group, config_.eps, config_.mode, config_.missing));
+}
+
+TrackEstimate FtttTracker::localize(const SamplingVector& vd) {
   FTTT_OBS_SPAN("tracker.localize");
-  const SamplingVector vd =
-      build_sampling_vector(group, config_.eps, config_.mode, config_.missing);
 
   // Both paths run on the SoA signature table (bit-identical to the
   // scalar reference matchers, see core/batch_matcher.hpp).
@@ -55,7 +61,7 @@ std::vector<TrackEstimate> FtttTracker::localize_batch(
   std::vector<SamplingVector> vds;
   vds.reserve(groups.size());
   for (const GroupingSampling* group : groups) {
-    if (!group || group->node_count != map_->nodes().size())
+    if (!group || group->node_count() != map_->nodes().size())
       throw std::invalid_argument(
           "FtttTracker: grouping sampling node count != map deployment");
     vds.push_back(build_sampling_vector(*group, config_.eps, config_.mode,

@@ -50,9 +50,20 @@ class FtttTracker {
 
   FtttTracker(std::shared_ptr<const FaceMap> map, Config config);
 
+  /// Cache-aware construction: share a prebuilt signature table (e.g. a
+  /// FaceMapCache entry) instead of transposing `map` again.
+  FtttTracker(std::shared_ptr<const FaceMap> map, Config config,
+              std::shared_ptr<const SignatureTable> table);
+
   /// Localize the target from one grouping sampling; updates the warm
   /// start for the next call.
   TrackEstimate localize(const GroupingSampling& group);
+
+  /// Localize from an already-built sampling vector (the epoch pipeline
+  /// precomputes vectors in parallel; this entry consumes them in epoch
+  /// order). Identical to localize(group) after its vector build — same
+  /// climb, fallback, stats and warm-start behaviour.
+  TrackEstimate localize(const SamplingVector& vd);
 
   /// Localize a frame of independent sampling epochs (multi-target
   /// traffic) in one SoA batch pass. Every vector goes through the

@@ -39,10 +39,9 @@ void BaseStation::receive(const DeliveredReport& delivered, double epoch_start) 
 }
 
 GroupingSampling BaseStation::assemble() {
-  GroupingSampling group;
-  group.node_count = node_count_;
-  group.instants = instants_;
-  group.rss = std::move(buffer_);
+  GroupingSampling group(node_count_, instants_);
+  for (NodeId node = 0; node < node_count_; ++node)
+    if (buffer_[node]) group.set_column(node, *buffer_[node]);
   buffer_.clear();
   buffer_.resize(node_count_);
   return group;
@@ -60,9 +59,10 @@ GroupingSampling collect_group_via_basestation(
   BaseStation station(nodes.size(), cfg.samples_per_group, deadline);
   const double group_span =
       static_cast<double>(cfg.samples_per_group) * cfg.sample_period;
-  for (NodeId node = 0; node < sensed.rss.size(); ++node) {
-    if (!sensed.rss[node]) continue;
-    SampleReport report{node, epoch, *sensed.rss[node], t0 + group_span};
+  for (NodeId node = 0; node < sensed.node_count(); ++node) {
+    if (!sensed.has(node)) continue;
+    const std::span<const double> column = sensed.column(node);
+    SampleReport report{node, epoch, {column.begin(), column.end()}, t0 + group_span};
     if (const auto delivered = link.transmit(report))
       station.receive(*delivered, t0);
   }

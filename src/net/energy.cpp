@@ -4,9 +4,9 @@ namespace fttt {
 
 void EnergyLedger::charge_epoch(const GroupingSampling& group, double epoch_seconds) {
   const std::size_t reporting = group.reporting_count();
-  node_mj_ += static_cast<double>(reporting) * model_.node_epoch_mj(group.instants);
-  node_mj_ += static_cast<double>(group.node_count) * model_.idle_per_s_mj * epoch_seconds;
-  station_mj_ += model_.station_epoch_mj(group.instants, reporting);
+  node_mj_ += static_cast<double>(reporting) * model_.node_epoch_mj(group.instants());
+  node_mj_ += static_cast<double>(group.node_count()) * model_.idle_per_s_mj * epoch_seconds;
+  station_mj_ += model_.station_epoch_mj(group.instants(), reporting);
   ++epochs_;
 }
 

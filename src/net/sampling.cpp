@@ -1,13 +1,38 @@
 #include "net/sampling.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
 #include "obs/obs.hpp"
 
 namespace fttt {
 
+void GroupingSampling::resize(std::size_t nodes, std::size_t instants) {
+  node_count_ = nodes;
+  instants_ = instants;
+  data_.assign(nodes * instants, 0.0);
+  present_.assign((nodes + 63) / 64, 0);
+}
+
+void GroupingSampling::set_column(std::size_t node, std::span<const double> samples) {
+  if (samples.size() != instants_)
+    throw std::invalid_argument("GroupingSampling::set_column: sample count != instants");
+  std::span<double> dst = set_column(node);
+  std::copy(samples.begin(), samples.end(), dst.begin());
+}
+
+void GroupingSampling::clear_column(std::size_t node) {
+  FTTT_DCHECK(node < node_count_, "GroupingSampling::clear_column: node ", node,
+              " out of ", node_count_);
+  present_[node >> 6] &= ~(std::uint64_t{1} << (node & 63));
+  std::fill_n(data_.begin() + static_cast<std::ptrdiff_t>(node * instants_),
+              instants_, 0.0);
+}
+
 std::size_t GroupingSampling::reporting_count() const {
   std::size_t n = 0;
-  for (const auto& column : rss)
-    if (column.has_value()) ++n;
+  for (std::uint64_t word : present_) n += static_cast<std::size_t>(std::popcount(word));
   return n;
 }
 
@@ -16,10 +41,7 @@ GroupingSampling collect_group(const Deployment& nodes, const SamplingConfig& cf
                                const std::function<Vec2(double)>& target_at,
                                const RngStream& epoch_stream) {
   FTTT_OBS_SPAN("net.collect_group");
-  GroupingSampling group;
-  group.node_count = nodes.size();
-  group.instants = cfg.samples_per_group;
-  group.rss.resize(nodes.size());
+  GroupingSampling group(nodes.size(), cfg.samples_per_group);
 
   // Local tallies, flushed as single counter adds below: collect_group is
   // per-epoch hot, so one atomic round-trip per outcome, not per node.
@@ -46,18 +68,16 @@ GroupingSampling collect_group(const Deployment& nodes, const SamplingConfig& cf
       skew = skew_stream.uniform(-cfg.clock_skew, cfg.clock_skew);
     }
 
-    std::vector<double> samples;
-    samples.reserve(cfg.samples_per_group);
+    std::span<double> samples = group.set_column(node.id);
     for (std::size_t t = 0; t < cfg.samples_per_group; ++t) {
       const double when = t0 + static_cast<double>(t) * cfg.sample_period + skew;
       const Vec2 where =
           cfg.freeze_target_during_group ? target_at_start : target_at(when);
       const double d = distance(node.position, where);
       RngStream noise = epoch_stream.substream(node.id, t + 1);
-      samples.push_back(cfg.model.sample_rss(d, noise));
+      samples[t] = cfg.model.sample_rss(d, noise);
     }
     samples_taken += cfg.samples_per_group;
-    group.rss[node.id] = std::move(samples);
   }
   FTTT_OBS_COUNT("net.dropped.fault", dropped_fault);
   FTTT_OBS_COUNT("net.dropped.range", dropped_range);

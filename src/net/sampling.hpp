@@ -3,16 +3,19 @@
 // One *localization epoch* = one grouping sampling: every reporting sensor
 // takes k RSS samples at consecutive instants spaced by the sampling
 // period, near-synchronously across nodes. The result is the k x n matrix
-// of Def. 3, stored column-wise with missing columns for nodes that are
-// out of sensing range or dropped by the fault model (set N̄_r of
-// Sec. 4.4(3)).
+// of Def. 3, stored flat: one contiguous buffer of n node-major k-sample
+// columns plus a presence bitmask marking which nodes reported (the
+// cleared bits are the set N̄_r of Sec. 4.4(3)). The SoA layout costs two
+// allocations per epoch instead of one per reporting node, and hands
+// consumers contiguous columns to stream.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <optional>
+#include <span>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/random.hpp"
 #include "common/vec2.hpp"
 #include "net/faults.hpp"
@@ -21,15 +24,63 @@
 
 namespace fttt {
 
-/// One grouping sampling. `rss[node]` holds the node's k samples in
-/// instant order, or nullopt when the node is in N̄_r for this epoch.
-struct GroupingSampling {
-  std::size_t node_count{0};   ///< n: deployed nodes (vector length)
-  std::size_t instants{0};     ///< k: samples per node
-  std::vector<std::optional<std::vector<double>>> rss;
+/// One grouping sampling in flat SoA form. Columns are created absent;
+/// `set_column` marks a node reporting, `column` reads its k samples.
+/// Absent columns keep zeroed storage and are only distinguishable
+/// through the presence bitmask.
+class GroupingSampling {
+ public:
+  GroupingSampling() = default;
+  GroupingSampling(std::size_t nodes, std::size_t instants) { resize(nodes, instants); }
 
-  /// Number of reporting nodes |N_r|.
+  std::size_t node_count() const { return node_count_; }  ///< n
+  std::size_t instants() const { return instants_; }      ///< k
+
+  /// Reshape to n nodes x k instants. Every column becomes absent and
+  /// sample storage is zeroed.
+  void resize(std::size_t nodes, std::size_t instants);
+
+  /// Whether `node` reported this epoch (node in N_r).
+  bool has(std::size_t node) const {
+    FTTT_DCHECK(node < node_count_, "GroupingSampling::has: node ", node,
+                " out of ", node_count_);
+    return ((present_[node >> 6] >> (node & 63)) & 1u) != 0;
+  }
+
+  /// The node's k samples in instant order (contract: has(node)).
+  std::span<const double> column(std::size_t node) const {
+    FTTT_DCHECK(has(node), "GroupingSampling::column: node ", node, " absent");
+    return {data_.data() + node * instants_, instants_};
+  }
+
+  /// Mark `node` reporting and return its writable k-sample column.
+  std::span<double> set_column(std::size_t node) {
+    FTTT_DCHECK(node < node_count_, "GroupingSampling::set_column: node ", node,
+                " out of ", node_count_);
+    present_[node >> 6] |= std::uint64_t{1} << (node & 63);
+    return {data_.data() + node * instants_, instants_};
+  }
+
+  /// Mark `node` reporting and copy `samples` into its column.
+  /// Throws std::invalid_argument when samples.size() != instants().
+  void set_column(std::size_t node, std::span<const double> samples);
+
+  /// Drop `node` into N̄_r: clears presence and zeroes its storage so a
+  /// stale column can never leak back through a later read.
+  void clear_column(std::size_t node);
+
+  /// Number of reporting nodes |N_r| (presence-bitmask popcount).
   std::size_t reporting_count() const;
+
+  /// Raw node-major sample storage: column i occupies
+  /// [i*instants(), (i+1)*instants()); absent columns read as zeros.
+  std::span<const double> raw() const { return data_; }
+
+ private:
+  std::size_t node_count_{0};
+  std::size_t instants_{0};
+  std::vector<double> data_;            ///< n * k doubles, node-major
+  std::vector<std::uint64_t> present_;  ///< bit i set iff node i reported
 };
 
 /// Static sampling parameters.

@@ -1,19 +1,22 @@
 #include "sim/montecarlo.hpp"
 
+#include "sim/epoch_pipeline.hpp"
+
 namespace fttt {
 
 std::vector<MonteCarloSummary> monte_carlo(const ScenarioConfig& cfg,
                                            std::span<const Method> methods,
-                                           std::size_t trials, ThreadPool& pool) {
-  // Trials in parallel; the inner FaceMap builds reuse the same pool
-  // (parallel_for nests safely — the calling task degrades to running its
-  // own chunks).
-  std::vector<TrackingResult> runs =
-      parallel_map<TrackingResult>(trials,
-                                   [&](std::size_t trial) {
-                                     return run_tracking(cfg, methods, trial, pool);
-                                   },
-                                   pool);
+                                           std::size_t trials, ThreadPool& pool,
+                                           FaceMapCache* cache) {
+  // Trials in parallel; the inner FaceMap builds and epoch precompute
+  // reuse the same pool (parallel_for nests safely — the calling task
+  // degrades to running its own chunks).
+  std::vector<TrackingResult> runs = parallel_map<TrackingResult>(
+      trials,
+      [&](std::size_t trial) {
+        return run_tracking_pipelined(cfg, methods, trial, pool, cache);
+      },
+      pool);
 
   std::vector<MonteCarloSummary> summary(methods.size());
   for (std::size_t m = 0; m < methods.size(); ++m) summary[m].method = methods[m];
@@ -22,7 +25,10 @@ std::vector<MonteCarloSummary> monte_carlo(const ScenarioConfig& cfg,
       RunningStats per_run;
       for (double e : run.methods[m].errors) per_run.add(e);
       summary[m].pooled.merge(per_run);
-      summary[m].trial_means.add(per_run.mean());
+      // A run with zero epochs (duration < localization period) has no
+      // errors; feeding its vacuous mean into trial_means would poison
+      // the distribution with a spurious sample.
+      if (per_run.count() > 0) summary[m].trial_means.add(per_run.mean());
     }
   }
   return summary;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "core/facemap_cache.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/runner.hpp"
 
@@ -24,10 +25,15 @@ struct MonteCarloSummary {
   double stddev_error() const { return pooled.stddev(); }
 };
 
-/// Run `trials` independent tracking runs of `cfg` and aggregate.
+/// Run `trials` independent tracking runs of `cfg` and aggregate. Runs
+/// execute on the epoch pipeline (bit-identical to run_tracking; see
+/// sim/epoch_pipeline.hpp) and fetch face maps through `cache`, so a
+/// fixed-deployment sweep builds each unique map once across all trials.
+/// Pass nullptr to rebuild maps per trial like the serial runner does.
 std::vector<MonteCarloSummary> monte_carlo(const ScenarioConfig& cfg,
                                            std::span<const Method> methods,
                                            std::size_t trials,
-                                           ThreadPool& pool = ThreadPool::global());
+                                           ThreadPool& pool = ThreadPool::global(),
+                                           FaceMapCache* cache = &FaceMapCache::global());
 
 }  // namespace fttt

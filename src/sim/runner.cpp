@@ -9,51 +9,14 @@
 #include "baselines/path_matching.hpp"
 #include "core/facemap_builder.hpp"
 #include "core/tracker.hpp"
-#include "mobility/gauss_markov.hpp"
-#include "mobility/path_trace.hpp"
-#include "mobility/waypoint.hpp"
-#include "net/deployment.hpp"
 #include "net/faults.hpp"
 #include "net/sampling.hpp"
 #include "obs/obs.hpp"
-#include "rf/uncertainty.hpp"
+#include "sim/scenario_build.hpp"
 
 namespace fttt {
 
 namespace {
-
-Deployment make_deployment(const ScenarioConfig& cfg, RngStream rng) {
-  switch (cfg.deployment) {
-    case DeploymentKind::kGrid:
-      return grid_deployment(cfg.field, cfg.sensor_count);
-    case DeploymentKind::kRandom:
-      return random_deployment(cfg.field, cfg.sensor_count, rng);
-    case DeploymentKind::kCross:
-      return cross_deployment(cfg.field.center(), cfg.cross_spacing);
-  }
-  throw std::logic_error("make_deployment: unknown deployment kind");
-}
-
-std::unique_ptr<MobilityModel> make_trace(const ScenarioConfig& cfg, RngStream rng) {
-  switch (cfg.trace) {
-    case TraceKind::kRandomWaypoint:
-      return std::make_unique<RandomWaypoint>(
-          WaypointConfig{cfg.field, cfg.v_min, cfg.v_max, 0.0, cfg.duration}, rng);
-    case TraceKind::kUShape:
-      return std::make_unique<PathTrace>(u_shape_path(cfg.field, 0.15 * cfg.field.width()),
-                                         cfg.v_min, cfg.v_max, rng);
-    case TraceKind::kGaussMarkov: {
-      GaussMarkovConfig gm;
-      gm.field = cfg.field;
-      gm.mean_speed = 0.5 * (cfg.v_min + cfg.v_max);
-      gm.v_min = cfg.v_min;
-      gm.v_max = cfg.v_max;
-      gm.duration = cfg.duration;
-      return std::make_unique<GaussMarkov>(gm, rng);
-    }
-  }
-  throw std::logic_error("make_trace: unknown trace kind");
-}
 
 /// Uniform interface over the four method implementations.
 struct AnyTracker {
@@ -67,25 +30,11 @@ TrackingResult run_tracking(const ScenarioConfig& cfg, std::span<const Method> m
   if (methods.empty()) throw std::invalid_argument("run_tracking: no methods given");
 
   const RngStream root = RngStream(cfg.seed).substream(trial);
-  const Deployment nodes = make_deployment(cfg, root.substream(1));
-  const std::unique_ptr<MobilityModel> trace = make_trace(cfg, root.substream(2));
-
-  // Resolve the sensing channel. Under the bounded channel the division
-  // constant and the noise amplitude are two views of the same quantity,
-  // so the Eq. 3 constant is used for both and calibration is moot.
-  PathLossModel model = cfg.model;
-  double C = 0.0;
-  if (cfg.channel == Channel::kBounded) {
-    C = uncertainty_constant(cfg.eps, model.beta, model.sigma);
-    model.noise = NoiseKind::kBounded;
-    model.bounded_amplitude = bounded_noise_amplitude(C, model.beta);
-  } else {
-    model.noise = NoiseKind::kGaussian;
-    C = cfg.calibrate_C
-            ? calibrated_uncertainty_constant(cfg.eps, model.beta, model.sigma,
-                                              cfg.samples_per_group)
-            : uncertainty_constant(cfg.eps, model.beta, model.sigma);
-  }
+  const Deployment nodes = scenario_deployment(cfg, root.substream(1));
+  const std::unique_ptr<MobilityModel> trace = scenario_trace(cfg, root.substream(2));
+  const ResolvedChannel channel = resolve_channel(cfg);
+  const PathLossModel& model = channel.model;
+  const double C = channel.C;
 
   // Face maps: the uncertain-boundary map for FTTT and the bisector map
   // for the certain-sequence baselines; build each once and share.

@@ -80,9 +80,10 @@ OutdoorSystem::Result OutdoorSystem::run(ThreadPool& pool) const {
         motes, sampling, no_faults, link, deadline, e, t0, target_at,
         root.substream(3, e));
     // MTS300 acquisition: quantize every reading to the ADC step.
-    for (auto& column : group.rss)
-      if (column)
-        for (double& sample : *column) sample = quantize(sample, cfg_.mote.adc_step_db);
+    for (std::size_t node = 0; node < group.node_count(); ++node)
+      if (group.has(node))
+        for (double& sample : group.set_column(node))
+          sample = quantize(sample, cfg_.mote.adc_step_db);
 
     const Vec2 truth = walker.position_at(t0);
     const TrackEstimate b = basic.localize(group);

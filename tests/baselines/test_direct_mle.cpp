@@ -31,12 +31,9 @@ GroupingSampling sample_at(const FaceMap& map, Vec2 target, double sigma,
 }
 
 TEST(OneShotVector, UsesOnlyTheRequestedInstant) {
-  GroupingSampling g;
-  g.node_count = 2;
-  g.instants = 2;
-  g.rss.resize(2);
-  g.rss[0] = std::vector<double>{-40.0, -60.0};
-  g.rss[1] = std::vector<double>{-50.0, -50.0};
+  GroupingSampling g(2, 2);
+  g.set_column(0, std::vector<double>{-40.0, -60.0});
+  g.set_column(1, std::vector<double>{-50.0, -50.0});
   const SamplingVector v0 = one_shot_vector(g, 0, 0.0);
   const SamplingVector v1 = one_shot_vector(g, 1, 0.0);
   EXPECT_DOUBLE_EQ(v0.value[0], +1.0);  // -40 > -50
@@ -44,21 +41,15 @@ TEST(OneShotVector, UsesOnlyTheRequestedInstant) {
 }
 
 TEST(OneShotVector, OutOfRangeInstantThrows) {
-  GroupingSampling g;
-  g.node_count = 2;
-  g.instants = 1;
-  g.rss.resize(2);
-  g.rss[0] = std::vector<double>{-40.0};
-  g.rss[1] = std::vector<double>{-50.0};
+  GroupingSampling g(2, 1);
+  g.set_column(0, std::vector<double>{-40.0});
+  g.set_column(1, std::vector<double>{-50.0});
   EXPECT_THROW(one_shot_vector(g, 1, 0.0), std::out_of_range);
 }
 
 TEST(OneShotVector, MissingNodeConventions) {
-  GroupingSampling g;
-  g.node_count = 3;
-  g.instants = 1;
-  g.rss.resize(3);
-  g.rss[0] = std::vector<double>{-40.0};
+  GroupingSampling g(3, 1);
+  g.set_column(0, std::vector<double>{-40.0});
   // node 1, 2 missing.
   const SamplingVector v = one_shot_vector(g, 0, 0.0);
   EXPECT_DOUBLE_EQ(v.value[0], +1.0);  // (0,1): 0 present
@@ -81,10 +72,7 @@ TEST(DirectMle, NoiselessLocalizationIsAccurate) {
 
 TEST(DirectMle, NodeCountMismatchThrows) {
   DirectMleTracker tracker(bisector_map(), 1.0);
-  GroupingSampling g;
-  g.node_count = 2;
-  g.instants = 1;
-  g.rss.resize(2);
+  GroupingSampling g(2, 1);
   EXPECT_THROW(tracker.localize(g), std::invalid_argument);
 }
 

@@ -53,10 +53,7 @@ TEST(PathMatching, NoiselessStationaryConverges) {
 
 TEST(PathMatching, NodeCountMismatchThrows) {
   PathMatchingTracker tracker(bisector_map(), {});
-  GroupingSampling g;
-  g.node_count = 2;
-  g.instants = 1;
-  g.rss.resize(2);
+  GroupingSampling g(2, 1);
   EXPECT_THROW(tracker.localize(g), std::invalid_argument);
 }
 

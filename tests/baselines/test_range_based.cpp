@@ -40,20 +40,14 @@ TEST(WeightedCentroid, PullsTowardTheNearestSensor) {
 TEST(WeightedCentroid, NoReportsGivesOrigin) {
   const Deployment nodes = grid_deployment(kField, 4);
   const WeightedCentroidLocalizer loc(nodes);
-  GroupingSampling g;
-  g.node_count = 4;
-  g.instants = 1;
-  g.rss.resize(4);  // nobody reported
+  GroupingSampling g(4, 1);  // nobody reported
   const TrackEstimate e = loc.localize(g);
   EXPECT_EQ(e.position, Vec2(0.0, 0.0));
 }
 
 TEST(WeightedCentroid, NodeCountMismatchThrows) {
   const WeightedCentroidLocalizer loc(grid_deployment(kField, 4));
-  GroupingSampling g;
-  g.node_count = 2;
-  g.instants = 1;
-  g.rss.resize(2);
+  GroupingSampling g(2, 1);
   EXPECT_THROW(loc.localize(g), std::invalid_argument);
 }
 
@@ -69,12 +63,9 @@ TEST(Trilateration, ExactOnCleanRanges) {
 TEST(Trilateration, FallsBackWithFewAnchors) {
   const Deployment nodes = grid_deployment(kField, 4);
   const TrilaterationLocalizer loc(nodes, {.model = clean_model()});
-  GroupingSampling g;
-  g.node_count = 4;
-  g.instants = 1;
-  g.rss.resize(4);
-  g.rss[0] = std::vector<double>{-50.0};
-  g.rss[1] = std::vector<double>{-55.0};
+  GroupingSampling g(4, 1);
+  g.set_column(0, std::vector<double>{-50.0});
+  g.set_column(1, std::vector<double>{-55.0});
   // Only two anchors: must not blow up; returns the centroid fallback.
   const TrackEstimate e = loc.localize(g);
   EXPECT_TRUE(kField.contains(e.position));
@@ -100,10 +91,7 @@ TEST(Trilateration, NoisyRangingDegradesGracefully) {
 
 TEST(Trilateration, NodeCountMismatchThrows) {
   const TrilaterationLocalizer loc(grid_deployment(kField, 4), {.model = clean_model()});
-  GroupingSampling g;
-  g.node_count = 2;
-  g.instants = 1;
-  g.rss.resize(2);
+  GroupingSampling g(2, 1);
   EXPECT_THROW(loc.localize(g), std::invalid_argument);
 }
 

@@ -71,28 +71,22 @@ TEST(SequenceLocalizer, HandlesMissingNodes) {
   auto map = bisector_map(6);
   const SequenceLocalizer loc(map);
   GroupingSampling g = sample_at(*map, {20.0, 20.0}, 0.0);
-  g.rss[1].reset();
-  g.rss[4].reset();
+  g.clear_column(1);
+  g.clear_column(4);
   const TrackEstimate e = loc.localize(g);
   EXPECT_TRUE(kField.contains(e.position));
 }
 
 TEST(SequenceLocalizer, NodeCountMismatchThrows) {
   const SequenceLocalizer loc(bisector_map());
-  GroupingSampling g;
-  g.node_count = 2;
-  g.instants = 1;
-  g.rss.resize(2);
+  GroupingSampling g(2, 1);
   EXPECT_THROW(loc.localize(g), std::invalid_argument);
 }
 
 TEST(SequenceLocalizer, EmptyGroupThrows) {
   auto map = bisector_map();
   const SequenceLocalizer loc(map);
-  GroupingSampling g;
-  g.node_count = map->nodes().size();
-  g.instants = 0;
-  g.rss.resize(g.node_count);
+  GroupingSampling g(map->nodes().size(), 0);
   EXPECT_THROW(loc.localize(g), std::invalid_argument);
 }
 

@@ -1,0 +1,81 @@
+// Self-test of the shared bench CLI plumbing (bench_common): flag
+// parsing, the --threads pool selection, and the scenario defaults the
+// whole bench suite inherits.
+#include "bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fttt::bench {
+namespace {
+
+Options parse(std::vector<std::string> args) {
+  args.insert(args.begin(), "bench_test");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  return parse_options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchCli, Defaults) {
+  const Options opt = parse({});
+  EXPECT_FALSE(opt.fast);
+  EXPECT_EQ(opt.trials, 10u);
+  EXPECT_DOUBLE_EQ(opt.duration, 30.0);
+  EXPECT_EQ(opt.threads, 0u);
+  EXPECT_FALSE(opt.csv_path.has_value());
+}
+
+TEST(BenchCli, FastShrinksBudget) {
+  const Options opt = parse({"--fast"});
+  EXPECT_TRUE(opt.fast);
+  EXPECT_EQ(opt.trials, 3u);
+  EXPECT_DOUBLE_EQ(opt.duration, 10.0);
+}
+
+TEST(BenchCli, TrialsAndThreadsParsed) {
+  const Options opt = parse({"--trials", "7", "--threads", "3"});
+  EXPECT_EQ(opt.trials, 7u);
+  EXPECT_EQ(opt.threads, 3u);
+}
+
+TEST(BenchCli, ThreadsAfterFastSticks) {
+  const Options opt = parse({"--fast", "--threads", "2"});
+  EXPECT_TRUE(opt.fast);
+  EXPECT_EQ(opt.threads, 2u);
+}
+
+TEST(BenchCli, CsvPathParsed) {
+  const Options opt = parse({"--csv", "out.csv"});
+  ASSERT_TRUE(opt.csv_path.has_value());
+  EXPECT_EQ(*opt.csv_path, "out.csv");
+}
+
+TEST(BenchCli, BenchPoolZeroIsGlobal) {
+  Options opt;
+  opt.threads = 0;
+  BenchPool pool(opt);
+  EXPECT_EQ(&pool.pool(), &ThreadPool::global());
+}
+
+TEST(BenchCli, BenchPoolOwnsRequestedWorkers) {
+  Options opt;
+  opt.threads = 3;
+  BenchPool pool(opt);
+  EXPECT_NE(&pool.pool(), &ThreadPool::global());
+  EXPECT_EQ(pool.pool().thread_count(), 3u);
+}
+
+TEST(BenchCli, DefaultScenarioAppliesOptions) {
+  Options opt;
+  opt.duration = 12.5;
+  const ScenarioConfig cfg = default_scenario(opt);
+  EXPECT_DOUBLE_EQ(cfg.duration, 12.5);
+  EXPECT_DOUBLE_EQ(cfg.grid_cell, 2.0);
+  EXPECT_EQ(cfg.channel, Channel::kBounded);
+}
+
+}  // namespace
+}  // namespace fttt::bench

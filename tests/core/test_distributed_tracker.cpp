@@ -118,10 +118,7 @@ TEST(DistributedTracker, RoutesToTheNearestCluster) {
 TEST(DistributedTracker, SurvivesAllSilentEpochs) {
   const Deployment nodes = field_nodes();
   DistributedTracker dt = make_tracker(nodes, 4);
-  GroupingSampling silent;
-  silent.node_count = nodes.size();
-  silent.instants = 3;
-  silent.rss.resize(nodes.size());
+  GroupingSampling silent(nodes.size(), 3);
   const TrackEstimate e = dt.localize(silent);  // nothing heard anywhere
   EXPECT_TRUE(kField.contains(e.position));
   EXPECT_EQ(dt.handoffs(), 0u);

@@ -1,5 +1,7 @@
 #include "core/sampling_vector.hpp"
 
+#include <span>
+
 #include <gtest/gtest.h>
 
 #include "core/pairs.hpp"
@@ -11,15 +13,12 @@ namespace {
 /// (rows = instants, columns = nodes), with optional missing columns.
 GroupingSampling make_group(const std::vector<std::vector<double>>& matrix,
                             const std::vector<bool>& present = {}) {
-  GroupingSampling g;
-  g.instants = matrix.size();
-  g.node_count = matrix.empty() ? 0 : matrix[0].size();
-  g.rss.resize(g.node_count);
-  for (std::size_t node = 0; node < g.node_count; ++node) {
+  const std::size_t nodes = matrix.empty() ? 0 : matrix[0].size();
+  GroupingSampling g(nodes, matrix.size());
+  for (std::size_t node = 0; node < nodes; ++node) {
     if (!present.empty() && !present[node]) continue;
-    std::vector<double> column;
-    for (const auto& row : matrix) column.push_back(row[node]);
-    g.rss[node] = std::move(column);
+    std::span<double> column = g.set_column(node);
+    for (std::size_t t = 0; t < matrix.size(); ++t) column[t] = matrix[t][node];
   }
   return g;
 }
@@ -140,22 +139,15 @@ TEST(SamplingVector, SingleInstantGroupIsAlwaysOrdinal) {
   EXPECT_DOUBLE_EQ(vd.value[0], 1.0);
 }
 
-TEST(SamplingVector, RaggedColumnThrows) {
-  GroupingSampling g;
-  g.node_count = 2;
-  g.instants = 3;
-  g.rss.resize(2);
-  g.rss[0] = std::vector<double>{1.0, 2.0, 3.0};
-  g.rss[1] = std::vector<double>{1.0, 2.0};  // too short
-  EXPECT_THROW(build_sampling_vector(g, 0.0, VectorMode::kBasic), std::invalid_argument);
-}
-
-TEST(SamplingVector, WrongRssSizeThrows) {
-  GroupingSampling g;
-  g.node_count = 3;
-  g.instants = 1;
-  g.rss.resize(2);
-  EXPECT_THROW(build_sampling_vector(g, 0.0, VectorMode::kBasic), std::invalid_argument);
+TEST(SamplingVector, RaggedColumnIsUnrepresentable) {
+  // The SoA store rejects the short column at insertion, so a ragged
+  // grouping sampling can no longer reach build_sampling_vector at all.
+  GroupingSampling g(2, 3);
+  const std::vector<double> good{1.0, 2.0, 3.0};
+  const std::vector<double> ragged{1.0, 2.0};  // too short
+  g.set_column(0, good);
+  EXPECT_THROW(g.set_column(1, ragged), std::invalid_argument);
+  EXPECT_EQ(g.reporting_count(), 1u);
 }
 
 }  // namespace

@@ -34,10 +34,7 @@ GroupingSampling sample_at(const FtttTracker& tracker, Vec2 target,
 }
 
 GroupingSampling empty_group(std::size_t nodes) {
-  GroupingSampling g;
-  g.node_count = nodes;
-  g.instants = 3;
-  g.rss.resize(nodes);
+  GroupingSampling g(nodes, 3);
   return g;
 }
 

@@ -38,10 +38,7 @@ TEST(FtttTracker, NullMapThrows) {
 
 TEST(FtttTracker, NodeCountMismatchThrows) {
   FtttTracker tracker(make_map(), {});
-  GroupingSampling g;
-  g.node_count = 3;
-  g.instants = 1;
-  g.rss.resize(3);
+  GroupingSampling g(3, 1);
   EXPECT_THROW(tracker.localize(g), std::invalid_argument);
 }
 

@@ -60,11 +60,11 @@ TEST(BaseStation, AssemblesOnTimeReports) {
   station.receive({make_report(0, 0, 5), 0.2}, 0.0);
   station.receive({make_report(2, 0, 5), 0.4}, 0.0);
   const GroupingSampling g = station.assemble();
-  EXPECT_TRUE(g.rss[0].has_value());
-  EXPECT_FALSE(g.rss[1].has_value());
-  EXPECT_TRUE(g.rss[2].has_value());
-  EXPECT_EQ(g.instants, 5u);
-  EXPECT_EQ(g.node_count, 3u);
+  EXPECT_TRUE(g.has(0));
+  EXPECT_FALSE(g.has(1));
+  EXPECT_TRUE(g.has(2));
+  EXPECT_EQ(g.instants(), 5u);
+  EXPECT_EQ(g.node_count(), 3u);
 }
 
 TEST(BaseStation, LateReportsDiscarded) {
@@ -72,7 +72,7 @@ TEST(BaseStation, LateReportsDiscarded) {
   station.receive({make_report(0, 0, 5), 0.9}, 0.0);  // deadline 0.5
   EXPECT_EQ(station.late_reports(), 1u);
   const GroupingSampling g = station.assemble();
-  EXPECT_FALSE(g.rss[0].has_value());
+  EXPECT_FALSE(g.has(0));
 }
 
 TEST(BaseStation, DuplicatesAndMalformedCounted) {
@@ -90,7 +90,7 @@ TEST(BaseStation, AssembleResetsBuffer) {
   station.receive({make_report(0, 0, 5), 0.1}, 0.0);
   station.assemble();
   const GroupingSampling next = station.assemble();
-  EXPECT_FALSE(next.rss[0].has_value());
+  EXPECT_FALSE(next.has(0));
 }
 
 TEST(EndToEnd, BaseStationPathMatchesDirectCollectionWhenPerfect) {
@@ -111,10 +111,10 @@ TEST(EndToEnd, BaseStationPathMatchesDirectCollectionWhenPerfect) {
   const GroupingSampling via = collect_group_via_basestation(
       nodes, cfg, faults, perfect, /*deadline=*/1.0, 0, 0.0, target, RngStream(42));
 
-  ASSERT_TRUE(via.rss[0] && via.rss[1]);
+  ASSERT_TRUE(via.has(0) && via.has(1));
   for (std::size_t t = 0; t < cfg.samples_per_group; ++t) {
-    EXPECT_DOUBLE_EQ((*via.rss[0])[t], (*direct.rss[0])[t]);
-    EXPECT_DOUBLE_EQ((*via.rss[1])[t], (*direct.rss[1])[t]);
+    EXPECT_DOUBLE_EQ(via.column(0)[t], direct.column(0)[t]);
+    EXPECT_DOUBLE_EQ(via.column(1)[t], direct.column(1)[t]);
   }
 }
 

@@ -1,16 +1,19 @@
 #include "net/energy.hpp"
 
+#include <algorithm>
+#include <span>
+
 #include <gtest/gtest.h>
 
 namespace fttt {
 namespace {
 
 GroupingSampling group_with(std::size_t nodes, std::size_t reporting, std::size_t k) {
-  GroupingSampling g;
-  g.node_count = nodes;
-  g.instants = k;
-  g.rss.resize(nodes);
-  for (std::size_t i = 0; i < reporting; ++i) g.rss[i] = std::vector<double>(k, -50.0);
+  GroupingSampling g(nodes, k);
+  for (std::size_t i = 0; i < reporting; ++i) {
+    std::span<double> column = g.set_column(i);
+    std::fill(column.begin(), column.end(), -50.0);
+  }
   return g;
 }
 

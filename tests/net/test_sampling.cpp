@@ -26,12 +26,11 @@ TEST(CollectGroup, ShapeMatchesConfig) {
   const NoFaults faults;
   const auto target = [](double) { return Vec2{10.0, 0.0}; };
   const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(1));
-  EXPECT_EQ(g.node_count, 2u);
-  EXPECT_EQ(g.instants, 5u);
-  ASSERT_EQ(g.rss.size(), 2u);
-  ASSERT_TRUE(g.rss[0].has_value());
-  ASSERT_TRUE(g.rss[1].has_value());
-  EXPECT_EQ(g.rss[0]->size(), 5u);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.instants(), 5u);
+  ASSERT_TRUE(g.has(0));
+  ASSERT_TRUE(g.has(1));
+  EXPECT_EQ(g.column(0).size(), 5u);
   EXPECT_EQ(g.reporting_count(), 2u);
 }
 
@@ -42,8 +41,8 @@ TEST(CollectGroup, OutOfRangeNodeIsMissing) {
   // Target 50 m from node 1, 20 m from node 0 (range 40).
   const auto target = [](double) { return Vec2{-20.0, 0.0}; };
   const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(1));
-  EXPECT_TRUE(g.rss[0].has_value());
-  EXPECT_FALSE(g.rss[1].has_value());
+  EXPECT_TRUE(g.has(0));
+  EXPECT_FALSE(g.has(1));
   EXPECT_EQ(g.reporting_count(), 1u);
 }
 
@@ -53,8 +52,8 @@ TEST(CollectGroup, FaultedNodeIsMissing) {
   const PermanentFailures faults({{0, 0}});
   const auto target = [](double) { return Vec2{10.0, 0.0}; };
   const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(1));
-  EXPECT_FALSE(g.rss[0].has_value());
-  EXPECT_TRUE(g.rss[1].has_value());
+  EXPECT_FALSE(g.has(0));
+  EXPECT_TRUE(g.has(1));
 }
 
 TEST(CollectGroup, NoiselessStationaryTargetGivesConstantColumns) {
@@ -63,8 +62,8 @@ TEST(CollectGroup, NoiselessStationaryTargetGivesConstantColumns) {
   const NoFaults faults;
   const auto target = [](double) { return Vec2{10.0, 5.0}; };
   const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(1));
-  for (std::size_t t = 1; t < g.instants; ++t)
-    EXPECT_DOUBLE_EQ((*g.rss[0])[t], (*g.rss[0])[0]);
+  for (std::size_t t = 1; t < g.instants(); ++t)
+    EXPECT_DOUBLE_EQ(g.column(0)[t], g.column(0)[0]);
 }
 
 TEST(CollectGroup, NearerNodeReadsStrongerWithoutNoise) {
@@ -73,7 +72,7 @@ TEST(CollectGroup, NearerNodeReadsStrongerWithoutNoise) {
   const NoFaults faults;
   const auto target = [](double) { return Vec2{5.0, 0.0}; };  // nearer node 0
   const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(1));
-  EXPECT_GT((*g.rss[0])[0], (*g.rss[1])[0]);
+  EXPECT_GT(g.column(0)[0], g.column(1)[0]);
 }
 
 TEST(CollectGroup, FrozenGroupIgnoresTargetMotion) {
@@ -85,8 +84,8 @@ TEST(CollectGroup, FrozenGroupIgnoresTargetMotion) {
   const NoFaults faults;
   const auto target = [](double t) { return Vec2{5.0 + 10.0 * t, 0.0}; };
   const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(1));
-  for (std::size_t t = 1; t < g.instants; ++t)
-    EXPECT_DOUBLE_EQ((*g.rss[0])[t], (*g.rss[0])[0]);
+  for (std::size_t t = 1; t < g.instants(); ++t)
+    EXPECT_DOUBLE_EQ(g.column(0)[t], g.column(0)[0]);
 }
 
 TEST(CollectGroup, MovingTargetChangesSamplesWithinGroup) {
@@ -98,8 +97,8 @@ TEST(CollectGroup, MovingTargetChangesSamplesWithinGroup) {
   // Fast mover: 10 m/s along x, away from node 0.
   const auto target = [](double t) { return Vec2{5.0 + 10.0 * t, 0.0}; };
   const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(1));
-  EXPECT_LT((*g.rss[0])[4], (*g.rss[0])[0]);  // receding: weaker over time
-  EXPECT_GT((*g.rss[1])[4], (*g.rss[1])[0]);  // approaching: stronger
+  EXPECT_LT(g.column(0)[4], g.column(0)[0]);  // receding: weaker over time
+  EXPECT_GT(g.column(1)[4], g.column(1)[0]);  // approaching: stronger
 }
 
 TEST(CollectGroup, ReproducibleFromStream) {
@@ -110,8 +109,8 @@ TEST(CollectGroup, ReproducibleFromStream) {
   const auto target = [](double) { return Vec2{10.0, 0.0}; };
   const GroupingSampling a = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(42));
   const GroupingSampling b = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(42));
-  for (std::size_t t = 0; t < a.instants; ++t)
-    EXPECT_DOUBLE_EQ((*a.rss[0])[t], (*b.rss[0])[t]);
+  for (std::size_t t = 0; t < a.instants(); ++t)
+    EXPECT_DOUBLE_EQ(a.column(0)[t], b.column(0)[t]);
 }
 
 TEST(CollectGroup, NoiseVariesAcrossInstants) {
@@ -122,8 +121,8 @@ TEST(CollectGroup, NoiseVariesAcrossInstants) {
   const auto target = [](double) { return Vec2{10.0, 0.0}; };
   const GroupingSampling g = collect_group(nodes, cfg, faults, 0, 0.0, target, RngStream(42));
   bool any_diff = false;
-  for (std::size_t t = 1; t < g.instants; ++t)
-    if ((*g.rss[0])[t] != (*g.rss[0])[0]) any_diff = true;
+  for (std::size_t t = 1; t < g.instants(); ++t)
+    if (g.column(0)[t] != g.column(0)[0]) any_diff = true;
   EXPECT_TRUE(any_diff);
 }
 
@@ -140,9 +139,44 @@ TEST(CollectGroup, ClockSkewShiftsMovingTargetSamples) {
   const GroupingSampling b =
       collect_group(nodes, with_skew, faults, 0, 0.0, target, RngStream(7));
   bool any_diff = false;
-  for (std::size_t t = 0; t < a.instants; ++t)
-    if ((*a.rss[0])[t] != (*b.rss[0])[t]) any_diff = true;
+  for (std::size_t t = 0; t < a.instants(); ++t)
+    if (a.column(0)[t] != b.column(0)[t]) any_diff = true;
   EXPECT_TRUE(any_diff);
+}
+
+TEST(GroupingSampling, PopcountReportingCountMatchesLegacyScan) {
+  // reporting_count() is a popcount over the presence bitmask; pin it
+  // against the legacy definition — count the nodes whose column is
+  // present — across sizes that straddle the 64-bit mask word boundary
+  // and arbitrary set/clear sequences.
+  for (std::size_t nodes : {1u, 7u, 63u, 64u, 65u, 130u}) {
+    GroupingSampling g(nodes, 3);
+    std::size_t toggle = 0;
+    for (std::size_t i = 0; i < nodes; i += 2) g.set_column(i);
+    for (std::size_t i = 0; i < nodes; i += 5) g.clear_column(i);
+    for (std::size_t i = 0; i < nodes; i += 3) {
+      g.set_column(i);
+      ++toggle;
+    }
+    (void)toggle;
+    std::size_t legacy = 0;
+    for (std::size_t i = 0; i < nodes; ++i)
+      if (g.has(i)) ++legacy;
+    EXPECT_EQ(g.reporting_count(), legacy) << "nodes=" << nodes;
+  }
+}
+
+TEST(GroupingSampling, ReportingCountSaturatesAndClears) {
+  GroupingSampling g(70, 2);
+  EXPECT_EQ(g.reporting_count(), 0u);
+  for (std::size_t i = 0; i < 70; ++i) g.set_column(i);
+  EXPECT_EQ(g.reporting_count(), 70u);
+  g.clear_column(69);
+  g.clear_column(0);
+  EXPECT_EQ(g.reporting_count(), 68u);
+  // Setting an already-present column must not double count.
+  g.set_column(5);
+  EXPECT_EQ(g.reporting_count(), 68u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "core/sampling_vector.hpp"
@@ -89,23 +90,18 @@ TEST_P(ExtendedValueExpectation, MatchesGaussianOrderProbability) {
   const double gap = GetParam();  // dB, node 0 stronger
   const double sigma = 6.0;
 
-  GroupingSampling group;
-  group.node_count = 2;
-  group.instants = 5;
-  group.rss.resize(2);
+  GroupingSampling group(2, 5);
 
   RngStream rng(4242);
   double sum = 0.0;
   const int groups = 40000;
   for (int g = 0; g < groups; ++g) {
-    std::vector<double> a(5);
-    std::vector<double> b(5);
-    for (int t = 0; t < 5; ++t) {
-      a[static_cast<std::size_t>(t)] = gap + rng.normal(0.0, sigma);
-      b[static_cast<std::size_t>(t)] = rng.normal(0.0, sigma);
+    std::span<double> a = group.set_column(0);
+    std::span<double> b = group.set_column(1);
+    for (std::size_t t = 0; t < 5; ++t) {
+      a[t] = gap + rng.normal(0.0, sigma);
+      b[t] = rng.normal(0.0, sigma);
     }
-    group.rss[0] = std::move(a);
-    group.rss[1] = std::move(b);
     sum += build_sampling_vector(group, 0.0, VectorMode::kExtended).value[0];
   }
   const double measured = sum / groups;
@@ -132,18 +128,13 @@ TEST(GaussianChannel, FlipObservationGrowsWithK) {
     int flipped = 0;
     const int groups = 20000;
     for (int g = 0; g < groups; ++g) {
-      GroupingSampling group;
-      group.node_count = 2;
-      group.instants = k;
-      group.rss.resize(2);
-      std::vector<double> a(k);
-      std::vector<double> b(k);
+      GroupingSampling group(2, k);
+      std::span<double> a = group.set_column(0);
+      std::span<double> b = group.set_column(1);
       for (std::size_t t = 0; t < k; ++t) {
         a[t] = gap + rng.normal(0.0, sigma);
         b[t] = rng.normal(0.0, sigma);
       }
-      group.rss[0] = std::move(a);
-      group.rss[1] = std::move(b);
       if (build_sampling_vector(group, 0.0, VectorMode::kBasic).value[0] == 0.0)
         ++flipped;
     }

@@ -1,0 +1,144 @@
+// Bit-equivalence contract of the epoch pipeline against the serial
+// runner (the executable specification). Every comparison below is
+// EXPECT_EQ on doubles — exact equality, not tolerance — across
+// channels, vector modes, missing policies, methods, thread counts and
+// the face-map cache.
+#include "sim/epoch_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace fttt {
+namespace {
+
+ScenarioConfig quick_config() {
+  ScenarioConfig cfg;
+  cfg.sensor_count = 8;
+  cfg.duration = 10.0;
+  cfg.grid_cell = 2.0;
+  return cfg;
+}
+
+void expect_bit_identical(const TrackingResult& serial, const TrackingResult& piped) {
+  EXPECT_EQ(serial.faces_uncertain, piped.faces_uncertain);
+  EXPECT_EQ(serial.faces_bisector, piped.faces_bisector);
+  ASSERT_EQ(serial.times.size(), piped.times.size());
+  for (std::size_t e = 0; e < serial.times.size(); ++e) {
+    EXPECT_EQ(serial.times[e], piped.times[e]);
+    EXPECT_EQ(serial.true_positions[e].x, piped.true_positions[e].x);
+    EXPECT_EQ(serial.true_positions[e].y, piped.true_positions[e].y);
+  }
+  ASSERT_EQ(serial.methods.size(), piped.methods.size());
+  for (std::size_t m = 0; m < serial.methods.size(); ++m) {
+    EXPECT_EQ(serial.methods[m].method, piped.methods[m].method);
+    ASSERT_EQ(serial.methods[m].estimates.size(), piped.methods[m].estimates.size());
+    for (std::size_t e = 0; e < serial.methods[m].estimates.size(); ++e) {
+      EXPECT_EQ(serial.methods[m].estimates[e].x, piped.methods[m].estimates[e].x);
+      EXPECT_EQ(serial.methods[m].estimates[e].y, piped.methods[m].estimates[e].y);
+      EXPECT_EQ(serial.methods[m].errors[e], piped.methods[m].errors[e]);
+    }
+  }
+}
+
+TEST(EpochPipeline, BitIdenticalAcrossChannelsPoliciesAndThreads) {
+  const std::array<Method, 4> methods{Method::kFttt, Method::kFtttExtended,
+                                      Method::kPathMatching, Method::kDirectMle};
+  for (Channel channel : {Channel::kGaussian, Channel::kBounded}) {
+    for (MissingPolicy missing :
+         {MissingPolicy::kMissingReadsSmaller, MissingPolicy::kMissingUnknown}) {
+      ScenarioConfig cfg = quick_config();
+      cfg.channel = channel;
+      cfg.missing = missing;
+      cfg.dropout_probability = 0.2;  // exercise the missing policy
+      const TrackingResult serial = run_tracking(cfg, methods);
+      for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        ThreadPool pool(threads);
+        expect_bit_identical(serial, run_tracking_pipelined(cfg, methods, 0, pool));
+      }
+    }
+  }
+}
+
+TEST(EpochPipeline, BitIdenticalPerMethodAcrossTrials) {
+  const std::array<Method, 4> all{Method::kFttt, Method::kFtttExtended,
+                                  Method::kPathMatching, Method::kDirectMle};
+  for (Method method : all) {
+    const std::array<Method, 1> one{method};
+    for (std::uint64_t trial : {std::uint64_t{0}, std::uint64_t{5}}) {
+      const TrackingResult serial = run_tracking(quick_config(), one, trial);
+      const TrackingResult piped = run_tracking_pipelined(quick_config(), one, trial);
+      expect_bit_identical(serial, piped);
+    }
+  }
+}
+
+TEST(EpochPipeline, BitIdenticalThroughFaceMapCache) {
+  const std::array<Method, 2> methods{Method::kFttt, Method::kPathMatching};
+  ScenarioConfig cfg = quick_config();
+  FaceMapCache cache;
+  for (std::uint64_t trial = 0; trial < 3; ++trial) {
+    const TrackingResult serial = run_tracking(cfg, methods, trial);
+    const TrackingResult piped = run_tracking_pipelined(
+        cfg, methods, trial, ThreadPool::global(), &cache);
+    expect_bit_identical(serial, piped);
+  }
+}
+
+TEST(EpochPipeline, CacheBuildsOncePerUniqueKeyOnFixedDeployment) {
+  // Grid deployment is trial-invariant, so three trials share both maps:
+  // one build for the uncertain map, one for the bisector map.
+  ScenarioConfig cfg = quick_config();
+  cfg.deployment = DeploymentKind::kGrid;
+  const std::array<Method, 2> methods{Method::kFttt, Method::kDirectMle};
+  FaceMapCache cache;
+  for (std::uint64_t trial = 0; trial < 3; ++trial)
+    run_tracking_pipelined(cfg, methods, trial, ThreadPool::global(), &cache);
+  const FaceMapCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.builds, 2u);
+  EXPECT_EQ(stats.hits, 4u);
+}
+
+TEST(EpochPipeline, RandomDeploymentMissesPerTrial) {
+  // Random deployment re-draws node positions per trial: content keys
+  // differ, so the cache must not alias them.
+  ScenarioConfig cfg = quick_config();
+  const std::array<Method, 1> methods{Method::kFttt};
+  FaceMapCache cache;
+  run_tracking_pipelined(cfg, methods, 0, ThreadPool::global(), &cache);
+  run_tracking_pipelined(cfg, methods, 1, ThreadPool::global(), &cache);
+  const FaceMapCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(EpochPipeline, DuplicateMethodEntriesAgree) {
+  // A duplicated stateless method must produce two identical columns
+  // (the pipeline shares one precomputed one-shot vector between them).
+  const std::array<Method, 2> methods{Method::kDirectMle, Method::kDirectMle};
+  const TrackingResult r = run_tracking_pipelined(quick_config(), methods);
+  ASSERT_EQ(r.methods.size(), 2u);
+  ASSERT_EQ(r.methods[0].errors.size(), r.methods[1].errors.size());
+  for (std::size_t e = 0; e < r.methods[0].errors.size(); ++e)
+    EXPECT_EQ(r.methods[0].errors[e], r.methods[1].errors[e]);
+}
+
+TEST(EpochPipeline, ZeroEpochRunIsEmptyNotPoisoned) {
+  ScenarioConfig cfg = quick_config();
+  cfg.duration = 0.1;  // shorter than the 0.5 s localization period
+  const std::array<Method, 1> methods{Method::kFttt};
+  const TrackingResult r = run_tracking_pipelined(cfg, methods);
+  EXPECT_TRUE(r.times.empty());
+  EXPECT_TRUE(r.methods[0].errors.empty());
+}
+
+TEST(EpochPipeline, NoMethodsThrows) {
+  EXPECT_THROW(run_tracking_pipelined(quick_config(), {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fttt

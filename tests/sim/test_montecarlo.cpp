@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
 
 namespace fttt {
 namespace {
@@ -43,6 +44,38 @@ TEST(MonteCarlo, TrialMeansWithinPooledRange) {
   const auto s = monte_carlo(quick_config(), methods, 3);
   EXPECT_GE(s[0].trial_means.min(), s[0].pooled.min());
   EXPECT_LE(s[0].trial_means.max(), s[0].pooled.max());
+}
+
+TEST(MonteCarlo, ZeroEpochTrialsDoNotPoisonTrialMeans) {
+  // duration < localization period: every trial has zero epochs, so no
+  // error samples exist. The vacuous per-trial means must not enter the
+  // trial_means distribution (regression: they used to, dragging the
+  // distribution toward a spurious value).
+  ScenarioConfig cfg = quick_config();
+  cfg.duration = 0.1;
+  const std::array<Method, 1> methods{Method::kFttt};
+  const auto s = monte_carlo(cfg, methods, 3);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].pooled.count(), 0u);
+  EXPECT_EQ(s[0].trial_means.count(), 0u);
+  EXPECT_FALSE(std::isnan(s[0].mean_error()));
+  EXPECT_FALSE(std::isnan(s[0].trial_means.mean()));
+}
+
+TEST(MonteCarlo, UsesFaceMapCacheAcrossTrials) {
+  ScenarioConfig cfg = quick_config();
+  cfg.deployment = DeploymentKind::kGrid;  // trial-invariant keys
+  const std::array<Method, 1> methods{Method::kFttt};
+  FaceMapCache cache;
+  monte_carlo(cfg, methods, 4, ThreadPool::global(), &cache);
+  EXPECT_EQ(cache.stats().builds, 1u);
+  EXPECT_EQ(cache.stats().hits, 3u);
+}
+
+TEST(MonteCarlo, NullCacheStillRuns) {
+  const std::array<Method, 1> methods{Method::kFttt};
+  const auto s = monte_carlo(quick_config(), methods, 2, ThreadPool::global(), nullptr);
+  EXPECT_GT(s[0].pooled.count(), 0u);
 }
 
 TEST(MonteCarlo, MethodOrderPreserved) {
