@@ -128,7 +128,13 @@ void FaceMapBuilder::move_node(NodeId id, Vec2 position) {
   FTTT_CHECK(id < roster_.size(), "FaceMapBuilder::move_node: node ", id,
              " outside roster of ", roster_.size());
   roster_[id].position = position;
-  for (const auto& [key, slot] : slot_) {
+  // Walk the dense slot -> key index, not the hash map: slot order is
+  // allocation order, so the scan is deterministic and cache-friendly
+  // (hash-bucket order depends on addresses; harmless for these
+  // idempotent invalidations, but the determinism contract bans the
+  // pattern outright so order dependence can never creep in).
+  for (std::uint32_t slot = 0; slot < slot_key_.size(); ++slot) {
+    const std::uint64_t key = slot_key_[slot];
     const NodeId i = static_cast<NodeId>(key >> 32);
     const NodeId j = static_cast<NodeId>(key & 0xFFFFFFFFULL);
     if (i == id || j == id) slot_valid_[slot] = 0;
@@ -169,6 +175,7 @@ std::uint32_t FaceMapBuilder::slot_of(NodeId i, NodeId j) {
   const auto [it, inserted] =
       slot_.try_emplace(key, static_cast<std::uint32_t>(slot_valid_.size()));
   if (inserted) {
+    slot_key_.push_back(key);
     slot_valid_.push_back(0);
     planes_.resize(planes_.size() + padded_cells());
     masks_.resize(masks_.size() + mask_words());

@@ -177,6 +177,7 @@ class FaceMapBuilder {
   std::vector<SigValue> planes_;                          ///< slots x padded_cells
   std::vector<std::uint64_t> masks_;                      ///< slots x mask_words
   std::unordered_map<std::uint64_t, std::uint32_t> slot_; ///< packed (i,j) -> slot
+  std::vector<std::uint64_t> slot_key_;                   ///< slot -> packed (i,j)
   std::vector<char> slot_valid_;                          ///< per slot
   std::vector<std::uint64_t> row_start_mask_;  ///< bits at every row's first cell
   std::vector<double> center_x_;               ///< per-column cell-center x
