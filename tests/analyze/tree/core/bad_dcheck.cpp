@@ -1,0 +1,19 @@
+// Fixture: CON01 contract-arg-side-effect. FTTT_DCHECK compiles out
+// under -DFTTT_CONTRACTS=OFF, so a side-effecting condition (the pop
+// here) makes checked and release builds diverge — the worst kind of
+// Heisenbug. The detail argument is compiled out too, so the increment
+// is equally banned.
+#include <deque>
+
+#define FTTT_DCHECK(cond, ...) (void)(cond)
+
+namespace fixture {
+
+int drain(std::deque<int>& queue) {
+  int drained = 0;
+  FTTT_DCHECK((queue.pop_front(), true), "queue must drain");
+  FTTT_DCHECK(drained >= 0, "drained count ", drained++);
+  return drained;
+}
+
+}  // namespace fixture

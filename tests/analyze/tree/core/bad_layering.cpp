@@ -1,0 +1,11 @@
+// Fixture: LAYER01 layering-dag. `core` may depend on `obs` but not on
+// `sim` (fixtures_layering.toml) — the second include is an inverted
+// edge, exactly the shape of a core -> sim leak in the real DAG.
+#include "obs/probe.hpp"
+#include "sim/engine.hpp"
+
+namespace fixture {
+
+int use_engine() { return 42; }
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: OBS01 obs-arg-side-effect. Three side-effecting probe
+// arguments: an increment, a mutating member call, and an assignment.
+// Under -DFTTT_OBS=OFF none of these would execute — the exact ON/OFF
+// divergence the check exists to catch. The macros are declared locally
+// so the fixture is self-contained; the analyzer keys on names.
+#include <vector>
+
+#define FTTT_OBS_COUNT(name, delta) (void)(delta)
+#define FTTT_OBS_HIST(name, unit, value) (void)(value)
+#define FTTT_OBS_GAUGE_SET(name, value) (void)(value)
+
+namespace fixture {
+
+int process(std::vector<int>& scratch) {
+  int batches = 0;
+  FTTT_OBS_COUNT("fixture.batches", ++batches);
+  FTTT_OBS_HIST("fixture.scratch", "items", (scratch.push_back(1), scratch.size()));
+  int mode = 0;
+  FTTT_OBS_GAUGE_SET("fixture.mode", mode = 2);
+  return batches + mode;
+}
+
+}  // namespace fixture

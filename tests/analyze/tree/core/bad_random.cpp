@@ -1,0 +1,21 @@
+// Fixture: DET01 determinism-source. Four distinct nondeterministic
+// sources, each of which would break the RngStream substream discipline.
+// (The fttt-lint allows keep the regex linter quiet: this file exists to
+// exercise the AST-level analyzer's version of the rule.)
+#include <chrono>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned nondeterministic_seed() {
+  std::random_device rd;
+  unsigned seed = rd();
+  seed ^= static_cast<unsigned>(rand());  // fttt-lint: allow(banned-random): fixture exercising DET01
+  seed ^= static_cast<unsigned>(std::time(nullptr));  // fttt-lint: allow(banned-random): fixture exercising DET01
+  auto wall = std::chrono::system_clock::now();
+  seed ^= static_cast<unsigned>(wall.time_since_epoch().count());
+  return seed;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: suppression hygiene. A reason-less allow() does NOT excuse
+// its finding and is itself flagged (SUP00); a reasoned allow() that
+// matches nothing is stale (SUP01).
+#include <unordered_set>
+
+namespace fixture {
+
+int bad_allows() {
+  std::unordered_set<int> bag{1, 2, 3};
+  int n = 0;
+  // fttt-analyze: allow(determinism-unordered-iter) -- fttt-lint: allow(suppression-reason): SUP00 fixture requires a reason-less allow
+  for (int v : bag) n += v;
+  // fttt-analyze: allow(determinism-source): no randomness on the next line at all
+  int unrelated = n + 1;
+  return unrelated;
+}
+
+}  // namespace fixture

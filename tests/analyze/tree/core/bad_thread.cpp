@@ -1,0 +1,13 @@
+// Fixture: LAYER02 layering-thread. No fixture layer owns the thread
+// primitive (fixtures_layering.toml [primitives]), so both the <thread>
+// include and the std::thread member must be diagnosed.
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+struct Runner {
+  std::vector<std::thread> workers;
+};
+
+}  // namespace fixture

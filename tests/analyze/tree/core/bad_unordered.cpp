@@ -1,0 +1,25 @@
+// Fixture: DET02 determinism-unordered-iter. Two hazards: a range-for
+// over a header-declared unordered member flowing into an accumulation,
+// and an in-file unordered_set iterated by iterator loop.
+#include <unordered_set>
+
+#include "core/bad_unordered.hpp"
+
+namespace fixture {
+
+double accumulate_in_bucket_order(const Index& index) {
+  double sum = 0.0;
+  for (const auto& [name, id] : index.by_name) {
+    sum += static_cast<double>(id) + static_cast<double>(name.size());
+  }
+  return sum;
+}
+
+int count_by_iterator() {
+  std::unordered_set<int> seen{1, 2, 3};
+  int n = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) n += *it;
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture header: declares the unordered member that
+// bad_unordered.cpp iterates — exercising the cross-file declaration
+// harvest (the real repo's shape: SoA state structs declare in the
+// header, the engine TU iterates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Index {
+  std::unordered_map<std::string, std::uint32_t> by_name;
+  double total = 0.0;
+};
+
+}  // namespace fixture

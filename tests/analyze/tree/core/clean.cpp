@@ -1,0 +1,28 @@
+// Fixture: a TU exercising the legal versions of every checked pattern —
+// ordered iteration, deterministic seeding hooks, pure probe arguments —
+// that must produce zero findings.
+#include <map>
+#include <vector>
+
+#include "obs/probe.hpp"
+
+#define FTTT_OBS_COUNT(name, delta) (void)(delta)
+#define FTTT_DCHECK(cond, ...) (void)(cond)
+
+namespace fixture {
+
+double accumulate_sorted(const std::map<int, double>& table) {
+  double sum = 0.0;
+  for (const auto& [key, value] : table) sum += value + key;
+  FTTT_OBS_COUNT("fixture.rows", table.size());
+  FTTT_DCHECK(sum >= 0.0, "sum ", sum);
+  return sum;
+}
+
+double mean(const std::vector<double>& xs) {
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return xs.empty() ? 0.0 : acc / static_cast<double>(xs.size());
+}
+
+}  // namespace fixture

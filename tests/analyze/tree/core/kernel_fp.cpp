@@ -1,0 +1,13 @@
+// Fixture: DET03 determinism-fp-contract. Listed in
+// fixtures_config.toml [kernels].fp_sensitive; the self-test generates a
+// compile_commands.json entry for this TU *without* -ffp-contract=off,
+// so the check must flag the TU (and stay quiet for the _ok twin).
+namespace fixture {
+
+double fused_accumulate(const double* a, const double* b, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += a[i] * b[i];  // contractible
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: DET03 negative control. Also listed in fp_sensitive, but the
+// self-test's generated compile_commands.json gives this TU
+// -ffp-contract=off — so the check must stay quiet here.
+namespace fixture {
+
+double safe_accumulate(const double* a, const double* b, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: CON02 contract-throw-in-hot-loop. Listed in
+// fixtures_config.toml [kernels].no_throw_loops: the contract policy is
+// throw-at-entry / FTTT_DCHECK-in-loop, so both the braced-body and the
+// single-statement-body throws must be diagnosed.
+#include <stdexcept>
+#include <vector>
+
+namespace fixture {
+
+double sum_positive(const std::vector<double>& xs) {
+  double acc = 0.0;
+  for (double x : xs) {
+    if (x < 0.0) throw std::invalid_argument("negative sample");
+    acc += x;
+  }
+  std::size_t i = 0;
+  while (i < xs.size())
+    if (xs[i++] > 1e9) throw std::overflow_error("unbounded sample");
+  return acc;
+}
+
+}  // namespace fixture

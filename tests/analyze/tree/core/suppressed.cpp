@@ -1,0 +1,20 @@
+// Fixture: reasoned suppressions silence findings (exit 0) while the
+// engine still counts them as suppressed. One same-line allow and one
+// preceding-line allow, covering both accepted placements.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+int lookup_weights(const std::unordered_map<std::string, int>& weights) {
+  int checksum = 0;
+  // fttt-analyze: allow(determinism-unordered-iter): order-independent XOR fold, verified commutative
+  for (const auto& [key, w] : weights) {
+    checksum ^= w + static_cast<int>(key.size());
+  }
+  std::unordered_map<std::string, int> local{{"a", 1}};
+  for (const auto& [key, w] : local) checksum ^= w;  // fttt-analyze: allow(determinism-unordered-iter): single-element map, order vacuous
+  return checksum;
+}
+
+}  // namespace fixture

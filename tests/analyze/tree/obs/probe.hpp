@@ -1,0 +1,14 @@
+// Fixture support header for the obs layer: the steady_clock use is
+// legal here (timing_allow_layers = ["obs"]) and the header is a legal
+// include target for core and sim per the fixture DAG.
+#pragma once
+
+#include <chrono>
+
+namespace fixture {
+
+inline long now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

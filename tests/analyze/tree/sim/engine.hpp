@@ -1,0 +1,12 @@
+// Fixture support header: exists so bad_layering.cpp's inverted
+// core -> sim include resolves to a real file (resolution is not what
+// LAYER01 tests, the edge direction is).
+#pragma once
+
+namespace fixture {
+
+struct Engine {
+  int ticks = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+"""fttt_analyze: AST-level semantic analyzer for the FTTT codebase.
+
+Machine-checks the repo invariants that line-regex lint (tools/fttt_lint.py)
+and the curated .clang-tidy set cannot express:
+
+  layering      the docs/ARCHITECTURE.md dependency DAG, read from
+                tools/layering.toml, enforced over the include graph;
+                raw std::thread confined to the `parallel` layer
+  determinism   no nondeterministic sources (std::random_device, rand,
+                time(...) seeds, wall clocks) outside whitelisted TUs;
+                no iteration over unordered containers (hash order is
+                address-dependent and would leak into results); the
+                bit-equivalence kernel TUs compiled with -ffp-contract=off
+  obs hygiene   FTTT_OBS_* macro arguments side-effect-free, so
+                -DFTTT_OBS=OFF builds are behavior-identical
+  contracts     FTTT_DCHECK arguments side-effect-free (same compile-out
+                contract); hot kernel loops never `throw` — public API
+                entry points throw, hot loops use FTTT_DCHECK
+
+Two frontends build the same per-file SourceModel: a libclang
+(clang.cindex) frontend used when the bindings and a libclang shared
+library are importable (CI installs python3-clang), and a dependency-free
+C++ token frontend that runs everywhere else. Checks consume the model,
+so both frontends emit identical diagnostic codes; libclang only refines
+variable-type resolution. See docs/static_analysis.md.
+
+Suppress one finding with a reason (required):
+
+    // fttt-analyze: allow(<check-name>): <why this is safe>
+
+on the finding's line or on a comment line immediately above it.
+"""
+
+__version__ = "1.0"

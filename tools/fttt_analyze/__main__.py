@@ -1,0 +1,14 @@
+"""Entry point: `python3 -m fttt_analyze` (run from tools/ on sys.path)
+or `python3 tools/fttt_analyze ...` — both route here."""
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # invoked as `python3 tools/fttt_analyze`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from fttt_analyze.cli import main  # type: ignore[no-redef]
+else:
+    from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["fttt_analyze"] + sys.argv[1:]))

@@ -1,0 +1,7 @@
+"""Check modules self-register with tools/fttt_analyze/registry.py on
+import; importing this package loads the full curated set."""
+
+from . import contracts  # noqa: F401
+from . import determinism  # noqa: F401
+from . import layering  # noqa: F401
+from . import obs_hygiene  # noqa: F401

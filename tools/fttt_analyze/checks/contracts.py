@@ -1,0 +1,51 @@
+"""Contract policy checks (docs/ARCHITECTURE.md, "Correctness tooling"):
+public API entry points throw on precondition violation, hot kernel loops
+carry FTTT_DCHECK — never the reverse.
+
+CON01 contract-arg-side-effect   FTTT_DCHECK arguments compile out under
+                                 -DFTTT_CONTRACTS=OFF and must therefore
+                                 be side-effect-free
+CON02 contract-throw-in-hot-loop a `throw` inside a loop body of a kernel
+                                 TU — validate at the entry point before
+                                 the loop, keep FTTT_DCHECK inside it
+"""
+
+from __future__ import annotations
+
+from ..model import Finding, SourceModel
+from ..registry import AnalysisContext, register
+from ..structure import (find_side_effects, loop_body_ranges, macro_calls,
+                         split_macro_args)
+
+
+@register("CON01", "contract-arg-side-effect",
+          "FTTT_DCHECK arguments must be side-effect-free")
+def contract_arg_side_effect(model: SourceModel, ctx: AnalysisContext):
+    names = set(ctx.config.get("contracts", {}).get("compiled_out_macros", []))
+    mutators = set(ctx.config.get("side_effects", {}).get("mutating_members", []))
+    for name, line, open_idx, close_idx in macro_calls(model.tokens, names):
+        for arg in split_macro_args(model.tokens, open_idx, close_idx):
+            for eff_line, desc in find_side_effects(arg, mutators):
+                yield Finding(
+                    model.rel, eff_line, "CON01", "contract-arg-side-effect",
+                    f"{name} argument has a side effect ({desc}): the "
+                    "condition is unevaluated when FTTT_CONTRACTS=OFF, so "
+                    "release and checked builds would diverge")
+
+
+@register("CON02", "contract-throw-in-hot-loop",
+          "kernel-TU loop bodies must not throw; use FTTT_DCHECK")
+def contract_throw_in_hot_loop(model: SourceModel, ctx: AnalysisContext):
+    hot_tus = ctx.config.get("kernels", {}).get("no_throw_loops", [])
+    if model.rel not in hot_tus:
+        return
+    toks = model.tokens
+    for start, end in loop_body_ranges(toks):
+        for k in range(start, end):
+            t = toks[k]
+            if t.kind == "ident" and t.text == "throw":
+                yield Finding(
+                    model.rel, t.line, "CON02", "contract-throw-in-hot-loop",
+                    "throw inside a kernel hot loop: validate preconditions "
+                    "at the public entry point (throw there) and guard the "
+                    "loop with FTTT_DCHECK — ARCHITECTURE.md contract policy")

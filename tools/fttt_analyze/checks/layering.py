@@ -1,0 +1,61 @@
+"""Layering checks: the ARCHITECTURE.md dependency DAG, machine-enforced.
+
+LAYER01 layering-dag      a file under <root>/<layer>/ includes a header
+                          from a layer not in its allowed deps
+LAYER02 layering-thread   raw thread primitives (std::thread, std::jthread,
+                          pthread_*, <thread>) outside the owning layer(s)
+"""
+
+from __future__ import annotations
+
+from ..model import Finding, SourceModel
+from ..registry import AnalysisContext, register
+
+
+@register("LAYER01", "layering-dag",
+          "includes must follow the tools/layering.toml dependency DAG")
+def layering_dag(model: SourceModel, ctx: AnalysisContext):
+    layers = ctx.layering.get("layers", {})
+    if model.layer is None or model.layer not in layers:
+        return
+    allowed = set(layers[model.layer]) | {model.layer}
+    for line, target, delim in model.includes:
+        if delim != '"':
+            continue
+        top = target.split("/", 1)[0]
+        if top in layers and top not in allowed:
+            yield Finding(
+                model.rel, line, "LAYER01", "layering-dag",
+                f"layer '{model.layer}' may not include '{top}/...' "
+                f"(allowed: {', '.join(sorted(allowed - {model.layer})) or 'none'}; "
+                "DAG in tools/layering.toml, rationale in docs/ARCHITECTURE.md)")
+
+
+@register("LAYER02", "layering-thread",
+          "raw std::thread/jthread/pthread confined to the parallel layer")
+def layering_thread(model: SourceModel, ctx: AnalysisContext):
+    owners = set(ctx.layering.get("primitives", {}).get("thread", []))
+    if model.layer in owners:
+        return
+    for line, target, delim in model.includes:
+        if delim == "<" and target in ("thread", "pthread.h"):
+            yield Finding(
+                model.rel, line, "LAYER02", "layering-thread",
+                f"<{target}> outside layer(s) {sorted(owners)}: spawn through "
+                "parallel/thread_pool.hpp so drain-before-join and "
+                "deterministic merge order stay centralized")
+    toks = model.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "ident" or t.text not in ("thread", "jthread"):
+            if t.kind == "ident" and t.text.startswith("pthread_"):
+                yield Finding(
+                    model.rel, t.line, "LAYER02", "layering-thread",
+                    f"raw {t.text} outside layer(s) {sorted(owners)}")
+            continue
+        # std :: thread — require the std:: qualifier so members named
+        # `thread` and the common word in identifiers don't trip it.
+        if i >= 2 and toks[i - 1].text == "::" and toks[i - 2].text == "std":
+            yield Finding(
+                model.rel, t.line, "LAYER02", "layering-thread",
+                f"raw std::{t.text} outside layer(s) {sorted(owners)}: use "
+                "parallel/thread_pool.hpp")

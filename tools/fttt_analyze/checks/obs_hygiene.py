@@ -1,0 +1,29 @@
+"""Obs hygiene: FTTT_OBS_* macro arguments must be side-effect-free.
+
+OBS01 obs-arg-side-effect — under -DFTTT_OBS=OFF every FTTT_OBS_* macro
+expands to a dead branch with its arguments unevaluated (obs/obs.hpp), so
+an argument that mutates state makes ON and OFF builds behave
+differently: the exact silent divergence the obs-off CI preset exists to
+prevent, detected here at the probe site instead of in a failing soak.
+"""
+
+from __future__ import annotations
+
+from ..model import Finding, SourceModel
+from ..registry import AnalysisContext, register
+from ..structure import find_side_effects, macro_calls, split_macro_args
+
+
+@register("OBS01", "obs-arg-side-effect",
+          "FTTT_OBS_* macro arguments must be side-effect-free")
+def obs_arg_side_effect(model: SourceModel, ctx: AnalysisContext):
+    names = set(ctx.config.get("obs", {}).get("macros", []))
+    mutators = set(ctx.config.get("side_effects", {}).get("mutating_members", []))
+    for name, line, open_idx, close_idx in macro_calls(model.tokens, names):
+        for arg in split_macro_args(model.tokens, open_idx, close_idx):
+            for eff_line, desc in find_side_effects(arg, mutators):
+                yield Finding(
+                    model.rel, eff_line, "OBS01", "obs-arg-side-effect",
+                    f"{name} argument has a side effect ({desc}): arguments "
+                    "are unevaluated when FTTT_OBS=OFF, so ON and OFF builds "
+                    "would diverge — hoist the effect out of the probe")

@@ -1,0 +1,116 @@
+"""libclang frontend: the token model enriched with real AST facts.
+
+When the clang.cindex bindings *and* a loadable libclang shared library
+are present (CI installs python3-clang; the dev container may not have
+it), each TU is parsed with its compile_commands.json arguments and the
+SourceModel gains declaration-accurate `unordered_vars` — including
+variables whose type is hidden behind an alias or deduced through
+`auto`, which the token heuristic cannot see.
+
+Everything else (suppressions, macro argument extents, loop extents,
+includes) is read from the token stream in both frontends: those are
+*lexical* facts the preprocessor erases or rewrites, so the token model
+is authoritative for them. That shared substrate is what keeps the two
+frontends' diagnostic codes identical — libclang can only widen what the
+unordered-iteration check knows about types, never change a code.
+
+Any failure here (missing bindings, unloadable library, parse error)
+degrades to the token frontend for that TU; the engine records which
+frontend analyzed each file in the JSON report.
+"""
+
+from __future__ import annotations
+
+import glob
+from pathlib import Path
+
+from .frontend_tokens import build_model as build_token_model
+from .model import SourceModel
+
+_STATE: dict = {"probed": False, "cindex": None}
+
+# Library names tried after the bindings' own default search. Debian and
+# Ubuntu ship versioned sonames only, which the bindings do not probe.
+_LIB_GLOBS = [
+    "/usr/lib/llvm-*/lib/libclang-*.so*",
+    "/usr/lib/llvm-*/lib/libclang.so*",
+    "/usr/lib/x86_64-linux-gnu/libclang-*.so*",
+    "/usr/lib/*/libclang-*.so*",
+]
+
+
+def _probe():
+    """Import clang.cindex and verify a libclang library actually loads.
+    Returns the cindex module or None. Probed once per process."""
+    if _STATE["probed"]:
+        return _STATE["cindex"]
+    _STATE["probed"] = True
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+    for attempt in [None] + sorted(
+            {p for g in _LIB_GLOBS for p in glob.glob(g)}, reverse=True):
+        try:
+            if attempt is not None:
+                cindex.Config.library_file = attempt
+            cindex.Index.create()
+            _STATE["cindex"] = cindex
+            return cindex
+        except Exception:
+            # conf is cached per Config object; reset for the next try
+            cindex.conf = cindex.Config()
+            continue
+    return None
+
+
+def available() -> bool:
+    return _probe() is not None
+
+
+def _is_unordered(type_spelling: str) -> bool:
+    return "unordered_map" in type_spelling or "unordered_set" in type_spelling \
+        or "unordered_multimap" in type_spelling or "unordered_multiset" in type_spelling
+
+
+def build_model(path: Path, rel: str, layer: str | None,
+                compile_args: list[str] | None,
+                include_base: Path | None = None) -> SourceModel:
+    model = build_token_model(path, rel, layer, compile_args, include_base)
+    cindex = _probe()
+    if cindex is None:
+        return model
+    try:
+        index = cindex.Index.create()
+        # compile_commands args include the compiler argv0 and the file;
+        # strip both plus -o/-c which TranslationUnit does not want.
+        args: list[str] = []
+        skip_next = False
+        for a in (compile_args or [])[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-o", "-c"):
+                skip_next = a == "-o"
+                continue
+            if a == str(path) or a.endswith(rel):
+                continue
+            args.append(a)
+        tu = index.parse(str(path), args=args)
+        for cursor in tu.cursor.walk_preorder():
+            try:
+                if cursor.kind in (cindex.CursorKind.VAR_DECL,
+                                   cindex.CursorKind.FIELD_DECL,
+                                   cindex.CursorKind.PARM_DECL):
+                    canonical = cursor.type.get_canonical().spelling
+                    if _is_unordered(canonical) and cursor.spelling:
+                        loc = cursor.location
+                        if loc.file and Path(loc.file.name) == path:
+                            model.unordered_vars.setdefault(
+                                cursor.spelling, loc.line)
+            except Exception:
+                continue
+        model.frontend = "libclang"
+    except Exception:
+        return model  # token model stands
+    return model

@@ -1,0 +1,109 @@
+"""Dependency-free token frontend: builds a SourceModel by lexing.
+
+This is the frontend of record for containers without libclang (the
+checks' fixture tests run against it); frontend_clang produces the same
+model shape with refined declaration types when clang.cindex is usable.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .lexer import lex
+from .model import SourceModel, Suppression
+
+ALLOW_RE = re.compile(
+    r"fttt-analyze:\s*allow\(([A-Za-z0-9_-]+)\)(\s*:\s*(?P<reason>\S.*))?")
+
+UNORDERED_RE = re.compile(r"\bunordered_(?:multi)?(?:map|set)\b")
+
+
+def harvest_suppressions(model: SourceModel) -> None:
+    for c in model.comments:
+        m = ALLOW_RE.search(c.text)
+        if m:
+            reason = m.group("reason") or ""
+            model.suppressions.append(
+                Suppression(check=m.group(1), reason=reason.strip(), line=c.line))
+
+
+def harvest_unordered_vars(model: SourceModel) -> None:
+    """Heuristic same-file declaration scan: after an `unordered_*` token,
+    skip its template argument list (angle-depth matched, `>>` closes
+    two), then optional `*`/`&`/`const`, and record the next identifier
+    as an unordered-container variable."""
+    toks = model.tokens
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if t.kind == "ident" and UNORDERED_RE.fullmatch(t.text):
+            j = i + 1
+            if j < len(toks) and toks[j].text == "<":
+                depth = 0
+                while j < len(toks):
+                    txt = toks[j].text
+                    if txt == "<":
+                        depth += 1
+                    elif txt == ">":
+                        depth -= 1
+                        if depth == 0:
+                            j += 1
+                            break
+                    elif txt == ">>":
+                        depth -= 2
+                        if depth <= 0:
+                            j += 1
+                            break
+                    j += 1
+            while j < len(toks) and toks[j].text in ("&", "*", "const"):
+                j += 1
+            if j < len(toks) and toks[j].kind == "ident":
+                model.unordered_vars.setdefault(toks[j].text, toks[j].line)
+        i += 1
+
+
+# Unordered-declaration harvest of project headers is memoized: many TUs
+# include the same headers and the harvest is pure.
+_HEADER_VARS_CACHE: dict[Path, dict[str, int]] = {}
+
+
+def _header_unordered_vars(header: Path) -> dict[str, int]:
+    cached = _HEADER_VARS_CACHE.get(header)
+    if cached is None:
+        probe = SourceModel(path=header, rel=header.as_posix(), layer=None,
+                            is_header=True)
+        try:
+            text = header.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            text = ""
+        probe.tokens, probe.comments, probe.includes = lex(text)
+        harvest_unordered_vars(probe)
+        cached = _HEADER_VARS_CACHE[header] = probe.unordered_vars
+    return cached
+
+
+def build_model(path: Path, rel: str, layer: str | None,
+                compile_args: list[str] | None,
+                include_base: Path | None = None) -> SourceModel:
+    model = SourceModel(
+        path=path, rel=rel, layer=layer,
+        is_header=path.suffix in (".hpp", ".h"),
+        compile_args=compile_args, frontend="tokens")
+    text = path.read_text(encoding="utf-8", errors="replace")
+    model.tokens, model.comments, model.includes = lex(text)
+    harvest_suppressions(model)
+    harvest_unordered_vars(model)
+    # A .cpp iterating a member declared in its own header is the common
+    # shape (SoA state structs): fold unordered declarations from every
+    # directly-included project header into the model. Names only — a
+    # false positive from a name collision is suppressible with a reason.
+    if include_base is not None:
+        for _, target, delim in model.includes:
+            if delim != '"':
+                continue
+            resolved = include_base / target
+            if resolved.is_file():
+                for name, line in _header_unordered_vars(resolved).items():
+                    model.unordered_vars.setdefault(name, line)
+    return model

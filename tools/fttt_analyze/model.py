@@ -1,0 +1,71 @@
+"""SourceModel: the per-file facts checks consume.
+
+Both frontends (tokens, libclang) produce this same structure, so every
+check emits identical diagnostic codes regardless of which frontend built
+the model; libclang only *refines* fields (e.g. `unordered_vars` from
+real declaration types instead of same-file token heuristics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .lexer import Comment, Token
+
+
+@dataclass
+class Suppression:
+    check: str
+    reason: str  # "" when the author omitted one (itself a finding)
+    line: int    # line the comment sits on
+    used: bool = False
+
+
+@dataclass
+class SourceModel:
+    path: Path                    # absolute
+    rel: str                      # repo-relative posix path
+    layer: str | None             # first directory under the layering root
+    is_header: bool
+    tokens: list[Token] = field(default_factory=list)
+    comments: list[Comment] = field(default_factory=list)
+    includes: list[tuple[int, str, str]] = field(default_factory=list)
+    # Variables whose declared type involves an unordered container:
+    # name -> declaration line. The token frontend harvests same-file
+    # declarations; the clang frontend adds cross-file ones.
+    unordered_vars: dict[str, int] = field(default_factory=dict)
+    suppressions: list[Suppression] = field(default_factory=list)
+    # Compile command argv for this TU from compile_commands.json, if any.
+    compile_args: list[str] | None = None
+    frontend: str = "tokens"
+
+    def suppressions_for(self, line: int, check: str) -> Suppression | None:
+        """An allow(check) on `line` or on the line directly above it."""
+        for s in self.suppressions:
+            if s.check == check and s.line in (line, line - 1):
+                return s
+        return None
+
+
+@dataclass
+class Finding:
+    rel: str
+    line: int
+    code: str      # stable short code, e.g. "DET02"
+    check: str     # check name, e.g. "determinism-unordered-iter"
+    message: str
+    suppressed: bool = False
+    reason: str = ""  # suppression reason when suppressed
+
+    def human(self) -> str:
+        tag = " (suppressed: " + self.reason + ")" if self.suppressed else ""
+        return f"{self.rel}:{self.line}: [{self.code} {self.check}] {self.message}{tag}"
+
+    def as_json(self) -> dict:
+        d = {"file": self.rel, "line": self.line, "code": self.code,
+             "check": self.check, "message": self.message}
+        if self.suppressed:
+            d["suppressed"] = True
+            d["reason"] = self.reason
+        return d

@@ -1,0 +1,51 @@
+"""Check registry: checks self-register at import, the engine iterates.
+
+A check is a callable `run(model, ctx) -> Iterable[Finding]` plus stable
+identity (code, name) and a one-line doc shown by --list-checks. Codes
+are permanent (suppressions and CI logs reference them); names are the
+suppression handle: `// fttt-analyze: allow(<name>): <reason>`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from .model import Finding, SourceModel
+
+
+@dataclass(frozen=True)
+class CheckInfo:
+    code: str
+    name: str
+    doc: str
+    run: Callable[[SourceModel, "AnalysisContext"], Iterable[Finding]]
+
+
+@dataclass
+class AnalysisContext:
+    config: dict       # tools/fttt_analyze/config.toml (or --config)
+    layering: dict     # tools/layering.toml (or --layering)
+    repo_root: object  # pathlib.Path
+    # rel path -> compile argv, from compile_commands.json when given
+    compile_db: dict
+
+
+_REGISTRY: dict[str, CheckInfo] = {}
+
+
+def register(code: str, name: str, doc: str):
+    def wrap(fn):
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate check name: {name}")
+        _REGISTRY[name] = CheckInfo(code=code, name=name, doc=doc, run=fn)
+        return fn
+    return wrap
+
+
+def all_checks() -> list[CheckInfo]:
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get(name: str) -> CheckInfo | None:
+    return _REGISTRY.get(name)

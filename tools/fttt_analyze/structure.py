@@ -1,0 +1,93 @@
+"""Token-structure helpers shared by checks: loop extents, macro call
+extents, side-effect scans. Lexical by design — both frontends run these
+over the token stream (see frontend_clang docstring)."""
+
+from __future__ import annotations
+
+from .lexer import Token, match_paren, split_args
+
+LOOP_KEYWORDS = ("for", "while")
+
+ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+MUTATE_OPS = {"++", "--"}
+
+
+def loop_body_ranges(tokens: list[Token]) -> list[tuple[int, int]]:
+    """Token index ranges [start, end) of every loop body: `for (...) X`,
+    `while (...) X`, and `do { ... } while`. X is a braced block or a
+    single statement up to `;`. Nested loops each get their own range."""
+    ranges: list[tuple[int, int]] = []
+    n = len(tokens)
+    i = 0
+    while i < n:
+        t = tokens[i]
+        if t.kind == "ident" and t.text in LOOP_KEYWORDS:
+            j = i + 1
+            if j < n and tokens[j].text == "(":
+                close = match_paren(tokens, j)
+                body = close + 1
+                if body < n:
+                    if tokens[body].text == "{":
+                        end = match_paren(tokens, body)
+                        ranges.append((body + 1, end))
+                    else:
+                        k = body
+                        depth = 0
+                        while k < n:
+                            if tokens[k].text in "({[":
+                                depth += 1
+                            elif tokens[k].text in ")}]":
+                                depth -= 1
+                            elif tokens[k].text == ";" and depth == 0:
+                                break
+                            k += 1
+                        ranges.append((body, k))
+                i = body
+                continue
+        elif t.kind == "ident" and t.text == "do":
+            j = i + 1
+            if j < n and tokens[j].text == "{":
+                end = match_paren(tokens, j)
+                ranges.append((j + 1, end))
+                i = j + 1
+                continue
+        i += 1
+    return ranges
+
+
+def macro_calls(tokens: list[Token], names: set[str]):
+    """Yield (name, line, open_idx, close_idx) for NAME ( ... ) uses."""
+    for i, t in enumerate(tokens):
+        if t.kind == "ident" and t.text in names:
+            if i + 1 < len(tokens) and tokens[i + 1].text == "(":
+                yield t.text, t.line, i + 1, match_paren(tokens, i + 1)
+
+
+def find_side_effects(arg: list[Token], mutating_members: set[str]):
+    """Yield (line, description) for side-effecting constructs inside one
+    macro argument: ++/--, assignment operators, mutating member calls,
+    and new/delete. Pure reads (size(), load(), count()) stay silent."""
+    depth_cmp = 0  # inside a template-ish < > we still see ops; fine.
+    for k, t in enumerate(arg):
+        if t.text in MUTATE_OPS:
+            yield t.line, f"'{t.text}' mutates its operand"
+        elif t.text in ASSIGN_OPS and t.text == "=":
+            # Skip `==`-free plain assignment only when it is not part of
+            # a lambda default capture `[=]` (rare in macro args).
+            prev = arg[k - 1].text if k else ""
+            nxt = arg[k + 1].text if k + 1 < len(arg) else ""
+            if prev != "[" and nxt != "]":
+                yield t.line, "assignment inside macro argument"
+        elif t.text in ASSIGN_OPS:
+            yield t.line, f"compound assignment '{t.text}'"
+        elif t.kind == "ident" and t.text in ("new", "delete"):
+            yield t.line, f"'{t.text}' allocates/frees"
+        elif (t.kind == "ident" and t.text in mutating_members
+              and k >= 1 and arg[k - 1].text in (".", "->")
+              and k + 1 < len(arg) and arg[k + 1].text == "("):
+            yield t.line, f"call to mutating member '{t.text}()'"
+    _ = depth_cmp
+
+
+def split_macro_args(tokens: list[Token], open_idx: int, close_idx: int):
+    return split_args(tokens, open_idx, close_idx)

@@ -18,9 +18,13 @@ ctest (see tools/CMakeLists.txt) and as the `lint` build target:
                      to an existing file or directory (external schemes
                      and #anchors are skipped) — keeps the docs index
                      and cross-references from rotting
+  suppression-reason every suppression comment — NOLINT/NOLINTNEXTLINE,
+                     fttt-lint: allow(...), fttt-analyze: allow(...) —
+                     must carry a trailing ': <reason>' so the excuse is
+                     reviewable where it applies
 
-Suppress a finding on one line with: // fttt-lint: allow(<rule>)
-(markdown: <!-- fttt-lint: allow(doc-links) --> on the same line)
+Suppress a finding on one line with: // fttt-lint: allow(<rule>): <reason>
+(markdown: <!-- fttt-lint: allow(doc-links): <reason> --> on the line)
 
 Exit status: 0 clean, 1 violations found, 2 usage error.
 """
@@ -36,6 +40,12 @@ SOURCE_SUFFIXES = {".hpp", ".h", ".cpp", ".cc"}
 DOC_SUFFIXES = {".md"}
 
 ALLOW_RE = re.compile(r"fttt-lint:\s*allow\(([a-z-]+)\)")
+# Any suppression marker this repo recognizes; group "reason" is present
+# only when the mandatory ': why' trailer follows.
+SUPPRESSION_RE = re.compile(
+    r"(?:NOLINT(?:NEXTLINE)?(?:\([^)]*\))?"
+    r"|fttt-(?:lint|analyze):\s*allow\([A-Za-z0-9_-]+\))"
+    r"(?P<reason>\s*:\s*\S.*)?")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
 # rand( / srand( not preceded by an identifier char, member access, or
@@ -160,6 +170,14 @@ class FileLinter:
                             "time(nullptr) seeding breaks reproducibility; "
                             "use fttt::RngStream substreams")
 
+    def check_suppression_reason(self) -> None:
+        for lineno, line in enumerate(self.lines, 1):
+            for m in SUPPRESSION_RE.finditer(line):
+                if not m.group("reason"):
+                    self.report(lineno, "suppression-reason",
+                                f"suppression '{m.group(0).strip()}' lacks a "
+                                "reason; write '...: <why this is safe>'")
+
     def check_doc_links(self) -> None:
         in_fence = False
         for lineno, line in enumerate(self.lines, 1):
@@ -195,6 +213,7 @@ class FileLinter:
         self.check_using_namespace()
         self.check_include_order()
         self.check_banned_random()
+        self.check_suppression_reason()
         return self.violations
 
 

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Zero-new-findings gate for the clang static analyzer smoke pass.
+
+CI runs `clang++ --analyze` (or scan-build) over src/core and pipes the
+diagnostics here. Every finding is normalized to `file:line: message`
+(column numbers dropped — they shift with unrelated edits) and compared
+against the checked-in baseline tools/scan_baseline.txt:
+
+  * a finding not in the baseline  -> NEW, exit 1 (the gate)
+  * a baseline entry not seen      -> note to prune it (exit stays 0)
+
+The baseline starts — and should stay — empty; it exists so a genuine
+but deferred upstream-toolchain false positive can be recorded with a
+trailing ` # reason` instead of blocking every PR. Adding to it without
+a reason is rejected (exit 2), mirroring the suppression-reason policy
+of fttt_lint and fttt_analyze.
+
+Usage:
+  clang++ --analyze ... 2>&1 | python3 tools/fttt_scan_gate.py --baseline tools/scan_baseline.txt
+  python3 tools/fttt_scan_gate.py --self-test
+
+Exit status: 0 gate passes, 1 new findings, 2 usage/baseline error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# clang diagnostic: path:line:col: warning: message [checker]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):(?:\d+:)?\s*"
+    r"(?:warning|error):\s*(?P<msg>.*?)\s*$")
+NOISE_RE = re.compile(
+    r"generated\.$|In file included from|^\s*\d+\s*\|")
+
+
+def normalize(raw: str) -> list[str]:
+    findings = []
+    for line in raw.splitlines():
+        if NOISE_RE.search(line):
+            continue
+        m = DIAG_RE.match(line.strip())
+        if m:
+            path = m.group("file")
+            # repo-relative for stability across runners
+            path = re.sub(r"^.*?(src/|tests/|bench/|tools/)", r"\1", path)
+            findings.append(f"{path}:{m.group('line')}: {m.group('msg')}")
+    return findings
+
+
+def load_baseline(path: Path) -> tuple[dict[str, str], list[str]]:
+    """Returns ({finding: reason}, errors). Lines: `finding # reason`."""
+    entries: dict[str, str] = {}
+    errors: list[str] = []
+    if not path.exists():
+        return entries, errors
+    for n, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        finding, sep, reason = line.partition(" # ")
+        if not sep or not reason.strip():
+            errors.append(f"{path}:{n}: baseline entry lacks ' # <reason>'")
+            continue
+        entries[finding.strip()] = reason.strip()
+    return entries, errors
+
+
+def self_test() -> int:
+    sample = """\
+In file included from src/core/facemap.cpp:3:
+src/core/matcher.cpp:42:7: warning: Value stored to 'x' is never read [deadcode.DeadStores]
+/abs/prefix/src/core/tracker.cpp:10:3: warning: Dereference of null pointer [core.NullDereference]
+2 warnings generated.
+"""
+    got = normalize(sample)
+    want = [
+        "src/core/matcher.cpp:42: Value stored to 'x' is never read [deadcode.DeadStores]",
+        "src/core/tracker.cpp:10: Dereference of null pointer [core.NullDereference]",
+    ]
+    ok = got == want
+    # Baseline round-trip: reasoned entry accepted, bare entry rejected.
+    import tempfile
+    with tempfile.TemporaryDirectory() as d:
+        good = Path(d, "good.txt")
+        good.write_text(want[0] + " # upstream false positive, llvm#12345\n")
+        entries, errors = load_baseline(good)
+        ok = ok and not errors and entries == {
+            want[0]: "upstream false positive, llvm#12345"}
+        bad = Path(d, "bad.txt")
+        bad.write_text(want[0] + "\n")
+        _, errors = load_baseline(bad)
+        ok = ok and len(errors) == 1
+    print("fttt_scan_gate self-test:", "ok" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="fttt_scan_gate")
+    parser.add_argument("--baseline", default="tools/scan_baseline.txt")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv[1:])
+    if args.self_test:
+        return self_test()
+
+    baseline, errors = load_baseline(Path(args.baseline))
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        return 2
+
+    findings = normalize(sys.stdin.read())
+    new = [f for f in findings if f not in baseline]
+    stale = [b for b in baseline if b not in findings]
+    for f in new:
+        print(f"NEW: {f}")
+    for b in stale:
+        print(f"note: baseline entry no longer fires, prune it: {b}")
+    if new:
+        print(f"fttt_scan_gate: {len(new)} new finding(s) "
+              f"({len(findings)} total, baseline {len(baseline)})",
+              file=sys.stderr)
+        return 1
+    print(f"fttt_scan_gate: clean ({len(findings)} finding(s), all baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
