@@ -100,12 +100,17 @@ BatchMatcher::BatchMatcher(std::shared_ptr<const FaceMap> map, SignatureTable ta
 
 BatchMatcher::BatchMatcher(std::shared_ptr<const FaceMap> map,
                            std::shared_ptr<const SignatureTable> table)
-    : map_(std::move(map)), config_(Config{}), pool_(&ThreadPool::global()),
-      table_(std::move(table)) {
+    : BatchMatcher(std::move(map), std::move(table), Config{}, ThreadPool::global()) {}
+
+BatchMatcher::BatchMatcher(std::shared_ptr<const FaceMap> map,
+                           std::shared_ptr<const SignatureTable> table, Config config,
+                           ThreadPool& pool)
+    : map_(std::move(map)), config_(config), pool_(&pool), table_(std::move(table)) {
   const FaceMap& m = require_map(map_);
   if (!table_) throw std::invalid_argument("BatchMatcher: null signature table");
   if (table_->face_count() != m.face_count() || table_->dimension() != m.dimension())
     throw std::invalid_argument("BatchMatcher: signature table does not match map");
+  FTTT_CHECK(config_.face_block > 0, "BatchMatcher: zero face_block");
   FTTT_OBS_GAUGE_SET("matcher.kernel.clones", FTTT_HAS_VECTOR_CLONES);
 }
 

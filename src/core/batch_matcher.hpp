@@ -58,8 +58,12 @@ class BatchMatcher {
   /// Share an already-built SoA table (e.g. a FaceMapCache entry): several
   /// matchers over the same map then pay for one transposition total.
   /// Same validation as the adopting constructors; throws on null table.
+  /// (Two overloads for the same nested-class reason.)
   BatchMatcher(std::shared_ptr<const FaceMap> map,
                std::shared_ptr<const SignatureTable> table);
+  BatchMatcher(std::shared_ptr<const FaceMap> map,
+               std::shared_ptr<const SignatureTable> table, Config config,
+               ThreadPool& pool = ThreadPool::global());
 
   /// Localize every vector of `batch`; results[i] is the match of
   /// batch[i], each bit-identical to ExhaustiveMatcher::match.

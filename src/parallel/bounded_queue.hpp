@@ -1,0 +1,161 @@
+// Bounded MPMC ingestion queue with explicit overload policies.
+//
+// The serve layer (src/serve) sits behind this queue: many producer
+// threads push sensor-report frames, one service loop drains them per
+// tick. A production ingestion edge needs *named* behaviours when
+// producers outrun the consumer, not an unbounded std::deque that
+// converts overload into memory growth and latency. BoundedQueue offers
+// the three policies the fleet composes:
+//
+//   push_wait        backpressure — block until space or close(),
+//   try_push         reject — fail fast, caller keeps the item,
+//   push_shed_oldest load-shed — evict the *oldest* queued item to
+//                    admit the newest (fresh sensor reports outrank
+//                    stale ones; a tracking fix from three ticks ago is
+//                    worthless once a newer frame for the track exists).
+//
+// Every policy reports exactly what happened (accepted / shed count /
+// rejected), so callers can keep accurate accounting — the serve
+// fleet's shed counters are asserted against producer totals in the
+// stress suite. Close semantics mirror ThreadPool::shutdown: close()
+// wakes all waiters, pushes after close are rejected, and drains keep
+// returning queued items until empty — accepted work is never dropped
+// by shutdown, only by the explicit shedding policy.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace fttt {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Outcome of one push, for caller-side accounting.
+  struct PushResult {
+    bool accepted{false};    ///< the pushed item is now queued
+    std::size_t shed{0};     ///< older items evicted to admit it
+  };
+
+  /// Throws std::invalid_argument when capacity is zero (a zero-capacity
+  /// queue can never accept work; every policy would degenerate).
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("BoundedQueue: zero capacity");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Backpressure push: block until the queue has space or close() is
+  /// called. Returns true when the item was enqueued, false when the
+  /// queue closed first (the item is destroyed).
+  bool push_wait(T value) {
+    std::unique_lock lock(mu_);
+    cv_space_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    cv_item_.notify_one();
+    return true;
+  }
+
+  /// Rejecting push: never blocks, never evicts. False when full or
+  /// closed (the item is destroyed; callers wanting to retry should keep
+  /// their own copy).
+  bool try_push(T value) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    cv_item_.notify_one();
+    return true;
+  }
+
+  /// Load-shedding push: never blocks. When full, evicts the *oldest*
+  /// queued item to make room — the newest report always wins admission.
+  /// Returns {accepted, shed}; accepted is false only after close().
+  PushResult push_shed_oldest(T value) {
+    PushResult result;
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return result;
+      while (items_.size() >= capacity_) {
+        items_.pop_front();
+        ++result.shed;
+      }
+      items_.push_back(std::move(value));
+      result.accepted = true;
+    }
+    cv_item_.notify_one();
+    if (result.shed > 0) cv_space_.notify_one();
+    return result;
+  }
+
+  /// Pop every queued item (up to `max_items`; 0 means no limit) into
+  /// `out`, oldest first, without waiting. Returns the number drained.
+  std::size_t drain(std::vector<T>& out, std::size_t max_items = 0) {
+    std::size_t drained = 0;
+    {
+      std::lock_guard lock(mu_);
+      while (!items_.empty() && (max_items == 0 || drained < max_items)) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++drained;
+      }
+    }
+    if (drained > 0) cv_space_.notify_all();
+    return drained;
+  }
+
+  /// Blocking pop: wait for an item or close(). False only when the
+  /// queue is closed *and* empty — accepted items outlive close().
+  bool pop_wait(T& out) {
+    std::unique_lock lock(mu_);
+    cv_item_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    cv_space_.notify_one();
+    return true;
+  }
+
+  /// Stop accepting pushes and wake every waiter. Idempotent. Queued
+  /// items remain drainable.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_space_.notify_all();
+    cv_item_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_space_;  ///< space available (or closed)
+  std::condition_variable cv_item_;   ///< item available (or closed)
+  std::deque<T> items_;
+  bool closed_{false};
+};
+
+}  // namespace fttt

@@ -1,0 +1,206 @@
+#include "serve/fleet.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace fttt {
+
+namespace {
+
+/// Alive global ids of `builder`, ascending (roster ids are dense).
+std::vector<NodeId> alive_members(const FaceMapBuilder& builder) {
+  std::vector<NodeId> members;
+  members.reserve(builder.roster_size());
+  for (NodeId id = 0; id < builder.roster_size(); ++id)
+    if (builder.is_active(id)) members.push_back(id);
+  return members;
+}
+
+}  // namespace
+
+TrackManagerFleet::TrackManagerFleet(Deployment roster, double C, const Aabb& field,
+                                     double cell_size, Config config, ThreadPool& pool,
+                                     FaceMapCache* cache)
+    : config_(config),
+      pool_(&pool),
+      roster_(std::move(roster)),
+      queue_(config.queue_capacity) {
+  if (config_.shards == 0)
+    throw std::invalid_argument("TrackManagerFleet: zero shards");
+  if (roster_.size() < 2)
+    throw std::invalid_argument("TrackManagerFleet: a division needs >= 2 nodes");
+
+  builder_ = std::make_unique<FaceMapBuilder>(roster_, C, field, cell_size, pool);
+  if (cache) {
+    const FaceMapCache::Entry entry =
+        cache->get_or_build(roster_, C, field, cell_size, pool);
+    map_ = entry.map;
+    table_ = entry.table;
+  } else {
+    map_ = std::make_shared<const FaceMap>(builder_->build());
+    table_ = std::make_shared<const SignatureTable>(builder_->take_signature_table());
+  }
+  members_ = alive_members(*builder_);
+
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<TrackShard>(config_.track, pool));
+    shards_.back()->adopt_division(map_, table_, members_);
+  }
+  route_frames_.resize(config_.shards);
+  route_slots_.resize(config_.shards);
+  route_updates_.resize(config_.shards);
+}
+
+bool TrackManagerFleet::submit(ReportFrame frame) {
+  const BoundedQueue<ReportFrame>::PushResult r =
+      queue_.push_shed_oldest(std::move(frame));
+  if (r.accepted) {
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+    FTTT_OBS_COUNT("serve.enqueued", 1);
+  }
+  if (r.shed > 0) {
+    shed_.fetch_add(r.shed, std::memory_order_relaxed);
+    FTTT_OBS_COUNT("serve.shed", r.shed);
+  }
+  return r.accepted;
+}
+
+bool TrackManagerFleet::try_submit(ReportFrame frame) {
+  if (queue_.try_push(std::move(frame))) {
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+    FTTT_OBS_COUNT("serve.enqueued", 1);
+    return true;
+  }
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  FTTT_OBS_COUNT("serve.rejected", 1);
+  return false;
+}
+
+bool TrackManagerFleet::submit_wait(ReportFrame frame) {
+  if (queue_.push_wait(std::move(frame))) {
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+    FTTT_OBS_COUNT("serve.enqueued", 1);
+    return true;
+  }
+  return false;
+}
+
+void TrackManagerFleet::close() { queue_.close(); }
+
+std::vector<TrackUpdate> TrackManagerFleet::tick() {
+  FTTT_OBS_SPAN("serve.tick");
+  drained_.clear();
+  queue_.drain(drained_, config_.max_frames_per_tick);
+  ++ticks_;
+  FTTT_OBS_GAUGE_SET("serve.queue.depth", queue_.size());
+
+  std::vector<TrackUpdate> updates(drained_.size());
+  if (drained_.empty()) return updates;
+
+  // Route each drained frame to its track's shard, remembering the
+  // drain-order slot so shard outputs scatter back stably.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    route_frames_[s].clear();
+    route_slots_[s].clear();
+  }
+  for (std::size_t i = 0; i < drained_.size(); ++i) {
+    const std::size_t s = shard_of(drained_[i].track);
+    route_frames_[s].push_back(&drained_[i]);
+    route_slots_[s].push_back(i);
+  }
+
+  // One task per shard. Shards share nothing mutable (the division is
+  // immutable and each writes its own update scratch), and the inner
+  // exhaustive pass nests safely on the same pool.
+  parallel_for(
+      0, shards_.size(),
+      [&](std::size_t s) {
+        if (route_frames_[s].empty()) return;
+        route_updates_[s].resize(route_frames_[s].size());
+        shards_[s]->resolve(std::span<const ReportFrame* const>(route_frames_[s]),
+                            route_updates_[s].data());
+      },
+      *pool_);
+
+  std::uint64_t localized = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    for (std::size_t k = 0; k < route_slots_[s].size(); ++k) {
+      if (route_updates_[s][k].estimate) ++localized;
+      updates[route_slots_[s][k]] = std::move(route_updates_[s][k]);
+    }
+  }
+  frames_ += drained_.size();
+  localizations_ += localized;
+  FTTT_OBS_COUNT("serve.localizations", localized);
+  FTTT_OBS_HIST("serve.tick.frames", "frames", drained_.size());
+  return updates;
+}
+
+void TrackManagerFleet::adopt_rebuilt_division() {
+  map_ = std::make_shared<const FaceMap>(builder_->build());
+  table_ = std::make_shared<const SignatureTable>(builder_->take_signature_table());
+  members_ = alive_members(*builder_);
+  for (const std::unique_ptr<TrackShard>& shard : shards_)
+    shard->adopt_division(map_, table_, members_);
+  ++rebuilds_;
+  FTTT_OBS_COUNT("serve.rebuilds", 1);
+}
+
+bool TrackManagerFleet::fail_node(NodeId id) {
+  if (id >= roster_.size() || !builder_->is_active(id)) return false;
+  // DistributedTracker's refusal rule: a division needs two live nodes.
+  if (builder_->active_count() <= 2) return false;
+  builder_->deactivate(id);
+  adopt_rebuilt_division();
+  return true;
+}
+
+bool TrackManagerFleet::revive_node(NodeId id) {
+  if (id >= roster_.size() || builder_->is_active(id)) return false;
+  builder_->activate(id);
+  adopt_rebuilt_division();
+  return true;
+}
+
+TrackManagerFleet::Stats TrackManagerFleet::stats() const {
+  Stats s;
+  s.enqueued = enqueued_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.frames = frames_;
+  s.localizations = localizations_;
+  s.ticks = ticks_;
+  s.rebuilds = rebuilds_;
+  for (const std::unique_ptr<TrackShard>& shard : shards_)
+    s.tracks += shard->track_count();
+  s.queue_depth = queue_.size();
+  return s;
+}
+
+std::size_t TrackManagerFleet::alive_count() const { return builder_->active_count(); }
+
+SerialReplay::SerialReplay(TrackShard::Config config,
+                           std::shared_ptr<const FaceMap> map,
+                           std::shared_ptr<const SignatureTable> table,
+                           std::vector<NodeId> members, ThreadPool& pool)
+    : shard_(config, pool) {
+  shard_.adopt_division(std::move(map), std::move(table), std::move(members));
+}
+
+void SerialReplay::adopt_division(std::shared_ptr<const FaceMap> map,
+                                  std::shared_ptr<const SignatureTable> table,
+                                  std::vector<NodeId> members) {
+  shard_.adopt_division(std::move(map), std::move(table), std::move(members));
+}
+
+TrackUpdate SerialReplay::process(const ReportFrame& frame) {
+  const ReportFrame* p = &frame;
+  TrackUpdate update;
+  shard_.resolve(std::span<const ReportFrame* const>(&p, 1), &update);
+  return update;
+}
+
+}  // namespace fttt

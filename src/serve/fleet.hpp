@@ -1,0 +1,207 @@
+// TrackManagerFleet: the long-running multi-target serving engine.
+//
+// The ROADMAP north-star is a service tracking thousands of concurrent
+// targets over one deployment's face division. The fleet is that serve
+// mode's core: producers push roster-wide ReportFrames into a bounded
+// MPMC queue (parallel/bounded_queue.hpp) from any thread; a single
+// service loop calls tick(), which drains the queue, routes frames to
+// N shards by track id, and resolves every shard concurrently — warm
+// tracks hill-climb, the cold/fallback residue of each shard goes
+// through one exhaustive BatchMatcher::match SoA pass (cross-target
+// batching; see serve/shard.hpp).
+//
+// Overload behaviour is explicit, named, and accounted:
+//   submit()       load-shed — oldest queued frame evicted when full
+//                  (fresh reports outrank stale ones),
+//   try_submit()   reject — producer keeps the frame, nothing evicted,
+//   submit_wait()  backpressure — producer blocks until space/close().
+//
+// Deployment churn (net/faults.hpp fail/revive semantics) happens live,
+// between ticks, with tracks *held*: fail_node()/revive_node() drive a
+// FaceMapBuilder incremental rebuild (cached planes — a fail/revive
+// cycle re-rasterizes nothing after the first build) and hand the new
+// division to every shard. Track slots are never dropped; their warm
+// starts reset because face ids do not survive a re-division, and the
+// next tick re-acquires through the batch pass.
+//
+// Determinism: the updates of tick() depend only on the frame stream
+// (per-track order) and the division schedule — never on shard count,
+// batch composition, pool size, or queue timing of *accepted* frames.
+// SerialReplay below is the executable specification of that claim;
+// tests/serve holds the fleet to it across 1/2/8 shards, under churn.
+//
+// Threading contract: submit()/try_submit()/submit_wait() are safe from
+// any thread, concurrently with tick(). tick(), fail_node(),
+// revive_node() and close() belong to one service thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/facemap_builder.hpp"
+#include "core/facemap_cache.hpp"
+#include "parallel/bounded_queue.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/frame.hpp"
+#include "serve/shard.hpp"
+
+namespace fttt {
+
+class TrackManagerFleet {
+ public:
+  struct Config {
+    std::size_t shards{1};
+    /// Ingestion queue bound (frames). Producers outrunning the fleet
+    /// hit the per-call policy: shed/reject/block.
+    std::size_t queue_capacity{4096};
+    /// Per-tick drain bound; 0 = drain everything queued.
+    std::size_t max_frames_per_tick{0};
+    TrackShard::Config track{};
+  };
+
+  /// Monotonic accounting. enqueued + shed + rejected reconciles with
+  /// producer-side totals exactly (asserted by the stress suite).
+  struct Stats {
+    std::uint64_t enqueued{0};       ///< frames accepted into the queue
+    std::uint64_t shed{0};           ///< oldest-first evictions (submit)
+    std::uint64_t rejected{0};       ///< try_submit refusals
+    std::uint64_t frames{0};         ///< frames resolved across all ticks
+    std::uint64_t localizations{0};  ///< updates carrying an estimate
+    std::uint64_t ticks{0};
+    std::uint64_t rebuilds{0};       ///< divisions adopted after churn
+    std::size_t tracks{0};           ///< live track slots (never shrinks)
+    std::size_t queue_depth{0};      ///< at the time of the stats() call
+  };
+
+  /// Build the fleet over `roster` (dense ids, all initially alive)
+  /// with ratio constant `C` and preprocessing cell `cell_size`. When
+  /// `cache` is non-null the initial division is fetched through it —
+  /// content-keyed, so sibling fleets (and anything else on the cache)
+  /// share one build; the builder's plane cache then warms on the first
+  /// churn event instead. Without a cache the constructor builds via
+  /// the FaceMapBuilder directly, so churn is incremental from the
+  /// start. Throws std::invalid_argument on zero shards/capacity or
+  /// fewer than two roster nodes.
+  TrackManagerFleet(Deployment roster, double C, const Aabb& field, double cell_size,
+                    Config config, ThreadPool& pool = ThreadPool::global(),
+                    FaceMapCache* cache = nullptr);
+
+  // -- Ingestion (any thread) ----------------------------------------------
+
+  /// Load-shedding submit: evicts the oldest queued frame when full.
+  /// False only after close().
+  bool submit(ReportFrame frame);
+
+  /// Rejecting submit: false when the queue is full or closed.
+  bool try_submit(ReportFrame frame);
+
+  /// Backpressure submit: blocks until space or close(); false when the
+  /// fleet closed first.
+  bool submit_wait(ReportFrame frame);
+
+  /// Stop accepting frames and wake blocked producers. Queued frames
+  /// remain resolvable by further tick() calls.
+  void close();
+
+  // -- Service loop (one thread) -------------------------------------------
+
+  /// Drain up to max_frames_per_tick frames and resolve them across the
+  /// shards. updates[i] corresponds to the i-th drained frame (queue
+  /// order), so results are stable regardless of shard fan-out.
+  std::vector<TrackUpdate> tick();
+
+  // -- Deployment churn (service thread, between ticks) ---------------------
+
+  /// Node failed: rebuild the division without it (incremental — cached
+  /// planes mean a fail re-rasterizes nothing once the builder is warm)
+  /// and hand it to every shard, tracks held. Returns false — and keeps
+  /// serving the previous division, the dead node's columns projecting
+  /// away — when the node is unknown, already failed, or fewer than two
+  /// alive nodes would remain.
+  bool fail_node(NodeId id);
+
+  /// Node recovered: restore it to the division. Same return convention.
+  bool revive_node(NodeId id);
+
+  // -- Introspection --------------------------------------------------------
+
+  Stats stats() const;
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t roster_size() const { return roster_.size(); }
+  std::size_t alive_count() const;
+
+  /// The division currently served (shared across every shard).
+  std::shared_ptr<const FaceMap> map() const { return map_; }
+  std::shared_ptr<const SignatureTable> table() const { return table_; }
+  const std::vector<NodeId>& members() const { return members_; }
+
+ private:
+  /// Shard routing: stable mix of the track id (dense and adversarial
+  /// id patterns balance alike), invariant to everything but the id.
+  std::size_t shard_of(TrackId track) const {
+    return static_cast<std::size_t>(splitmix64(track) % shards_.size());
+  }
+
+  /// Re-derive the served division from the builder and hand it to the
+  /// shards (churn path).
+  void adopt_rebuilt_division();
+
+  Config config_;
+  ThreadPool* pool_;
+  Deployment roster_;
+  std::unique_ptr<FaceMapBuilder> builder_;
+  BoundedQueue<ReportFrame> queue_;
+  std::vector<std::unique_ptr<TrackShard>> shards_;
+
+  std::shared_ptr<const FaceMap> map_;
+  std::shared_ptr<const SignatureTable> table_;
+  std::vector<NodeId> members_;  ///< alive global ids, ascending
+
+  // Producer-side counters are atomic (submit races tick); the rest is
+  // service-thread-only.
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::uint64_t frames_{0};
+  std::uint64_t localizations_{0};
+  std::uint64_t ticks_{0};
+  std::uint64_t rebuilds_{0};
+
+  // tick() scratch, reused to keep the steady-state loop allocation-light.
+  std::vector<ReportFrame> drained_;
+  std::vector<std::vector<const ReportFrame*>> route_frames_;
+  std::vector<std::vector<std::size_t>> route_slots_;
+  std::vector<std::vector<TrackUpdate>> route_updates_;
+};
+
+/// Executable specification of the fleet's per-track semantics: one
+/// shard, frames processed strictly one at a time — no cross-target
+/// batching, no shard fan-out, no queue. A TrackManagerFleet fed the
+/// same frame stream (per-track order preserved) under the same
+/// division schedule produces bit-identical TrackUpdates at any shard
+/// count; tests/serve and bench_perf_serve enforce the contract.
+class SerialReplay {
+ public:
+  SerialReplay(TrackShard::Config config, std::shared_ptr<const FaceMap> map,
+               std::shared_ptr<const SignatureTable> table,
+               std::vector<NodeId> members, ThreadPool& pool = ThreadPool::global());
+
+  /// Mirror a churn event: serve a new division (warm starts reset,
+  /// tracks held — same semantics as the fleet's rebuild).
+  void adopt_division(std::shared_ptr<const FaceMap> map,
+                      std::shared_ptr<const SignatureTable> table,
+                      std::vector<NodeId> members);
+
+  TrackUpdate process(const ReportFrame& frame);
+
+  std::size_t track_count() const { return shard_.track_count(); }
+
+ private:
+  TrackShard shard_;
+};
+
+}  // namespace fttt

@@ -1,0 +1,133 @@
+#include "serve/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/obs.hpp"
+
+namespace fttt {
+
+TrackShard::TrackShard(Config config, ThreadPool& pool)
+    : config_(config), pool_(&pool) {
+  if (config_.min_reporting < 2)
+    throw std::invalid_argument("TrackShard: min_reporting < 2 (a lone column orders no pair)");
+}
+
+void TrackShard::adopt_division(std::shared_ptr<const FaceMap> map,
+                                std::shared_ptr<const SignatureTable> table,
+                                std::vector<NodeId> members) {
+  if (!map || !table)
+    throw std::invalid_argument("TrackShard::adopt_division: null map/table");
+  if (members.size() != map->nodes().size())
+    throw std::invalid_argument(
+        "TrackShard::adopt_division: member count != division deployment");
+  if (!std::is_sorted(members.begin(), members.end()) ||
+      std::adjacent_find(members.begin(), members.end()) != members.end())
+    throw std::invalid_argument(
+        "TrackShard::adopt_division: members must be strictly ascending");
+  map_ = std::move(map);
+  table_ = std::move(table);
+  members_ = std::move(members);
+  matcher_ = std::make_unique<BatchMatcher>(map_, table_, BatchMatcher::Config{}, *pool_);
+  // Face ids are an artifact of the division: a track's previous face
+  // means nothing under the new one, so every next climb cold-starts
+  // (through the exhaustive batch pass). Slots survive — churn holds
+  // tracks, it never drops them.
+  for (TrackSlot& slot : slots_) slot.warm.reset();
+}
+
+TrackShard::TrackSlot& TrackShard::slot_for(TrackId track) {
+  const auto [it, inserted] = index_.try_emplace(track, slots_.size());
+  if (inserted) slots_.push_back(TrackSlot{track, std::nullopt, 0});
+  return slots_[it->second];
+}
+
+GroupingSampling TrackShard::project(const GroupingSampling& group) const {
+  GroupingSampling projected(members_.size(), group.instants());
+  for (std::size_t local = 0; local < members_.size(); ++local) {
+    const NodeId global = members_[local];
+    FTTT_DCHECK(global < group.node_count(), "TrackShard::project: member ", global,
+                " outside roster of ", group.node_count());
+    if (group.has(global)) projected.set_column(local, group.column(global));
+  }
+  return projected;
+}
+
+void TrackShard::resolve(std::span<const ReportFrame* const> frames, TrackUpdate* out) {
+  FTTT_CHECK(matcher_ != nullptr, "TrackShard::resolve before adopt_division");
+  FTTT_OBS_SPAN("serve.shard.resolve");
+
+  // Residue of phase 1: frames whose vector needs the exhaustive pass
+  // (cold tracks and poor climbs, with the climb result kept so the
+  // better of the two wins — FtttTracker's fallback rule).
+  struct Pending {
+    std::size_t frame;                  ///< index into frames/out
+    std::optional<MatchResult> climbed; ///< set when a fallback retry
+  };
+  std::vector<SamplingVector> batch;
+  std::vector<Pending> pending;
+
+  const auto commit = [&](std::size_t i, TrackSlot& slot, const MatchResult& r,
+                          bool warm) {
+    out[i].estimate = TrackEstimate{r.position, r.face, r.similarity};
+    out[i].warm = warm;
+    slot.warm = r.face;
+    ++slot.localizations;
+    ++localizations_;
+  };
+
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const ReportFrame& frame = *frames[i];
+    TrackUpdate& update = out[i];
+    update = TrackUpdate{frame.track, frame.epoch, std::nullopt, false};
+    TrackSlot& slot = slot_for(frame.track);
+
+    const bool identity = members_.size() == frame.group.node_count();
+    const GroupingSampling projected = identity ? GroupingSampling{} : project(frame.group);
+    const GroupingSampling& group = identity ? frame.group : projected;
+
+    // Coverage gate: with almost nobody reporting there is no
+    // information; do not feed the matcher noise, and cold-start the
+    // next climb (the track may have moved arbitrarily meanwhile).
+    if (group.reporting_count() < config_.min_reporting) {
+      slot.warm.reset();
+      continue;
+    }
+
+    SamplingVector vd =
+        build_sampling_vector(group, config_.eps, config_.mode, config_.missing);
+    if (slot.warm) {
+      ++climbs_;
+      const MatchResult climbed = matcher_->climb(vd, *slot.warm);
+      if (climbed.similarity >= config_.fallback_similarity) {
+        commit(i, slot, climbed, /*warm=*/true);
+        continue;
+      }
+      ++fallbacks_;
+      pending.push_back({i, climbed});
+    } else {
+      pending.push_back({i, std::nullopt});
+    }
+    batch.push_back(std::move(vd));
+  }
+
+  if (batch.empty()) return;
+  FTTT_OBS_HIST("serve.shard.batch", "vectors", batch.size());
+
+  // Phase 2: the whole residue in one blocked SoA pass.
+  const std::vector<MatchResult> matches = matcher_->match(batch);
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    const MatchResult& full = matches[k];
+    // FtttTracker::localize(SamplingVector): the exhaustive retry wins
+    // only when strictly better than the climb it fell back from.
+    const bool keep_climb =
+        pending[k].climbed && !(full.similarity > pending[k].climbed->similarity);
+    const MatchResult& r = keep_climb ? *pending[k].climbed : full;
+    commit(pending[k].frame, slot_for(frames[pending[k].frame]->track), r,
+           /*warm=*/false);
+  }
+}
+
+}  // namespace fttt

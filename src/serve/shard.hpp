@@ -1,0 +1,116 @@
+// One fleet shard: per-track warm-start state over a shared division.
+//
+// A shard owns the slots of the tracks routed to it and resolves one
+// tick's frames in two phases (the cross-*target* sequel to the epoch
+// pipeline's cross-epoch batching):
+//
+//   1. warm climbs — a track that localized before hill-climbs from its
+//      previous face (Algorithm 2 via BatchMatcher::climb, the same SoA
+//      path FtttTracker::localize(SamplingVector) uses). Most ticks,
+//      most tracks move at most a face or two, so this touches a
+//      handful of signature columns per track;
+//   2. one exhaustive SoA pass — cold tracks and poor climbs (below the
+//      fallback similarity, FtttTracker's retry rule) collect into a
+//      single BatchMatcher::match call that resolves the whole residue
+//      in one blocked plane-major sweep.
+//
+// Per-frame results are bit-identical to a serial per-track replay of
+// the same stream (replay semantics in fleet.hpp): climb is per-track
+// deterministic, and match() is bit-identical to match_one() for every
+// batch composition, so *how* frames are sharded and batched can never
+// change an estimate — the determinism suite in tests/serve holds the
+// fleet to that across 1/2/8 shards.
+//
+// Deployment churn: the shard serves whatever division it was last
+// handed via adopt_division(). Frames stay roster-wide; the shard
+// projects them onto the division's member set (the alive nodes), so
+// producers are insulated from fail/revive. Face ids are not stable
+// across divisions, so adopting a new one cold-starts every track's
+// next climb; slots — and therefore tracks — are never dropped.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/batch_matcher.hpp"
+#include "core/sampling_vector.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/frame.hpp"
+
+namespace fttt {
+
+class TrackShard {
+ public:
+  struct Config {
+    VectorMode mode{VectorMode::kBasic};
+    double eps{1.0};                 ///< sensing resolution (dB)
+    MissingPolicy missing{MissingPolicy::kMissingReadsSmaller};
+    /// A climb converging below this similarity retries exhaustively in
+    /// the batch pass (FtttTracker::Config::fallback_similarity rule).
+    double fallback_similarity{0.5};
+    /// Frames with fewer reporting nodes carry no information and are
+    /// gated out (TrackManager::Config::min_reporting semantics).
+    std::size_t min_reporting{2};
+  };
+
+  /// `pool` serves the exhaustive batch pass of resolve(). The shard is
+  /// not usable until adopt_division() hands it a map.
+  TrackShard(Config config, ThreadPool& pool);
+
+  /// Serve `map`/`table` (a shared FaceMapCache-style entry) covering
+  /// the strictly-ascending global node ids `members`. Every track's
+  /// warm start resets — face ids do not survive a re-division. Throws
+  /// std::invalid_argument on null map/table or unsorted members.
+  void adopt_division(std::shared_ptr<const FaceMap> map,
+                      std::shared_ptr<const SignatureTable> table,
+                      std::vector<NodeId> members);
+
+  /// Resolve one tick's frames; out[i] is frames[i]'s update (frame
+  /// order, so the fleet can scatter shard outputs into a stable
+  /// drain-order result). Creates slots for unseen track ids. Contract:
+  /// adopt_division() was called; every frame's grouping sampling is
+  /// roster-wide (node_count > max member id).
+  void resolve(std::span<const ReportFrame* const> frames, TrackUpdate* out);
+
+  std::size_t track_count() const { return slots_.size(); }
+  std::uint64_t localizations() const { return localizations_; }
+  std::uint64_t climbs() const { return climbs_; }
+  std::uint64_t fallbacks() const { return fallbacks_; }
+
+  const std::vector<NodeId>& members() const { return members_; }
+
+ private:
+  struct TrackSlot {
+    TrackId id{0};
+    std::optional<FaceId> warm;       ///< previous face in the *current* division
+    std::uint64_t localizations{0};
+  };
+
+  /// Find-or-create the slot of `track` (dense slot ids, creation order;
+  /// the index map is lookup-only, never iterated).
+  TrackSlot& slot_for(TrackId track);
+
+  /// `group` restricted to members_, relabeled to local ids 0..m-1.
+  /// Identity (no copy) when the division covers the whole roster.
+  GroupingSampling project(const GroupingSampling& group) const;
+
+  Config config_;
+  ThreadPool* pool_;
+  std::shared_ptr<const FaceMap> map_;
+  std::shared_ptr<const SignatureTable> table_;
+  std::unique_ptr<BatchMatcher> matcher_;
+  std::vector<NodeId> members_;  ///< global ids the division covers, ascending
+
+  std::vector<TrackSlot> slots_;
+  std::unordered_map<TrackId, std::size_t> index_;
+
+  std::uint64_t localizations_{0};
+  std::uint64_t climbs_{0};
+  std::uint64_t fallbacks_{0};
+};
+
+}  // namespace fttt

@@ -1,0 +1,71 @@
+#include "serve/workload.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+namespace fttt {
+
+namespace {
+
+// Substream roles under the workload root. Path parameters, sampling
+// noise and fault draws live in disjoint subtrees so adding draws to
+// one can never shift another (the reproducibility convention of
+// sim/montecarlo).
+constexpr std::uint64_t kPathStream = 0;
+constexpr std::uint64_t kNoiseStream = 1;
+constexpr std::uint64_t kFaultStream = 2;
+
+}  // namespace
+
+SyntheticWorkload::SyntheticWorkload(Deployment roster, Aabb field, Config config,
+                                     std::uint64_t seed)
+    : roster_(std::move(roster)), field_(field), config_(config), root_(seed) {
+  if (config_.tracks == 0)
+    throw std::invalid_argument("SyntheticWorkload: zero tracks");
+  if (field_.width() <= 0.0 || field_.height() <= 0.0)
+    throw std::invalid_argument("SyntheticWorkload: empty field");
+  if (config_.drop_probability < 0.0 || config_.drop_probability >= 1.0)
+    throw std::invalid_argument("SyntheticWorkload: drop_probability outside [0, 1)");
+  if (config_.drop_probability > 0.0)
+    faults_ = std::make_unique<BernoulliDropout>(config_.drop_probability,
+                                                 root_.substream(kFaultStream));
+  else
+    faults_ = std::make_unique<NoFaults>();
+}
+
+SyntheticWorkload::Path SyntheticWorkload::path_of(TrackId track) const {
+  RngStream s = root_.substream(kPathStream).substream(track);
+  const double half = 0.5 * std::min(field_.width(), field_.height());
+  Path p;
+  p.rx = s.uniform(0.10, 0.30) * half;
+  p.ry = s.uniform(0.10, 0.30) * half;
+  // Center drawn so the whole ellipse stays inside the field.
+  p.center.x = s.uniform(field_.lo.x + p.rx, field_.hi.x - p.rx);
+  p.center.y = s.uniform(field_.lo.y + p.ry, field_.hi.y - p.ry);
+  p.rate = s.uniform(0.05, 0.25) * (s.bernoulli(0.5) ? 1.0 : -1.0);
+  p.phase = s.uniform(0.0, 2.0 * std::numbers::pi);
+  return p;
+}
+
+Vec2 SyntheticWorkload::target_at(TrackId track, std::uint64_t epoch) const {
+  const Path p = path_of(track);
+  const double a = p.phase + p.rate * static_cast<double>(epoch);
+  return Vec2{p.center.x + p.rx * std::cos(a), p.center.y + p.ry * std::sin(a)};
+}
+
+ReportFrame SyntheticWorkload::frame(TrackId track, std::uint64_t epoch) const {
+  const double t0 = static_cast<double>(epoch) * config_.epoch_period;
+  const Vec2 pos = target_at(track, epoch);
+  const RngStream epoch_stream =
+      root_.substream(kNoiseStream).substream(track).substream(epoch);
+  // The target holds its epoch position for the whole group — Def. 3's
+  // "relatively stationary" assumption, exact here by construction.
+  GroupingSampling group =
+      collect_group(roster_, config_.sampling, *faults_, epoch, t0,
+                    [&](double) { return pos; }, epoch_stream);
+  return ReportFrame{track, epoch, std::move(group)};
+}
+
+}  // namespace fttt

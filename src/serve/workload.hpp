@@ -1,0 +1,74 @@
+// Deterministic synthetic frame source for the serve layer.
+//
+// Soak benches and the determinism suite need a multi-target report
+// stream whose every frame is reproducible in isolation. The workload
+// makes frame generation a *pure function* of (seed, track, epoch):
+// each track flies its own elliptical circuit (center, radii, angular
+// rate and phase derived from a per-track substream), and its grouping
+// sampling at an epoch comes from net/sampling.hpp collect_group on a
+// substream keyed by (track, epoch). No draw order is shared between
+// tracks or epochs, so producers can generate frames from any thread in
+// any order — or regenerate one frame later for a serial replay — and
+// get bit-identical samples. Optional Bernoulli dropout exercises the
+// unreliable-sensing path (absent columns) with the same purity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.hpp"
+#include "common/vec2.hpp"
+#include "net/faults.hpp"
+#include "net/sampling.hpp"
+#include "net/sensor.hpp"
+#include "serve/frame.hpp"
+
+namespace fttt {
+
+class SyntheticWorkload {
+ public:
+  struct Config {
+    std::size_t tracks{64};
+    /// Per-node per-epoch Bernoulli report-drop probability (0 = every
+    /// node in range reports).
+    double drop_probability{0.0};
+    /// Seconds between localization epochs of one track.
+    double epoch_period{0.5};
+    SamplingConfig sampling{};
+  };
+
+  /// Targets circle inside `field`; `roster` is the full deployment the
+  /// frames index (ReportFrame groups are roster-wide). Throws
+  /// std::invalid_argument on zero tracks or an empty field.
+  SyntheticWorkload(Deployment roster, Aabb field, Config config, std::uint64_t seed);
+
+  /// True target position of `track` at `epoch` (the ellipse point) —
+  /// the ground truth for accuracy checks.
+  Vec2 target_at(TrackId track, std::uint64_t epoch) const;
+
+  /// The track's report frame for the epoch. Pure: same (seed, track,
+  /// epoch) -> bit-identical frame, regardless of call order or thread.
+  ReportFrame frame(TrackId track, std::uint64_t epoch) const;
+
+  std::size_t track_count() const { return config_.tracks; }
+  const Deployment& roster() const { return roster_; }
+
+ private:
+  /// Per-track path parameters, derived (not stored) so target_at stays
+  /// pure and the workload O(1)-sized in the track count.
+  struct Path {
+    Vec2 center;
+    double rx, ry;     ///< ellipse radii
+    double rate;       ///< radians per epoch
+    double phase;      ///< radians at epoch 0
+  };
+  Path path_of(TrackId track) const;
+
+  Deployment roster_;
+  Aabb field_;
+  Config config_;
+  RngStream root_;
+  std::unique_ptr<const FaultModel> faults_;
+};
+
+}  // namespace fttt

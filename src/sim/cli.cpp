@@ -78,6 +78,16 @@ run:
   --csv PATH             mirror results to CSV
   --help                 this text
 
+serve mode (docs/serving.md):
+  --serve                run the multi-target fleet soak instead of the
+                         Monte-Carlo sweep; scenario flags configure the
+                         deployment, channel and synthetic workload
+  --serve-shards N       fleet shards (default 4)
+  --serve-tracks N       concurrent synthetic targets (default 64)
+  --serve-ticks N        service-loop iterations (default 200)
+  --serve-queue N        ingestion queue capacity in frames (default 4096)
+  --serve-churn N        fail/revive one node every N ticks (default 0 = off)
+
 observability (see docs/observability.md):
   --metrics PATH         write a metrics snapshot (counters, gauges,
                          latency histograms) as JSON after the run
@@ -186,6 +196,24 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
       const auto methods = parse_method_list(args[++i]);
       if (!methods) return fail("bad --methods list (want fttt,fttt-ext,pm,mle)");
       opt.methods = *methods;
+    } else if (arg == "--serve") {
+      opt.serve.enabled = true;
+    } else if (arg == "--serve-shards" && need(1)) {
+      if (!to_size(args[++i], opt.serve.shards) || opt.serve.shards == 0)
+        return fail("bad --serve-shards value");
+    } else if (arg == "--serve-tracks" && need(1)) {
+      if (!to_size(args[++i], opt.serve.tracks) || opt.serve.tracks == 0)
+        return fail("bad --serve-tracks value");
+    } else if (arg == "--serve-ticks" && need(1)) {
+      if (!to_size(args[++i], opt.serve.ticks) || opt.serve.ticks == 0)
+        return fail("bad --serve-ticks value");
+    } else if (arg == "--serve-queue" && need(1)) {
+      if (!to_size(args[++i], opt.serve.queue_capacity) ||
+          opt.serve.queue_capacity == 0)
+        return fail("bad --serve-queue value");
+    } else if (arg == "--serve-churn" && need(1)) {
+      if (!to_size(args[++i], opt.serve.churn_period))
+        return fail("bad --serve-churn value");
     } else if (arg == "--trials" && need(1)) {
       if (!to_size(args[++i], opt.trials) || opt.trials == 0)
         return fail("bad --trials value");

@@ -13,11 +13,26 @@
 
 namespace fttt {
 
+/// `--serve` soak controls: fttt_sim's long-running fleet mode (the
+/// TrackManagerFleet driver in tools/fttt_sim.cpp; docs/serving.md).
+/// Scenario flags keep their meaning — deployment, channel, sampling and
+/// dropout configure the synthetic workload and the face division.
+struct ServeCliOptions {
+  bool enabled{false};
+  std::size_t shards{4};
+  std::size_t tracks{64};          ///< concurrent synthetic targets
+  std::size_t ticks{200};          ///< service-loop iterations
+  std::size_t queue_capacity{4096};
+  /// Fail/revive one node every N ticks (0 = no deployment churn).
+  std::size_t churn_period{0};
+};
+
 /// A parsed `fttt_sim` invocation.
 struct CliOptions {
   ScenarioConfig scenario;
   std::vector<Method> methods{Method::kFttt};
   std::size_t trials{10};
+  ServeCliOptions serve;
   std::optional<std::string> csv_path;
   std::optional<std::string> metrics_path;  ///< --metrics: obs snapshot JSON
   std::optional<std::string> trace_path;    ///< --trace-out: Chrome-trace JSON
@@ -38,6 +53,8 @@ struct CliParseResult {
 ///   --k K --rate HZ --period S --dropout P --speed VMIN VMAX
 ///   --duration S --grid-cell M --seed N --no-calibrate-c --moving-group
 ///   --methods fttt,fttt-ext,pm,mle --trials N --csv PATH
+///   --serve --serve-shards N --serve-tracks N --serve-ticks N
+///   --serve-queue N --serve-churn N
 ///   --metrics PATH --trace-out PATH --help
 ///
 /// `--trace` is overloaded for compatibility: an operand naming a mobility

@@ -1,0 +1,154 @@
+// BoundedQueue policy contract: the three overload behaviours — block,
+// reject, shed-oldest — plus the close semantics the serve fleet leans
+// on (accepted work survives close; only the shedding policy ever drops
+// it). The concurrent cases run under the tsan preset.
+#include "parallel/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace fttt {
+namespace {
+
+TEST(BoundedQueue, ZeroCapacityThrows) {
+  EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+}
+
+TEST(BoundedQueue, TryPushRejectsWhenFullKeepingContents) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: rejected, nothing evicted
+  std::vector<int> out;
+  EXPECT_EQ(q.drain(out), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedQueue, ShedOldestEvictsFromTheFront) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.push_shed_oldest(1).accepted);
+  EXPECT_TRUE(q.push_shed_oldest(2).accepted);
+  const auto r = q.push_shed_oldest(3);  // evicts 1, admits 3
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(r.shed, 1u);
+  std::vector<int> out;
+  q.drain(out);
+  EXPECT_EQ(out, (std::vector<int>{2, 3}));
+}
+
+TEST(BoundedQueue, DrainHonorsMaxItemsOldestFirst) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(i));
+  std::vector<int> out;
+  EXPECT_EQ(q.drain(out, 2), 2u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1}));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.drain(out), 3u);  // 0 = no limit
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(BoundedQueue, CloseRejectsPushesButKeepsQueuedItemsDrainable) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(7));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.try_push(8));
+  EXPECT_FALSE(q.push_wait(9));
+  EXPECT_FALSE(q.push_shed_oldest(10).accepted);
+  int item = 0;
+  EXPECT_TRUE(q.pop_wait(item));  // accepted work outlives close()
+  EXPECT_EQ(item, 7);
+  EXPECT_FALSE(q.pop_wait(item));  // closed and empty
+}
+
+TEST(BoundedQueue, PushWaitBlocksUntilSpace) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push_wait(2));  // blocks: queue is full
+    pushed.store(true);
+  });
+  EXPECT_FALSE(pushed.load());
+  std::vector<int> out;
+  while (q.drain(out) == 0) std::this_thread::yield();
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  q.drain(out);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducers) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::thread producer([&] { EXPECT_FALSE(q.push_wait(2)); });
+  q.close();
+  producer.join();
+}
+
+TEST(BoundedQueue, ConcurrentShedAccountingReconcilesExactly) {
+  // Every producer-side outcome is counted; accepted - shed must equal
+  // what is still queued once the producers stop. Any lost or
+  // double-counted item breaks the equality.
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 500;
+  BoundedQueue<int> q(16);
+  std::atomic<std::size_t> accepted{0};
+  std::atomic<std::size_t> shed{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        const auto r = q.push_shed_oldest(static_cast<int>(p * kPerProducer + i));
+        if (r.accepted) accepted.fetch_add(1);
+        shed.fetch_add(r.shed);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(accepted.load(), kProducers * kPerProducer);
+  std::vector<int> out;
+  const std::size_t drained = q.drain(out);
+  EXPECT_EQ(accepted.load() - shed.load(), drained);
+}
+
+TEST(BoundedQueue, ConcurrentProducersAndConsumerLoseNothing) {
+  // try_push outcomes partition every attempt; the consumer must see
+  // exactly the accepted items (no duplication, no loss).
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 400;
+  BoundedQueue<std::size_t> q(8);
+  std::atomic<std::size_t> accepted{0};
+  std::atomic<std::size_t> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        if (q.try_push(p * kPerProducer + i))
+          accepted.fetch_add(1);
+        else
+          rejected.fetch_add(1);
+      }
+    });
+  }
+  std::size_t consumed = 0;
+  std::thread consumer([&] {
+    std::size_t item;
+    while (q.pop_wait(item)) ++consumed;
+  });
+  for (auto& t : producers) t.join();
+  q.close();
+  consumer.join();
+  EXPECT_EQ(accepted.load() + rejected.load(), kProducers * kPerProducer);
+  EXPECT_EQ(consumed, accepted.load());
+}
+
+}  // namespace
+}  // namespace fttt

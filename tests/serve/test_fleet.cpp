@@ -1,0 +1,304 @@
+// TrackManagerFleet contract suite: shard-count invariance against the
+// SerialReplay executable spec, deployment churn with tracks held,
+// ingestion-policy accounting, and the coverage gate. The determinism
+// cases are the serve layer's core claim — batch composition and shard
+// fan-out can never change an estimate.
+#include "serve/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/facemap_cache.hpp"
+#include "net/deployment.hpp"
+#include "serve/workload.hpp"
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {60.0, 60.0}};
+constexpr double kC = 1.2;
+constexpr double kCell = 2.0;
+
+Deployment roster9() { return grid_deployment(kField, 9); }
+
+SyntheticWorkload::Config workload_config(std::size_t tracks) {
+  SyntheticWorkload::Config cfg;
+  cfg.tracks = tracks;
+  cfg.sampling.model =
+      PathLossModel{.ref_power_dbm = -40.0, .beta = 4.0, .sigma = 0.5, .d0 = 1.0};
+  cfg.sampling.sensing_range = 90.0;  // whole field: every node reports
+  cfg.sampling.samples_per_group = 3;
+  return cfg;
+}
+
+/// Tick-major stream: one frame per track per tick, track order.
+std::vector<std::vector<ReportFrame>> make_stream(const SyntheticWorkload& workload,
+                                                  std::size_t tracks,
+                                                  std::size_t ticks) {
+  std::vector<std::vector<ReportFrame>> stream(ticks);
+  for (std::uint64_t tick = 0; tick < ticks; ++tick)
+    for (TrackId t = 0; t < tracks; ++t)
+      stream[tick].push_back(workload.frame(t, tick));
+  return stream;
+}
+
+void expect_identical(const TrackUpdate& got, const TrackUpdate& want,
+                      std::size_t i) {
+  EXPECT_EQ(got.track, want.track) << "update " << i;
+  EXPECT_EQ(got.epoch, want.epoch) << "update " << i;
+  EXPECT_EQ(got.warm, want.warm) << "update " << i;
+  ASSERT_EQ(got.estimate.has_value(), want.estimate.has_value()) << "update " << i;
+  if (!want.estimate) return;
+  EXPECT_EQ(got.estimate->position.x, want.estimate->position.x) << "update " << i;
+  EXPECT_EQ(got.estimate->position.y, want.estimate->position.y) << "update " << i;
+  EXPECT_EQ(got.estimate->face, want.estimate->face) << "update " << i;
+  EXPECT_EQ(got.estimate->similarity, want.estimate->similarity) << "update " << i;
+}
+
+TEST(Fleet, ConstructorValidation) {
+  TrackManagerFleet::Config cfg;
+  cfg.shards = 0;
+  EXPECT_THROW(TrackManagerFleet(roster9(), kC, kField, kCell, cfg),
+               std::invalid_argument);
+  cfg.shards = 1;
+  cfg.queue_capacity = 0;
+  EXPECT_THROW(TrackManagerFleet(roster9(), kC, kField, kCell, cfg),
+               std::invalid_argument);
+  cfg.queue_capacity = 16;
+  Deployment lone;
+  lone.push_back(SensorNode{0, {1.0, 1.0}});
+  EXPECT_THROW(TrackManagerFleet(lone, kC, kField, kCell, cfg),
+               std::invalid_argument);
+}
+
+TEST(Workload, FramesArePureFunctionsOfSeedTrackEpoch) {
+  const Deployment roster = roster9();
+  const SyntheticWorkload a(roster, kField, workload_config(8), 11);
+  const SyntheticWorkload b(roster, kField, workload_config(8), 11);
+
+  // Query b in reverse order, a forward: results must not depend on
+  // call history, only on (seed, track, epoch).
+  std::vector<ReportFrame> from_b;
+  for (int t = 7; t >= 0; --t)
+    for (int e = 3; e >= 0; --e)
+      from_b.push_back(b.frame(static_cast<TrackId>(t),
+                               static_cast<std::uint64_t>(e)));
+  for (std::size_t t = 0; t < 8; ++t)
+    for (std::uint64_t e = 0; e < 4; ++e) {
+      const ReportFrame& want = from_b[(7 - t) * 4 + (3 - e)];
+      const ReportFrame got = a.frame(static_cast<TrackId>(t), e);
+      ASSERT_EQ(got.group.node_count(), want.group.node_count());
+      for (std::size_t n = 0; n < got.group.node_count(); ++n)
+        ASSERT_EQ(got.group.has(n), want.group.has(n));
+      const auto ga = got.group.raw();
+      const auto gb = want.group.raw();
+      ASSERT_EQ(ga.size(), gb.size());
+      for (std::size_t s = 0; s < ga.size(); ++s) ASSERT_EQ(ga[s], gb[s]);
+      EXPECT_EQ(a.target_at(got.track, got.epoch).x,
+                b.target_at(want.track, want.epoch).x);
+    }
+}
+
+TEST(Workload, ConfigValidation) {
+  EXPECT_THROW(SyntheticWorkload(roster9(), kField, workload_config(0), 1),
+               std::invalid_argument);
+  auto bad = workload_config(4);
+  bad.drop_probability = 1.0;  // certain dropout can never localize
+  EXPECT_THROW(SyntheticWorkload(roster9(), kField, bad, 1),
+               std::invalid_argument);
+}
+
+TEST(Fleet, ShardCountInvarianceAgainstSerialReplay) {
+  const Deployment roster = roster9();
+  constexpr std::size_t kTracks = 12;
+  constexpr std::size_t kTicks = 6;
+  const SyntheticWorkload workload(roster, kField, workload_config(kTracks), 5);
+  const auto stream = make_stream(workload, kTracks, kTicks);
+
+  TrackManagerFleet::Config cfg;
+  FaceMapCache cache;
+
+  // The spec: one shard, one frame at a time, same initial division.
+  const FaceMapCache::Entry entry =
+      cache.get_or_build(roster, kC, kField, kCell, ThreadPool::global());
+  std::vector<NodeId> members(roster.size());
+  for (std::size_t i = 0; i < roster.size(); ++i)
+    members[i] = static_cast<NodeId>(i);
+  SerialReplay replay(cfg.track, entry.map, entry.table, members);
+  std::vector<TrackUpdate> spec;
+  for (const auto& tick_frames : stream)
+    for (const ReportFrame& frame : tick_frames)
+      spec.push_back(replay.process(frame));
+  ASSERT_EQ(replay.track_count(), kTracks);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    cfg.shards = shards;
+    TrackManagerFleet fleet(roster, kC, kField, kCell, cfg, ThreadPool::global(),
+                            &cache);
+    std::vector<TrackUpdate> got;
+    for (const auto& tick_frames : stream) {
+      for (const ReportFrame& frame : tick_frames)
+        ASSERT_TRUE(fleet.submit(frame));
+      for (TrackUpdate& u : fleet.tick()) got.push_back(std::move(u));
+    }
+    ASSERT_EQ(got.size(), spec.size()) << shards << " shards";
+    for (std::size_t i = 0; i < spec.size(); ++i)
+      expect_identical(got[i], spec[i], i);
+    const auto stats = fleet.stats();
+    EXPECT_EQ(stats.tracks, kTracks) << shards << " shards";
+    EXPECT_EQ(stats.frames, kTracks * kTicks);
+    EXPECT_EQ(stats.enqueued, kTracks * kTicks);
+    EXPECT_EQ(stats.shed, 0u);
+  }
+}
+
+TEST(Fleet, ChurnMatchesReplayWithTracksHeld) {
+  const Deployment roster = roster9();
+  constexpr std::size_t kTracks = 8;
+  constexpr std::size_t kTicks = 6;
+  const SyntheticWorkload workload(roster, kField, workload_config(kTracks), 9);
+  const auto stream = make_stream(workload, kTracks, kTicks);
+
+  TrackManagerFleet::Config cfg;
+  cfg.shards = 2;
+  TrackManagerFleet fleet(roster, kC, kField, kCell, cfg);
+  SerialReplay replay(cfg.track, fleet.map(), fleet.table(), fleet.members());
+
+  for (std::uint64_t tick = 0; tick < kTicks; ++tick) {
+    // Fail node 0 before tick 2, revive it before tick 4; the replay
+    // mirrors the division schedule at the same stream positions.
+    if (tick == 2) {
+      ASSERT_TRUE(fleet.fail_node(0));
+      replay.adopt_division(fleet.map(), fleet.table(), fleet.members());
+    }
+    if (tick == 4) {
+      ASSERT_TRUE(fleet.revive_node(0));
+      replay.adopt_division(fleet.map(), fleet.table(), fleet.members());
+    }
+    std::vector<TrackUpdate> spec;
+    for (const ReportFrame& frame : stream[tick]) {
+      spec.push_back(replay.process(frame));
+      ASSERT_TRUE(fleet.submit(frame));
+    }
+    const std::vector<TrackUpdate> got = fleet.tick();
+    ASSERT_EQ(got.size(), spec.size()) << "tick " << tick;
+    for (std::size_t i = 0; i < spec.size(); ++i)
+      expect_identical(got[i], spec[i], i);
+  }
+
+  const auto stats = fleet.stats();
+  EXPECT_EQ(stats.tracks, kTracks);  // zero dropped tracks through churn
+  EXPECT_EQ(stats.rebuilds, 2u);
+  EXPECT_EQ(fleet.alive_count(), roster.size());
+}
+
+TEST(Fleet, ChurnRefusalRules) {
+  Deployment three;
+  three.push_back(SensorNode{0, {5.0, 5.0}});
+  three.push_back(SensorNode{1, {55.0, 5.0}});
+  three.push_back(SensorNode{2, {30.0, 55.0}});
+  TrackManagerFleet fleet(three, kC, kField, kCell, {});
+
+  EXPECT_FALSE(fleet.fail_node(99));   // unknown id
+  EXPECT_FALSE(fleet.revive_node(0));  // already alive
+  EXPECT_TRUE(fleet.fail_node(0));
+  EXPECT_FALSE(fleet.fail_node(0));    // already failed
+  EXPECT_FALSE(fleet.fail_node(1));    // would leave < 2 alive
+  EXPECT_EQ(fleet.alive_count(), 2u);
+  EXPECT_TRUE(fleet.revive_node(0));
+  EXPECT_EQ(fleet.alive_count(), 3u);
+  EXPECT_EQ(fleet.stats().rebuilds, 2u);
+}
+
+TEST(Fleet, ShedAccountingReconciles) {
+  const Deployment roster = roster9();
+  constexpr std::size_t kTracks = 10;
+  const SyntheticWorkload workload(roster, kField, workload_config(kTracks), 3);
+
+  TrackManagerFleet::Config cfg;
+  cfg.queue_capacity = 4;
+  TrackManagerFleet fleet(roster, kC, kField, kCell, cfg);
+  for (TrackId t = 0; t < kTracks; ++t)
+    ASSERT_TRUE(fleet.submit(workload.frame(t, 0)));  // shed-oldest admits all
+
+  auto stats = fleet.stats();
+  EXPECT_EQ(stats.enqueued, kTracks);
+  EXPECT_EQ(stats.shed, kTracks - cfg.queue_capacity);
+  EXPECT_EQ(stats.queue_depth, cfg.queue_capacity);
+
+  const std::vector<TrackUpdate> updates = fleet.tick();
+  ASSERT_EQ(updates.size(), cfg.queue_capacity);
+  for (std::size_t i = 0; i < updates.size(); ++i)
+    EXPECT_EQ(updates[i].track, kTracks - cfg.queue_capacity + i);  // newest won
+
+  stats = fleet.stats();
+  EXPECT_EQ(stats.enqueued - stats.shed, stats.frames);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(Fleet, TrySubmitRejectsWhenFull) {
+  const Deployment roster = roster9();
+  const SyntheticWorkload workload(roster, kField, workload_config(4), 3);
+  TrackManagerFleet::Config cfg;
+  cfg.queue_capacity = 2;
+  TrackManagerFleet fleet(roster, kC, kField, kCell, cfg);
+  EXPECT_TRUE(fleet.try_submit(workload.frame(0, 0)));
+  EXPECT_TRUE(fleet.try_submit(workload.frame(1, 0)));
+  EXPECT_FALSE(fleet.try_submit(workload.frame(2, 0)));  // full: kept out
+  const auto stats = fleet.stats();
+  EXPECT_EQ(stats.enqueued, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(Fleet, CloseRejectsSubmitsButResolvesQueuedFrames) {
+  const Deployment roster = roster9();
+  const SyntheticWorkload workload(roster, kField, workload_config(4), 3);
+  TrackManagerFleet fleet(roster, kC, kField, kCell, {});
+  ASSERT_TRUE(fleet.submit(workload.frame(0, 0)));
+  ASSERT_TRUE(fleet.submit(workload.frame(1, 0)));
+  fleet.close();
+  EXPECT_FALSE(fleet.submit(workload.frame(2, 0)));
+  EXPECT_FALSE(fleet.try_submit(workload.frame(2, 0)));
+  EXPECT_FALSE(fleet.submit_wait(workload.frame(2, 0)));
+  EXPECT_EQ(fleet.tick().size(), 2u);  // accepted work outlives close()
+}
+
+TEST(Fleet, CoverageGateEmitsNoEstimate) {
+  const Deployment roster = roster9();
+  TrackManagerFleet fleet(roster, kC, kField, kCell, {});
+
+  ReportFrame thin;
+  thin.track = 42;
+  thin.epoch = 0;
+  thin.group.resize(roster.size(), 3);
+  thin.group.set_column(1);  // one reporter < min_reporting
+  ASSERT_TRUE(fleet.submit(thin));
+
+  const std::vector<TrackUpdate> updates = fleet.tick();
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].track, 42u);
+  EXPECT_FALSE(updates[0].estimate.has_value());
+  EXPECT_FALSE(updates[0].warm);
+  const auto stats = fleet.stats();
+  EXPECT_EQ(stats.frames, 1u);
+  EXPECT_EQ(stats.localizations, 0u);
+  EXPECT_EQ(stats.tracks, 1u);  // the gated track still holds a slot
+}
+
+TEST(Fleet, SharedCacheServesOneBuildToSiblingFleets) {
+  const Deployment roster = roster9();
+  FaceMapCache cache;
+  TrackManagerFleet a(roster, kC, kField, kCell, {}, ThreadPool::global(), &cache);
+  TrackManagerFleet b(roster, kC, kField, kCell, {}, ThreadPool::global(), &cache);
+  EXPECT_EQ(a.map().get(), b.map().get());
+  EXPECT_EQ(a.table().get(), b.table().get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+}  // namespace
+}  // namespace fttt

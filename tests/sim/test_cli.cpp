@@ -109,6 +109,33 @@ TEST(Cli, RunFlags) {
   EXPECT_EQ(opt.csv_path.value(), "/tmp/x.csv");
 }
 
+TEST(Cli, ServeFlagsDefaultOffAndParse) {
+  const CliOptions off = must_parse({});
+  EXPECT_FALSE(off.serve.enabled);
+  EXPECT_EQ(off.serve.shards, 4u);
+  EXPECT_EQ(off.serve.queue_capacity, 4096u);
+  EXPECT_EQ(off.serve.churn_period, 0u);  // no churn unless asked
+
+  const CliOptions opt = must_parse(
+      {"--serve", "--serve-shards", "8", "--serve-tracks", "128",
+       "--serve-ticks", "500", "--serve-queue", "1024", "--serve-churn", "25"});
+  EXPECT_TRUE(opt.serve.enabled);
+  EXPECT_EQ(opt.serve.shards, 8u);
+  EXPECT_EQ(opt.serve.tracks, 128u);
+  EXPECT_EQ(opt.serve.ticks, 500u);
+  EXPECT_EQ(opt.serve.queue_capacity, 1024u);
+  EXPECT_EQ(opt.serve.churn_period, 25u);
+}
+
+TEST(Cli, ServeFlagsRejectGarbage) {
+  EXPECT_FALSE(parse_cli({"--serve-shards", "0"}).ok());
+  EXPECT_FALSE(parse_cli({"--serve-tracks", "0"}).ok());
+  EXPECT_FALSE(parse_cli({"--serve-ticks", "none"}).ok());
+  EXPECT_FALSE(parse_cli({"--serve-queue", "0"}).ok());
+  EXPECT_FALSE(parse_cli({"--serve-queue"}).ok());
+  EXPECT_EQ(must_parse({"--serve-churn", "0"}).serve.churn_period, 0u);
+}
+
 TEST(Cli, HelpShortCircuits) {
   const CliOptions opt = must_parse({"--help", "--bogus-after-help-ignored"});
   EXPECT_TRUE(opt.want_help);

@@ -13,6 +13,13 @@ machine-portable ratio metric `speedup_vs_scalar` (higher is better):
 the gate fails when current < baseline * (1 - tolerance). Rows without a
 speedup in the baseline (e.g. the scalar reference itself) are skipped.
 
+Throughput benches (BENCH_serve.json) gate the same way through
+`throughput_ref`: a baseline row naming a reference row is compared by
+the ratio of the two rows' `localizations_per_sec` (higher is better),
+with each side's ratio computed within its own file so the metric stays
+machine-portable. A baseline that declares a reference which is missing
+or lacks a positive `localizations_per_sec` is malformed (exit 2).
+
 --absolute additionally compares `ns_per_localization` (lower is better;
 current must stay <= baseline * (1 + tolerance)). Absolute nanoseconds
 only mean something when baseline and current ran on comparable hardware,
@@ -66,6 +73,30 @@ def load_results(path: Path) -> dict[tuple[str, int], dict]:
     return table
 
 
+def ref_throughput(table: dict[tuple[str, int], dict], ref_name: str,
+                   batch: int, path: Path) -> float:
+    """`localizations_per_sec` of the reference row `ref_name`.
+
+    Prefers the row with the caller's batch; falls back to a unique row
+    of that name. A missing reference or a reference without a positive
+    throughput is a malformed trajectory (exit 2) — silently skipping
+    would disable the gate.
+    """
+    exact = [row for (n, b), row in table.items() if n == ref_name and b == batch]
+    by_name = [row for (n, b), row in table.items() if n == ref_name]
+    row = exact[0] if exact else (by_name[0] if len(by_name) == 1 else None)
+    if row is None:
+        print(f"fttt_perfcmp: {path}: throughput_ref row {ref_name!r} "
+              f"missing or ambiguous", file=sys.stderr)
+        sys.exit(2)
+    lps = row.get("localizations_per_sec")
+    if not isinstance(lps, (int, float)) or lps <= 0:
+        print(f"fttt_perfcmp: {path}: throughput_ref row {ref_name!r} has no "
+              f"positive localizations_per_sec", file=sys.stderr)
+        sys.exit(2)
+    return float(lps)
+
+
 def compare_pair(baseline_path: Path, current_path: Path, tolerance: float,
                  absolute: bool) -> tuple[int, int]:
     """Gate one baseline/current pair; returns (compared, regressions)."""
@@ -80,6 +111,35 @@ def compare_pair(baseline_path: Path, current_path: Path, tolerance: float,
         if cur is None:
             print(f"  [missing] {name}: in baseline only (not fatal)")
             continue
+
+        ref_name = base.get("throughput_ref")
+        if ref_name is not None:
+            compared += 1
+            base_lps = base.get("localizations_per_sec")
+            if not isinstance(base_lps, (int, float)) or base_lps <= 0:
+                print(f"fttt_perfcmp: {baseline_path}: row {name} declares "
+                      f"throughput_ref but has no positive "
+                      f"localizations_per_sec", file=sys.stderr)
+                sys.exit(2)
+            base_ratio = base_lps / ref_throughput(baseline, ref_name, key[1],
+                                                   baseline_path)
+            cur_lps = cur.get("localizations_per_sec")
+            floor = base_ratio * (1.0 - tolerance)
+            if not isinstance(cur_lps, (int, float)) or cur_lps <= 0:
+                print(f"  [REGRESSION] {name}: no localizations_per_sec in "
+                      f"current (baseline ratio {base_ratio:.3f})")
+                regressions += 1
+            else:
+                cur_ratio = cur_lps / ref_throughput(current, ref_name, key[1],
+                                                     current_path)
+                if cur_ratio < floor:
+                    print(f"  [REGRESSION] {name}: throughput ratio "
+                          f"{cur_ratio:.3f}x vs {ref_name} < floor "
+                          f"{floor:.3f} (baseline {base_ratio:.3f})")
+                    regressions += 1
+                else:
+                    print(f"  [ok] {name}: throughput ratio {cur_ratio:.3f}x "
+                          f"vs {ref_name} >= floor {floor:.3f}")
 
         base_speedup = base.get("speedup_vs_scalar")
         cur_speedup = cur.get("speedup_vs_scalar")

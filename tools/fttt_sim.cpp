@@ -5,13 +5,129 @@
 //
 // Prints the Table 1-style configuration, per-method mean/stddev errors
 // pooled over the Monte-Carlo trials, and optionally mirrors to CSV.
+//
+// With --serve the tool becomes the fleet soak driver instead
+// (docs/serving.md): a TrackManagerFleet serves a synthetic multi-target
+// report stream for --serve-ticks service-loop iterations, optionally
+// with deployment churn, and reports throughput, shedding and accuracy.
+#include <chrono>
 #include <iostream>
 
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "obs/obs.hpp"
+#include "serve/fleet.hpp"
+#include "serve/workload.hpp"
 #include "sim/cli.hpp"
 #include "sim/montecarlo.hpp"
+#include "sim/scenario_build.hpp"
+
+namespace {
+
+/// The --serve soak loop: one fleet, `tracks` synthetic targets, one
+/// frame per track per tick, accuracy scored against the workload's
+/// ground truth. Returns an exit status.
+int run_serve(const fttt::CliOptions& opt) {
+  using namespace fttt;
+  const ScenarioConfig& cfg = opt.scenario;
+  const ServeCliOptions& serve = opt.serve;
+
+  RngStream root(cfg.seed);
+  const Deployment roster = scenario_deployment(cfg, root.substream(1));
+  const ResolvedChannel channel = resolve_channel(cfg);
+
+  SyntheticWorkload::Config wcfg;
+  wcfg.tracks = serve.tracks;
+  wcfg.drop_probability = cfg.dropout_probability;
+  wcfg.epoch_period = cfg.localization_period;
+  wcfg.sampling.model = channel.model;
+  wcfg.sampling.sensing_range = cfg.sensing_range;
+  wcfg.sampling.sample_period = 1.0 / cfg.sample_rate;
+  wcfg.sampling.samples_per_group = cfg.samples_per_group;
+  wcfg.sampling.clock_skew = cfg.clock_skew;
+  wcfg.sampling.freeze_target_during_group = cfg.freeze_group;
+  const SyntheticWorkload workload(roster, cfg.field, wcfg, cfg.seed);
+
+  TrackManagerFleet::Config fcfg;
+  fcfg.shards = serve.shards;
+  fcfg.queue_capacity = serve.queue_capacity;
+  fcfg.track.eps = cfg.eps;
+  fcfg.track.missing = cfg.missing;
+  TrackManagerFleet fleet(roster, channel.C, cfg.field, cfg.grid_cell, fcfg);
+
+  std::cout << "fttt_sim --serve: " << roster.size() << " sensors, "
+            << serve.tracks << " tracks x " << serve.ticks << " ticks, "
+            << serve.shards << " shards, queue " << serve.queue_capacity;
+  if (serve.churn_period != 0)
+    std::cout << ", churn every " << serve.churn_period << " ticks";
+  std::cout << "\n\n";
+
+  double err_sum = 0.0;
+  std::uint64_t err_n = 0;
+  std::uint64_t gated = 0;   // updates without an estimate (coverage gate)
+  std::uint64_t churned = 0; // successful fail/revive events
+  NodeId churn_node = 0;
+  bool churn_fail_next = true;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t tick = 0; tick < serve.ticks; ++tick) {
+    if (serve.churn_period != 0 && tick != 0 && tick % serve.churn_period == 0) {
+      // Alternate failing and reviving one roster node at a time so the
+      // division keeps rebuilding while every track is held.
+      if (churn_fail_next) {
+        if (fleet.fail_node(churn_node)) {
+          churn_fail_next = false;
+          ++churned;
+        }
+      } else if (fleet.revive_node(churn_node)) {
+        churn_fail_next = true;
+        churn_node = static_cast<NodeId>((churn_node + 1) % roster.size());
+        ++churned;
+      }
+    }
+    for (TrackId t = 0; t < serve.tracks; ++t)
+      fleet.submit(workload.frame(t, tick));
+    for (const TrackUpdate& u : fleet.tick()) {
+      if (!u.estimate) {
+        ++gated;
+        continue;
+      }
+      err_sum += distance(u.estimate->position, workload.target_at(u.track, u.epoch));
+      ++err_n;
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  const TrackManagerFleet::Stats stats = fleet.stats();
+  TextTable t({"metric", "value"});
+  t.add_row({"frames resolved", std::to_string(stats.frames)});
+  t.add_row({"localizations", std::to_string(stats.localizations)});
+  t.add_row({"coverage-gated", std::to_string(gated)});
+  t.add_row({"shed", std::to_string(stats.shed)});
+  t.add_row({"tracks held", std::to_string(stats.tracks)});
+  t.add_row({"division rebuilds", std::to_string(stats.rebuilds)});
+  t.add_row({"churn events", std::to_string(churned)});
+  t.add_row({"mean error (m)",
+             err_n == 0 ? "n/a" : TextTable::num(err_sum / static_cast<double>(err_n), 3)});
+  t.add_row({"localizations/s",
+             elapsed <= 0.0 ? "n/a"
+                            : TextTable::num(static_cast<double>(stats.localizations) /
+                                                 elapsed, 0)});
+  std::cout << t;
+
+  // Zero dropped tracks: every submitted track must own a live slot.
+  // (With shedding active a track's frames may all have been evicted
+  // before first resolution, which is shedding, not dropping.)
+  if (stats.shed == 0 && stats.tracks != serve.tracks) {
+    std::cerr << "error: " << serve.tracks - stats.tracks
+              << " tracks dropped (fleet holds " << stats.tracks << ")\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fttt;
@@ -39,34 +155,39 @@ int main(int argc, char** argv) {
     obs::set_enabled(true);
   }
 
-  const ScenarioConfig& cfg = opt.scenario;
-  std::cout << "fttt_sim: " << cfg.sensor_count << " sensors, k = "
-            << cfg.samples_per_group << ", eps = " << cfg.eps << ", channel = "
-            << (cfg.channel == Channel::kBounded ? "bounded" : "gaussian")
-            << ", dropout = " << cfg.dropout_probability << ", " << opt.trials
-            << " trials x " << cfg.duration << " s\n\n";
+  int status = 0;
+  if (opt.serve.enabled) {
+    status = run_serve(opt);
+  } else {
+    const ScenarioConfig& cfg = opt.scenario;
+    std::cout << "fttt_sim: " << cfg.sensor_count << " sensors, k = "
+              << cfg.samples_per_group << ", eps = " << cfg.eps << ", channel = "
+              << (cfg.channel == Channel::kBounded ? "bounded" : "gaussian")
+              << ", dropout = " << cfg.dropout_probability << ", " << opt.trials
+              << " trials x " << cfg.duration << " s\n\n";
 
-  const auto summary = monte_carlo(cfg, opt.methods, opt.trials);
+    const auto summary = monte_carlo(cfg, opt.methods, opt.trials);
 
-  TextTable t({"method", "mean err (m)", "stddev (m)", "min", "max",
-               "trial-mean spread"});
-  for (const auto& s : summary) {
-    t.add_row({method_name(s.method), TextTable::num(s.mean_error(), 3),
-               TextTable::num(s.stddev_error(), 3), TextTable::num(s.pooled.min(), 3),
-               TextTable::num(s.pooled.max(), 3),
-               TextTable::num(s.trial_means.stddev(), 3)});
-  }
-  std::cout << t;
+    TextTable t({"method", "mean err (m)", "stddev (m)", "min", "max",
+                 "trial-mean spread"});
+    for (const auto& s : summary) {
+      t.add_row({method_name(s.method), TextTable::num(s.mean_error(), 3),
+                 TextTable::num(s.stddev_error(), 3), TextTable::num(s.pooled.min(), 3),
+                 TextTable::num(s.pooled.max(), 3),
+                 TextTable::num(s.trial_means.stddev(), 3)});
+    }
+    std::cout << t;
 
-  if (opt.csv_path) {
-    CsvWriter csv(*opt.csv_path);
-    csv.write_row(std::vector<std::string>{"method", "mean", "stddev", "min", "max"});
-    for (const auto& s : summary)
-      csv.write_row(std::vector<std::string>{
-          method_name(s.method), TextTable::num(s.mean_error(), 6),
-          TextTable::num(s.stddev_error(), 6), TextTable::num(s.pooled.min(), 6),
-          TextTable::num(s.pooled.max(), 6)});
-    std::cout << "\nwrote " << *opt.csv_path << "\n";
+    if (opt.csv_path) {
+      CsvWriter csv(*opt.csv_path);
+      csv.write_row(std::vector<std::string>{"method", "mean", "stddev", "min", "max"});
+      for (const auto& s : summary)
+        csv.write_row(std::vector<std::string>{
+            method_name(s.method), TextTable::num(s.mean_error(), 6),
+            TextTable::num(s.stddev_error(), 6), TextTable::num(s.pooled.min(), 6),
+            TextTable::num(s.pooled.max(), 6)});
+      std::cout << "\nwrote " << *opt.csv_path << "\n";
+    }
   }
 
   if (want_obs) {
@@ -84,5 +205,5 @@ int main(int argc, char** argv) {
         std::cerr << "error: cannot write trace to " << *opt.trace_path << "\n";
     }
   }
-  return 0;
+  return status;
 }

@@ -43,6 +43,17 @@ def doc(*rows: dict) -> dict:
 def main() -> int:
     ok_row = {"name": "soa", "batch": 256, "speedup_vs_scalar": 5.0}
     slow_row = {"name": "soa", "batch": 256, "speedup_vs_scalar": 1.0}
+    # Throughput-ratio gating (BENCH_serve.json shape): a row names its
+    # in-file scalar reference and gates on the localizations_per_sec
+    # ratio, so absolute numbers stay machine-local.
+    scalar_ref = {"name": "scalar", "batch": 64, "localizations_per_sec": 1e5}
+    serve_fast = {"name": "serve", "batch": 64, "throughput_ref": "scalar",
+                  "localizations_per_sec": 5e5}
+    # Same 5x ratio at different absolute speed: must pass (portability).
+    scalar_ref_slowbox = dict(scalar_ref, localizations_per_sec=1e4)
+    serve_fast_slowbox = dict(serve_fast, localizations_per_sec=5e4)
+    serve_slow = dict(serve_fast, localizations_per_sec=1.5e5)
+    serve_no_lps = {"name": "serve", "batch": 64, "throughput_ref": "scalar"}
     checks = [
         ("ok within tolerance", run(doc(ok_row), doc(ok_row)), 0),
         ("regression", run(doc(ok_row), doc(slow_row)), 1),
@@ -59,6 +70,25 @@ def main() -> int:
         ("regression in second pair",
          run_files([doc(ok_row), doc(ok_row), doc(ok_row), doc(slow_row)]), 1),
         ("odd file count", run_files([doc(ok_row), doc(ok_row), doc(ok_row)]), 2),
+        # throughput_ref ratio gate.
+        ("throughput ratio ok",
+         run(doc(scalar_ref, serve_fast), doc(scalar_ref, serve_fast)), 0),
+        ("throughput ratio portable across machines",
+         run(doc(scalar_ref, serve_fast),
+             doc(scalar_ref_slowbox, serve_fast_slowbox)), 0),
+        ("throughput ratio regression",
+         run(doc(scalar_ref, serve_fast), doc(scalar_ref, serve_slow)), 1),
+        ("throughput row lost its rate",
+         run(doc(scalar_ref, serve_fast), doc(scalar_ref, serve_no_lps)), 1),
+        ("throughput ref missing in current",
+         run(doc(scalar_ref, serve_fast), doc(serve_fast)), 2),
+        ("throughput ref missing in baseline",
+         run(doc(serve_fast), doc(scalar_ref, serve_fast)), 2),
+        ("throughput ref without a rate",
+         run(doc({"name": "scalar", "batch": 64}, serve_fast),
+             doc(scalar_ref, serve_fast)), 2),
+        ("throughput row in baseline without a rate",
+         run(doc(scalar_ref, serve_no_lps), doc(scalar_ref, serve_fast)), 2),
     ]
     failures = 0
     for label, got, want in checks:
