@@ -1,12 +1,16 @@
 #include "core/batch_matcher.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
 
 #include "common/check.hpp"
+#include "core/hier_facemap.hpp"
+#include "core/signature_index.hpp"
 #include "core/similarity.hpp"
 #include "obs/obs.hpp"
 
@@ -71,7 +75,34 @@ void similarity_in_place(double* __restrict acc, std::size_t len) {
   for (std::size_t f = 0; f < len; ++f) acc[f] = 1.0 / std::sqrt(acc[f]);
 }
 
+/// Smallest integer squared term `mask` permits for an integral
+/// component `v` — the same minimum HierFaceMap's bound kernel folds
+/// into a node bound, so subtracting it per mixed/varying plane
+/// recovers the node's exact shared base (see descend_into).
+std::uint32_t int_min_term(std::uint8_t mask, std::int32_t v) {
+  return HierFaceMap::kIntMinTerm[static_cast<std::size_t>(v + 1)][mask];
+}
+
 }  // namespace
+
+/// Reusable per-worker state of one descent: the best-first frontier,
+/// child-bound staging, the rescored (face, similarity) pairs, and one
+/// tile of accumulators. Kept out of the header so HierFaceMap stays a
+/// forward declaration there.
+struct BatchMatcher::DescentScratch {
+  struct Node {
+    double bound;         ///< conservative lower bound on distance^2
+    std::uint32_t level;  ///< pyramid level (0 = tile)
+    std::uint32_t id;     ///< node id within the level
+  };
+
+  std::vector<Node> heap;
+  std::vector<double> bounds;  ///< child bounds of one expansion
+  std::vector<std::pair<FaceId, double>> scored;
+  std::array<double, HierFaceMap::kTileFaces> acc;
+  std::array<std::uint32_t, HierFaceMap::kTileFaces> acc32;
+  std::vector<std::int32_t> iv;  ///< integral component values
+};
 
 BatchMatcher::BatchMatcher(std::shared_ptr<const FaceMap> map)
     : BatchMatcher(std::move(map), Config{}, ThreadPool::global()) {}
@@ -178,6 +209,7 @@ void BatchMatcher::require_dimension(const SamplingVector& vd) const {
 }
 
 MatchResult BatchMatcher::match_one(const SamplingVector& vd) const {
+  if (hier_) return descend(vd);
   FTTT_OBS_SPAN("matcher.match_one");
   require_dimension(vd);
   std::vector<double> acc(table_->padded_faces());
@@ -186,11 +218,234 @@ MatchResult BatchMatcher::match_one(const SamplingVector& vd) const {
   return r;
 }
 
+void BatchMatcher::build_hierarchy() {
+  if (hier_) return;
+  auto hier = std::make_shared<const HierFaceMap>(HierFaceMap::build(*table_, *pool_));
+  auto index = std::make_shared<const SignatureIndex>(SignatureIndex::build(*hier, *pool_));
+  hier_ = std::move(hier);
+  index_ = std::move(index);
+}
+
+void BatchMatcher::attach_hierarchy(std::shared_ptr<const HierFaceMap> hier,
+                                    std::shared_ptr<const SignatureIndex> index) {
+  if (!hier || !index)
+    throw std::invalid_argument("BatchMatcher::attach_hierarchy: null tier");
+  if (hier->face_count() != table_->face_count() ||
+      hier->dimension() != table_->dimension())
+    throw std::invalid_argument(
+        "BatchMatcher::attach_hierarchy: hierarchy does not match table");
+  if (index->tile_count() != hier->node_count(0) ||
+      index->dimension() != hier->dimension() ||
+      index->level_count() != hier->level_count())
+    throw std::invalid_argument(
+        "BatchMatcher::attach_hierarchy: index does not match hierarchy");
+  hier_ = std::move(hier);
+  index_ = std::move(index);
+}
+
+MatchResult BatchMatcher::descend(const SamplingVector& vd) const {
+  if (!hier_)
+    throw std::logic_error("BatchMatcher::descend: no hierarchy — build_hierarchy() first");
+  FTTT_OBS_SPAN("matcher.index.descend");
+  require_dimension(vd);
+  DescentScratch ds;
+  MatchResult r;
+  descend_into(vd, ds, r);
+  return r;
+}
+
+void BatchMatcher::descend_into(const SamplingVector& vd, DescentScratch& ds,
+                                MatchResult& out) const {
+  FTTT_DCHECK(vd.dimension() == table_->dimension(),
+              "sampling vector dimension ", vd.dimension(),
+              " != face-map dimension ", table_->dimension());
+  const HierFaceMap& hier = *hier_;
+  const SignatureIndex& index = *index_;
+  const std::size_t faces = table_->face_count();
+  const std::size_t dim = table_->dimension();
+
+  // Basic-mode vectors (every known component in {-1, 0, +1}) rescore
+  // tiles in exact integer arithmetic through the inverted index; every
+  // partial sum is a small integer, so casting the final accumulator to
+  // double reproduces the rounded accumulation bit for bit.
+  bool integral = true;
+  ds.iv.assign(dim, 0);
+  for (std::size_t c = 0; c < dim; ++c) {
+    if (!vd.known[c]) continue;
+    const double v = vd.value[c];
+    if (v != -1.0 && v != 0.0 && v != 1.0) {
+      integral = false;
+      break;
+    }
+    ds.iv[c] = static_cast<std::int32_t>(v);
+  }
+
+  // Min-heap on (bound, level, id): the bound orders the best-first
+  // search, the (level, id) tail makes the pop sequence a total order —
+  // one deterministic descent per vector at any thread count.
+  const auto later = [](const DescentScratch::Node& a,
+                        const DescentScratch::Node& b) {
+    if (a.bound != b.bound) return a.bound > b.bound;
+    if (a.level != b.level) return a.level > b.level;
+    return a.id > b.id;
+  };
+  ds.heap.clear();
+  ds.scored.clear();
+
+  const std::uint32_t top = static_cast<std::uint32_t>(hier.level_count() - 1);
+  {
+    const std::size_t n = hier.node_count(top);
+    ds.bounds.resize(n);
+    hier.lower_bounds_into(vd, top, 0, n, ds.bounds.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ds.heap.push_back({ds.bounds[i], top, static_cast<std::uint32_t>(i)});
+      std::push_heap(ds.heap.begin(), ds.heap.end(), later);
+    }
+  }
+
+  double s_best = -1.0;  // the spec's chain seed (matcher.cpp)
+  std::size_t pruned = 0;
+  while (!ds.heap.empty()) {
+    std::pop_heap(ds.heap.begin(), ds.heap.end(), later);
+    const DescentScratch::Node nd = ds.heap.back();
+    ds.heap.pop_back();
+
+    // Subtree similarity ceiling: every covered face's exact distance^2
+    // accumulates at or above nd.bound (monotone rounding, see
+    // hier_facemap.hpp), so its similarity is at most 1/sqrt(bound).
+    // Pruning compares at the *similarity* level and strictly — two
+    // distinct distances can round to the equal similarity, and a face
+    // tied with the running maximum must never be dropped. A zero bound
+    // (all-'*' vector, or a tile containing a perfect match) yields
+    // +inf, which never prunes.
+    const double ceiling = 1.0 / std::sqrt(nd.bound);
+    if (ceiling < s_best) {
+      // The heap holds only nodes with bounds >= nd.bound: everything
+      // left is beneath the running maximum too.
+      pruned = ds.heap.size() + 1;
+      break;
+    }
+
+    if (nd.level > 0) {
+      const std::size_t lo = static_cast<std::size_t>(nd.id) * HierFaceMap::kFanout;
+      const std::size_t hi =
+          std::min(hier.node_count(nd.level - 1), lo + HierFaceMap::kFanout);
+      const std::size_t n = hi - lo;
+      ds.bounds.resize(n);
+      if (integral) {
+        // Delta expansion: on every plane uniform across the children,
+        // each child's mask equals the parent's, so each child pays the
+        // parent's minimum term — already summed into nd.bound. Strip
+        // the varying planes' parent minima from the parent bound and
+        // add back each child's own minima; integer arithmetic end to
+        // end, so these are the very bounds a direct full-dimension
+        // pass computes, at the cost of only the varying planes.
+        static_assert(HierFaceMap::kFanout <= HierFaceMap::kTileFaces,
+                      "acc32 doubles as the child-bound staging buffer");
+        std::uint32_t base = static_cast<std::uint32_t>(nd.bound);
+        FTTT_DCHECK(static_cast<double>(base) == nd.bound,
+                    "integral node bound is not integer: ", nd.bound);
+        const std::span<const std::uint32_t> varying =
+            index.varying_planes(nd.level, nd.id);
+        for (const std::uint32_t c : varying) {
+          if (!vd.known[c]) continue;
+          base -= int_min_term(hier.mask(nd.level, c, nd.id), ds.iv[c]);
+        }
+        std::fill_n(ds.acc32.data(), n, base);
+        for (const std::uint32_t c : varying) {
+          if (!vd.known[c]) continue;
+          const std::uint32_t* lut =
+              HierFaceMap::kIntMinTerm[static_cast<std::size_t>(ds.iv[c] + 1)]
+                  .data();
+          const std::uint8_t* m = hier.plane(nd.level - 1, c) + lo;
+          for (std::size_t j = 0; j < n; ++j) ds.acc32[j] += lut[m[j]];
+        }
+        for (std::size_t j = 0; j < n; ++j)
+          ds.bounds[j] = static_cast<double>(ds.acc32[j]);
+      } else {
+        hier.lower_bounds_into(vd, nd.level - 1, lo, hi, ds.bounds.data());
+      }
+      for (std::size_t j = 0; j < hi - lo; ++j) {
+        ds.heap.push_back(
+            {ds.bounds[j], nd.level - 1, static_cast<std::uint32_t>(lo + j)});
+        std::push_heap(ds.heap.begin(), ds.heap.end(), later);
+      }
+      continue;
+    }
+
+    // Level 0: exact rescore of the tile's face segment.
+    const std::size_t f0 = static_cast<std::size_t>(nd.id) * HierFaceMap::kTileFaces;
+    const std::size_t width = std::min(faces, f0 + HierFaceMap::kTileFaces) - f0;
+    if (integral) {
+      // The tile bound summed min terms over *all* known planes; pure
+      // planes' minima are the exact terms every covered face pays, so
+      // subtracting the mixed minima leaves the exact shared base, and
+      // only the mixed planes need the per-face inner loop.
+      std::uint32_t base = static_cast<std::uint32_t>(nd.bound);
+      FTTT_DCHECK(static_cast<double>(base) == nd.bound,
+                  "integral tile bound is not integer: ", nd.bound);
+      for (const std::uint32_t c : index.mixed_planes(nd.id)) {
+        if (!vd.known[c]) continue;
+        base -= int_min_term(hier.mask(0, c, nd.id), ds.iv[c]);
+      }
+      std::fill_n(ds.acc32.data(), width, base);
+      for (const std::uint32_t c : index.mixed_planes(nd.id)) {
+        if (!vd.known[c]) continue;
+        const SigValue* p = table_->plane(c) + f0;
+        const std::int32_t v = ds.iv[c];
+        for (std::size_t k = 0; k < width; ++k) {
+          const std::int32_t d = v - p[k];
+          ds.acc32[k] += static_cast<std::uint32_t>(d * d);
+        }
+      }
+      for (std::size_t k = 0; k < width; ++k)
+        ds.acc[k] = 1.0 / std::sqrt(static_cast<double>(ds.acc32[k]));
+    } else {
+      // Extended-mode vectors: the flat segment kernels, restricted to
+      // this tile — identical per-face operation sequence, so identical
+      // similarities.
+      std::fill_n(ds.acc.data(), width, 0.0);
+      for (std::size_t c = 0; c < dim; ++c) {
+        if (!vd.known[c]) continue;
+        accumulate_plane(ds.acc.data(), table_->plane(c) + f0, vd.value[c], width);
+      }
+      similarity_in_place(ds.acc.data(), width);
+    }
+    for (std::size_t k = 0; k < width; ++k) {
+      const double s = ds.acc[k];
+      ds.scored.emplace_back(static_cast<FaceId>(f0 + k), s);
+      if (s > s_best) s_best = s;
+    }
+  }
+
+  FTTT_OBS_COUNT("matcher.index.descents", 1);
+  FTTT_OBS_COUNT("matcher.index.scored_faces", ds.scored.size());
+  FTTT_OBS_COUNT("matcher.index.pruned_subtrees", pruned);
+  if (ds.scored.size() == faces) FTTT_OBS_COUNT("matcher.index.full_scans", 1);
+
+  // Replay the spec's selection chain (max, then ties, ascending face
+  // ids) over the rescored faces. Any face the descent never rescored
+  // is strictly beneath the maximum by the pruning rule, so the chain's
+  // outcome over this subset equals its outcome over all faces.
+  std::sort(ds.scored.begin(), ds.scored.end(),
+            [](const std::pair<FaceId, double>& a,
+               const std::pair<FaceId, double>& b) { return a.first < b.first; });
+  out = MatchResult{};
+  out.faces_examined = ds.scored.size();
+  double best = -1.0;
+  for (const auto& [f, s] : ds.scored)
+    if (s > best) best = s;
+  out.similarity = best;
+  for (const auto& [f, s] : ds.scored)
+    if (s == best) out.tied_faces.push_back(f);
+  detail::finalize_match(*map_, out);
+}
+
 /// Shared bookkeeping of one batch fan-out. Bulk tasks may outlive the
 /// match() call (they exit as soon as every chunk is claimed), so the
-/// state is reference-counted and batch/results pointers are only
-/// dereferenced while a successfully claimed chunk is in flight — which
-/// the caller's completion wait orders before return.
+/// state is reference-counted and the matcher/batch/results pointers are
+/// only dereferenced while a successfully claimed chunk is in flight —
+/// which the caller's completion wait orders before return.
 struct BatchMatcher::BatchState {
   const BatchMatcher* matcher{nullptr};
   const std::vector<SamplingVector>* batch{nullptr};
@@ -198,23 +453,32 @@ struct BatchMatcher::BatchState {
   /// batch->size(), snapshotted before submission: a straggler task that
   /// loses every chunk claim must not touch the caller-owned vector at all.
   std::size_t n{0};
+  /// Descent routing, snapshotted for the same reason: reading it
+  /// through `matcher` outside a claimed chunk would race destruction.
+  bool hier{false};
   std::size_t chunks{0};
   std::size_t chunk_size{0};
-  /// scratch[slot] is owned by bulk task `slot` (the caller uses the last
-  /// slot); a task runs on exactly one worker, so no slot is shared.
+  /// scratch[slot] / descent[slot] is owned by bulk task `slot` (the
+  /// caller uses the last slot); a task runs on exactly one worker, so
+  /// no slot is shared. Flat routing fills scratch, descent routing
+  /// fills descent — never both.
   std::vector<std::vector<double>> scratch;
+  std::vector<DescentScratch> descent;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
 
   void run(std::size_t slot) {
-    std::vector<double>& acc = scratch[slot];
     for (;;) {
       const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) return;
       const std::size_t lo = std::min(n, c * chunk_size);
       const std::size_t hi = std::min(n, lo + chunk_size);
-      for (std::size_t i = lo; i < hi; ++i)
-        matcher->match_into((*batch)[i], acc.data(), results[i]);
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (hier)
+          matcher->descend_into((*batch)[i], descent[slot], results[i]);
+        else
+          matcher->match_into((*batch)[i], scratch[slot].data(), results[i]);
+      }
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks)
         done.notify_all();
     }
@@ -234,8 +498,13 @@ std::vector<MatchResult> BatchMatcher::match(
   const std::size_t padded = table_->padded_faces();
   const std::size_t workers = pool_->stopped() ? 1 : pool_->thread_count();
   if (n < config_.min_parallel_batch || workers <= 1) {
-    std::vector<double> acc(padded);
-    for (std::size_t i = 0; i < n; ++i) match_into(batch[i], acc.data(), results[i]);
+    if (hier_) {
+      DescentScratch ds;
+      for (std::size_t i = 0; i < n; ++i) descend_into(batch[i], ds, results[i]);
+    } else {
+      std::vector<double> acc(padded);
+      for (std::size_t i = 0; i < n; ++i) match_into(batch[i], acc.data(), results[i]);
+    }
     return results;
   }
 
@@ -244,10 +513,14 @@ std::vector<MatchResult> BatchMatcher::match(
   state->batch = &batch;
   state->results = results.data();
   state->n = n;
+  state->hier = hier_ != nullptr;
   state->chunks = std::min(n, workers * 4);
   state->chunk_size = (n + state->chunks - 1) / state->chunks;
   const std::size_t helpers = std::min(state->chunks - 1, workers);
-  state->scratch.assign(helpers + 1, std::vector<double>(padded));
+  if (hier_)
+    state->descent.resize(helpers + 1);
+  else
+    state->scratch.assign(helpers + 1, std::vector<double>(padded));
 
   // One bulk submission — a single queue-mutex round-trip for the whole
   // fan-out. A rejected submission (pool concurrently shut down) is

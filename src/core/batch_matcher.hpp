@@ -16,6 +16,16 @@
 // sequence), and climb() is bit-identical to HeuristicMatcher::match.
 // The scalar matchers remain as the executable specification;
 // tests/core/test_batch_matcher.cpp enforces the contract.
+//
+// Large deployments add a fourth tier: build_hierarchy() attaches a
+// coarse HierFaceMap pyramid plus a SignatureIndex over its tiles, and
+// match()/match_one() then run descend() — best-first coarse->fine
+// search that prunes whole tiles by conservative distance bounds and
+// exactly rescores only the survivors. The descent keeps every argmax
+// field (face, tied_faces, similarity, position) bit-identical to the
+// flat scan; only faces_examined differs, honestly counting the faces
+// actually rescored. docs/matching.md is the handbook;
+// tests/core/test_hier_descend.cpp enforces the descent contract.
 #pragma once
 
 #include <memory>
@@ -27,6 +37,9 @@
 #include "parallel/thread_pool.hpp"
 
 namespace fttt {
+
+class HierFaceMap;
+class SignatureIndex;
 
 class BatchMatcher {
  public:
@@ -84,14 +97,45 @@ class BatchMatcher {
   /// face-scan consumers (path matching) share it.
   void similarities_into(const SamplingVector& vd, std::span<double> out) const;
 
+  /// Build the coarse descent tier (a HierFaceMap pyramid plus the
+  /// SignatureIndex over its tiles) from the adopted table; every
+  /// subsequent match()/match_one() routes through descend(). Idempotent.
+  /// Like construction, not synchronized against concurrent matching —
+  /// attach the tier before the matcher is shared.
+  void build_hierarchy();
+
+  /// Adopt prebuilt tiers (a FaceMapCache entry, or a sibling's
+  /// shared_hierarchy()/shared_index()): matchers over one table then
+  /// pay for one coarse build total. Throws std::invalid_argument when
+  /// either pointer is null or disagrees with the table in face count,
+  /// dimension, or tile count.
+  void attach_hierarchy(std::shared_ptr<const HierFaceMap> hier,
+                        std::shared_ptr<const SignatureIndex> index);
+
+  bool has_hierarchy() const { return hier_ != nullptr; }
+
+  /// Coarse->fine localization of one vector (requires a hierarchy;
+  /// throws std::logic_error without one). Best-first over the pyramid:
+  /// pop the node with the smallest distance bound, expand it (child
+  /// bounds, or an exact tile rescore at level 0), and stop once the
+  /// best rescored similarity strictly beats every remaining bound —
+  /// strict, so faces tied with the maximum are never pruned. The
+  /// argmax fields are bit-identical to match_one() on the flat path;
+  /// faces_examined counts the faces actually rescored. climb() never
+  /// consults the tier — Algorithm 2 is already sublinear.
+  MatchResult descend(const SamplingVector& vd) const;
+
   const SignatureTable& table() const { return *table_; }
 
   /// The shared table handle (for cache-aware construction of siblings).
   std::shared_ptr<const SignatureTable> shared_table() const { return table_; }
+  std::shared_ptr<const HierFaceMap> shared_hierarchy() const { return hier_; }
+  std::shared_ptr<const SignatureIndex> shared_index() const { return index_; }
   const FaceMap& map() const { return *map_; }
 
  private:
   struct BatchState;
+  struct DescentScratch;
 
   /// Accumulate distance^2 of `vd` over all face columns into `acc`
   /// (padded_faces() doubles of scratch) and select the result.
@@ -104,6 +148,11 @@ class BatchMatcher {
   /// Similarity of one face via a column walk (hill-climb support).
   double column_similarity(const SamplingVector& vd, FaceId face) const;
 
+  /// The descent body (validated input, caller-owned scratch so batch
+  /// fan-outs reuse heaps and accumulators across vectors).
+  void descend_into(const SamplingVector& vd, DescentScratch& ds,
+                    MatchResult& out) const;
+
   /// Throws std::invalid_argument when vd's dimension != the table's
   /// (same failure type as the scalar vector_distance path).
   void require_dimension(const SamplingVector& vd) const;
@@ -112,6 +161,8 @@ class BatchMatcher {
   Config config_;
   ThreadPool* pool_;
   std::shared_ptr<const SignatureTable> table_;
+  std::shared_ptr<const HierFaceMap> hier_;      ///< set => descent routing
+  std::shared_ptr<const SignatureIndex> index_;  ///< set iff hier_ is
 };
 
 }  // namespace fttt

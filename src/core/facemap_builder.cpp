@@ -639,4 +639,12 @@ SignatureTable FaceMapBuilder::take_signature_table() {
   return taken;
 }
 
+HierFaceMap FaceMapBuilder::build_hierarchy() const {
+  if (!table_)
+    throw std::logic_error(
+        "FaceMapBuilder::build_hierarchy: no table — build() first "
+        "(and take_signature_table() consumes it)");
+  return HierFaceMap::build(*table_, *pool_);
+}
+
 }  // namespace fttt

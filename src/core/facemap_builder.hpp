@@ -50,6 +50,7 @@
 
 #include "common/vec2.hpp"
 #include "core/facemap.hpp"
+#include "core/hier_facemap.hpp"
 #include "core/signature_table.hpp"
 #include "geometry/grid.hpp"
 #include "net/sensor.hpp"
@@ -104,6 +105,14 @@ class FaceMapBuilder {
   /// table; throws std::logic_error before the first build() or when
   /// called twice without an intervening build().
   SignatureTable take_signature_table();
+
+  /// Coarse descent tier (core/hier_facemap.hpp) of the last build()'s
+  /// table. Faces regroup wholesale under any deployment delta, so the
+  /// tier is re-derived from the fresh table after each build rather
+  /// than patched — one streaming pass, a small fraction of the build
+  /// itself. Call before take_signature_table(); throws the same
+  /// std::logic_error when no table is stored.
+  HierFaceMap build_hierarchy() const;
 
   // -- Introspection (benches, tests, obs) ---------------------------------
 

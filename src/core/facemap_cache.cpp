@@ -84,8 +84,16 @@ FaceMapCache::Entry FaceMapCache::get_or_build(const Deployment& nodes, double C
   try {
     FTTT_OBS_SPAN("facemap.cache.build");
     FaceMapBuilder builder(nodes, C, field, cell_size, pool);
-    Entry entry{std::make_shared<const FaceMap>(builder.build()),
-                std::make_shared<const SignatureTable>(builder.take_signature_table())};
+    Entry entry;
+    entry.map = std::make_shared<const FaceMap>(builder.build());
+    // The coarse tier must come off the builder before the take below
+    // consumes the stored table; the index then derives from the tier
+    // alone. Both are one streaming pass — cheap against the division.
+    entry.hier = std::make_shared<const HierFaceMap>(builder.build_hierarchy());
+    entry.index =
+        std::make_shared<const SignatureIndex>(SignatureIndex::build(*entry.hier, pool));
+    entry.table =
+        std::make_shared<const SignatureTable>(builder.take_signature_table());
     promise.set_value(entry);
     std::lock_guard<std::mutex> lock(mu_);
     ++builds_;

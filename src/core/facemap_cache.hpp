@@ -36,6 +36,8 @@
 
 #include "common/vec2.hpp"
 #include "core/facemap.hpp"
+#include "core/hier_facemap.hpp"
+#include "core/signature_index.hpp"
 #include "core/signature_table.hpp"
 #include "net/sensor.hpp"
 #include "parallel/thread_pool.hpp"
@@ -44,11 +46,17 @@ namespace fttt {
 
 class FaceMapCache {
  public:
-  /// One cached division: the face map plus its SoA signature table
-  /// (BatchMatcher / FtttTracker adopt the table without re-transposing).
+  /// One cached division: the face map, its SoA signature table
+  /// (BatchMatcher / FtttTracker adopt the table without
+  /// re-transposing), and the coarse descent tier over it
+  /// (BatchMatcher::attach_hierarchy shares it across matchers). The
+  /// tier derives deterministically from the table, so the existing
+  /// content key covers it — same key, same coarse masks.
   struct Entry {
     std::shared_ptr<const FaceMap> map;
     std::shared_ptr<const SignatureTable> table;
+    std::shared_ptr<const HierFaceMap> hier;
+    std::shared_ptr<const SignatureIndex> index;
   };
 
   struct Stats {

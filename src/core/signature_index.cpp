@@ -1,0 +1,109 @@
+#include "core/signature_index.hpp"
+
+#include <bit>
+
+#include "obs/obs.hpp"
+
+namespace fttt {
+
+SignatureIndex SignatureIndex::build(const HierFaceMap& hier, ThreadPool& pool) {
+  FTTT_OBS_SPAN("matcher.index.build");
+
+  const std::size_t tiles = hier.node_count(0);
+  const std::size_t dim = hier.dimension();
+
+  SignatureIndex index;
+  index.dimension_ = dim;
+
+  // Two passes so rows land contiguous without a merge: count each
+  // tile's mixed planes in parallel, prefix-sum, then fill in parallel.
+  // The tile masks are plane-major, so a per-tile walk strides by the
+  // level stride — fine for a one-time O(dim x tiles) build.
+  std::vector<std::uint32_t> counts(tiles, 0);
+  parallel_for(
+      0, tiles,
+      [&](std::size_t t) {
+        std::uint32_t n = 0;
+        for (std::size_t c = 0; c < dim; ++c)
+          n += std::popcount(hier.mask(0, c, t)) > 1 ? 1u : 0u;
+        counts[t] = n;
+      },
+      pool);
+
+  index.offsets_.assign(tiles + 1, 0);
+  for (std::size_t t = 0; t < tiles; ++t)
+    index.offsets_[t + 1] = index.offsets_[t] + counts[t];
+  index.planes_.resize(index.offsets_[tiles]);
+  parallel_for(
+      0, tiles,
+      [&](std::size_t t) {
+        std::uint32_t* row = index.planes_.data() + index.offsets_[t];
+        for (std::size_t c = 0; c < dim; ++c)
+          if (std::popcount(hier.mask(0, c, t)) > 1)
+            *row++ = static_cast<std::uint32_t>(c);
+      },
+      pool);
+
+  // Upper levels: a plane is varying on a node iff its children's
+  // masks differ — the CSR the descent's delta expansion resolves per
+  // child (uniform planes contribute the parent's term unchanged; see
+  // the header). Same two-pass count/fill shape as the tiles.
+  for (std::size_t level = 1; level < hier.level_count(); ++level) {
+    const std::size_t nodes = hier.node_count(level);
+    const std::size_t child_nodes = hier.node_count(level - 1);
+    const auto children_vary = [&](std::size_t node, std::size_t c) {
+      const std::size_t lo = node * HierFaceMap::kFanout;
+      const std::size_t hi = std::min(child_nodes, lo + HierFaceMap::kFanout);
+      const std::uint8_t* m = hier.plane(level - 1, c) + lo;
+      for (std::size_t j = 1; j < hi - lo; ++j)
+        if (m[j] != m[0]) return true;
+      return false;
+    };
+    LevelIndex li;
+    std::vector<std::uint32_t> vcounts(nodes, 0);
+    parallel_for(
+        0, nodes,
+        [&](std::size_t i) {
+          std::uint32_t n = 0;
+          for (std::size_t c = 0; c < dim; ++c)
+            n += children_vary(i, c) ? 1u : 0u;
+          vcounts[i] = n;
+        },
+        pool);
+    li.offsets.assign(nodes + 1, 0);
+    for (std::size_t i = 0; i < nodes; ++i)
+      li.offsets[i + 1] = li.offsets[i] + vcounts[i];
+    li.planes.resize(li.offsets[nodes]);
+    parallel_for(
+        0, nodes,
+        [&](std::size_t i) {
+          std::uint32_t* row = li.planes.data() + li.offsets[i];
+          for (std::size_t c = 0; c < dim; ++c)
+            if (children_vary(i, c)) *row++ = static_cast<std::uint32_t>(c);
+        },
+        pool);
+    index.upper_.push_back(std::move(li));
+  }
+
+  FTTT_OBS_GAUGE_SET("matcher.index.mixed_permille",
+                     static_cast<std::int64_t>(index.mixed_fraction() * 1000.0));
+  FTTT_OBS_GAUGE_SET("matcher.index.bytes",
+                     static_cast<std::int64_t>(index.bytes()));
+  return index;
+}
+
+double SignatureIndex::mixed_fraction() const {
+  const std::size_t cells = dimension_ * tile_count();
+  return cells == 0 ? 0.0
+                    : static_cast<double>(planes_.size()) /
+                          static_cast<double>(cells);
+}
+
+std::size_t SignatureIndex::bytes() const {
+  std::size_t total = (offsets_.size() + planes_.size()) * sizeof(std::uint32_t);
+  for (const LevelIndex& li : upper_)
+    total += (li.offsets.size() + li.planes.size()) * sizeof(std::uint32_t);
+  return total;
+}
+
+}  // namespace fttt

@@ -1,0 +1,105 @@
+// Inverted index over signature components, tile-resolved.
+//
+// Within one level-0 tile of a HierFaceMap most node pairs are *pure*:
+// every face the tile covers holds the same component, because the
+// pair's Apollonius boundaries simply do not cross the tile's span of
+// the field. Only the *mixed* planes — the coarse mask holds more than
+// one value — can tell the tile's faces apart, and those are exactly
+// the planes a matcher must resolve per face; for every pure plane the
+// coarse mask already *is* the component, so a confident (+/-1)
+// sampling component either agrees with the whole tile or penalizes the
+// whole tile at once. SignatureIndex stores that partition as a per-
+// tile CSR of mixed plane ids (ascending), giving BatchMatcher's
+// descent its fast exact-rescore path: for a basic-mode (integral)
+// sampling vector the tile's pure contribution is recovered from the
+// already-computed tile bound, and only the mixed planes run a per-face
+// inner loop — exact integer arithmetic throughout, so the similarities
+// stay bit-identical to the flat kernels (docs/matching.md).
+//
+// A single-face tile has no mixed planes at all (distinct faces always
+// differ in some component — faces are grouped by signature), so its
+// CSR row is empty and the rescore is pure base; the degenerate case
+// costs nothing special.
+//
+// The same partition is kept for every level above the tiles: a plane
+// is *varying* on an upper node iff its children's masks differ. On a
+// uniform plane each child's mask equals the parent's (the parent is
+// the OR of identical masks), so each child's minimum term equals the
+// parent's — which lets the descent expand a node by reusing the
+// parent's already-computed bound: base = parent bound minus the
+// varying planes' parent minima, child bound = base plus the varying
+// planes' child minima. In the integral path that is plain integer
+// arithmetic, producing the very same bounds a direct full-dimension
+// pass computes while touching only the varying planes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/hier_facemap.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fttt {
+
+class SignatureIndex {
+ public:
+  /// Build from every tier of `hier`: level 0 rows hold the mixed
+  /// planes of each tile (mask holds more than one value bit), upper
+  /// rows hold the varying planes of each node (children's masks
+  /// differ). One pass over the masks per level, parallelized over
+  /// nodes.
+  static SignatureIndex build(const HierFaceMap& hier,
+                              ThreadPool& pool = ThreadPool::global());
+
+  std::size_t tile_count() const { return offsets_.size() - 1; }
+  std::size_t dimension() const { return dimension_; }
+
+  /// Indexed pyramid height; equals the source HierFaceMap's
+  /// level_count() (attach_hierarchy validates the match).
+  std::size_t level_count() const { return upper_.size() + 1; }
+
+  /// Plane ids (ascending) whose component differs between faces of
+  /// `tile` — the planes an exact rescore must resolve per face.
+  std::span<const std::uint32_t> mixed_planes(std::size_t tile) const {
+    return {planes_.data() + offsets_[tile],
+            planes_.data() + offsets_[tile + 1]};
+  }
+
+  /// Plane ids (ascending) whose mask differs between the children of
+  /// `node` on `level` (level >= 1) — the planes a delta expansion must
+  /// resolve per child; every other plane's child term equals the
+  /// parent's.
+  std::span<const std::uint32_t> varying_planes(std::size_t level,
+                                                std::size_t node) const {
+    const LevelIndex& li = upper_[level - 1];
+    return {li.planes.data() + li.offsets[node],
+            li.planes.data() + li.offsets[node + 1]};
+  }
+
+  /// Total mixed (tile, plane) entries across the level-0 index.
+  std::size_t mixed_entries() const { return planes_.size(); }
+
+  /// mixed_entries() / (dimension * tiles): how much per-face work the
+  /// index saves a rescore (docs/perf.md reports this per scenario).
+  double mixed_fraction() const;
+
+  /// Index memory (the budget BENCH_largeN.json tracks per face).
+  std::size_t bytes() const;
+
+ private:
+  struct LevelIndex {
+    std::vector<std::uint32_t> offsets;  ///< node_count(level) + 1 row starts
+    std::vector<std::uint32_t> planes;   ///< varying plane ids, concatenated
+  };
+
+  SignatureIndex() = default;
+
+  std::size_t dimension_{0};
+  std::vector<std::uint32_t> offsets_;  ///< tile_count() + 1, CSR row starts
+  std::vector<std::uint32_t> planes_;   ///< mixed plane ids, row-concatenated
+  std::vector<LevelIndex> upper_;       ///< upper_[l - 1] indexes level l
+};
+
+}  // namespace fttt

@@ -7,11 +7,15 @@
 namespace fttt {
 
 FtttTracker::FtttTracker(std::shared_ptr<const FaceMap> map, Config config)
-    : map_(std::move(map)), config_(config), batch_(map_) {}
+    : map_(std::move(map)), config_(config), batch_(map_) {
+  if (config_.hierarchical) batch_.build_hierarchy();
+}
 
 FtttTracker::FtttTracker(std::shared_ptr<const FaceMap> map, Config config,
                          std::shared_ptr<const SignatureTable> table)
-    : map_(std::move(map)), config_(config), batch_(map_, std::move(table)) {}
+    : map_(std::move(map)), config_(config), batch_(map_, std::move(table)) {
+  if (config_.hierarchical) batch_.build_hierarchy();
+}
 
 TrackEstimate FtttTracker::localize(const GroupingSampling& group) {
   if (group.node_count() != map_->nodes().size())

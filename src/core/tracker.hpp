@@ -39,6 +39,11 @@ class FtttTracker {
     double fallback_similarity{0.5};
     /// How pairs with one silent node are valued (Eq. 6 vs '*').
     MissingPolicy missing{MissingPolicy::kMissingReadsSmaller};
+    /// Route exhaustive matching (cold starts, fallbacks, batches)
+    /// through the coarse descent tier (core/hier_facemap.hpp) instead
+    /// of the flat SoA sweep. Estimates are bit-identical either way;
+    /// sublinear in the face count at large N.
+    bool hierarchical{false};
   };
 
   /// Work counters for the complexity experiments.

@@ -38,16 +38,27 @@ TrackManagerFleet::TrackManagerFleet(Deployment roster, double C, const Aabb& fi
         cache->get_or_build(roster_, C, field, cell_size, pool);
     map_ = entry.map;
     table_ = entry.table;
+    // The cache entry always carries the coarse tier; the fleet hands it
+    // to shards only in hierarchical mode so flat fleets keep the flat
+    // SoA sweep.
+    if (config_.track.hierarchical) {
+      hier_ = entry.hier;
+      index_ = entry.index;
+    }
   } else {
     map_ = std::make_shared<const FaceMap>(builder_->build());
+    if (config_.track.hierarchical)
+      hier_ = std::make_shared<const HierFaceMap>(builder_->build_hierarchy());
     table_ = std::make_shared<const SignatureTable>(builder_->take_signature_table());
+    if (config_.track.hierarchical)
+      index_ = std::make_shared<const SignatureIndex>(SignatureIndex::build(*hier_, pool));
   }
   members_ = alive_members(*builder_);
 
   shards_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<TrackShard>(config_.track, pool));
-    shards_.back()->adopt_division(map_, table_, members_);
+    shards_.back()->adopt_division(map_, table_, members_, hier_, index_);
   }
   route_frames_.resize(config_.shards);
   route_slots_.resize(config_.shards);
@@ -141,10 +152,17 @@ std::vector<TrackUpdate> TrackManagerFleet::tick() {
 
 void TrackManagerFleet::adopt_rebuilt_division() {
   map_ = std::make_shared<const FaceMap>(builder_->build());
+  // The tier comes off the builder *before* take_signature_table
+  // consumes the stored table; one tier/index per division, shared
+  // across every shard.
+  if (config_.track.hierarchical)
+    hier_ = std::make_shared<const HierFaceMap>(builder_->build_hierarchy());
   table_ = std::make_shared<const SignatureTable>(builder_->take_signature_table());
+  if (config_.track.hierarchical)
+    index_ = std::make_shared<const SignatureIndex>(SignatureIndex::build(*hier_, *pool_));
   members_ = alive_members(*builder_);
   for (const std::unique_ptr<TrackShard>& shard : shards_)
-    shard->adopt_division(map_, table_, members_);
+    shard->adopt_division(map_, table_, members_, hier_, index_);
   ++rebuilds_;
   FTTT_OBS_COUNT("serve.rebuilds", 1);
 }
@@ -192,8 +210,11 @@ SerialReplay::SerialReplay(TrackShard::Config config,
 
 void SerialReplay::adopt_division(std::shared_ptr<const FaceMap> map,
                                   std::shared_ptr<const SignatureTable> table,
-                                  std::vector<NodeId> members) {
-  shard_.adopt_division(std::move(map), std::move(table), std::move(members));
+                                  std::vector<NodeId> members,
+                                  std::shared_ptr<const HierFaceMap> hier,
+                                  std::shared_ptr<const SignatureIndex> index) {
+  shard_.adopt_division(std::move(map), std::move(table), std::move(members),
+                        std::move(hier), std::move(index));
 }
 
 TrackUpdate SerialReplay::process(const ReportFrame& frame) {

@@ -139,6 +139,12 @@ class TrackManagerFleet {
   std::shared_ptr<const SignatureTable> table() const { return table_; }
   const std::vector<NodeId>& members() const { return members_; }
 
+  /// Coarse descent tier over the served division — null unless
+  /// Config::track.hierarchical (one tier per division, shared across
+  /// every shard; hand it to a SerialReplay to share the build).
+  std::shared_ptr<const HierFaceMap> hier() const { return hier_; }
+  std::shared_ptr<const SignatureIndex> index() const { return index_; }
+
  private:
   /// Shard routing: stable mix of the track id (dense and adversarial
   /// id patterns balance alike), invariant to everything but the id.
@@ -159,6 +165,8 @@ class TrackManagerFleet {
 
   std::shared_ptr<const FaceMap> map_;
   std::shared_ptr<const SignatureTable> table_;
+  std::shared_ptr<const HierFaceMap> hier_;      ///< hierarchical mode only
+  std::shared_ptr<const SignatureIndex> index_;  ///< hierarchical mode only
   std::vector<NodeId> members_;  ///< alive global ids, ascending
 
   // Producer-side counters are atomic (submit races tick); the rest is
@@ -191,10 +199,15 @@ class SerialReplay {
                std::vector<NodeId> members, ThreadPool& pool = ThreadPool::global());
 
   /// Mirror a churn event: serve a new division (warm starts reset,
-  /// tracks held — same semantics as the fleet's rebuild).
+  /// tracks held — same semantics as the fleet's rebuild). `hier`/
+  /// `index` optionally share the fleet's tier (TrackShard rules:
+  /// both-or-neither; absent + hierarchical config → the shard builds
+  /// its own, bit-identical by the tier's determinism).
   void adopt_division(std::shared_ptr<const FaceMap> map,
                       std::shared_ptr<const SignatureTable> table,
-                      std::vector<NodeId> members);
+                      std::vector<NodeId> members,
+                      std::shared_ptr<const HierFaceMap> hier = nullptr,
+                      std::shared_ptr<const SignatureIndex> index = nullptr);
 
   TrackUpdate process(const ReportFrame& frame);
 

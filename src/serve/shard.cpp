@@ -17,9 +17,14 @@ TrackShard::TrackShard(Config config, ThreadPool& pool)
 
 void TrackShard::adopt_division(std::shared_ptr<const FaceMap> map,
                                 std::shared_ptr<const SignatureTable> table,
-                                std::vector<NodeId> members) {
+                                std::vector<NodeId> members,
+                                std::shared_ptr<const HierFaceMap> hier,
+                                std::shared_ptr<const SignatureIndex> index) {
   if (!map || !table)
     throw std::invalid_argument("TrackShard::adopt_division: null map/table");
+  if (static_cast<bool>(hier) != static_cast<bool>(index))
+    throw std::invalid_argument(
+        "TrackShard::adopt_division: hier/index must come together");
   if (members.size() != map->nodes().size())
     throw std::invalid_argument(
         "TrackShard::adopt_division: member count != division deployment");
@@ -31,6 +36,10 @@ void TrackShard::adopt_division(std::shared_ptr<const FaceMap> map,
   table_ = std::move(table);
   members_ = std::move(members);
   matcher_ = std::make_unique<BatchMatcher>(map_, table_, BatchMatcher::Config{}, *pool_);
+  if (hier)
+    matcher_->attach_hierarchy(std::move(hier), std::move(index));
+  else if (config_.hierarchical)
+    matcher_->build_hierarchy();
   // Face ids are an artifact of the division: a track's previous face
   // means nothing under the new one, so every next climb cold-starts
   // (through the exhaustive batch pass). Slots survive — churn holds

@@ -55,6 +55,12 @@ class TrackShard {
     /// Frames with fewer reporting nodes carry no information and are
     /// gated out (TrackManager::Config::min_reporting semantics).
     std::size_t min_reporting{2};
+    /// Resolve the exhaustive batch pass through the coarse descent tier
+    /// (BatchMatcher::descend) instead of the flat SoA sweep. Argmax
+    /// bit-identical either way; sublinear at large N. When
+    /// adopt_division is not handed a prebuilt tier the shard derives
+    /// one from the adopted table.
+    bool hierarchical{false};
   };
 
   /// `pool` serves the exhaustive batch pass of resolve(). The shard is
@@ -65,9 +71,17 @@ class TrackShard {
   /// the strictly-ascending global node ids `members`. Every track's
   /// warm start resets — face ids do not survive a re-division. Throws
   /// std::invalid_argument on null map/table or unsorted members.
+  ///
+  /// `hier`/`index` optionally share a prebuilt coarse tier over the
+  /// same table (a FaceMapCache entry, or the fleet building once for
+  /// all its shards); both-or-neither, validated against the table by
+  /// BatchMatcher::attach_hierarchy. With Config::hierarchical set and
+  /// no tier supplied, the shard builds its own.
   void adopt_division(std::shared_ptr<const FaceMap> map,
                       std::shared_ptr<const SignatureTable> table,
-                      std::vector<NodeId> members);
+                      std::vector<NodeId> members,
+                      std::shared_ptr<const HierFaceMap> hier = nullptr,
+                      std::shared_ptr<const SignatureIndex> index = nullptr);
 
   /// Resolve one tick's frames; out[i] is frames[i]'s update (frame
   /// order, so the fleet can scatter shard outputs into a stable

@@ -70,6 +70,8 @@ scenario:
   --seed N               root seed
   --missing KIND         smaller (Eq. 6) | unknown ('*') (default smaller)
   --no-calibrate-c       use the literal Eq. 3 constant
+  --hier                 hierarchical (coarse-to-fine) exhaustive matching;
+                         estimates bit-identical, sublinear at large n
   --moving-group         disable the stationary-group idealization
 
 run:
@@ -190,6 +192,8 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
       else return fail("unknown missing policy: " + v);
     } else if (arg == "--no-calibrate-c") {
       cfg.calibrate_C = false;
+    } else if (arg == "--hier") {
+      cfg.hierarchical_matching = true;
     } else if (arg == "--moving-group") {
       cfg.freeze_group = false;
     } else if (arg == "--methods" && need(1)) {

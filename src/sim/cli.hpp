@@ -51,7 +51,8 @@ struct CliParseResult {
 ///   --sensors N --deployment grid|random|cross --field W H
 ///   --range R --eps E --beta B --sigma S --channel gaussian|bounded
 ///   --k K --rate HZ --period S --dropout P --speed VMIN VMAX
-///   --duration S --grid-cell M --seed N --no-calibrate-c --moving-group
+///   --duration S --grid-cell M --seed N --no-calibrate-c --hier
+///   --moving-group
 ///   --methods fttt,fttt-ext,pm,mle --trials N --csv PATH
 ///   --serve --serve-shards N --serve-tracks N --serve-ticks N
 ///   --serve-queue N --serve-churn N

@@ -175,7 +175,8 @@ TrackingResult run_tracking_pipelined(const ScenarioConfig& cfg,
         const VectorMode mode = methods[m] == Method::kFttt ? VectorMode::kBasic
                                                             : VectorMode::kExtended;
         FtttTracker tracker(uncertain.map,
-                            FtttTracker::Config{mode, cfg.eps, true, 0.5, cfg.missing},
+                            FtttTracker::Config{mode, cfg.eps, true, 0.5, cfg.missing,
+                                                cfg.hierarchical_matching},
                             uncertain.table);
         for (std::size_t e = 0; e < pre.size(); ++e)
           record(e, tracker.localize(pre[e].fttt[fttt_slot[m]]));

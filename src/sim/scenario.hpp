@@ -74,6 +74,10 @@ struct ScenarioConfig {
   /// paper's trends), false uses the literal Eq. 3 constant. See
   /// EXPERIMENTS.md "Calibration of C" and bench_ablation_calibration.
   bool calibrate_C{true};
+  /// Route exhaustive matching through the coarse descent tier
+  /// (core/hier_facemap.hpp). Estimates are bit-identical to the flat
+  /// path; sublinear at large n. CLI: --hier.
+  bool hierarchical_matching{false};
 
   // Determinism -----------------------------------------------------------
   std::uint64_t seed{20120625};            ///< root seed (publication date)

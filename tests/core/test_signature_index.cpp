@@ -1,0 +1,119 @@
+#include "core/signature_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/facemap.hpp"
+#include "core/hier_facemap.hpp"
+#include "net/deployment.hpp"
+#include "rf/uncertainty.hpp"
+
+namespace fttt {
+namespace {
+
+const Aabb kField{{0.0, 0.0}, {60.0, 60.0}};
+
+std::shared_ptr<const FaceMap> make_map(std::size_t sensors, std::uint64_t seed) {
+  RngStream rng(seed);
+  const Deployment nodes = random_deployment(kField, sensors, rng);
+  const double C = uncertainty_constant(1.0, 4.0, 6.0);
+  return std::make_shared<const FaceMap>(FaceMap::build(nodes, C, kField, 1.5));
+}
+
+TEST(SignatureIndex, RowsAreExactlyTheMixedPlanesAscending) {
+  for (const std::uint64_t seed : {2u, 9u}) {
+    const auto map = make_map(9, seed);
+    const SignatureTable table(*map);
+    const HierFaceMap hier = HierFaceMap::build(table);
+    const SignatureIndex index = SignatureIndex::build(hier);
+    ASSERT_EQ(index.tile_count(), hier.node_count(0));
+    ASSERT_EQ(index.dimension(), hier.dimension());
+    std::size_t entries = 0;
+    for (std::size_t t = 0; t < index.tile_count(); ++t) {
+      std::vector<std::uint32_t> expect;
+      for (std::size_t c = 0; c < hier.dimension(); ++c)
+        if (std::popcount(hier.mask(0, c, t)) > 1)
+          expect.push_back(static_cast<std::uint32_t>(c));
+      const std::span<const std::uint32_t> row = index.mixed_planes(t);
+      ASSERT_EQ(std::vector<std::uint32_t>(row.begin(), row.end()), expect)
+          << "tile " << t;
+      entries += expect.size();
+    }
+    EXPECT_EQ(index.mixed_entries(), entries);
+    EXPECT_GT(index.bytes(), 0u);
+    EXPECT_GE(index.mixed_fraction(), 0.0);
+    EXPECT_LE(index.mixed_fraction(), 1.0);
+  }
+}
+
+TEST(SignatureIndex, UpperRowsAreExactlyTheChildVaryingPlanes) {
+  // A fine grid with 24 sensors yields thousands of faces — more than
+  // kFanout tiles, so the pyramid has an upper level to index.
+  RngStream rng(5);
+  const Deployment nodes = random_deployment(kField, 24, rng);
+  const double C = uncertainty_constant(1.0, 4.0, 6.0);
+  const auto map =
+      std::make_shared<const FaceMap>(FaceMap::build(nodes, C, kField, 0.5));
+  const SignatureTable table(*map);
+  const HierFaceMap hier = HierFaceMap::build(table);
+  const SignatureIndex index = SignatureIndex::build(hier);
+  ASSERT_EQ(index.level_count(), hier.level_count());
+  ASSERT_GE(hier.level_count(), 2u);
+  for (std::size_t level = 1; level < hier.level_count(); ++level) {
+    for (std::size_t i = 0; i < hier.node_count(level); ++i) {
+      std::vector<std::uint32_t> expect;
+      const std::size_t lo = i * HierFaceMap::kFanout;
+      const std::size_t hi =
+          std::min(hier.node_count(level - 1), lo + HierFaceMap::kFanout);
+      for (std::size_t c = 0; c < hier.dimension(); ++c) {
+        bool varying = false;
+        for (std::size_t j = lo + 1; j < hi; ++j)
+          if (hier.mask(level - 1, c, j) != hier.mask(level - 1, c, lo)) {
+            varying = true;
+            break;
+          }
+        if (varying) expect.push_back(static_cast<std::uint32_t>(c));
+      }
+      const std::span<const std::uint32_t> row = index.varying_planes(level, i);
+      ASSERT_EQ(std::vector<std::uint32_t>(row.begin(), row.end()), expect)
+          << "level " << level << " node " << i;
+      // A uniform plane's children all equal their OR, the parent mask;
+      // the delta expansion relies on exactly that (signature_index.hpp).
+      for (std::size_t c = 0, v = 0; c < hier.dimension(); ++c) {
+        if (v < row.size() && row[v] == c) {
+          ++v;
+          continue;
+        }
+        for (std::size_t j = lo; j < hi; ++j)
+          ASSERT_EQ(hier.mask(level - 1, c, j), hier.mask(level, c, i))
+              << "uniform plane " << c << " child " << j;
+      }
+    }
+  }
+}
+
+TEST(SignatureIndex, SingleFaceTileHasEmptyRow) {
+  const Aabb tiny{{0.0, 0.0}, {1.0, 1.0}};
+  Deployment nodes;
+  nodes.push_back(SensorNode{0, {-3.0, 0.5}});
+  nodes.push_back(SensorNode{1, {4.0, 0.5}});
+  const auto map =
+      std::make_shared<const FaceMap>(FaceMap::build(nodes, 1.5, tiny, 1.0));
+  ASSERT_EQ(map->face_count(), 1u);
+  const SignatureTable table(*map);
+  const HierFaceMap hier = HierFaceMap::build(table);
+  const SignatureIndex index = SignatureIndex::build(hier);
+  ASSERT_EQ(index.tile_count(), 1u);
+  EXPECT_TRUE(index.mixed_planes(0).empty());
+  EXPECT_EQ(index.mixed_entries(), 0u);
+  EXPECT_EQ(index.mixed_fraction(), 0.0);
+  EXPECT_EQ(index.level_count(), 1u);  // no upper tiers on a one-tile map
+}
+
+}  // namespace
+}  // namespace fttt

@@ -290,6 +290,69 @@ TEST(Fleet, CoverageGateEmitsNoEstimate) {
   EXPECT_EQ(stats.tracks, 1u);  // the gated track still holds a slot
 }
 
+TEST(Fleet, HierarchicalFleetMatchesFlatReplayUnderChurn) {
+  // The strongest cross-mode claim: a hierarchical fleet's updates are
+  // bit-identical to a *flat* serial replay of the same stream under the
+  // same division schedule — the descent can never change an estimate,
+  // even across churn-induced tier rebuilds.
+  const Deployment roster = roster9();
+  constexpr std::size_t kTracks = 8;
+  constexpr std::size_t kTicks = 6;
+  const SyntheticWorkload workload(roster, kField, workload_config(kTracks), 21);
+  const auto stream = make_stream(workload, kTracks, kTicks);
+
+  TrackManagerFleet::Config cfg;
+  cfg.shards = 2;
+  cfg.track.hierarchical = true;
+  TrackManagerFleet fleet(roster, kC, kField, kCell, cfg);
+  ASSERT_NE(fleet.hier(), nullptr);
+  ASSERT_NE(fleet.index(), nullptr);
+
+  TrackShard::Config flat = cfg.track;
+  flat.hierarchical = false;
+  SerialReplay replay(flat, fleet.map(), fleet.table(), fleet.members());
+
+  for (std::uint64_t tick = 0; tick < kTicks; ++tick) {
+    if (tick == 2) {
+      ASSERT_TRUE(fleet.fail_node(0));
+      replay.adopt_division(fleet.map(), fleet.table(), fleet.members());
+    }
+    if (tick == 4) {
+      ASSERT_TRUE(fleet.revive_node(0));
+      replay.adopt_division(fleet.map(), fleet.table(), fleet.members());
+    }
+    std::vector<TrackUpdate> spec;
+    for (const ReportFrame& frame : stream[tick]) {
+      spec.push_back(replay.process(frame));
+      ASSERT_TRUE(fleet.submit(frame));
+    }
+    const std::vector<TrackUpdate> got = fleet.tick();
+    ASSERT_EQ(got.size(), spec.size()) << "tick " << tick;
+    for (std::size_t i = 0; i < spec.size(); ++i)
+      expect_identical(got[i], spec[i], i);
+  }
+  EXPECT_EQ(fleet.stats().rebuilds, 2u);
+}
+
+TEST(Fleet, ReplaySharesTheFleetsTier) {
+  const Deployment roster = roster9();
+  TrackManagerFleet::Config cfg;
+  cfg.track.hierarchical = true;
+  TrackManagerFleet fleet(roster, kC, kField, kCell, cfg);
+  // Handing the fleet's tier to a hierarchical replay skips a rebuild;
+  // results stay identical (tier determinism).
+  SerialReplay own(cfg.track, fleet.map(), fleet.table(), fleet.members());
+  SerialReplay shared(cfg.track, fleet.map(), fleet.table(), fleet.members());
+  shared.adopt_division(fleet.map(), fleet.table(), fleet.members(),
+                        fleet.hier(), fleet.index());
+  const SyntheticWorkload workload(roster, kField, workload_config(4), 33);
+  for (std::uint64_t e = 0; e < 4; ++e)
+    for (TrackId t = 0; t < 4; ++t) {
+      const ReportFrame frame = workload.frame(t, e);
+      expect_identical(shared.process(frame), own.process(frame), t);
+    }
+}
+
 TEST(Fleet, SharedCacheServesOneBuildToSiblingFleets) {
   const Deployment roster = roster9();
   FaceMapCache cache;

@@ -90,6 +90,11 @@ TEST(Cli, ToggleFlags) {
   EXPECT_FALSE(opt.scenario.freeze_group);
 }
 
+TEST(Cli, HierarchicalMatchingFlag) {
+  EXPECT_FALSE(must_parse({}).scenario.hierarchical_matching);
+  EXPECT_TRUE(must_parse({"--hier"}).scenario.hierarchical_matching);
+}
+
 TEST(Cli, MissingPolicy) {
   EXPECT_EQ(must_parse({"--missing", "smaller"}).scenario.missing,
             MissingPolicy::kMissingReadsSmaller);

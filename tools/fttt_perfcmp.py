@@ -9,9 +9,10 @@ gate several bench families at once (CI runs the matcher and the facemap
 trajectories together); an odd file count is a usage error (exit 2).
 
 Results are keyed by (name, batch). The default comparison uses the
-machine-portable ratio metric `speedup_vs_scalar` (higher is better):
-the gate fails when current < baseline * (1 - tolerance). Rows without a
-speedup in the baseline (e.g. the scalar reference itself) are skipped.
+machine-portable ratio metrics `speedup_vs_scalar` and
+`speedup_vs_batch` (higher is better): the gate fails when current <
+baseline * (1 - tolerance). Rows without a speedup in the baseline
+(e.g. the scalar reference itself) are skipped.
 
 Throughput benches (BENCH_serve.json) gate the same way through
 `throughput_ref`: a baseline row naming a reference row is compared by
@@ -19,6 +20,12 @@ the ratio of the two rows' `localizations_per_sec` (higher is better),
 with each side's ratio computed within its own file so the metric stays
 machine-portable. A baseline that declares a reference which is missing
 or lacks a positive `localizations_per_sec` is malformed (exit 2).
+
+Memory budgets gate through `bytes_per_face` (lower is better; current
+must stay <= baseline * (1 + tolerance)). Bytes per face depend only on
+the scenario, never the machine, so this gate is always on — it keeps
+the hierarchical tier's footprint (BENCH_largeN.json) from silently
+growing.
 
 --absolute additionally compares `ns_per_localization` (lower is better;
 current must stay <= baseline * (1 + tolerance)). Absolute nanoseconds
@@ -141,18 +148,33 @@ def compare_pair(baseline_path: Path, current_path: Path, tolerance: float,
                     print(f"  [ok] {name}: throughput ratio {cur_ratio:.3f}x "
                           f"vs {ref_name} >= floor {floor:.3f}")
 
-        base_speedup = base.get("speedup_vs_scalar")
-        cur_speedup = cur.get("speedup_vs_scalar")
-        if base_speedup is not None:
+        for metric in ("speedup_vs_scalar", "speedup_vs_batch"):
+            base_speedup = base.get(metric)
+            if base_speedup is None:
+                continue
             compared += 1
+            cur_speedup = cur.get(metric)
             floor = base_speedup * (1.0 - tolerance)
             if cur_speedup is None or cur_speedup < floor:
-                print(f"  [REGRESSION] {name}: speedup {cur_speedup} "
+                print(f"  [REGRESSION] {name}: {metric} {cur_speedup} "
                       f"< floor {floor:.3f} (baseline {base_speedup})")
                 regressions += 1
             else:
-                print(f"  [ok] {name}: speedup {cur_speedup:.3f} "
+                print(f"  [ok] {name}: {metric} {cur_speedup:.3f} "
                       f">= floor {floor:.3f}")
+
+        base_bytes = base.get("bytes_per_face")
+        if base_bytes is not None:
+            compared += 1
+            ceiling = base_bytes * (1.0 + tolerance)
+            cur_bytes = cur.get("bytes_per_face")
+            if not isinstance(cur_bytes, (int, float)) or cur_bytes > ceiling:
+                print(f"  [REGRESSION] {name}: {cur_bytes} bytes/face "
+                      f"> ceiling {ceiling:.2f} (baseline {base_bytes})")
+                regressions += 1
+            else:
+                print(f"  [ok] {name}: {cur_bytes:.2f} bytes/face "
+                      f"<= ceiling {ceiling:.2f}")
 
         if absolute and "ns_per_localization" in base:
             compared += 1

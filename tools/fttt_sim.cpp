@@ -53,6 +53,7 @@ int run_serve(const fttt::CliOptions& opt) {
   fcfg.queue_capacity = serve.queue_capacity;
   fcfg.track.eps = cfg.eps;
   fcfg.track.missing = cfg.missing;
+  fcfg.track.hierarchical = cfg.hierarchical_matching;
   TrackManagerFleet fleet(roster, channel.C, cfg.field, cfg.grid_cell, fcfg);
 
   std::cout << "fttt_sim --serve: " << roster.size() << " sensors, "

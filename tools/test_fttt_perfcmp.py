@@ -43,6 +43,16 @@ def doc(*rows: dict) -> dict:
 def main() -> int:
     ok_row = {"name": "soa", "batch": 256, "speedup_vs_scalar": 5.0}
     slow_row = {"name": "soa", "batch": 256, "speedup_vs_scalar": 1.0}
+    # bytes_per_face memory gate (BENCH_largeN.json shape): lower is
+    # better, always on (scenario-determined, machine-portable).
+    lean_row = {"name": "hier", "batch": 64, "bytes_per_face": 80.0}
+    fat_row = dict(lean_row, bytes_per_face=200.0)
+    lost_row = {"name": "hier", "batch": 64}
+    # speedup_vs_batch gates exactly like speedup_vs_scalar (the largeN
+    # hier rows carry both ratios; the vs-batch one is the headline
+    # sublinearity claim).
+    vsb_row = {"name": "hier", "batch": 64, "speedup_vs_batch": 10.0}
+    vsb_slow = dict(vsb_row, speedup_vs_batch=2.0)
     # Throughput-ratio gating (BENCH_serve.json shape): a row names its
     # in-file scalar reference and gates on the localizations_per_sec
     # ratio, so absolute numbers stay machine-local.
@@ -70,6 +80,15 @@ def main() -> int:
         ("regression in second pair",
          run_files([doc(ok_row), doc(ok_row), doc(ok_row), doc(slow_row)]), 1),
         ("odd file count", run_files([doc(ok_row), doc(ok_row), doc(ok_row)]), 2),
+        # bytes_per_face memory gate.
+        ("bytes within tolerance", run(doc(lean_row), doc(lean_row)), 0),
+        ("bytes regression", run(doc(lean_row), doc(fat_row)), 1),
+        ("bytes metric lost", run(doc(lean_row), doc(lost_row)), 1),
+        ("bytes shrink passes", run(doc(fat_row), doc(lean_row)), 0),
+        # speedup_vs_batch ratio gate.
+        ("vs-batch within tolerance", run(doc(vsb_row), doc(vsb_row)), 0),
+        ("vs-batch regression", run(doc(vsb_row), doc(vsb_slow)), 1),
+        ("vs-batch metric lost", run(doc(vsb_row), doc(lost_row)), 1),
         # throughput_ref ratio gate.
         ("throughput ratio ok",
          run(doc(scalar_ref, serve_fast), doc(scalar_ref, serve_fast)), 0),
