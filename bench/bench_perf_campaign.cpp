@@ -1,0 +1,341 @@
+// Perf harness for the trial-parallel campaign engine.
+//
+// Times the trial-serial Monte-Carlo path (monte_carlo with
+// cache = nullptr: unique random deployment per trial, cold face maps,
+// per-trial scratch) against run_campaign on a density-sweep shape and
+// emits BENCH_campaign.json. tools/fttt_perfcmp.py diffs the file
+// against bench/baselines/BENCH_campaign.json and gates CI on
+// regressions; docs/perf.md has the procedure.
+//
+//   bench_perf_campaign [--fast] [--json PATH] [--trials N] [--repeats R]
+//                       [--threads N]
+//
+// Before timing, every cell of the campaign grid is checked bit-identical
+// to a serial monte_carlo of the cell's scenario — same pooled and
+// per-trial-mean statistics to the last bit. A wrong-but-fast engine
+// fails the bench, not just the unit suite.
+//
+// Two comparisons, each against a trial-serial baseline at its own
+// thread count. The gated campaign_1t row runs single-threaded against
+// mc_serial: its speedup is purely algorithmic — pooled builder products
+// rebuilt in place, recycled score rows, one SoA scan per epoch shared
+// by path matching and Direct MLE, no per-trial pipeline scaffolding —
+// so it holds on a single-core CI runner. campaign_mt runs on the shared
+// pool against mc_mt (monte_carlo handed the *same* pool — parallel_map
+// spreads its trials too, but every trial pays cold map builds and fresh
+// scratch): that ratio isolates what the pooled workers save at scale.
+// The headline trial-parallel win — run_campaign on a multi-core pool vs
+// monte_carlo executing trials serially — is the campaign_mt-to-
+// mc_serial wall-clock ratio, and it grows with cores: equal to
+// campaign_1t's on this one-thread table, >= 3x from ~4 cores up.
+// perfcmp gates each row against the recorded trajectory of the same
+// machine.
+//
+// The bytes_per_trial metric allocates-counts a fixed small campaign
+// (operator new instrumentation, wave_size 1 so a single pooled worker
+// serves every trial deterministically) and is gated as a ceiling: the
+// steady state must stay allocation-lean regardless of machine speed.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/campaign.hpp"
+#include "sim/montecarlo.hpp"
+
+// ---- allocation metering ---------------------------------------------------
+// Process-wide operator new instrumentation; counting is switched on only
+// around the measured region. Covers new/new[] (the containers every
+// engine under test uses); aligned forms are not used by these types.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<bool> g_alloc_metering{false};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_alloc_metering.load(std::memory_order_relaxed))
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+// GCC pairs this free() with the *default* operator new of inlined
+// library code, but the replacement new above is global at link time —
+// every pointer reaching here came from std::malloc.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+
+namespace {
+
+using namespace fttt;
+
+struct Options {
+  bool fast = false;
+  std::string json_path = "BENCH_campaign.json";
+  std::size_t trials = 24;  ///< trials per cell in the timed sweep
+  std::size_t repeats = 5;  ///< timed passes; best (min) wins
+  std::size_t threads = 0;  ///< _mt row pool; 0 = shared global pool
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--fast") {
+      opt.fast = true;
+      opt.trials = 8;
+      opt.repeats = 3;
+    } else if (arg == "--json" && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (arg == "--trials" && i + 1 < argc) {
+      opt.trials = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--repeats" && i + 1 < argc) {
+      opt.repeats = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opt.threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--fast] [--json PATH] [--trials N] [--repeats R] [--threads N]\n";
+      std::exit(2);
+    }
+  }
+  if (opt.trials == 0 || opt.repeats == 0) {
+    std::cerr << "bench_perf_campaign: --trials/--repeats must be >= 1\n";
+    std::exit(2);
+  }
+  return opt;
+}
+
+template <typename Fn>
+double time_best(std::size_t repeats, Fn&& fn) {
+  double best = 1e300;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Row {
+  std::string name;
+  std::size_t batch;
+  double ns_per_trial;
+  double throughput_per_s;
+  double speedup_vs_serial;  ///< < 0 means "not applicable" (the baseline row)
+  double bytes_per_trial;    ///< < 0 means "not measured"
+  std::size_t threads;
+};
+
+void fail(const std::string& message) {
+  std::cerr << "bench_perf_campaign: " << message << "\n";
+  std::exit(1);
+}
+
+void expect_bit_equal(const RunningStats& a, const RunningStats& b,
+                      const std::string& what) {
+  if (a.count() != b.count() || a.mean() != b.mean() || a.variance() != b.variance() ||
+      a.min() != b.min() || a.max() != b.max())
+    fail(what + ": statistics diverge from the serial reference");
+}
+
+/// The timed campaign: a density sweep at fixed n (the Sec. 5.1 MSE-vs-
+/// density shape), every method, bounded channel, bench-suite 2 m grid.
+CampaignConfig bench_campaign(const Options& opt) {
+  CampaignConfig cfg;
+  cfg.base.duration = opt.fast ? 10.0 : 20.0;
+  cfg.base.grid_cell = 2.0;
+  cfg.base.channel = Channel::kBounded;
+  cfg.densities = {0.001, 0.0025};
+  cfg.sensor_counts = {10};
+  cfg.trials_per_cell = opt.trials;
+  cfg.wave_size = 8;
+  cfg.methods = {Method::kFttt, Method::kFtttExtended, Method::kPathMatching,
+                 Method::kDirectMle};
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  const CampaignConfig campaign_cfg = bench_campaign(opt);
+  const std::size_t cells =
+      campaign_cfg.densities.size() * campaign_cfg.sensor_counts.size();
+  const std::size_t total_trials = cells * campaign_cfg.trials_per_cell;
+  const double trials_d = static_cast<double>(total_trials);
+
+  ThreadPool single(1);
+  ThreadPool* mt_pool_ptr = nullptr;
+  std::unique_ptr<ThreadPool> owned_mt;
+  if (opt.threads > 0) {
+    owned_mt = std::make_unique<ThreadPool>(opt.threads);
+    mt_pool_ptr = owned_mt.get();
+  } else {
+    mt_pool_ptr = &ThreadPool::global();
+  }
+  ThreadPool& mt_pool = *mt_pool_ptr;
+
+  // Correctness gate before any timing: every (cell, method) summary of
+  // the campaign — single-threaded and on the shared pool — must be
+  // bit-identical to a serial monte_carlo of that cell's scenario with
+  // per-trial map builds (cache = nullptr, the unique-deployment path).
+  {
+    const CampaignResult ref1 = run_campaign(campaign_cfg, single);
+    const CampaignResult refm = run_campaign(campaign_cfg, mt_pool);
+    for (std::size_t c = 0; c < ref1.cells.size(); ++c) {
+      const CampaignCell& cell = ref1.cells[c];
+      const std::vector<MonteCarloSummary> serial =
+          monte_carlo(cell.scenario, campaign_cfg.methods, campaign_cfg.trials_per_cell,
+                      single, nullptr);
+      for (std::size_t m = 0; m < serial.size(); ++m) {
+        const std::string what = "cell " + std::to_string(c) + " method " +
+                                 method_name(serial[m].method);
+        expect_bit_equal(serial[m].pooled, cell.summaries[m].pooled, what + " (pooled)");
+        expect_bit_equal(serial[m].trial_means, cell.summaries[m].trial_means,
+                         what + " (trial means)");
+        expect_bit_equal(cell.summaries[m].pooled, refm.cells[c].summaries[m].pooled,
+                         what + " (thread-count invariance)");
+      }
+    }
+  }
+
+  std::vector<Row> rows;
+  volatile double sink = 0.0;
+
+  // Serial reference: the per-trial path — every trial re-deploys, builds
+  // cold maps, and runs the full pipeline scaffolding.
+  const double serial_s = time_best(opt.repeats, [&] {
+    double acc = 0.0;
+    for (double density : campaign_cfg.densities) {
+      for (std::size_t n : campaign_cfg.sensor_counts) {
+        const ScenarioConfig cell = campaign_cell_scenario(campaign_cfg, density, n);
+        const std::vector<MonteCarloSummary> s = monte_carlo(
+            cell, campaign_cfg.methods, campaign_cfg.trials_per_cell, single, nullptr);
+        acc += s[0].pooled.mean();
+      }
+    }
+    sink = acc;
+  }) / trials_d;
+
+  const double campaign1_s = time_best(opt.repeats, [&] {
+    sink = run_campaign(campaign_cfg, single).cells[0].summaries[0].pooled.mean();
+  }) / trials_d;
+
+  // Same-thread-count baseline for the _mt row: monte_carlo handed the
+  // shared pool (parallel_map spreads trials across it, each trial
+  // paying cold builds and per-trial scratch) — the strongest contender,
+  // so campaign_mt's ratio isolates the pooled-worker savings.
+  const double serial_mt_s = time_best(opt.repeats, [&] {
+    double acc = 0.0;
+    for (double density : campaign_cfg.densities) {
+      for (std::size_t n : campaign_cfg.sensor_counts) {
+        const ScenarioConfig cell = campaign_cell_scenario(campaign_cfg, density, n);
+        const std::vector<MonteCarloSummary> s = monte_carlo(
+            cell, campaign_cfg.methods, campaign_cfg.trials_per_cell, mt_pool, nullptr);
+        acc += s[0].pooled.mean();
+      }
+    }
+    sink = acc;
+  }) / trials_d;
+
+  const double campaignmt_s = time_best(opt.repeats, [&] {
+    sink = run_campaign(campaign_cfg, mt_pool).cells[0].summaries[0].pooled.mean();
+  }) / trials_d;
+  (void)sink;
+
+  // Allocation metering on a fixed shape (independent of --fast so the
+  // metric is comparable across configurations): one cell, wave_size 1 —
+  // a single pooled worker serves every trial in order, so the byte
+  // count is deterministic.
+  CampaignConfig bytes_cfg = campaign_cfg;
+  bytes_cfg.base.duration = 10.0;
+  bytes_cfg.densities = {0.001};
+  bytes_cfg.trials_per_cell = 32;
+  bytes_cfg.wave_size = 1;
+  const double bytes_trials = static_cast<double>(bytes_cfg.trials_per_cell);
+  g_alloc_bytes.store(0);
+  g_alloc_metering.store(true);
+  run_campaign(bytes_cfg, single);
+  g_alloc_metering.store(false);
+  const double campaign_bytes = static_cast<double>(g_alloc_bytes.load()) / bytes_trials;
+
+  g_alloc_bytes.store(0);
+  g_alloc_metering.store(true);
+  monte_carlo(campaign_cell_scenario(bytes_cfg, bytes_cfg.densities[0],
+                                     bytes_cfg.sensor_counts[0]),
+              bytes_cfg.methods, bytes_cfg.trials_per_cell, single, nullptr);
+  g_alloc_metering.store(false);
+  const double serial_bytes = static_cast<double>(g_alloc_bytes.load()) / bytes_trials;
+
+  rows.push_back({"mc_serial", 1, serial_s * 1e9, 1.0 / serial_s, -1.0, serial_bytes, 1});
+  rows.push_back({"campaign_1t", 1, campaign1_s * 1e9, 1.0 / campaign1_s,
+                  serial_s / campaign1_s, campaign_bytes, 1});
+  rows.push_back({"mc_mt", 1, serial_mt_s * 1e9, 1.0 / serial_mt_s, -1.0, -1.0,
+                  mt_pool.thread_count()});
+  rows.push_back({"campaign_mt", 1, campaignmt_s * 1e9, 1.0 / campaignmt_s,
+                  serial_mt_s / campaignmt_s, -1.0, mt_pool.thread_count()});
+
+  const auto epochs = static_cast<std::size_t>(campaign_cfg.base.duration /
+                                               campaign_cfg.base.localization_period);
+  std::cout << "campaign perf (density sweep: cells=" << cells
+            << ", trials/cell=" << campaign_cfg.trials_per_cell
+            << ", epochs/trial=" << epochs
+            << ", methods=" << campaign_cfg.methods.size()
+            << ", threads=" << mt_pool.thread_count() << ")\n";
+  for (const Row& r : rows) {
+    std::cout << "  " << r.name << ": " << r.ns_per_trial / 1e6 << " ms/trial, "
+              << r.throughput_per_s << " trials/s";
+    if (r.speedup_vs_serial > 0.0) std::cout << ", speedup " << r.speedup_vs_serial << "x";
+    if (r.bytes_per_trial >= 0.0)
+      std::cout << ", " << r.bytes_per_trial / 1024.0 << " KiB/trial";
+    std::cout << "\n";
+  }
+
+  // Machine-readable trajectory point. Keys mirror the other perf
+  // benches so fttt_perfcmp.py gates them with one code path:
+  // "ns_per_localization" here is ns per trial, "speedup_vs_scalar" is
+  // speedup vs the trial-serial monte_carlo at the row's own thread
+  // count, and "bytes_per_trial" is the fixed-shape allocation meter
+  // (ceiling-gated).
+  std::ofstream json(opt.json_path);
+  if (!json) fail("cannot write " + opt.json_path);
+  json.precision(6);
+  json << "{\n"
+       << "  \"bench\": \"campaign\",\n"
+       << "  \"scenario\": {\"cells\": " << cells
+       << ", \"trials_per_cell\": " << campaign_cfg.trials_per_cell
+       << ", \"epochs_per_trial\": " << epochs
+       << ", \"methods\": " << campaign_cfg.methods.size()
+       << ", \"threads\": " << mt_pool.thread_count()
+       << ", \"fast\": " << (opt.fast ? "true" : "false") << "},\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"name\": \"" << r.name << "\", \"batch\": " << r.batch
+         << ", \"ns_per_localization\": " << r.ns_per_trial
+         << ", \"throughput_per_s\": " << r.throughput_per_s
+         << ", \"threads\": " << r.threads;
+    if (r.speedup_vs_serial > 0.0) json << ", \"speedup_vs_scalar\": " << r.speedup_vs_serial;
+    if (r.bytes_per_trial >= 0.0) json << ", \"bytes_per_trial\": " << r.bytes_per_trial;
+    json << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote " << opt.json_path << "\n";
+  return 0;
+}

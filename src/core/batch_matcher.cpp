@@ -200,6 +200,24 @@ void BatchMatcher::similarities_into(const SamplingVector& vd, std::span<double>
   similarities_unchecked(vd, out.data());
 }
 
+MatchResult BatchMatcher::select_from(std::span<const double> scores) const {
+  const std::size_t faces = table_->face_count();
+  if (scores.size() < faces)
+    throw std::invalid_argument("BatchMatcher::select_from: scores span too small");
+  // The selection sequence of match_into, verbatim, over caller-supplied
+  // similarities.
+  double best = -1.0;
+  for (std::size_t f = 0; f < faces; ++f)
+    if (scores[f] > best) best = scores[f];
+  MatchResult out;
+  out.similarity = best;
+  out.faces_examined = faces;
+  for (std::size_t f = 0; f < faces; ++f)
+    if (scores[f] == best) out.tied_faces.push_back(static_cast<FaceId>(f));
+  detail::finalize_match(*map_, out);
+  return out;
+}
+
 void BatchMatcher::require_dimension(const SamplingVector& vd) const {
   // Public-API guard kept in release builds, mirroring the scalar path
   // (vector_distance throws the same type); the per-vector hot loop in

@@ -97,6 +97,16 @@ class BatchMatcher {
   /// face-scan consumers (path matching) share it.
   void similarities_into(const SamplingVector& vd, std::span<double> out) const;
 
+  /// Select the exhaustive match from an already-computed per-face
+  /// similarity array (a similarities_into buffer): the same max scan,
+  /// tie sweep and finalization match_one runs after its own scan, so
+  /// when `scores` came from similarities_into(vd, ...) the result is
+  /// bit-identical to match_one(vd) on the flat path. The campaign
+  /// engine shares one scan between path matching and Direct MLE this
+  /// way instead of issuing a second pass. `scores` must hold at least
+  /// face_count() entries (throws std::invalid_argument otherwise).
+  MatchResult select_from(std::span<const double> scores) const;
+
   /// Build the coarse descent tier (a HierFaceMap pyramid plus the
   /// SignatureIndex over its tiles) from the adopted table; every
   /// subsequent match()/match_one() routes through descend(). Idempotent.

@@ -58,27 +58,50 @@ std::vector<std::vector<FaceId>> derive_adjacency(const UniformGrid& grid,
 
 std::vector<std::vector<FaceId>> adjacency_from_links(std::vector<std::uint64_t>&& links,
                                                       std::size_t face_count) {
-  std::sort(links.begin(), links.end());
-  links.erase(std::unique(links.begin(), links.end()), links.end());
-
-  // Degree counting first so every list is allocated exactly once.
-  std::vector<std::size_t> degree(face_count, 0);
-  for (std::uint64_t packed : links) {
-    ++degree[static_cast<FaceId>(packed >> 32)];
-    ++degree[static_cast<FaceId>(packed & 0xFFFFFFFFULL)];
-  }
-  std::vector<std::vector<FaceId>> adjacency(face_count);
-  for (std::size_t f = 0; f < face_count; ++f) adjacency[f].reserve(degree[f]);
-  // Two passes over the (min, max)-sorted links keep each list ascending:
-  // first every face's smaller neighbors (ascending because the links are
-  // sorted by min then max), then every face's larger neighbors.
-  for (std::uint64_t packed : links)
-    adjacency[static_cast<FaceId>(packed & 0xFFFFFFFFULL)].push_back(
-        static_cast<FaceId>(packed >> 32));
-  for (std::uint64_t packed : links)
-    adjacency[static_cast<FaceId>(packed >> 32)].push_back(
-        static_cast<FaceId>(packed & 0xFFFFFFFFULL));
+  AdjacencyScratch scratch;
+  std::vector<std::vector<FaceId>> adjacency;
+  adjacency_from_links_into(links, face_count, scratch, adjacency);
   return adjacency;
+}
+
+void adjacency_from_links_into(const std::vector<std::uint64_t>& links,
+                               std::size_t face_count, AdjacencyScratch& scratch,
+                               std::vector<std::vector<FaceId>>& out) {
+  // Counting scatter: bucket every link's larger face under its smaller
+  // face. Buckets are tiny (a face borders a handful of others), so the
+  // per-bucket sort below is effectively an insertion sort.
+  std::vector<std::uint32_t>& starts = scratch.starts;
+  std::vector<std::uint32_t>& ends = scratch.ends;
+  std::vector<FaceId>& larger = scratch.larger;
+  starts.assign(face_count + 1, 0);
+  for (const std::uint64_t packed : links) ++starts[(packed >> 32) + 1];
+  for (std::size_t f = 0; f < face_count; ++f) starts[f + 1] += starts[f];
+  larger.resize(links.size());
+  ends.assign(starts.begin(), starts.begin() + static_cast<std::ptrdiff_t>(face_count));
+  for (const std::uint64_t packed : links)
+    larger[ends[packed >> 32]++] = static_cast<FaceId>(packed & 0xFFFFFFFFULL);
+  for (std::size_t f = 0; f < face_count; ++f) {
+    FaceId* bucket = larger.data() + starts[f];
+    FaceId* bucket_end = larger.data() + ends[f];
+    std::sort(bucket, bucket_end);
+    ends[f] = static_cast<std::uint32_t>(
+        starts[f] + (std::unique(bucket, bucket_end) - bucket));
+  }
+
+  // Shrinking resize destroys surplus lists; growing one default-constructs
+  // the new tail. Surviving lists keep their heap blocks and are refilled
+  // below, so a steady-state caller reallocates nothing.
+  out.resize(face_count);
+  for (auto& list : out) list.clear();
+  // Walking the buckets in ascending smaller-face order visits the links
+  // in the (min, max)-sorted order the old global sort produced, so the
+  // same two passes keep each list ascending: first every face's smaller
+  // neighbors (the bucket transpose), then its larger neighbors.
+  for (std::size_t f = 0; f < face_count; ++f)
+    for (std::uint32_t i = starts[f]; i < ends[f]; ++i)
+      out[larger[i]].push_back(static_cast<FaceId>(f));
+  for (std::size_t f = 0; f < face_count; ++f)
+    out[f].insert(out[f].end(), larger.data() + starts[f], larger.data() + ends[f]);
 }
 
 }  // namespace facemap_detail
@@ -181,6 +204,15 @@ double FaceMap::theorem1_link_fraction() const {
     }
   }
   return links > 0 ? static_cast<double>(unit) / static_cast<double>(links) : 1.0;
+}
+
+std::size_t FaceMap::bytes() const {
+  std::size_t total = cell_face_.size() * sizeof(FaceId);
+  for (const Face& f : faces_)
+    total += sizeof(Face) + f.signature.size() * sizeof(SigValue);
+  for (const std::vector<FaceId>& list : adjacency_)
+    total += sizeof(std::vector<FaceId>) + list.size() * sizeof(FaceId);
+  return total;
 }
 
 }  // namespace fttt

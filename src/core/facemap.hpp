@@ -92,6 +92,11 @@ class FaceMap {
   /// approximation can merge several boundary crossings into one step).
   double theorem1_link_fraction() const;
 
+  /// Payload bytes of the map's heap storage: face signatures, the
+  /// cell -> face table, and the adjacency lists (FaceMapCache
+  /// accounting; excludes container bookkeeping and slack capacity).
+  std::size_t bytes() const;
+
  private:
   friend class FaceMapBuilder;  ///< plane-major engine assembles maps directly
 
@@ -122,13 +127,32 @@ std::vector<std::vector<FaceId>> derive_adjacency(const UniformGrid& grid,
                                                   std::size_t face_count);
 
 /// Adjacency lists from packed (min << 32 | max) face links, duplicates
-/// welcome: one sort+unique, then each list comes out ascending with a
-/// single exact-sized allocation. derive_adjacency feeds it the links it
-/// scans from the cell grid; the plane-major builder feeds it the same
-/// link set read off its run boundaries — identical input, identical
-/// output.
+/// welcome: each list comes out ascending. derive_adjacency feeds it the
+/// links it scans from the cell grid; the plane-major builder feeds it
+/// the same link set read off its run boundaries — identical input,
+/// identical output.
 std::vector<std::vector<FaceId>> adjacency_from_links(std::vector<std::uint64_t>&& links,
                                                       std::size_t face_count);
+
+/// Reusable intermediates for adjacency_from_links_into: the CSR-style
+/// larger-neighbor buckets it builds before filling the output lists.
+/// Steady-state rebuilds at a fixed grid keep every capacity.
+struct AdjacencyScratch {
+  std::vector<std::uint32_t> starts;  ///< face -> bucket start (+ total sentinel)
+  std::vector<std::uint32_t> ends;    ///< face -> bucket end after dedup
+  std::vector<FaceId> larger;         ///< flat larger-neighbor buckets
+};
+
+/// Same derivation writing into `out`, reusing its outer vector and every
+/// inner list's capacity (the campaign rebuild loop calls this once per
+/// trial; in the steady state no list reallocates). Buckets the links by
+/// their smaller face instead of globally sorting them: O(links) scatter
+/// plus a tiny per-face sort+dedup replaces the O(L log L) comparison
+/// sort, with element-wise identical output (iterating the buckets in
+/// face order visits the links in the old (min, max)-sorted order).
+void adjacency_from_links_into(const std::vector<std::uint64_t>& links,
+                               std::size_t face_count, AdjacencyScratch& scratch,
+                               std::vector<std::vector<FaceId>>& out);
 
 }  // namespace facemap_detail
 

@@ -141,6 +141,28 @@ void FaceMapBuilder::move_node(NodeId id, Vec2 position) {
   }
 }
 
+void FaceMapBuilder::reset_roster(Deployment roster) {
+  facemap_detail::validate_build_inputs(roster, C_, "FaceMapBuilder::reset_roster");
+  if (roster.size() == roster_.size()) {
+    // Same node count: the slot index and plane storage stay; every
+    // cached plane goes stale (a fresh random deployment moves every
+    // node), so the next build re-rasterizes without allocating.
+    roster_ = std::move(roster);
+    std::fill(active_.begin(), active_.end(), char{1});
+    std::fill(slot_valid_.begin(), slot_valid_.end(), char{0});
+    return;
+  }
+  roster_ = std::move(roster);
+  active_.assign(roster_.size(), 1);
+  // clear() keeps each vector's capacity, so a density sweep that
+  // revisits a node count reuses the old storage.
+  slot_.clear();
+  slot_key_.clear();
+  slot_valid_.clear();
+  planes_.clear();
+  masks_.clear();
+}
+
 NodeId FaceMapBuilder::add_node(Vec2 position) {
   const NodeId id = static_cast<NodeId>(roster_.size());
   roster_.push_back(SensorNode{id, position});
@@ -388,7 +410,38 @@ FaceMap FaceMapBuilder::build() {
   return build_impl();
 }
 
+void FaceMapBuilder::build_into(BuildProducts& out) {
+  FTTT_OBS_SPAN("facemap.build_into");
+  if (out.map) {
+    FTTT_CHECK(out.map.use_count() == 1,
+               "FaceMapBuilder::build_into: the product map still has ",
+               out.map.use_count() - 1,
+               " outstanding reference(s); drop every consumer before rebuilding");
+  } else {
+    out.map = std::shared_ptr<FaceMap>(new FaceMap(grid_, Deployment{}, C_));
+  }
+  if (out.table) {
+    FTTT_CHECK(out.table.use_count() == 1,
+               "FaceMapBuilder::build_into: the product table still has ",
+               out.table.use_count() - 1,
+               " outstanding reference(s); drop every consumer before rebuilding");
+    table_storage_ = SignatureTable::reclaim(std::move(*out.table));
+  }
+  build_impl_into(*out.map);
+  if (out.table)
+    *out.table = std::move(*table_);
+  else
+    out.table = std::make_shared<SignatureTable>(std::move(*table_));
+  table_.reset();
+}
+
 FaceMap FaceMapBuilder::build_impl() {
+  FaceMap map(grid_, Deployment{}, C_);
+  build_impl_into(map);
+  return map;
+}
+
+void FaceMapBuilder::build_impl_into(FaceMap& out) {
   const Deployment active = active_deployment();
   if (active.size() < 2)
     throw std::invalid_argument("FaceMapBuilder::build: fewer than two active sensors");
@@ -397,16 +450,20 @@ FaceMap FaceMapBuilder::build_impl() {
   // preserves roster order, so compacted pair (ci, cj) is roster pair
   // (ids[ci], ids[cj]) with the same a/b orientation — cached planes stay
   // valid across activation flips.
-  std::vector<NodeId> ids;
+  std::vector<NodeId>& ids = scratch_.ids;
+  ids.clear();
   ids.reserve(roster_.size());
   for (const SensorNode& node : roster_)
     if (active_[node.id]) ids.push_back(node.id);
 
   const std::size_t dim = pair_count(ids.size());
-  std::vector<std::uint32_t> slots;
+  std::vector<std::uint32_t>& slots = scratch_.slots;
+  slots.clear();
   slots.reserve(dim);
-  std::vector<std::uint32_t> missing;
-  std::vector<std::pair<NodeId, NodeId>> missing_pairs;
+  std::vector<std::uint32_t>& missing = scratch_.missing;
+  missing.clear();
+  std::vector<std::pair<NodeId, NodeId>>& missing_pairs = scratch_.missing_pairs;
+  missing_pairs.clear();
   for (std::size_t ci = 0; ci < ids.size(); ++ci) {
     for (std::size_t cj = ci + 1; cj < ids.size(); ++cj) {
       const std::uint32_t slot = slot_of(ids[ci], ids[cj]);
@@ -440,20 +497,23 @@ FaceMap FaceMapBuilder::build_impl() {
                   static_cast<double>(missing.size() * grid_.cell_count()) * 1e9 /
                       static_cast<double>(t1 - t0));
 
-  std::vector<const SigValue*> planes;
+  std::vector<const SigValue*>& planes = scratch_.planes;
+  planes.clear();
   planes.reserve(dim);
-  std::vector<const std::uint64_t*> masks;
+  std::vector<const std::uint64_t*>& masks = scratch_.masks;
+  masks.clear();
   masks.reserve(dim);
   for (std::uint32_t slot : slots) {
     planes.push_back(plane_data(slot));
     masks.push_back(mask_data(slot));
   }
-  return assemble(active, planes, masks);
+  assemble_into(active, planes, masks, out);
 }
 
-FaceMap FaceMapBuilder::assemble(const Deployment& active,
-                                 const std::vector<const SigValue*>& planes,
-                                 const std::vector<const std::uint64_t*>& masks) {
+void FaceMapBuilder::assemble_into(const Deployment& active,
+                                   const std::vector<const SigValue*>& planes,
+                                   const std::vector<const std::uint64_t*>& masks,
+                                   FaceMap& out) {
   const std::size_t cells = grid_.cell_count();
   const std::size_t dim = planes.size();
   const std::size_t words = mask_words();
@@ -462,11 +522,13 @@ FaceMap FaceMapBuilder::assemble(const Deployment& active,
   // row): OR the cached per-plane boundary masks. Run interiors carry
   // their head's exact signature, so only heads need grouping — the
   // whole-signature work drops from O(cells * dim) to O(heads * dim).
-  std::vector<std::uint64_t> boundary(masks[0], masks[0] + words);
+  std::vector<std::uint64_t>& boundary = scratch_.boundary;
+  boundary.assign(masks[0], masks[0] + words);
   for (std::size_t p = 1; p < dim; ++p)
     for (std::size_t w = 0; w < words; ++w) boundary[w] |= masks[p][w];
 
-  std::vector<std::uint32_t> heads;
+  std::vector<std::uint32_t>& heads = scratch_.heads;
+  heads.clear();
   heads.reserve(cells / 4);
   for (std::size_t w = 0; w < words; ++w) {
     std::uint64_t bits = boundary[w];
@@ -486,7 +548,8 @@ FaceMap FaceMapBuilder::assemble(const Deployment& active,
   // both in one pass (k = 9k + 3a + b), halving the gather loop count.
   constexpr std::size_t kTritsPerWord = 40;
   const std::size_t kw = (dim + kTritsPerWord - 1) / kTritsPerWord;
-  std::vector<std::uint64_t> keys(nheads * kw, 0);
+  std::vector<std::uint64_t>& keys = scratch_.keys;
+  keys.assign(nheads * kw, 0);
   for (std::size_t p = 0; p < dim;) {
     std::uint64_t* word = keys.data() + p / kTritsPerWord;
     if (p + 1 < dim && (p + 1) / kTritsPerWord == p / kTritsPerWord) {
@@ -520,10 +583,14 @@ FaceMap FaceMapBuilder::assemble(const Deployment& active,
   std::size_t cap = 64;
   while (cap < 2 * nheads) cap <<= 1;
   const std::size_t cap_mask = cap - 1;
-  std::vector<std::uint32_t> bucket_head(cap, kEmpty);  // head index claiming it
-  std::vector<std::uint32_t> bucket_id(cap);
-  std::vector<std::uint32_t> group(nheads);
-  std::vector<std::uint32_t> rep;  // representative (first) cell per face
+  std::vector<std::uint32_t>& bucket_head = scratch_.bucket_head;
+  bucket_head.assign(cap, kEmpty);  // head index claiming it
+  std::vector<std::uint32_t>& bucket_id = scratch_.bucket_id;
+  bucket_id.resize(cap);  // read only after its bucket_head is claimed
+  std::vector<std::uint32_t>& group = scratch_.group;
+  group.resize(nheads);
+  std::vector<std::uint32_t>& rep = scratch_.rep;  // representative (first) cell per face
+  rep.clear();
   rep.reserve(nheads / 2 + 1);
   for (std::size_t h = 0; h < nheads; ++h) {
     const std::uint64_t* k = keys.data() + h * kw;
@@ -557,10 +624,16 @@ FaceMap FaceMapBuilder::assemble(const Deployment& active,
   // order as the legacy grouping, hence bit-identical centroids. Every
   // horizontal face boundary sits at a (non-row-start) run head, so the
   // right-neighbor adjacency links fall out of the same sweep for free.
-  std::vector<FaceId> cell_face(cells);
-  std::vector<Vec2> centroid_sum(faces, Vec2{});
-  std::vector<std::size_t> cell_count(faces, 0);
-  std::vector<std::uint64_t> links;
+  // The cell table fills the output map's storage directly (every cell is
+  // assigned below, so a recycled vector needs no clearing).
+  std::vector<FaceId>& cell_face = out.cell_face_;
+  cell_face.resize(cells);
+  std::vector<Vec2>& centroid_sum = scratch_.centroid_sum;
+  centroid_sum.assign(faces, Vec2{});
+  std::vector<std::size_t>& cell_count = scratch_.cell_count;
+  cell_count.assign(faces, 0);
+  std::vector<std::uint64_t>& links = scratch_.links;
+  links.clear();
   links.reserve(nheads * 2);
   const int cols = grid_.cols();
   const int rows = grid_.rows();
@@ -602,31 +675,43 @@ FaceMap FaceMapBuilder::assemble(const Deployment& active,
       }
   }
 
-  // Emit the SoA table and per-face signatures straight from the planes
-  // (gathers at the representative cells only).
+  // Size the face array first (recycled Face objects keep their
+  // signature vectors' heap blocks across the resize), then emit the SoA
+  // table plane-major straight from the planes (gathers at the
+  // representative cells, sequential stores per row).
+  out.faces_.resize(faces);
+  for (std::size_t f = 0; f < faces; ++f) {
+    Face& face = out.faces_[f];
+    face.id = static_cast<FaceId>(f);
+    face.signature.resize(dim);
+    face.centroid = centroid_sum[f] / static_cast<double>(cell_count[f]);
+    face.cell_count = cell_count[f];
+  }
   const std::size_t padded_faces = SignatureTable::padded_for(faces);
-  std::vector<SigValue> table(dim * padded_faces, 0);
-  std::vector<SignatureVector> sigs(faces, SignatureVector(dim));
+  std::vector<SigValue> table = std::move(table_storage_);
+  table.assign(dim * padded_faces, 0);
   for (std::size_t p = 0; p < dim; ++p) {
     const SigValue* plane = planes[p];
     SigValue* row = table.data() + p * padded_faces;
-    for (std::size_t f = 0; f < faces; ++f) {
-      const SigValue v = plane[rep[f]];
-      row[f] = v;
-      sigs[f][p] = v;
-    }
+    for (std::size_t f = 0; f < faces; ++f) row[f] = plane[rep[f]];
+  }
+  // Per-face AoS signatures come off the finished table face-major: the
+  // strided column reads stay inside one table-sized block while every
+  // write lands sequentially in the face's own vector — unlike the old
+  // fused emission, which scattered single-byte writes across all the
+  // faces' separately allocated signatures once per plane.
+  for (std::size_t f = 0; f < faces; ++f) {
+    SigValue* sig = out.faces_[f].signature.data();
+    const SigValue* column = table.data() + f;
+    for (std::size_t p = 0; p < dim; ++p) sig[p] = column[p * padded_faces];
   }
 
-  FaceMap map(grid_, active, C_);
-  map.faces_.reserve(faces);
-  for (std::size_t f = 0; f < faces; ++f)
-    map.faces_.push_back(Face{static_cast<FaceId>(f), std::move(sigs[f]),
-                              centroid_sum[f] / static_cast<double>(cell_count[f]),
-                              cell_count[f]});
-  map.cell_face_ = std::move(cell_face);
-  map.adjacency_ = facemap_detail::adjacency_from_links(std::move(links), faces);
+  out.grid_ = grid_;
+  out.nodes_ = active;
+  out.C_ = C_;
+  facemap_detail::adjacency_from_links_into(links, faces, scratch_.adjacency,
+                                            out.adjacency_);
   table_ = SignatureTable(faces, dim, std::move(table));
-  return map;
 }
 
 SignatureTable FaceMapBuilder::take_signature_table() {

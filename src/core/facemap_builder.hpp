@@ -79,6 +79,15 @@ class FaceMapBuilder {
   /// Node repositioned: invalidates the n-1 cached planes involving it.
   void move_node(NodeId id, Vec2 position);
 
+  /// Replace the whole roster at once (the campaign engine binds a fresh
+  /// random deployment to a pooled builder before every trial). All nodes
+  /// come back active. Same size: every cached plane is invalidated but
+  /// the plane/mask storage and the slot index are kept, so the following
+  /// build() re-rasterizes without allocating. Different size: the slot
+  /// index is rebuilt from scratch (storage capacity is still reused).
+  /// Validation matches the constructor.
+  void reset_roster(Deployment roster);
+
   /// Grow the roster by a new (active) node; returns its roster id.
   NodeId add_node(Vec2 position);
 
@@ -105,6 +114,25 @@ class FaceMapBuilder {
   /// table; throws std::logic_error before the first build() or when
   /// called twice without an intervening build().
   SignatureTable take_signature_table();
+
+  /// Reusable build products for the rebuild-into path: the map and table
+  /// a build_into() call overwrites in place. First use starts empty;
+  /// build_into() allocates both once and every later call reuses their
+  /// heap blocks (faces, signatures, adjacency lists, cell table, SoA
+  /// planes), so a reset_roster()/build_into() trial loop is
+  /// allocation-free in the steady state.
+  struct BuildProducts {
+    std::shared_ptr<FaceMap> map;
+    std::shared_ptr<SignatureTable> table;
+  };
+
+  /// build() + take_signature_table() fused into `out`, reusing its
+  /// storage. Content is bit-identical to what the two-call form
+  /// produces. The products are overwritten in place: every consumer of
+  /// the previous contents (trackers, matchers) must be gone before the
+  /// call — enforced by an FTTT_CHECK on the shared_ptr use counts, so
+  /// a retained alias fails loudly instead of mutating under a reader.
+  void build_into(BuildProducts& out);
 
   /// Coarse descent tier (core/hier_facemap.hpp) of the last build()'s
   /// table. Faces regroup wholesale under any deployment delta, so the
@@ -172,9 +200,14 @@ class FaceMapBuilder {
   /// build() minus the obs span (the span name depends on build_count_).
   FaceMap build_impl();
 
-  FaceMap assemble(const Deployment& active,
-                   const std::vector<const SigValue*>& planes,
-                   const std::vector<const std::uint64_t*>& masks);
+  /// The shared build pipeline: rasterize cache misses, then assemble
+  /// into `out` (reusing out's storage — build_impl hands it a fresh map,
+  /// build_into a recycled one).
+  void build_impl_into(FaceMap& out);
+
+  void assemble_into(const Deployment& active,
+                     const std::vector<const SigValue*>& planes,
+                     const std::vector<const std::uint64_t*>& masks, FaceMap& out);
 
   UniformGrid grid_;
   double C_;
@@ -192,6 +225,33 @@ class FaceMapBuilder {
   std::vector<double> center_x_;               ///< per-column cell-center x
 
   std::optional<SignatureTable> table_;  ///< product of the last build()
+  /// Plane storage reclaimed from a BuildProducts table, reused by the
+  /// next assemble (empty when nothing has been reclaimed).
+  std::vector<SigValue> table_storage_;
+
+  /// Assembly intermediates reused across builds: every vector keeps its
+  /// capacity, so steady-state rebuilds touch the allocator only when a
+  /// deployment needs strictly more room than any before it.
+  struct Scratch {
+    std::vector<NodeId> ids;                     ///< active roster ids
+    std::vector<std::uint32_t> slots;            ///< pair -> plane slot
+    std::vector<std::uint32_t> missing;          ///< stale slots to rasterize
+    std::vector<std::pair<NodeId, NodeId>> missing_pairs;
+    std::vector<const SigValue*> planes;
+    std::vector<const std::uint64_t*> masks;
+    std::vector<std::uint64_t> boundary;         ///< OR of run-boundary masks
+    std::vector<std::uint32_t> heads;            ///< run-head cell indices
+    std::vector<std::uint64_t> keys;             ///< trit-packed head signatures
+    std::vector<std::uint32_t> bucket_head;      ///< open-addressing buckets
+    std::vector<std::uint32_t> bucket_id;
+    std::vector<std::uint32_t> group;            ///< head -> face id
+    std::vector<std::uint32_t> rep;              ///< face -> representative cell
+    std::vector<Vec2> centroid_sum;
+    std::vector<std::size_t> cell_count;
+    std::vector<std::uint64_t> links;            ///< packed adjacency links
+    facemap_detail::AdjacencyScratch adjacency;  ///< CSR buckets for the links
+  };
+  Scratch scratch_;
 
   std::size_t build_count_{0};
   std::size_t last_rasterized_{0};

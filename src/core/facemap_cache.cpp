@@ -53,6 +53,7 @@ FaceMapCache::Entry FaceMapCache::get_or_build(const Deployment& nodes, double C
   std::promise<Entry> promise;
   std::shared_future<Entry> existing;
   bool hit = false;
+  std::size_t hit_rate_pct = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (auto it = entries_.find(key); it != entries_.end()) {
@@ -64,12 +65,19 @@ FaceMapCache::Entry FaceMapCache::get_or_build(const Deployment& nodes, double C
       entries_.emplace(key, promise.get_future().share());
       order_.push_back(key);
       if (order_.size() > capacity_) {
+        if (auto evicted = entry_bytes_.find(order_.front());
+            evicted != entry_bytes_.end()) {
+          bytes_ -= evicted->second;
+          entry_bytes_.erase(evicted);
+        }
         entries_.erase(order_.front());
         order_.pop_front();
         ++evictions_;
       }
     }
+    hit_rate_pct = hits_ * 100 / (hits_ + misses_);
   }
+  FTTT_OBS_GAUGE_SET("facemap.cache.hit_rate_pct", hit_rate_pct);
   if (hit) {
     FTTT_OBS_COUNT("facemap.cache.hits", 1);
     // Wait outside the lock: the first caller for this key may still be
@@ -95,8 +103,21 @@ FaceMapCache::Entry FaceMapCache::get_or_build(const Deployment& nodes, double C
     entry.table =
         std::make_shared<const SignatureTable>(builder.take_signature_table());
     promise.set_value(entry);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++builds_;
+    const std::size_t entry_bytes = entry.map->bytes() + entry.table->bytes() +
+                                    entry.hier->bytes() + entry.index->bytes();
+    std::size_t resident;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++builds_;
+      // Register the payload only while the key is still indexed: the
+      // FIFO bound can evict a key whose build is in flight, and that
+      // entry's bytes must not be charged to the cache forever.
+      if (entries_.find(key) != entries_.end() &&
+          entry_bytes_.emplace(key, entry_bytes).second)
+        bytes_ += entry_bytes;
+      resident = bytes_;
+    }
+    FTTT_OBS_GAUGE_SET("facemap.cache.bytes", resident);
     return entry;
   } catch (...) {
     // Un-cache the failed key so the next lookup retries; waiters get the
@@ -118,13 +139,15 @@ FaceMapCache::Entry FaceMapCache::get_or_build(const Deployment& nodes, double C
 
 FaceMapCache::Stats FaceMapCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return Stats{hits_, misses_, builds_, evictions_, entries_.size()};
+  return Stats{hits_, misses_, builds_, evictions_, entries_.size(), bytes_};
 }
 
 void FaceMapCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   order_.clear();
+  entry_bytes_.clear();
+  bytes_ = 0;
 }
 
 FaceMapCache& FaceMapCache::global() {

@@ -65,6 +65,17 @@ class FaceMapCache {
     std::size_t builds{0};     ///< builds that completed successfully
     std::size_t evictions{0};  ///< entries dropped by the FIFO bound
     std::size_t size{0};       ///< entries currently indexed
+    /// Payload bytes of the indexed entries (map + table + coarse tier +
+    /// index), accumulated as builds land and released on eviction and
+    /// clear(). Entries evicted mid-build never register.
+    std::size_t bytes{0};
+    /// hits / (hits + misses), 1.0 when no lookup has happened — the
+    /// same value the facemap.cache.hit_rate_pct gauge tracks.
+    double hit_rate() const {
+      const std::size_t lookups = hits + misses;
+      return lookups == 0 ? 1.0
+                          : static_cast<double>(hits) / static_cast<double>(lookups);
+    }
   };
 
   /// Keep at most `capacity` entries (FIFO). Throws std::invalid_argument
@@ -104,10 +115,13 @@ class FaceMapCache {
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_future<Entry>> entries_;
   std::deque<std::string> order_;  ///< FIFO of live keys, oldest first
+  /// Bytes of each completed entry still indexed (see Stats::bytes).
+  std::unordered_map<std::string, std::size_t> entry_bytes_;
   std::size_t hits_{0};
   std::size_t misses_{0};
   std::size_t builds_{0};
   std::size_t evictions_{0};
+  std::size_t bytes_{0};
 };
 
 }  // namespace fttt

@@ -46,6 +46,9 @@ class SignatureTable {
     return (faces + kBlock - 1) / kBlock * kBlock;
   }
 
+  /// Payload bytes of the plane storage (FaceMapCache accounting).
+  std::size_t bytes() const { return data_.size() * sizeof(SigValue); }
+
  private:
   friend class FaceMapBuilder;  ///< emits planes directly (no transposition)
 
@@ -54,6 +57,14 @@ class SignatureTable {
   /// a map: reserved for the plane-major builder, which derives the data
   /// and the map from the same cell planes.
   SignatureTable(std::size_t faces, std::size_t dimension, std::vector<SigValue> data);
+
+  /// Hand the plane storage back for reuse (FaceMapBuilder's
+  /// rebuild-into path round-trips one heap block through successive
+  /// tables). Leaves `t` empty.
+  static std::vector<SigValue> reclaim(SignatureTable&& t) {
+    t.face_count_ = t.dimension_ = t.padded_ = 0;
+    return std::move(t.data_);
+  }
 
   std::size_t face_count_{0};
   std::size_t dimension_{0};

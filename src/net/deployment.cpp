@@ -2,8 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace fttt {
+
+namespace {
+
+/// Knuth's product-of-uniforms Poisson draw, chunked so the running
+/// product never underflows even for large means: a Poisson(a + b)
+/// variate is the sum of independent Poisson(a) and Poisson(b) draws.
+/// Deterministic — the draw count is a pure function of the stream.
+std::size_t poisson_draw(RngStream& rng, double mean) {
+  std::size_t total = 0;
+  while (mean > 0.0) {
+    const double chunk = std::min(mean, 500.0);
+    mean -= chunk;
+    const double limit = std::exp(-chunk);
+    double product = 1.0;
+    std::size_t k = 0;
+    do {
+      ++k;
+      product *= rng.uniform01();
+    } while (product > limit);
+    total += k - 1;
+  }
+  return total;
+}
+
+}  // namespace
 
 Deployment grid_deployment(const Aabb& field, std::size_t n) {
   Deployment nodes;
@@ -51,6 +77,40 @@ Deployment cross_deployment(Vec2 center, double spacing) {
     nodes.push_back({id++, center + Vec2{0.0, -d}});
   }
   return nodes;
+}
+
+RandomDeploymentGenerator::RandomDeploymentGenerator(const Aabb& field, std::size_t count,
+                                                     CountModel model)
+    : field_(field), count_(count), model_(model) {
+  if (count < 2)
+    throw std::invalid_argument(
+        "RandomDeploymentGenerator: count must be >= 2 (a division needs two sensors)");
+  if (!(field.width() > 0.0) || !(field.height() > 0.0))
+    throw std::invalid_argument("RandomDeploymentGenerator: degenerate field");
+}
+
+Deployment RandomDeploymentGenerator::generate(std::uint64_t seed,
+                                               std::uint64_t trial) const {
+  Deployment out;
+  generate_into(seed, trial, out);
+  return out;
+}
+
+void RandomDeploymentGenerator::generate_into(std::uint64_t seed, std::uint64_t trial,
+                                              Deployment& out) const {
+  // The deployment substream of the simulation harness's trial keying
+  // (run_tracking: root.substream(1) is the deployment draw).
+  RngStream rng = RngStream(seed).substream(trial).substream(1);
+  std::size_t n = count_;
+  if (model_ == CountModel::kPoisson)
+    n = std::max<std::size_t>(2, poisson_draw(rng, static_cast<double>(count_)));
+  out.clear();
+  out.reserve(n);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    out.push_back(SensorNode{static_cast<NodeId>(idx),
+                             Vec2{rng.uniform(field_.lo.x, field_.hi.x),
+                                  rng.uniform(field_.lo.y, field_.hi.y)}});
+  }
 }
 
 Deployment jittered_grid_deployment(const Aabb& field, std::size_t n, double jitter,

@@ -27,4 +27,49 @@ Deployment cross_deployment(Vec2 center, double spacing);
 Deployment jittered_grid_deployment(const Aabb& field, std::size_t n, double jitter,
                                     RngStream& rng);
 
+/// How RandomDeploymentGenerator draws each trial's node count.
+enum class CountModel {
+  kFixed,    ///< exactly `count` nodes every trial
+  kPoisson,  ///< N ~ Poisson(count), clamped below at 2 (a field needs
+             ///< two sensors to divide); the homogeneous-PPP placement
+             ///< model of the random-network MSE analyses
+};
+
+/// Trial-keyed random deployments for Monte-Carlo campaigns.
+///
+/// generate(seed, trial) is a pure function of its arguments — no state,
+/// no shared engine — so a campaign is bit-reproducible at any thread
+/// count and any trial execution order. The stream discipline matches
+/// the simulation harness exactly: positions draw from
+/// RngStream(seed).substream(trial).substream(1), the same substream
+/// scenario_deployment hands random_deployment for a DeploymentKind::
+/// kRandom trial, so kFixed deployments are byte-identical to what
+/// run_tracking / monte_carlo deploy for the same (seed, trial).
+/// kPoisson first draws the count from that stream (chunked Knuth
+/// inversion, deterministic), then the positions.
+class RandomDeploymentGenerator {
+ public:
+  /// Place `count` nodes (exactly, or in Poisson mean) i.i.d. uniform
+  /// over `field`. Throws std::invalid_argument when count < 2 or the
+  /// field is degenerate (non-positive width or height).
+  RandomDeploymentGenerator(const Aabb& field, std::size_t count,
+                            CountModel model = CountModel::kFixed);
+
+  /// The deployment of one trial (dense ids 0..n-1).
+  Deployment generate(std::uint64_t seed, std::uint64_t trial) const;
+
+  /// Same, writing into `out` (cleared first) so a pooled caller reuses
+  /// the vector's storage across trials.
+  void generate_into(std::uint64_t seed, std::uint64_t trial, Deployment& out) const;
+
+  const Aabb& field() const { return field_; }
+  std::size_t count() const { return count_; }
+  CountModel count_model() const { return model_; }
+
+ private:
+  Aabb field_;
+  std::size_t count_;
+  CountModel model_;
+};
+
 }  // namespace fttt

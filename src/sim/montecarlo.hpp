@@ -28,8 +28,17 @@ struct MonteCarloSummary {
 /// Run `trials` independent tracking runs of `cfg` and aggregate. Runs
 /// execute on the epoch pipeline (bit-identical to run_tracking; see
 /// sim/epoch_pipeline.hpp) and fetch face maps through `cache`, so a
-/// fixed-deployment sweep builds each unique map once across all trials.
-/// Pass nullptr to rebuild maps per trial like the serial runner does.
+/// *fixed-deployment* sweep (kGrid / kCross, where every trial divides
+/// the same node set) builds each unique map once across all trials.
+///
+/// `cache` only pays when deployments repeat. Under kRandom every trial
+/// draws its own deployment from a trial-keyed substream, so every
+/// lookup misses and the default global cache just churns its FIFO with
+/// entries nothing will ever hit — pass nullptr there. The summaries are
+/// bit-identical either way (the cache changes where maps come from,
+/// never their content). For unique-deployment sweeps at scale, prefer
+/// run_campaign (sim/campaign.hpp): same statistics to the bit, but
+/// pooled per-worker builders instead of per-trial cold builds.
 std::vector<MonteCarloSummary> monte_carlo(const ScenarioConfig& cfg,
                                            std::span<const Method> methods,
                                            std::size_t trials,

@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "common/random.hpp"
@@ -165,6 +166,30 @@ TEST(BatchMatcher, ClimbFromAdjacentStartFindsExactMatch) {
     const MatchResult r = matcher.climb(vd, map->neighbors(id).front());
     EXPECT_EQ(r.face, id);
   }
+}
+
+TEST(BatchMatcher, SelectFromSharedScoresMatchesMatchOne) {
+  // The campaign engine's shared-scan contract: Direct MLE selecting
+  // from a similarities_into buffer must equal its own full match_one,
+  // every field, for plain / extended / all-'*' vectors.
+  const auto map = make_map(8, 23);
+  const BatchMatcher matcher(map);
+  const std::size_t padded = SignatureTable::padded_for(map->face_count());
+  std::vector<double> scores(padded);
+  RngStream rng(123);
+  for (int i = 0; i < 24; ++i) {
+    const SamplingVector vd =
+        i == 0 ? all_star_vector(*map) : noisy_vector(*map, rng, i % 2 == 0);
+    matcher.similarities_into(vd, scores);
+    expect_identical(matcher.match_one(vd), matcher.select_from(scores), "select_from");
+  }
+}
+
+TEST(BatchMatcher, SelectFromRejectsShortSpans) {
+  const auto map = make_map(5, 29);
+  const BatchMatcher matcher(map);
+  std::vector<double> short_scores(map->face_count() - 1, 0.0);
+  EXPECT_THROW(matcher.select_from(short_scores), std::invalid_argument);
 }
 
 }  // namespace

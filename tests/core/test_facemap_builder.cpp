@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/random.hpp"
 #include "core/batch_matcher.hpp"
 #include "core/pairs.hpp"
@@ -230,6 +232,60 @@ TEST(FaceMapBuilder, FaceAtOutsideFieldThrows) {
   EXPECT_THROW(map.face_at({-0.001, 10.0}), std::out_of_range);
   EXPECT_THROW(map.face_at({10.0, 20.001}), std::out_of_range);
   EXPECT_THROW(map.face_at({25.0, -3.0}), std::out_of_range);
+}
+
+TEST(FaceMapBuilder, BuildIntoBitIdenticalAcrossRosterResets) {
+  // The campaign trial loop: one pooled builder, a fresh random roster
+  // per trial, products rebuilt in place. Every rebuild must match a
+  // cold FaceMap::build + SignatureTable of that roster exactly, and the
+  // product objects themselves must be reused, not reallocated.
+  RngStream rng(407);
+  FaceMapBuilder::BuildProducts products;
+  std::optional<FaceMapBuilder> builder;
+  const FaceMap* first_map = nullptr;
+  const SignatureTable* first_table = nullptr;
+  for (int trial = 0; trial < 4; ++trial) {
+    const Deployment nodes = random_deployment(kField, 6, rng);
+    if (builder) builder->reset_roster(nodes);
+    else builder.emplace(nodes, 2.0, kField, kCell);
+    builder->build_into(products);
+    SCOPED_TRACE(testing::Message() << "trial " << trial);
+    expect_identical(*products.map, FaceMap::build(nodes, 2.0, kField, kCell));
+    const SignatureTable want(*products.map);
+    ASSERT_EQ(products.table->face_count(), want.face_count());
+    ASSERT_EQ(products.table->padded_faces(), want.padded_faces());
+    for (std::size_t p = 0; p < want.dimension(); ++p)
+      for (std::size_t f = 0; f < want.padded_faces(); ++f)
+        ASSERT_EQ(products.table->plane(p)[f], want.plane(p)[f])
+            << "plane " << p << " col " << f;
+    if (trial == 0) {
+      first_map = products.map.get();
+      first_table = products.table.get();
+    } else {
+      EXPECT_EQ(products.map.get(), first_map);      // recycled, not reallocated
+      EXPECT_EQ(products.table.get(), first_table);
+    }
+  }
+}
+
+TEST(FaceMapBuilder, BuildIntoRefusesRetainedAliases) {
+  // Overwriting products under a live reader would mutate shared state;
+  // the use-count contract fails loudly instead.
+  RngStream rng(409);
+  const Deployment nodes = random_deployment(kField, 5, rng);
+  FaceMapBuilder builder(nodes, 2.0, kField, kCell);
+  FaceMapBuilder::BuildProducts products;
+  builder.build_into(products);
+  const ScopedContractHandler guard(throwing_contract_handler);
+  {
+    const std::shared_ptr<FaceMap> alias = products.map;
+    EXPECT_THROW(builder.build_into(products), ContractError);
+  }
+  {
+    const std::shared_ptr<SignatureTable> alias = products.table;
+    EXPECT_THROW(builder.build_into(products), ContractError);
+  }
+  EXPECT_NO_THROW(builder.build_into(products));  // aliases gone: fine again
 }
 
 }  // namespace

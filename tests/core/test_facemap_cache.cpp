@@ -101,6 +101,47 @@ TEST(FaceMapCache, FailedBuildIsNotCached) {
   EXPECT_EQ(stats.size, 0u);
 }
 
+TEST(FaceMapCache, BytesTrackResidentEntries) {
+  FaceMapCache cache(2);
+  const FaceMapCache::Entry a = cache.get_or_build(four_nodes(), 1.1, kField, 1.0);
+  const std::size_t one_entry = cache.stats().bytes;
+  const std::size_t expected = a.map->bytes() + a.table->bytes() + a.hier->bytes() +
+                               a.index->bytes();
+  EXPECT_EQ(one_entry, expected);
+  EXPECT_GT(one_entry, 0u);
+
+  // A hit adds nothing; a second entry adds its own payload.
+  cache.get_or_build(four_nodes(), 1.1, kField, 1.0);
+  EXPECT_EQ(cache.stats().bytes, one_entry);
+  cache.get_or_build(four_nodes(), 1.2, kField, 1.0);
+  const std::size_t two_entries = cache.stats().bytes;
+  EXPECT_GT(two_entries, one_entry);
+
+  // FIFO eviction releases the oldest entry's bytes even while the
+  // caller's shared_ptrs keep it alive, and clear() releases the rest.
+  const FaceMapCache::Entry c = cache.get_or_build(four_nodes(), 1.3, kField, 1.0);
+  const std::size_t c_bytes = c.map->bytes() + c.table->bytes() + c.hier->bytes() +
+                              c.index->bytes();
+  const FaceMapCache::Stats evicted = cache.stats();
+  EXPECT_EQ(evicted.evictions, 1u);
+  EXPECT_EQ(evicted.bytes, two_entries - one_entry + c_bytes);
+  EXPECT_GT(a.map->face_count(), 0u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(FaceMapCache, HitRateGaugeValue) {
+  FaceMapCache cache;
+  EXPECT_EQ(cache.stats().hit_rate(), 1.0);  // no lookups yet
+  cache.get_or_build(four_nodes(), 1.2, kField, 1.0);
+  EXPECT_EQ(cache.stats().hit_rate(), 0.0);  // 0 hits / 1 lookup
+  cache.get_or_build(four_nodes(), 1.2, kField, 1.0);
+  EXPECT_EQ(cache.stats().hit_rate(), 0.5);  // 1 hit / 2 lookups
+  cache.get_or_build(four_nodes(), 1.2, kField, 1.0);
+  cache.get_or_build(four_nodes(), 1.2, kField, 1.0);
+  EXPECT_EQ(cache.stats().hit_rate(), 0.75);
+}
+
 TEST(FaceMapCache, ZeroCapacityThrows) {
   EXPECT_THROW(FaceMapCache(0), std::invalid_argument);
 }

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
+#include <stdexcept>
 
 namespace fttt {
 namespace {
@@ -99,6 +101,65 @@ TEST(JitteredGridDeployment, StaysInFieldAndNearLattice) {
     EXPECT_TRUE(kField.contains(jit[i].position));
     EXPECT_LE(distance(jit[i].position, base[i].position), 3.0 * std::sqrt(2.0) + 1e-12);
   }
+}
+
+TEST(RandomDeploymentGenerator, MatchesScenarioStreamDiscipline) {
+  // kFixed must be byte-identical to what the simulation harness deploys
+  // for the same (seed, trial): random_deployment fed
+  // RngStream(seed).substream(trial).substream(1).
+  const RandomDeploymentGenerator gen(kField, 12);
+  for (std::uint64_t trial : {0ULL, 1ULL, 7ULL, 1000ULL}) {
+    RngStream rng = RngStream(42).substream(trial).substream(1);
+    const Deployment expected = random_deployment(kField, 12, rng);
+    const Deployment got = gen.generate(42, trial);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, expected[i].id);
+      EXPECT_EQ(got[i].position, expected[i].position);
+    }
+  }
+}
+
+TEST(RandomDeploymentGenerator, PureFunctionOfSeedAndTrial) {
+  const RandomDeploymentGenerator gen(kField, 10, CountModel::kPoisson);
+  const Deployment a = gen.generate(7, 3);
+  const Deployment b = gen.generate(7, 3);  // no hidden state between calls
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].position, b[i].position);
+  // generate_into reuses storage but must produce the same bytes.
+  Deployment pooled;
+  gen.generate_into(7, 99, pooled);  // dirty the vector with another trial
+  gen.generate_into(7, 3, pooled);
+  ASSERT_EQ(pooled.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(pooled[i].position, a[i].position);
+}
+
+TEST(RandomDeploymentGenerator, PoissonCountsVaryAndStayAboveTwo) {
+  const RandomDeploymentGenerator gen(kField, 6, CountModel::kPoisson);
+  std::set<std::size_t> counts;
+  double total = 0.0;
+  const std::size_t trials = 200;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const Deployment d = gen.generate(11, t);
+    ASSERT_GE(d.size(), 2u);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      EXPECT_EQ(d[i].id, i);
+      EXPECT_TRUE(kField.contains(d[i].position));
+    }
+    counts.insert(d.size());
+    total += static_cast<double>(d.size());
+  }
+  EXPECT_GT(counts.size(), 3u);  // the count really is random
+  const double mean = total / static_cast<double>(trials);
+  EXPECT_NEAR(mean, 6.0, 1.0);  // Poisson(6) sample mean, wide tolerance
+}
+
+TEST(RandomDeploymentGenerator, RejectsDegenerateInputs) {
+  EXPECT_THROW(RandomDeploymentGenerator(kField, 1), std::invalid_argument);
+  EXPECT_THROW(RandomDeploymentGenerator(Aabb{{0.0, 0.0}, {0.0, 100.0}}, 10),
+               std::invalid_argument);
+  EXPECT_THROW(RandomDeploymentGenerator(Aabb{{0.0, 0.0}, {100.0, 0.0}}, 10),
+               std::invalid_argument);
 }
 
 }  // namespace

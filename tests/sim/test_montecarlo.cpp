@@ -72,6 +72,24 @@ TEST(MonteCarlo, UsesFaceMapCacheAcrossTrials) {
   EXPECT_EQ(cache.stats().hits, 3u);
 }
 
+// Pins the montecarlo.hpp cache guidance: under kRandom every trial
+// draws a unique deployment, so the cache never hits — it only churns —
+// and supplying one must not perturb the statistics either.
+TEST(MonteCarlo, RandomDeploymentsNeverHitTheCache) {
+  ScenarioConfig cfg = quick_config();
+  cfg.deployment = DeploymentKind::kRandom;
+  const std::array<Method, 1> methods{Method::kFttt};
+  FaceMapCache cache;
+  const auto cached = monte_carlo(cfg, methods, 4, ThreadPool::global(), &cache);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 4u);  // one cold build per trial
+  EXPECT_EQ(cache.stats().hit_rate(), 0.0);
+  const auto uncached = monte_carlo(cfg, methods, 4, ThreadPool::global(), nullptr);
+  EXPECT_EQ(cached[0].pooled.count(), uncached[0].pooled.count());
+  EXPECT_EQ(cached[0].pooled.mean(), uncached[0].pooled.mean());
+  EXPECT_EQ(cached[0].trial_means.mean(), uncached[0].trial_means.mean());
+}
+
 TEST(MonteCarlo, NullCacheStillRuns) {
   const std::array<Method, 1> methods{Method::kFttt};
   const auto s = monte_carlo(quick_config(), methods, 2, ThreadPool::global(), nullptr);

@@ -21,11 +21,12 @@ with each side's ratio computed within its own file so the metric stays
 machine-portable. A baseline that declares a reference which is missing
 or lacks a positive `localizations_per_sec` is malformed (exit 2).
 
-Memory budgets gate through `bytes_per_face` (lower is better; current
-must stay <= baseline * (1 + tolerance)). Bytes per face depend only on
-the scenario, never the machine, so this gate is always on — it keeps
-the hierarchical tier's footprint (BENCH_largeN.json) from silently
-growing.
+Memory budgets gate through `bytes_per_face` and `bytes_per_trial`
+(lower is better; current must stay <= baseline * (1 + tolerance)).
+Bytes per face/trial depend only on the scenario, never the machine, so
+these gates are always on — they keep the hierarchical tier's footprint
+(BENCH_largeN.json) and the campaign workers' steady-state allocations
+(BENCH_campaign.json) from silently growing.
 
 --absolute additionally compares `ns_per_localization` (lower is better;
 current must stay <= baseline * (1 + tolerance)). Absolute nanoseconds
@@ -163,17 +164,20 @@ def compare_pair(baseline_path: Path, current_path: Path, tolerance: float,
                 print(f"  [ok] {name}: {metric} {cur_speedup:.3f} "
                       f">= floor {floor:.3f}")
 
-        base_bytes = base.get("bytes_per_face")
-        if base_bytes is not None:
+        for metric, unit in (("bytes_per_face", "bytes/face"),
+                             ("bytes_per_trial", "bytes/trial")):
+            base_bytes = base.get(metric)
+            if base_bytes is None:
+                continue
             compared += 1
             ceiling = base_bytes * (1.0 + tolerance)
-            cur_bytes = cur.get("bytes_per_face")
+            cur_bytes = cur.get(metric)
             if not isinstance(cur_bytes, (int, float)) or cur_bytes > ceiling:
-                print(f"  [REGRESSION] {name}: {cur_bytes} bytes/face "
+                print(f"  [REGRESSION] {name}: {cur_bytes} {unit} "
                       f"> ceiling {ceiling:.2f} (baseline {base_bytes})")
                 regressions += 1
             else:
-                print(f"  [ok] {name}: {cur_bytes:.2f} bytes/face "
+                print(f"  [ok] {name}: {cur_bytes:.2f} {unit} "
                       f"<= ceiling {ceiling:.2f}")
 
         if absolute and "ns_per_localization" in base:

@@ -48,6 +48,11 @@ def main() -> int:
     lean_row = {"name": "hier", "batch": 64, "bytes_per_face": 80.0}
     fat_row = dict(lean_row, bytes_per_face=200.0)
     lost_row = {"name": "hier", "batch": 64}
+    # bytes_per_trial gates like bytes_per_face (BENCH_campaign.json
+    # shape: the pooled workers' steady-state allocations per trial).
+    lean_trial = {"name": "campaign_1t", "batch": 1, "bytes_per_trial": 2.7e5}
+    fat_trial = dict(lean_trial, bytes_per_trial=1.6e6)
+    lost_trial = {"name": "campaign_1t", "batch": 1}
     # speedup_vs_batch gates exactly like speedup_vs_scalar (the largeN
     # hier rows carry both ratios; the vs-batch one is the headline
     # sublinearity claim).
@@ -85,6 +90,11 @@ def main() -> int:
         ("bytes regression", run(doc(lean_row), doc(fat_row)), 1),
         ("bytes metric lost", run(doc(lean_row), doc(lost_row)), 1),
         ("bytes shrink passes", run(doc(fat_row), doc(lean_row)), 0),
+        # bytes_per_trial allocation gate.
+        ("trial bytes within tolerance", run(doc(lean_trial), doc(lean_trial)), 0),
+        ("trial bytes regression", run(doc(lean_trial), doc(fat_trial)), 1),
+        ("trial bytes metric lost", run(doc(lean_trial), doc(lost_trial)), 1),
+        ("trial bytes shrink passes", run(doc(fat_trial), doc(lean_trial)), 0),
         # speedup_vs_batch ratio gate.
         ("vs-batch within tolerance", run(doc(vsb_row), doc(vsb_row)), 0),
         ("vs-batch regression", run(doc(vsb_row), doc(vsb_slow)), 1),
