@@ -1,0 +1,90 @@
+// Churn delta between two consecutive divisions of one FaceMapBuilder.
+//
+// A fail/revive event renumbers nearly every face id (ids are assigned
+// in first-cell scan order, so one regrouped run shifts all later ids),
+// which makes per-face-id deltas useless for patching the coarse tier.
+// What *does* survive churn is plane identity — the cached Apollonius
+// rasters of pairs whose nodes did not move — and cell geometry: every
+// new face occupies cells that belonged to known old faces. DivisionDelta
+// captures exactly those two facts:
+//
+//   - plane_to_old / plane_to_new: the pair-plane remap between the old
+//     and new division's ascending (i, j) pair order. A new plane maps to
+//     kNone when its pair was not part of the old division *or* was
+//     re-rasterized by the last build (a moved node changes the plane's
+//     cell data, so the old coarse masks say nothing about it).
+//   - tile_sources: per new level-0 tile (HierFaceMap::kTileFaces
+//     consecutive new face ids), the ascending set of *old* tiles whose
+//     faces cover the new tile's cells. For a surviving plane the new
+//     tile's 3-bit mask is a subset of the OR of its source tiles' old
+//     masks — the purity shortcut HierFaceMap::patched builds on: a
+//     single-bit OR pins the new mask exactly, no fine-table reads.
+//
+// Produced by FaceMapBuilder::delta_since from the builder's own pair
+// bookkeeping plus one O(cells) sweep over the two cell -> face tables;
+// consumed by HierFaceMap::patched and SignatureIndex::patched. `valid`
+// is false when the builder cannot connect the two maps (fewer than two
+// builds since construction/reset, or mismatched grids/dimensions) —
+// callers then fall back to the from-scratch builds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fttt {
+
+struct DivisionDelta {
+  /// Sentinel for "no counterpart plane" in the remaps.
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  bool valid{false};
+
+  std::size_t old_faces{0};
+  std::size_t new_faces{0};
+  std::size_t old_dim{0};
+  std::size_t new_dim{0};
+
+  /// new plane -> old plane index, kNone for added/re-rasterized pairs.
+  /// Strictly increasing over its non-kNone entries (both pair orders
+  /// are ascending in the packed (i, j) key).
+  std::vector<std::uint32_t> plane_to_old;
+  /// old plane -> new plane index, kNone for dropped pairs (inverse of
+  /// plane_to_old over the surviving planes).
+  std::vector<std::uint32_t> plane_to_new;
+
+  /// CSR over new level-0 tiles: tile t's source old tiles (ascending)
+  /// are tile_sources[tile_source_offsets[t] .. tile_source_offsets[t+1]).
+  std::vector<std::uint32_t> tile_source_offsets;
+  std::vector<std::uint32_t> tile_sources;
+};
+
+/// What HierFaceMap::patched did — the structural facts SignatureIndex::
+/// patched needs to patch the CSR rows, plus the effort accounting the
+/// obs counters and benches report.
+struct HierPatchReport {
+  /// True when the old and new divisions have the same level-0 tile
+  /// count (hence identical node counts on every level): upper-level
+  /// masks could be copied where unchanged, and the per-level `changed`
+  /// sets below are meaningful. False: level 0 was still patched via
+  /// the source-tile shortcut, upper levels were recomputed wholesale,
+  /// and an index patch is not possible (SignatureIndex::build instead).
+  bool structure_matched{false};
+
+  /// Level-0 (plane, tile) masks recomputed from the fine table —
+  /// multi-bit source ORs plus every tile of added planes.
+  std::size_t recomputed_tiles{0};
+  /// Level-0 (plane, tile) masks pinned by a single-bit source OR
+  /// (copied without touching the fine table).
+  std::size_t copied_tiles{0};
+
+  /// Per level, a bitmask over the level's nodes (bit n of word n / 64):
+  /// set when some *surviving* plane's mask at that node changed (level
+  /// 0 compares old vs new masks exactly; upper levels propagate
+  /// structurally — a node is flagged iff any child is). Unset bits
+  /// guarantee every surviving plane's mask and its children's masks are
+  /// unchanged there. Empty when !structure_matched.
+  std::vector<std::vector<std::uint64_t>> changed;
+};
+
+}  // namespace fttt

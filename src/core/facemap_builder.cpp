@@ -143,6 +143,11 @@ void FaceMapBuilder::move_node(NodeId id, Vec2 position) {
 
 void FaceMapBuilder::reset_roster(Deployment roster) {
   facemap_detail::validate_build_inputs(roster, C_, "FaceMapBuilder::reset_roster");
+  // No delta connects divisions across a roster swap: pair keys alias
+  // between rosters, so the bookkeeping must not survive.
+  prev_pairs_.clear();
+  last_pairs_.clear();
+  last_rasterized_keys_.clear();
   if (roster.size() == roster_.size()) {
     // Same node count: the slot index and plane storage stay; every
     // cached plane goes stale (a fresh random deployment moves every
@@ -464,13 +469,22 @@ void FaceMapBuilder::build_impl_into(FaceMap& out) {
   missing.clear();
   std::vector<std::pair<NodeId, NodeId>>& missing_pairs = scratch_.missing_pairs;
   missing_pairs.clear();
+  // delta_since bookkeeping: the (ci, cj) sweep below visits pairs in
+  // ascending packed-key order, so both lists come out sorted for free.
+  prev_pairs_.swap(last_pairs_);
+  last_pairs_.clear();
+  last_pairs_.reserve(dim);
+  last_rasterized_keys_.clear();
   for (std::size_t ci = 0; ci < ids.size(); ++ci) {
     for (std::size_t cj = ci + 1; cj < ids.size(); ++cj) {
+      const std::uint64_t key = (static_cast<std::uint64_t>(ids[ci]) << 32) | ids[cj];
       const std::uint32_t slot = slot_of(ids[ci], ids[cj]);
       slots.push_back(slot);
+      last_pairs_.push_back(key);
       if (!slot_valid_[slot]) {
         missing.push_back(slot);
         missing_pairs.emplace_back(ids[ci], ids[cj]);
+        last_rasterized_keys_.push_back(key);
       }
     }
   }
@@ -730,6 +744,92 @@ HierFaceMap FaceMapBuilder::build_hierarchy() const {
         "FaceMapBuilder::build_hierarchy: no table — build() first "
         "(and take_signature_table() consumes it)");
   return HierFaceMap::build(*table_, *pool_);
+}
+
+DivisionDelta FaceMapBuilder::delta_since(const FaceMap& prev,
+                                          const FaceMap& next) const {
+  DivisionDelta d;
+  d.old_faces = prev.face_count();
+  d.new_faces = next.face_count();
+  d.old_dim = prev_pairs_.size();
+  d.new_dim = last_pairs_.size();
+  // Connectable only when prev/next are this builder's last two products:
+  // two builds since construction/reset, and shapes that agree with the
+  // bookkeeping. Anything else yields an invalid delta, never a wrong one.
+  if (prev_pairs_.empty() || last_pairs_.empty()) return d;
+  if (prev.dimension() != d.old_dim || next.dimension() != d.new_dim) return d;
+  if (prev.cell_face_.size() != grid_.cell_count() ||
+      next.cell_face_.size() != grid_.cell_count())
+    return d;
+  if (d.old_faces == 0 || d.new_faces == 0) return d;
+
+  // Pair-plane remap: two-pointer merge over the ascending key lists.
+  // A key the last build re-rasterized is excluded from "surviving" even
+  // if it existed before — its cell data changed (moved node), so the
+  // old tier's masks say nothing about it.
+  d.plane_to_old.assign(d.new_dim, DivisionDelta::kNone);
+  d.plane_to_new.assign(d.old_dim, DivisionDelta::kNone);
+  {
+    std::size_t o = 0;
+    std::size_t r = 0;
+    for (std::size_t c = 0; c < d.new_dim; ++c) {
+      const std::uint64_t key = last_pairs_[c];
+      while (o < d.old_dim && prev_pairs_[o] < key) ++o;
+      while (r < last_rasterized_keys_.size() && last_rasterized_keys_[r] < key) ++r;
+      const bool fresh = r < last_rasterized_keys_.size() && last_rasterized_keys_[r] == key;
+      if (o < d.old_dim && prev_pairs_[o] == key && !fresh) {
+        d.plane_to_old[c] = static_cast<std::uint32_t>(o);
+        d.plane_to_new[o] = static_cast<std::uint32_t>(c);
+      }
+    }
+  }
+
+  // Source old tiles per new tile: one sweep over the two cell -> face
+  // tables into a dense bitset, then CSR. Every cell of every face of a
+  // new tile lands here, so the source set *covers* the tile — the fact
+  // the purity shortcut's containment proof needs.
+  constexpr std::size_t kTile = HierFaceMap::kTileFaces;
+  const std::size_t old_tiles = (d.old_faces + kTile - 1) / kTile;
+  const std::size_t new_tiles = (d.new_faces + kTile - 1) / kTile;
+  const std::size_t words = (old_tiles + 63) / 64;
+  std::vector<std::uint64_t> bits(new_tiles * words, 0);
+  const std::size_t cells = grid_.cell_count();
+  for (std::size_t c = 0; c < cells; ++c) {
+    const std::size_t nt = next.cell_face_[c] / kTile;
+    const std::size_t ot = prev.cell_face_[c] / kTile;
+    bits[nt * words + (ot >> 6)] |= std::uint64_t{1} << (ot & 63);
+  }
+  d.tile_source_offsets.assign(new_tiles + 1, 0);
+  for (std::size_t t = 0; t < new_tiles; ++t) {
+    std::uint32_t n = 0;
+    for (std::size_t w = 0; w < words; ++w)
+      n += static_cast<std::uint32_t>(std::popcount(bits[t * words + w]));
+    d.tile_source_offsets[t + 1] = d.tile_source_offsets[t] + n;
+  }
+  d.tile_sources.resize(d.tile_source_offsets[new_tiles]);
+  for (std::size_t t = 0; t < new_tiles; ++t) {
+    std::uint32_t* row = d.tile_sources.data() + d.tile_source_offsets[t];
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t b = bits[t * words + w];
+      while (b) {
+        *row++ = static_cast<std::uint32_t>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(b)));
+        b &= b - 1;
+      }
+    }
+  }
+  d.valid = true;
+  return d;
+}
+
+HierFaceMap FaceMapBuilder::patch_hierarchy(const HierFaceMap& prev,
+                                            const DivisionDelta& delta,
+                                            HierPatchReport* report) const {
+  if (!table_)
+    throw std::logic_error(
+        "FaceMapBuilder::patch_hierarchy: no table — build() first "
+        "(and take_signature_table() consumes it)");
+  return HierFaceMap::patched(prev, *table_, delta, *pool_, report);
 }
 
 }  // namespace fttt

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "common/vec2.hpp"
+#include "core/division_delta.hpp"
 #include "core/facemap.hpp"
 #include "core/hier_facemap.hpp"
 #include "core/signature_table.hpp"
@@ -135,12 +136,32 @@ class FaceMapBuilder {
   void build_into(BuildProducts& out);
 
   /// Coarse descent tier (core/hier_facemap.hpp) of the last build()'s
-  /// table. Faces regroup wholesale under any deployment delta, so the
-  /// tier is re-derived from the fresh table after each build rather
-  /// than patched — one streaming pass, a small fraction of the build
-  /// itself. Call before take_signature_table(); throws the same
-  /// std::logic_error when no table is stored.
+  /// table, derived from scratch in one streaming pass. Call before
+  /// take_signature_table(); throws the same std::logic_error when no
+  /// table is stored. Under churn, prefer delta_since() +
+  /// patch_hierarchy(): cost proportional to what changed instead of
+  /// O(dim x faces), bit-identical output.
   HierFaceMap build_hierarchy() const;
+
+  /// Churn delta connecting the previous build()'s map `prev` to the
+  /// last build()'s map `next` (core/division_delta.hpp): the pair-plane
+  /// remap from the builder's own bookkeeping (planes re-rasterized by
+  /// the last build are excluded — their cell data changed) plus the
+  /// per-new-tile source old tiles from one O(cells) sweep over the two
+  /// cell -> face tables. Returns an invalid delta (valid == false) when
+  /// the builder cannot connect the maps: fewer than two builds since
+  /// construction or reset_roster(), or shape mismatches that indicate
+  /// the maps are not this builder's last two products.
+  DivisionDelta delta_since(const FaceMap& prev, const FaceMap& next) const;
+
+  /// HierFaceMap::patched of the last build()'s table against `prev`
+  /// (the tier served before the churn event) along `delta` —
+  /// bit-identical to build_hierarchy() at a fraction of the cost. Same
+  /// table-lifetime rule as build_hierarchy (call before
+  /// take_signature_table()); throws std::logic_error without a stored
+  /// table and std::invalid_argument on a delta that does not connect.
+  HierFaceMap patch_hierarchy(const HierFaceMap& prev, const DivisionDelta& delta,
+                              HierPatchReport* report = nullptr) const;
 
   // -- Introspection (benches, tests, obs) ---------------------------------
 
@@ -223,6 +244,15 @@ class FaceMapBuilder {
   std::vector<char> slot_valid_;                          ///< per slot
   std::vector<std::uint64_t> row_start_mask_;  ///< bits at every row's first cell
   std::vector<double> center_x_;               ///< per-column cell-center x
+
+  /// Pair-plane bookkeeping for delta_since: the packed (i, j) keys of
+  /// the previous and the last build's pairs (ascending — pair order is
+  /// lexicographic over ascending roster ids) and the keys the last
+  /// build re-rasterized (subset of last_pairs_, ascending). Cleared by
+  /// reset_roster (no delta connects across a roster swap).
+  std::vector<std::uint64_t> prev_pairs_;
+  std::vector<std::uint64_t> last_pairs_;
+  std::vector<std::uint64_t> last_rasterized_keys_;
 
   std::optional<SignatureTable> table_;  ///< product of the last build()
   /// Plane storage reclaimed from a BuildProducts table, reused by the

@@ -27,9 +27,13 @@
 //
 // Build cost is one streaming pass over the fine table (O(dim x faces)
 // byte reads, parallelized over planes); memory is ~1/kTileFaces of the
-// fine table per level. Deployment churn regroups faces wholesale, so
-// after every FaceMapBuilder::build the tier is rebuilt from the new
-// table (FaceMapBuilder::build_hierarchy) rather than patched.
+// fine table per level. Deployment churn regroups faces wholesale —
+// face *ids* do not survive — but the pair planes and the cell geometry
+// do, so patched() rebuilds the tier incrementally from a DivisionDelta
+// (FaceMapBuilder::delta_since): surviving planes pin most tile masks
+// straight from the old tier's source-tile masks and only multi-value
+// neighborhoods re-read the fine table, bit-identical to build() on the
+// same table (tests/core/test_hier_patch.cpp enforces the contract).
 #pragma once
 
 #include <algorithm>
@@ -38,6 +42,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/division_delta.hpp"
 #include "core/sampling_vector.hpp"
 #include "core/signature_table.hpp"
 #include "parallel/thread_pool.hpp"
@@ -88,6 +93,26 @@ class HierFaceMap {
   /// descend).
   static HierFaceMap build(const SignatureTable& table,
                            ThreadPool& pool = ThreadPool::global());
+
+  /// Patch `prev` (the old division's tier) into the tier of `table`
+  /// (the new division's fine table) along `delta` — bit-identical to
+  /// build(table, pool), levels, strides, masks and pads included, at
+  /// any thread count. Cost is proportional to what changed: a
+  /// surviving plane's tile mask is pinned without touching the fine
+  /// table whenever the OR of its source old-tile masks is a single
+  /// value bit (the overwhelming majority — pure tiles stay pure), and
+  /// only multi-bit neighborhoods re-read their <= kTileFaces fine
+  /// columns; added/re-rasterized planes recompute all tiles. When the
+  /// tile count is unchanged, upper levels re-propagate only the paths
+  /// above changed tiles. `report` (optional) receives the effort
+  /// accounting and the changed sets SignatureIndex::patched consumes.
+  /// Throws std::invalid_argument when `delta` is invalid or does not
+  /// connect `prev` to `table` (callers fall back to build()).
+  /// Implementation: core/hier_patch.cpp.
+  static HierFaceMap patched(const HierFaceMap& prev, const SignatureTable& table,
+                             const DivisionDelta& delta,
+                             ThreadPool& pool = ThreadPool::global(),
+                             HierPatchReport* report = nullptr);
 
   std::size_t face_count() const { return face_count_; }
   std::size_t dimension() const { return dimension_; }

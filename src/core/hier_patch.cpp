@@ -1,0 +1,390 @@
+// Delta patching of the coarse tier and its inverted index.
+//
+// HierFaceMap::patched rebuilds a tier after deployment churn in time
+// proportional to what changed, bit-identical to HierFaceMap::build on
+// the new fine table. The load-bearing observation is the *purity
+// shortcut*: for a pair plane that survived the churn (same nodes, same
+// cached raster — DivisionDelta::plane_to_old), every cell keeps its
+// plane value, and a new face's table component equals the plane value
+// at any of its cells. Each such cell belonged to some old face whose
+// tile is in the new tile's source set (delta.tile_sources covers the
+// tile's cells by construction), and that old tile's mask contains the
+// cell's value bit. Hence
+//
+//   new tile mask  ⊆  OR of the source old tiles' masks   (same plane).
+//
+// When that OR is a single value bit, the containment pins the new mask
+// exactly (tiles cover at least one face, so masks are never empty) —
+// no fine-table reads at all. Only multi-bit ORs re-read the tile's
+// <= kTileFaces fine columns, and only added/re-rasterized planes
+// recompute everywhere. Since pure planes dominate every real division
+// (SignatureIndex exists because of it), almost all (plane, tile) masks
+// are pinned.
+//
+// Upper levels: when the tile count is unchanged ("structure matched" —
+// equal node counts then hold on every level by the shared recurrence),
+// only nodes above changed tiles re-OR their children; everything else
+// copies the old plane's mask, which is exact because an unchanged node
+// has bit-identical children. A changed tile count falls back to a
+// wholesale upper-level propagation — still cheap, O(dim x tiles / 64).
+//
+// SignatureIndex::patched mirrors the same split on the CSR rows: rows
+// of unchanged nodes are merged from the remapped old row plus the
+// added planes' direct tests (the old row *is* the surviving planes'
+// membership when no mask changed), changed rows recompute in full.
+//
+// Determinism: every parallel loop fans out over planes or nodes with
+// disjoint writes; per-plane effort counters and changed masks are
+// aggregated serially afterwards, so results and reports are identical
+// at any thread count. This TU compiles with -ffp-contract=off like the
+// other bit-equivalence kernels (it does no FP math today; the flag
+// keeps the guarantee if bound math ever lands here).
+
+#include <bit>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "core/hier_facemap.hpp"
+#include "core/signature_index.hpp"
+#include "obs/obs.hpp"
+
+namespace fttt {
+
+namespace {
+
+/// Value-presence bit of one signature component (-1 -> bit 0, 0 -> bit
+/// 1, +1 -> bit 2); mirrors hier_facemap.cpp.
+inline std::uint8_t value_bit(SigValue v) {
+  return static_cast<std::uint8_t>(1u << (v + 1));
+}
+
+inline bool test_bit(const std::vector<std::uint64_t>& words, std::size_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1;
+}
+
+inline void set_bit(std::uint64_t* words, std::size_t i) {
+  words[i >> 6] |= std::uint64_t{1} << (i & 63);
+}
+
+}  // namespace
+
+HierFaceMap HierFaceMap::patched(const HierFaceMap& prev, const SignatureTable& table,
+                                 const DivisionDelta& delta, ThreadPool& pool,
+                                 HierPatchReport* report) {
+  if (table.face_count() == 0 || table.dimension() == 0)
+    throw std::invalid_argument("HierFaceMap::patched: empty signature table");
+  if (!delta.valid || delta.new_faces != table.face_count() ||
+      delta.new_dim != table.dimension() || delta.old_faces != prev.face_count_ ||
+      delta.old_dim != prev.dimension_ ||
+      delta.plane_to_old.size() != delta.new_dim)
+    throw std::invalid_argument(
+        "HierFaceMap::patched: delta does not connect prev to table");
+  FTTT_OBS_SPAN("facemap.coarse.patch");
+
+  HierFaceMap h;
+  h.face_count_ = table.face_count();
+  h.dimension_ = table.dimension();
+  const std::size_t dim = h.dimension_;
+
+  const auto padded = [](std::size_t nodes) {
+    return (nodes + kFanout - 1) / kFanout * kFanout;
+  };
+
+  Level l0;
+  l0.nodes = (h.face_count_ + kTileFaces - 1) / kTileFaces;
+  l0.stride = padded(l0.nodes);
+  l0.masks.assign(dim * l0.stride, 0);
+  if (delta.tile_source_offsets.size() != l0.nodes + 1)
+    throw std::invalid_argument(
+        "HierFaceMap::patched: delta tile sources do not match the table");
+  const Level& old0 = prev.levels_[0];
+  const bool structure_matched = old0.nodes == l0.nodes;
+
+  // Per-plane changed masks and effort counters, written disjointly in
+  // the parallel loop and folded serially below (deterministic, no
+  // atomics).
+  const std::size_t words = (l0.nodes + 63) / 64;
+  std::vector<std::uint64_t> plane_changed(structure_matched ? dim * words : 0, 0);
+  std::vector<std::uint32_t> plane_recomputed(dim, 0);
+  std::vector<std::uint32_t> plane_copied(dim, 0);
+
+  parallel_for(
+      0, dim,
+      [&](std::size_t c) {
+        const SigValue* p = table.plane(c);
+        std::uint8_t* m = l0.masks.data() + c * l0.stride;
+        const std::uint32_t po = delta.plane_to_old[c];
+        const auto fine_mask = [&](std::size_t t) {
+          const std::size_t f1 = std::min(h.face_count_, (t + 1) * kTileFaces);
+          std::uint8_t acc = 0;
+          for (std::size_t f = t * kTileFaces; f < f1; ++f) acc |= value_bit(p[f]);
+          return acc;
+        };
+        if (po == DivisionDelta::kNone) {
+          // Added or re-rasterized pair: no old masks to lean on.
+          for (std::size_t t = 0; t < l0.nodes; ++t) m[t] = fine_mask(t);
+          plane_recomputed[c] = static_cast<std::uint32_t>(l0.nodes);
+          return;
+        }
+        const std::uint8_t* old = old0.masks.data() + po * old0.stride;
+        std::uint64_t* chg =
+            structure_matched ? plane_changed.data() + c * words : nullptr;
+        std::uint32_t nrec = 0;
+        std::uint32_t ncop = 0;
+        for (std::size_t t = 0; t < l0.nodes; ++t) {
+          std::uint8_t sources = 0;
+          for (std::uint32_t s = delta.tile_source_offsets[t];
+               s < delta.tile_source_offsets[t + 1]; ++s)
+            sources |= old[delta.tile_sources[s]];
+          std::uint8_t acc;
+          if ((sources & static_cast<std::uint8_t>(sources - 1)) == 0) {
+            // Single value bit: the containment pins the mask exactly
+            // (source sets cover the tile's cells, masks are nonempty).
+            acc = sources;
+            ++ncop;
+          } else {
+            acc = fine_mask(t);
+            ++nrec;
+          }
+          m[t] = acc;
+          if (chg && acc != old[t]) set_bit(chg, t);
+        }
+        plane_recomputed[c] = nrec;
+        plane_copied[c] = ncop;
+      },
+      pool);
+
+  std::size_t recomputed_tiles = 0;
+  std::size_t copied_tiles = 0;
+  for (std::size_t c = 0; c < dim; ++c) {
+    recomputed_tiles += plane_recomputed[c];
+    copied_tiles += plane_copied[c];
+  }
+  std::vector<std::vector<std::uint64_t>> changed;
+  if (structure_matched) {
+    changed.emplace_back(words, 0);
+    for (std::size_t c = 0; c < dim; ++c)
+      for (std::size_t w = 0; w < words; ++w)
+        changed[0][w] |= plane_changed[c * words + w];
+  }
+  h.levels_.push_back(std::move(l0));
+
+  // Upper levels: same recurrence as build(). With matched structure the
+  // old pyramid has the same node count per level (equal tile counts
+  // feed the same recurrence), so unchanged nodes copy the old plane's
+  // mask — exact, their children are bit-identical — and the changed
+  // set propagates structurally (a node is flagged iff any child is).
+  std::size_t level = 1;
+  while (h.levels_.back().nodes > kFanout) {
+    const Level& below = h.levels_.back();
+    Level next;
+    next.nodes = (below.nodes + kFanout - 1) / kFanout;
+    next.stride = padded(next.nodes);
+    next.masks.assign(dim * next.stride, 0);
+    std::vector<std::uint64_t> chg_here;
+    if (structure_matched) {
+      FTTT_DCHECK(level < prev.levels_.size() &&
+                      prev.levels_[level].nodes == next.nodes,
+                  "patched: matched tile counts must give matched levels");
+      const std::vector<std::uint64_t>& chg_below = changed[level - 1];
+      chg_here.assign((next.nodes + 63) / 64, 0);
+      for (std::size_t i = 0; i < next.nodes; ++i) {
+        const std::size_t lo = i * kFanout;
+        const std::size_t hi = std::min(below.nodes, lo + kFanout);
+        for (std::size_t j = lo; j < hi; ++j) {
+          if (test_bit(chg_below, j)) {
+            set_bit(chg_here.data(), i);
+            break;
+          }
+        }
+      }
+    }
+    parallel_for(
+        0, dim,
+        [&](std::size_t c) {
+          const std::uint8_t* child = below.masks.data() + c * below.stride;
+          std::uint8_t* m = next.masks.data() + c * next.stride;
+          const std::uint32_t po = delta.plane_to_old[c];
+          const std::uint8_t* old =
+              structure_matched && po != DivisionDelta::kNone
+                  ? prev.levels_[level].masks.data() + po * prev.levels_[level].stride
+                  : nullptr;
+          for (std::size_t i = 0; i < next.nodes; ++i) {
+            if (old && !test_bit(chg_here, i)) {
+              m[i] = old[i];
+              continue;
+            }
+            const std::size_t c1 = std::min(below.nodes, (i + 1) * kFanout);
+            std::uint8_t acc = 0;
+            for (std::size_t j = i * kFanout; j < c1; ++j) acc |= child[j];
+            m[i] = acc;
+          }
+        },
+        pool);
+    if (structure_matched) changed.push_back(std::move(chg_here));
+    h.levels_.push_back(std::move(next));
+    ++level;
+  }
+
+  if (report) {
+    report->structure_matched = structure_matched;
+    report->recomputed_tiles = recomputed_tiles;
+    report->copied_tiles = copied_tiles;
+    report->changed = std::move(changed);
+  }
+
+  FTTT_OBS_COUNT("facemap.hier.patched_tiles", recomputed_tiles);
+  FTTT_OBS_GAUGE_SET("facemap.coarse.levels",
+                     static_cast<std::int64_t>(h.level_count()));
+  FTTT_OBS_GAUGE_SET("facemap.coarse.tiles",
+                     static_cast<std::int64_t>(h.node_count(0)));
+  FTTT_OBS_GAUGE_SET("facemap.coarse.bytes",
+                     static_cast<std::int64_t>(h.bytes()));
+  return h;
+}
+
+SignatureIndex SignatureIndex::patched(const HierFaceMap& hier,
+                                       const SignatureIndex& prev,
+                                       const DivisionDelta& delta,
+                                       const HierPatchReport& report,
+                                       ThreadPool& pool) {
+  const std::size_t tiles = hier.node_count(0);
+  const std::size_t dim = hier.dimension();
+  if (!delta.valid || !report.structure_matched)
+    throw std::invalid_argument(
+        "SignatureIndex::patched: needs a valid delta with matched structure "
+        "(fall back to build())");
+  if (prev.dimension_ != delta.old_dim || dim != delta.new_dim ||
+      prev.tile_count() != tiles || prev.level_count() != hier.level_count() ||
+      report.changed.size() != hier.level_count())
+    throw std::invalid_argument(
+        "SignatureIndex::patched: prev/hier/report shapes disagree");
+  FTTT_OBS_SPAN("matcher.index.patch");
+
+  // Planes with no surviving counterpart: their membership is unknown to
+  // the old rows and must be tested directly everywhere. Ascending by
+  // construction, as is plane_to_new over the surviving planes — the
+  // two-pointer merges below rely on both.
+  std::vector<std::uint32_t> added;
+  for (std::uint32_t c = 0; c < delta.new_dim; ++c)
+    if (delta.plane_to_old[c] == DivisionDelta::kNone) added.push_back(c);
+
+  SignatureIndex index;
+  index.dimension_ = dim;
+
+  std::size_t patched_rows = 0;
+
+  // One level worth of patched CSR. `old_row` reads the previous index,
+  // `is_member(c, node)` tests a plane directly on the new tier,
+  // `changed` flags the rows that must recompute in full.
+  const auto patch_level = [&](const std::vector<std::uint32_t>& old_offsets,
+                               const std::vector<std::uint32_t>& old_planes,
+                               const std::vector<std::uint64_t>& changed_words,
+                               std::size_t nodes, auto is_member,
+                               std::vector<std::uint32_t>& offsets,
+                               std::vector<std::uint32_t>& planes) {
+    std::vector<std::uint32_t> counts(nodes, 0);
+    parallel_for(
+        0, nodes,
+        [&](std::size_t t) {
+          std::uint32_t n = 0;
+          if (test_bit(changed_words, t)) {
+            for (std::size_t c = 0; c < dim; ++c)
+              n += is_member(static_cast<std::uint32_t>(c), t) ? 1u : 0u;
+          } else {
+            for (std::uint32_t s = old_offsets[t]; s < old_offsets[t + 1]; ++s)
+              n += delta.plane_to_new[old_planes[s]] != DivisionDelta::kNone ? 1u : 0u;
+            for (std::uint32_t c : added) n += is_member(c, t) ? 1u : 0u;
+          }
+          counts[t] = n;
+        },
+        pool);
+    offsets.assign(nodes + 1, 0);
+    for (std::size_t t = 0; t < nodes; ++t)
+      offsets[t + 1] = offsets[t] + counts[t];
+    planes.resize(offsets[nodes]);
+    parallel_for(
+        0, nodes,
+        [&](std::size_t t) {
+          std::uint32_t* row = planes.data() + offsets[t];
+          if (test_bit(changed_words, t)) {
+            for (std::size_t c = 0; c < dim; ++c)
+              if (is_member(static_cast<std::uint32_t>(c), t))
+                *row++ = static_cast<std::uint32_t>(c);
+            return;
+          }
+          // Merge the remapped surviving old row (ascending — the remap
+          // is monotone) with the added planes' direct tests.
+          std::uint32_t s = old_offsets[t];
+          const std::uint32_t s_end = old_offsets[t + 1];
+          std::size_t a = 0;
+          for (;;) {
+            std::uint32_t from_old = DivisionDelta::kNone;
+            while (s < s_end) {
+              const std::uint32_t remapped = delta.plane_to_new[old_planes[s]];
+              if (remapped != DivisionDelta::kNone) {
+                from_old = remapped;
+                break;
+              }
+              ++s;  // dropped plane
+            }
+            std::uint32_t from_added = DivisionDelta::kNone;
+            while (a < added.size()) {
+              if (is_member(added[a], t)) {
+                from_added = added[a];
+                break;
+              }
+              ++a;
+            }
+            if (from_old == DivisionDelta::kNone &&
+                from_added == DivisionDelta::kNone)
+              break;
+            if (from_old < from_added) {
+              *row++ = from_old;
+              ++s;
+            } else {
+              *row++ = from_added;
+              ++a;
+            }
+          }
+        },
+        pool);
+    for (std::size_t t = 0; t < nodes; ++t)
+      if (test_bit(changed_words, t)) ++patched_rows;
+  };
+
+  patch_level(
+      prev.offsets_, prev.planes_, report.changed[0], tiles,
+      [&](std::uint32_t c, std::size_t t) {
+        return std::popcount(hier.mask(0, c, t)) > 1;
+      },
+      index.offsets_, index.planes_);
+
+  for (std::size_t level = 1; level < hier.level_count(); ++level) {
+    const std::size_t nodes = hier.node_count(level);
+    const std::size_t child_nodes = hier.node_count(level - 1);
+    const auto children_vary = [&, level, child_nodes](std::uint32_t c,
+                                                       std::size_t node) {
+      const std::size_t lo = node * HierFaceMap::kFanout;
+      const std::size_t hi = std::min(child_nodes, lo + HierFaceMap::kFanout);
+      const std::uint8_t* m = hier.plane(level - 1, c) + lo;
+      for (std::size_t j = 1; j < hi - lo; ++j)
+        if (m[j] != m[0]) return true;
+      return false;
+    };
+    const LevelIndex& old_li = prev.upper_[level - 1];
+    LevelIndex li;
+    patch_level(old_li.offsets, old_li.planes, report.changed[level], nodes,
+                children_vary, li.offsets, li.planes);
+    index.upper_.push_back(std::move(li));
+  }
+
+  FTTT_OBS_COUNT("matcher.index.patched_rows", patched_rows);
+  FTTT_OBS_GAUGE_SET("matcher.index.mixed_permille",
+                     static_cast<std::int64_t>(index.mixed_fraction() * 1000.0));
+  FTTT_OBS_GAUGE_SET("matcher.index.bytes",
+                     static_cast<std::int64_t>(index.bytes()));
+  return index;
+}
+
+}  // namespace fttt

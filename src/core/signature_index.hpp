@@ -38,6 +38,7 @@
 #include <span>
 #include <vector>
 
+#include "core/division_delta.hpp"
 #include "core/hier_facemap.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -52,6 +53,22 @@ class SignatureIndex {
   /// nodes.
   static SignatureIndex build(const HierFaceMap& hier,
                               ThreadPool& pool = ThreadPool::global());
+
+  /// Patch `prev` (the old division's index) into the index of `hier`
+  /// (a tier produced by HierFaceMap::patched over `delta`/`report`) —
+  /// bit-identical to build(hier, pool) at any thread count. Rows of
+  /// nodes untouched by the churn are rewritten by a two-pointer merge
+  /// of the remapped old row with the added planes' contributions (no
+  /// O(dim) mask scan); only rows flagged in `report.changed` recompute
+  /// in full. Requires `report.structure_matched` (same node counts on
+  /// every level — otherwise row indices do not correspond) and a valid
+  /// delta; throws std::invalid_argument when either fails or the
+  /// shapes disagree (callers fall back to build()). Implementation:
+  /// core/hier_patch.cpp.
+  static SignatureIndex patched(const HierFaceMap& hier, const SignatureIndex& prev,
+                                const DivisionDelta& delta,
+                                const HierPatchReport& report,
+                                ThreadPool& pool = ThreadPool::global());
 
   std::size_t tile_count() const { return offsets_.size() - 1; }
   std::size_t dimension() const { return dimension_; }

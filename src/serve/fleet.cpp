@@ -54,6 +54,8 @@ TrackManagerFleet::TrackManagerFleet(Deployment roster, double C, const Aabb& fi
       index_ = std::make_shared<const SignatureIndex>(SignatureIndex::build(*hier_, pool));
   }
   members_ = alive_members(*builder_);
+  alive_.assign(roster_.size(), 1);
+  alive_n_ = roster_.size();
 
   shards_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
@@ -63,6 +65,11 @@ TrackManagerFleet::TrackManagerFleet(Deployment roster, double C, const Aabb& fi
   route_frames_.resize(config_.shards);
   route_slots_.resize(config_.shards);
   route_updates_.resize(config_.shards);
+}
+
+TrackManagerFleet::~TrackManagerFleet() {
+  std::unique_lock<std::mutex> lk(rebuild_mu_);
+  rebuild_cv_.wait(lk, [&] { return !rebuild_inflight_; });
 }
 
 bool TrackManagerFleet::submit(ReportFrame frame) {
@@ -103,6 +110,11 @@ void TrackManagerFleet::close() { queue_.close(); }
 
 std::vector<TrackUpdate> TrackManagerFleet::tick() {
   FTTT_OBS_SPAN("serve.tick");
+  // Tick boundary: swap in a finished off-thread division before any
+  // frame of this tick resolves, then kick the rebuild for whatever
+  // churn events coalesced while the last one was in flight.
+  maybe_adopt_ready();
+  maybe_launch_rebuild();
   drained_.clear();
   queue_.drain(drained_, config_.max_frames_per_tick);
   ++ticks_;
@@ -151,6 +163,7 @@ std::vector<TrackUpdate> TrackManagerFleet::tick() {
 }
 
 void TrackManagerFleet::adopt_rebuilt_division() {
+  const std::uint64_t t0 = FTTT_OBS_NOW_NS();
   map_ = std::make_shared<const FaceMap>(builder_->build());
   // The tier comes off the builder *before* take_signature_table
   // consumes the stored table; one tier/index per division, shared
@@ -165,21 +178,163 @@ void TrackManagerFleet::adopt_rebuilt_division() {
     shard->adopt_division(map_, table_, members_, hier_, index_);
   ++rebuilds_;
   FTTT_OBS_COUNT("serve.rebuilds", 1);
+  const std::uint64_t t1 = FTTT_OBS_NOW_NS();
+  if (t1 > t0)
+    FTTT_OBS_HIST("serve.rebuild.latency", "us",
+                  static_cast<double>(t1 - t0) / 1000.0);
+}
+
+void TrackManagerFleet::on_churn(NodeId id, bool fail) {
+  ++churn_events_;
+  FTTT_OBS_COUNT("serve.churn_events", 1);
+  if (!config_.async_rebuild) {
+    if (fail)
+      builder_->deactivate(id);
+    else
+      builder_->activate(id);
+    adopt_rebuilt_division();
+    return;
+  }
+  pending_ops_.emplace_back(id, fail);
+  maybe_launch_rebuild();
+}
+
+void TrackManagerFleet::maybe_launch_rebuild() {
+  if (pending_ops_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(rebuild_mu_);
+    // One task at a time; a finished-but-unadopted division also blocks
+    // the launch so adoption order matches event order.
+    if (rebuild_inflight_ || rebuild_ready_) return;
+  }
+  for (const auto& [id, fail] : pending_ops_) {
+    if (fail)
+      builder_->deactivate(id);
+    else
+      builder_->activate(id);
+  }
+  pending_ops_.clear();
+  {
+    std::lock_guard<std::mutex> lk(rebuild_mu_);
+    rebuild_inflight_ = true;
+  }
+  // Pin the served division for the delta/patch path: the task must not
+  // read fleet members the service thread may swap under it.
+  std::shared_ptr<const FaceMap> prev_map = map_;
+  std::shared_ptr<const HierFaceMap> prev_hier = hier_;
+  std::shared_ptr<const SignatureIndex> prev_index = index_;
+  const bool submitted = pool_->submit(
+      [this, prev_map = std::move(prev_map), prev_hier = std::move(prev_hier),
+       prev_index = std::move(prev_index)]() mutable {
+        run_rebuild(std::move(prev_map), std::move(prev_hier),
+                    std::move(prev_index));
+      });
+  if (!submitted) {
+    // Pool already shut down: run inline so the division still lands.
+    run_rebuild(map_, hier_, index_);
+  }
+}
+
+void TrackManagerFleet::run_rebuild(std::shared_ptr<const FaceMap> prev_map,
+                                    std::shared_ptr<const HierFaceMap> prev_hier,
+                                    std::shared_ptr<const SignatureIndex> prev_index) {
+  const std::uint64_t t0 = FTTT_OBS_NOW_NS();
+  PendingDivision p;
+  std::shared_ptr<const FaceMap> map =
+      std::make_shared<const FaceMap>(builder_->build());
+  if (config_.track.hierarchical) {
+    std::shared_ptr<const HierFaceMap> hier;
+    std::shared_ptr<const SignatureIndex> index;
+    if (config_.patch_division && prev_map && prev_hier) {
+      const DivisionDelta delta = builder_->delta_since(*prev_map, *map);
+      if (delta.valid) {
+        HierPatchReport report;
+        hier = std::make_shared<const HierFaceMap>(
+            builder_->patch_hierarchy(*prev_hier, delta, &report));
+        if (report.structure_matched && prev_index)
+          index = std::make_shared<const SignatureIndex>(
+              SignatureIndex::patched(*hier, *prev_index, delta, report, *pool_));
+      }
+    }
+    if (!hier)
+      hier = std::make_shared<const HierFaceMap>(builder_->build_hierarchy());
+    if (!index)
+      index = std::make_shared<const SignatureIndex>(
+          SignatureIndex::build(*hier, *pool_));
+    p.hier = std::move(hier);
+    p.index = std::move(index);
+  }
+  p.table = std::make_shared<const SignatureTable>(builder_->take_signature_table());
+  p.map = std::move(map);
+  p.members = alive_members(*builder_);
+  const std::uint64_t t1 = FTTT_OBS_NOW_NS();
+  p.latency_ns = t1 > t0 ? t1 - t0 : 0;
+  {
+    // Notify under the lock: the destructor's wait may wake, return and
+    // destroy the condition variable the instant `rebuild_inflight_`
+    // flips, so the broadcast must happen-before that wake-up.
+    std::lock_guard<std::mutex> lk(rebuild_mu_);
+    pending_ = std::move(p);
+    rebuild_inflight_ = false;
+    rebuild_ready_ = true;
+    rebuild_cv_.notify_all();
+  }
+}
+
+bool TrackManagerFleet::maybe_adopt_ready() {
+  PendingDivision p;
+  {
+    std::lock_guard<std::mutex> lk(rebuild_mu_);
+    if (!rebuild_ready_) return false;
+    p = std::move(pending_);
+    pending_ = PendingDivision{};
+    rebuild_ready_ = false;
+  }
+  map_ = std::move(p.map);
+  table_ = std::move(p.table);
+  hier_ = std::move(p.hier);
+  index_ = std::move(p.index);
+  members_ = std::move(p.members);
+  for (const std::unique_ptr<TrackShard>& shard : shards_)
+    shard->adopt_division(map_, table_, members_, hier_, index_);
+  ++rebuilds_;
+  FTTT_OBS_COUNT("serve.rebuilds", 1);
+  if (p.latency_ns > 0)
+    FTTT_OBS_HIST("serve.rebuild.latency", "us",
+                  static_cast<double>(p.latency_ns) / 1000.0);
+  return true;
+}
+
+void TrackManagerFleet::flush_rebuilds() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(rebuild_mu_);
+      rebuild_cv_.wait(lk, [&] { return !rebuild_inflight_; });
+    }
+    const bool adopted = maybe_adopt_ready();
+    if (!pending_ops_.empty()) {
+      maybe_launch_rebuild();
+      continue;
+    }
+    if (!adopted) return;
+  }
 }
 
 bool TrackManagerFleet::fail_node(NodeId id) {
-  if (id >= roster_.size() || !builder_->is_active(id)) return false;
+  if (id >= roster_.size() || !alive_[id]) return false;
   // DistributedTracker's refusal rule: a division needs two live nodes.
-  if (builder_->active_count() <= 2) return false;
-  builder_->deactivate(id);
-  adopt_rebuilt_division();
+  if (alive_n_ <= 2) return false;
+  alive_[id] = 0;
+  --alive_n_;
+  on_churn(id, /*fail=*/true);
   return true;
 }
 
 bool TrackManagerFleet::revive_node(NodeId id) {
-  if (id >= roster_.size() || builder_->is_active(id)) return false;
-  builder_->activate(id);
-  adopt_rebuilt_division();
+  if (id >= roster_.size() || alive_[id]) return false;
+  alive_[id] = 1;
+  ++alive_n_;
+  on_churn(id, /*fail=*/false);
   return true;
 }
 
@@ -192,13 +347,14 @@ TrackManagerFleet::Stats TrackManagerFleet::stats() const {
   s.localizations = localizations_;
   s.ticks = ticks_;
   s.rebuilds = rebuilds_;
+  s.churn_events = churn_events_;
   for (const std::unique_ptr<TrackShard>& shard : shards_)
     s.tracks += shard->track_count();
   s.queue_depth = queue_.size();
   return s;
 }
 
-std::size_t TrackManagerFleet::alive_count() const { return builder_->active_count(); }
+std::size_t TrackManagerFleet::alive_count() const { return alive_n_; }
 
 SerialReplay::SerialReplay(TrackShard::Config config,
                            std::shared_ptr<const FaceMap> map,

@@ -17,12 +17,23 @@
 //   submit_wait()  backpressure — producer blocks until space/close().
 //
 // Deployment churn (net/faults.hpp fail/revive semantics) happens live,
-// between ticks, with tracks *held*: fail_node()/revive_node() drive a
-// FaceMapBuilder incremental rebuild (cached planes — a fail/revive
-// cycle re-rasterizes nothing after the first build) and hand the new
-// division to every shard. Track slots are never dropped; their warm
-// starts reset because face ids do not survive a re-division, and the
-// next tick re-acquires through the batch pass.
+// with tracks *held*: fail_node()/revive_node() flip the fleet's alive
+// set and (by default) enqueue the division rebuild onto the pool — the
+// service path returns in microseconds while the rebuild runs off-thread
+// behind a double buffer. Ticks keep resolving on the old division until
+// the new one is complete; the swap happens at the next tick() boundary
+// (tracks never see a half-built division). The rebuild itself is
+// incremental end to end: the FaceMapBuilder's cached planes mean a
+// fail/revive re-rasterizes nothing once warm, and in hierarchical mode
+// the coarse tier and its index are *patched* along the churn delta
+// (HierFaceMap::patched / SignatureIndex::patched) instead of rebuilt.
+// Events arriving while a rebuild is in flight coalesce into the next
+// one. Track slots are never dropped; their warm starts reset when the
+// new division is adopted because face ids do not survive a re-division,
+// and the next tick re-acquires through the batch pass.
+// Config::async_rebuild = false restores the synchronous adopt-on-return
+// semantics (deterministic single-call tooling); flush_rebuilds() gives
+// tests and drivers a barrier equivalent.
 //
 // Determinism: the updates of tick() depend only on the frame stream
 // (per-track order) and the division schedule — never on shard count,
@@ -32,13 +43,19 @@
 //
 // Threading contract: submit()/try_submit()/submit_wait() are safe from
 // any thread, concurrently with tick(). tick(), fail_node(),
-// revive_node() and close() belong to one service thread.
+// revive_node(), flush_rebuilds() and close() belong to one service
+// thread; the off-thread rebuild task is the only other participant and
+// hands its product over under one small mutex (the service thread and
+// the task never touch the builder or the served division concurrently).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/random.hpp"
@@ -60,6 +77,14 @@ class TrackManagerFleet {
     std::size_t queue_capacity{4096};
     /// Per-tick drain bound; 0 = drain everything queued.
     std::size_t max_frames_per_tick{0};
+    /// Rebuild divisions off-thread behind the double buffer (see the
+    /// header note). False: fail_node()/revive_node() rebuild and adopt
+    /// synchronously before returning — the pre-async semantics.
+    bool async_rebuild{true};
+    /// In hierarchical mode, patch the coarse tier/index along the churn
+    /// delta instead of rebuilding from scratch (bit-identical either
+    /// way; false forces the from-scratch path for A/B benching).
+    bool patch_division{true};
     TrackShard::Config track{};
   };
 
@@ -73,6 +98,10 @@ class TrackManagerFleet {
     std::uint64_t localizations{0};  ///< updates carrying an estimate
     std::uint64_t ticks{0};
     std::uint64_t rebuilds{0};       ///< divisions adopted after churn
+    /// Accepted fail/revive events. With async_rebuild, coalescing makes
+    /// rebuilds <= churn_events; they are equal in sync mode or after
+    /// flush_rebuilds() when every event got its own quiet window.
+    std::uint64_t churn_events{0};
     std::size_t tracks{0};           ///< live track slots (never shrinks)
     std::size_t queue_depth{0};      ///< at the time of the stats() call
   };
@@ -89,6 +118,11 @@ class TrackManagerFleet {
   TrackManagerFleet(Deployment roster, double C, const Aabb& field, double cell_size,
                     Config config, ThreadPool& pool = ThreadPool::global(),
                     FaceMapCache* cache = nullptr);
+
+  /// Waits for an in-flight off-thread rebuild to finish (the task
+  /// captures `this`); pending completed divisions are simply dropped —
+  /// nothing serves them anymore.
+  ~TrackManagerFleet();
 
   // -- Ingestion (any thread) ----------------------------------------------
 
@@ -114,18 +148,29 @@ class TrackManagerFleet {
   /// order), so results are stable regardless of shard fan-out.
   std::vector<TrackUpdate> tick();
 
-  // -- Deployment churn (service thread, between ticks) ---------------------
+  // -- Deployment churn (service thread) ------------------------------------
 
-  /// Node failed: rebuild the division without it (incremental — cached
-  /// planes mean a fail re-rasterizes nothing once the builder is warm)
-  /// and hand it to every shard, tracks held. Returns false — and keeps
-  /// serving the previous division, the dead node's columns projecting
-  /// away — when the node is unknown, already failed, or fewer than two
-  /// alive nodes would remain.
+  /// Node failed: drop it from the division, tracks held. With
+  /// async_rebuild the call only flips the alive set and enqueues the
+  /// incremental rebuild (cached planes — a fail re-rasterizes nothing
+  /// once the builder is warm; hierarchical tiers patch along the
+  /// delta); ticks keep serving the old division until the new one is
+  /// adopted at a tick boundary. Returns false — and changes nothing —
+  /// when the node is unknown, already failed, or fewer than two alive
+  /// nodes would remain (refusal is decided instantly on the fleet's
+  /// alive mirror, never blocked behind a rebuild).
   bool fail_node(NodeId id);
 
-  /// Node recovered: restore it to the division. Same return convention.
+  /// Node recovered: restore it to the division. Same return convention
+  /// (false when unknown or already alive).
   bool revive_node(NodeId id);
+
+  /// Drive pending rebuilds to completion and adopt them: waits for the
+  /// in-flight task, adopts its division, and repeats until no churn
+  /// event remains unadopted. After it returns, map()/table()/... serve
+  /// every accepted event and stats().rebuilds has counted them. No-op
+  /// in sync mode or when nothing is pending. Service thread only.
+  void flush_rebuilds();
 
   // -- Introspection --------------------------------------------------------
 
@@ -153,8 +198,30 @@ class TrackManagerFleet {
   }
 
   /// Re-derive the served division from the builder and hand it to the
-  /// shards (churn path).
+  /// shards (synchronous churn path).
   void adopt_rebuilt_division();
+
+  /// One churn event accepted: queue the builder op and either rebuild
+  /// synchronously (async_rebuild off) or kick the off-thread pipeline.
+  void on_churn(NodeId id, bool fail);
+
+  /// Launch the off-thread rebuild for the queued ops unless one is
+  /// already in flight or a finished division awaits adoption. Applies
+  /// the ops to the builder first (the builder is untouched while a task
+  /// runs — the alive mirror answers refusal checks meanwhile).
+  void maybe_launch_rebuild();
+
+  /// The rebuild task body: build map/table (+ patched tier/index in
+  /// hierarchical mode) and publish the result for the next tick
+  /// boundary. Runs on a pool worker (or inline when the pool is shut
+  /// down); `prev_*` pin the division being replaced for the delta path.
+  void run_rebuild(std::shared_ptr<const FaceMap> prev_map,
+                   std::shared_ptr<const HierFaceMap> prev_hier,
+                   std::shared_ptr<const SignatureIndex> prev_index);
+
+  /// Adopt a finished off-thread division, if any. Service thread only;
+  /// called at every tick() boundary and by flush_rebuilds().
+  bool maybe_adopt_ready();
 
   Config config_;
   ThreadPool* pool_;
@@ -169,6 +236,33 @@ class TrackManagerFleet {
   std::shared_ptr<const SignatureIndex> index_;  ///< hierarchical mode only
   std::vector<NodeId> members_;  ///< alive global ids, ascending
 
+  // Fleet-side mirror of the builder's active set: fail/revive refusal
+  // rules answer from here instantly, so churn acceptance never touches
+  // the builder — which an in-flight rebuild task may own.
+  std::vector<char> alive_;
+  std::size_t alive_n_{0};
+
+  /// A finished off-thread rebuild, waiting for the next tick boundary.
+  struct PendingDivision {
+    std::shared_ptr<const FaceMap> map;
+    std::shared_ptr<const SignatureTable> table;
+    std::shared_ptr<const HierFaceMap> hier;
+    std::shared_ptr<const SignatureIndex> index;
+    std::vector<NodeId> members;
+    std::uint64_t latency_ns{0};  ///< off-thread rebuild duration (obs on)
+  };
+
+  // Double-buffer state. The mutex guards only the tiny hand-off
+  // (inflight/ready flags + pending_); the service thread and the single
+  // rebuild task never touch the builder or the served division
+  // concurrently by construction. pending_ops_ is service-thread-only.
+  mutable std::mutex rebuild_mu_;
+  std::condition_variable rebuild_cv_;
+  bool rebuild_inflight_{false};
+  bool rebuild_ready_{false};
+  PendingDivision pending_;
+  std::vector<std::pair<NodeId, bool>> pending_ops_;  ///< (id, fail?)
+
   // Producer-side counters are atomic (submit races tick); the rest is
   // service-thread-only.
   std::atomic<std::uint64_t> enqueued_{0};
@@ -178,6 +272,7 @@ class TrackManagerFleet {
   std::uint64_t localizations_{0};
   std::uint64_t ticks_{0};
   std::uint64_t rebuilds_{0};
+  std::uint64_t churn_events_{0};
 
   // tick() scratch, reused to keep the steady-state loop allocation-light.
   std::vector<ReportFrame> drained_;

@@ -100,6 +100,7 @@ TEST(ServeFleetRace, ProducersAgainstServiceLoopReconcileExactly) {
     resolved += fleet.tick().size();
   }
   resolved += fleet.tick().size();  // final drain after the join
+  fleet.flush_rebuilds();           // settle any in-flight rebuild
 
   const TrackManagerFleet::Stats stats = fleet.stats();
   EXPECT_EQ(accepted.load() + rejected.load(), kProducers * kFramesPerProducer);
@@ -110,12 +111,82 @@ TEST(ServeFleetRace, ProducersAgainstServiceLoopReconcileExactly) {
   EXPECT_EQ(stats.frames, resolved);
   EXPECT_EQ(stats.queue_depth, 0u);
   EXPECT_GT(churned, 0u);
-  EXPECT_EQ(stats.rebuilds, churned);
+  // Off-thread rebuilds coalesce events that land while one is in
+  // flight: every event is counted, and at least one rebuild adopted.
+  EXPECT_EQ(stats.churn_events, churned);
+  EXPECT_LE(stats.rebuilds, churned);
+  EXPECT_GE(stats.rebuilds, 1u);
   // Zero dropped tracks: every track that had any frame resolved holds a
   // slot forever after; shedding can delay a track's first resolution
   // but the slot count can never exceed the track universe.
   EXPECT_LE(stats.tracks, kProducers * kTracksPerProducer);
   EXPECT_GT(stats.tracks, 0u);
+}
+
+TEST(ServeFleetRace, HierarchicalAsyncChurnUnderLoad) {
+  // The double-buffered adoption race probe: off-thread rebuild tasks
+  // (map build + tier patch + index patch) share the global pool with
+  // tick()'s resolution parallel_for while producers keep the queue hot
+  // and the service thread churns every other tick with no flushes.
+  // Under tsan any read of the serving division by a rebuild task, or
+  // publication without the rebuild mutex, is a hard failure; in every
+  // build the accounting must still reconcile exactly.
+  const Deployment roster = grid_deployment(kField, 9);
+  constexpr std::size_t kProducers = 3;
+  constexpr std::size_t kFramesPerProducer = 90;
+  constexpr std::size_t kTracksPerProducer = 6;
+  const SyntheticWorkload workload(
+      roster, kField, stress_workload(kProducers * kTracksPerProducer), 31);
+
+  TrackManagerFleet::Config cfg;
+  cfg.shards = 4;
+  cfg.queue_capacity = 64;
+  cfg.track.hierarchical = true;  // exercise the tier + index patch path
+  TrackManagerFleet fleet(roster, 1.2, kField, 2.0, cfg);
+  ASSERT_NE(fleet.hier(), nullptr);
+
+  std::atomic<std::size_t> accepted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kFramesPerProducer; ++i) {
+        const TrackId track = p * kTracksPerProducer + (i % kTracksPerProducer);
+        ASSERT_TRUE(fleet.submit(workload.frame(track, i / kTracksPerProducer)));
+        accepted.fetch_add(1);
+      }
+    });
+  }
+
+  std::size_t resolved = 0;
+  std::size_t churned = 0;
+  NodeId churn_node = 0;
+  bool fail_next = true;
+  std::uint64_t service_ticks = 0;
+  while (accepted.load() < kProducers * kFramesPerProducer) {
+    if (++service_ticks % 2 == 0) {
+      if (fail_next ? fleet.fail_node(churn_node)
+                    : fleet.revive_node(churn_node)) {
+        if (!fail_next) churn_node = (churn_node + 1) % roster.size();
+        fail_next = !fail_next;
+        ++churned;
+      }
+    }
+    resolved += fleet.tick().size();
+    std::this_thread::yield();
+  }
+  for (auto& t : producers) t.join();
+  resolved += fleet.tick().size();
+  fleet.flush_rebuilds();
+
+  const TrackManagerFleet::Stats stats = fleet.stats();
+  EXPECT_EQ(stats.enqueued, accepted.load());
+  EXPECT_EQ(stats.enqueued, stats.shed + stats.frames);
+  EXPECT_EQ(stats.frames, resolved);
+  EXPECT_EQ(stats.churn_events, churned);
+  EXPECT_LE(stats.rebuilds, churned);
+  if (churned > 0) EXPECT_GE(stats.rebuilds, 1u);
+  EXPECT_LE(stats.tracks, kProducers * kTracksPerProducer);
 }
 
 TEST(ServeFleetRace, SubmitWaitBackpressureDrainsWithoutLoss) {

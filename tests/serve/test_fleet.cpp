@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <future>
 #include <stdexcept>
 #include <vector>
 
@@ -169,14 +170,17 @@ TEST(Fleet, ChurnMatchesReplayWithTracksHeld) {
   SerialReplay replay(cfg.track, fleet.map(), fleet.table(), fleet.members());
 
   for (std::uint64_t tick = 0; tick < kTicks; ++tick) {
-    // Fail node 0 before tick 2, revive it before tick 4; the replay
-    // mirrors the division schedule at the same stream positions.
+    // Fail node 0 before tick 2, revive it before tick 4; the rebuild
+    // runs off-thread, so flush before mirroring the division into the
+    // replay at the same stream position.
     if (tick == 2) {
       ASSERT_TRUE(fleet.fail_node(0));
+      fleet.flush_rebuilds();
       replay.adopt_division(fleet.map(), fleet.table(), fleet.members());
     }
     if (tick == 4) {
       ASSERT_TRUE(fleet.revive_node(0));
+      fleet.flush_rebuilds();
       replay.adopt_division(fleet.map(), fleet.table(), fleet.members());
     }
     std::vector<TrackUpdate> spec;
@@ -193,6 +197,7 @@ TEST(Fleet, ChurnMatchesReplayWithTracksHeld) {
   const auto stats = fleet.stats();
   EXPECT_EQ(stats.tracks, kTracks);  // zero dropped tracks through churn
   EXPECT_EQ(stats.rebuilds, 2u);
+  EXPECT_EQ(stats.churn_events, 2u);
   EXPECT_EQ(fleet.alive_count(), roster.size());
 }
 
@@ -208,9 +213,11 @@ TEST(Fleet, ChurnRefusalRules) {
   EXPECT_TRUE(fleet.fail_node(0));
   EXPECT_FALSE(fleet.fail_node(0));    // already failed
   EXPECT_FALSE(fleet.fail_node(1));    // would leave < 2 alive
-  EXPECT_EQ(fleet.alive_count(), 2u);
+  EXPECT_EQ(fleet.alive_count(), 2u);  // refusal/alive answers are instant
   EXPECT_TRUE(fleet.revive_node(0));
   EXPECT_EQ(fleet.alive_count(), 3u);
+  EXPECT_EQ(fleet.stats().churn_events, 2u);
+  fleet.flush_rebuilds();  // every accepted event got its own rebuild
   EXPECT_EQ(fleet.stats().rebuilds, 2u);
 }
 
@@ -315,10 +322,12 @@ TEST(Fleet, HierarchicalFleetMatchesFlatReplayUnderChurn) {
   for (std::uint64_t tick = 0; tick < kTicks; ++tick) {
     if (tick == 2) {
       ASSERT_TRUE(fleet.fail_node(0));
+      fleet.flush_rebuilds();
       replay.adopt_division(fleet.map(), fleet.table(), fleet.members());
     }
     if (tick == 4) {
       ASSERT_TRUE(fleet.revive_node(0));
+      fleet.flush_rebuilds();
       replay.adopt_division(fleet.map(), fleet.table(), fleet.members());
     }
     std::vector<TrackUpdate> spec;
@@ -351,6 +360,130 @@ TEST(Fleet, ReplaySharesTheFleetsTier) {
       const ReportFrame frame = workload.frame(t, e);
       expect_identical(shared.process(frame), own.process(frame), t);
     }
+}
+
+TEST(Fleet, AsyncRebuildServesOldDivisionUntilReady) {
+  // The double-buffer claim: while a rebuild is in flight, ticks keep
+  // resolving against the division served before the churn event — no
+  // stall, no half-adopted state. A one-worker pool whose worker is
+  // pinned by a blocker task keeps the rebuild provably un-started;
+  // ticks still run (parallel_for callers claim chunks themselves).
+  const Deployment roster = roster9();
+  constexpr std::size_t kTracks = 6;
+  const SyntheticWorkload workload(roster, kField, workload_config(kTracks), 17);
+
+  ThreadPool pool(1);
+  TrackManagerFleet::Config cfg;
+  TrackManagerFleet fleet(roster, kC, kField, kCell, cfg, pool);
+  SerialReplay replay(cfg.track, fleet.map(), fleet.table(), fleet.members());
+  const FaceMap* old_division = fleet.map().get();
+
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  ASSERT_TRUE(pool.submit([gate] { gate.wait(); }));
+
+  ASSERT_TRUE(fleet.fail_node(0));  // rebuild queued behind the blocker
+  std::vector<TrackUpdate> spec;
+  for (TrackId t = 0; t < kTracks; ++t) {
+    const ReportFrame frame = workload.frame(t, 0);
+    spec.push_back(replay.process(frame));  // replay still on old division
+    ASSERT_TRUE(fleet.submit(frame));
+  }
+  const std::vector<TrackUpdate> got = fleet.tick();
+  EXPECT_EQ(fleet.map().get(), old_division);  // still serving the old one
+  ASSERT_EQ(got.size(), spec.size());
+  for (std::size_t i = 0; i < spec.size(); ++i)
+    expect_identical(got[i], spec[i], i);
+
+  release.set_value();
+  fleet.flush_rebuilds();
+  EXPECT_NE(fleet.map().get(), old_division);
+  EXPECT_EQ(fleet.stats().rebuilds, 1u);
+
+  // And the adopted division matches a replay that adopts it too.
+  replay.adopt_division(fleet.map(), fleet.table(), fleet.members());
+  spec.clear();
+  std::vector<TrackUpdate> got2;
+  for (TrackId t = 0; t < kTracks; ++t) {
+    const ReportFrame frame = workload.frame(t, 1);
+    spec.push_back(replay.process(frame));
+    ASSERT_TRUE(fleet.submit(frame));
+  }
+  for (TrackUpdate& u : fleet.tick()) got2.push_back(std::move(u));
+  ASSERT_EQ(got2.size(), spec.size());
+  for (std::size_t i = 0; i < spec.size(); ++i)
+    expect_identical(got2[i], spec[i], i);
+  EXPECT_EQ(fleet.stats().tracks, kTracks);  // zero dropped tracks
+}
+
+TEST(Fleet, SyncModeAdoptsImmediately) {
+  const Deployment roster = roster9();
+  TrackManagerFleet::Config cfg;
+  cfg.async_rebuild = false;
+  TrackManagerFleet fleet(roster, kC, kField, kCell, cfg);
+  const FaceMap* before = fleet.map().get();
+  ASSERT_TRUE(fleet.fail_node(0));
+  EXPECT_NE(fleet.map().get(), before);  // adopted inside the call
+  EXPECT_EQ(fleet.stats().rebuilds, 1u);
+  EXPECT_EQ(fleet.stats().churn_events, 1u);
+  fleet.flush_rebuilds();  // no-op in sync mode
+  EXPECT_EQ(fleet.stats().rebuilds, 1u);
+}
+
+TEST(Fleet, FreeRunningAsyncMatchesMirroredReplay) {
+  // No flushes: churn events land between ticks and the fleet adopts
+  // whenever a rebuild happens to be ready at a tick boundary. The
+  // replay mirrors adoption after the fact — a rebuilds increase during
+  // tick() means the division swapped *before* that tick's frames
+  // resolved, so the replay adopts and then processes the saved frames.
+  const Deployment roster = roster9();
+  constexpr std::size_t kTracks = 6;
+  constexpr std::size_t kTicks = 10;
+  const SyntheticWorkload workload(roster, kField, workload_config(kTracks), 29);
+  const auto stream = make_stream(workload, kTracks, kTicks);
+
+  TrackManagerFleet::Config cfg;
+  cfg.shards = 2;
+  cfg.track.hierarchical = true;
+  TrackManagerFleet fleet(roster, kC, kField, kCell, cfg);
+  TrackShard::Config flat = cfg.track;
+  flat.hierarchical = false;
+  SerialReplay replay(flat, fleet.map(), fleet.table(), fleet.members());
+
+  std::uint64_t churned = 0;
+  std::uint64_t adopted = 0;
+  NodeId churn_node = 0;
+  bool fail_next = true;
+  for (std::uint64_t tick = 0; tick < kTicks; ++tick) {
+    if (tick % 2 == 1) {
+      const bool ok = fail_next ? fleet.fail_node(churn_node)
+                                : fleet.revive_node(churn_node);
+      ASSERT_TRUE(ok);
+      if (!fail_next) churn_node = static_cast<NodeId>((churn_node + 1) % 9);
+      fail_next = !fail_next;
+      ++churned;
+    }
+    for (const ReportFrame& frame : stream[tick])
+      ASSERT_TRUE(fleet.submit(frame));
+    const std::vector<TrackUpdate> got = fleet.tick();
+
+    if (fleet.stats().rebuilds > adopted) {
+      adopted = fleet.stats().rebuilds;
+      replay.adopt_division(fleet.map(), fleet.table(), fleet.members());
+    }
+    std::vector<TrackUpdate> spec;
+    for (const ReportFrame& frame : stream[tick])
+      spec.push_back(replay.process(frame));
+    ASSERT_EQ(got.size(), spec.size()) << "tick " << tick;
+    for (std::size_t i = 0; i < spec.size(); ++i)
+      expect_identical(got[i], spec[i], i);
+  }
+  fleet.flush_rebuilds();
+  const auto stats = fleet.stats();
+  EXPECT_EQ(stats.churn_events, churned);
+  EXPECT_GE(stats.rebuilds, 1u);
+  EXPECT_LE(stats.rebuilds, churned);  // coalescing never over-counts
+  EXPECT_EQ(stats.tracks, kTracks);    // zero dropped tracks throughout
 }
 
 TEST(Fleet, SharedCacheServesOneBuildToSiblingFleets) {

@@ -100,6 +100,9 @@ int run_serve(const fttt::CliOptions& opt) {
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
+  // Rebuilds run off-thread; settle the last one so the stats table
+  // reports every accepted churn event as adopted.
+  fleet.flush_rebuilds();
   const TrackManagerFleet::Stats stats = fleet.stats();
   TextTable t({"metric", "value"});
   t.add_row({"frames resolved", std::to_string(stats.frames)});
